@@ -1,0 +1,116 @@
+// Reproduces Figure 3 (model-design study, §6.2):
+//   (a-f) full CPD vs "no joint modeling" vs "no heterogeneity" on community
+//         detection (conductance), friendship link prediction (AUC) and
+//         diffusion link prediction (AUC), sweeping |C| on both datasets;
+//   (g-h) full CPD vs "no individual & topic" vs "no topic" on diffusion
+//         prediction AUC.
+// Expected shape (paper): "Ours" dominates "No Joint Modeling" everywhere,
+// beats "No Heterogeneity" on diffusion prediction while staying comparable
+// on detection/friendship; dropping the individual and topic factors costs
+// several AUC points each.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace cpd::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  CpdAblation ablation;
+};
+
+CpdConfig VariantConfig(const BenchScale& scale, int kc, const Variant& variant) {
+  CpdConfig config = BaseCpdConfig(scale);
+  config.num_communities = kc;
+  config.ablation = variant.ablation;
+  return config;
+}
+
+double FullGraphConductance(const SocialGraph& graph, const CpdConfig& config) {
+  auto model = CpdModel::Train(graph, config);
+  CPD_CHECK(model.ok());
+  std::vector<std::vector<double>> memberships(graph.num_users());
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    memberships[u] = model->Membership(static_cast<UserId>(u));
+  }
+  // The paper assigns each user to her top-5 communities with |C| >= 20;
+  // at scaled-down |C| keep the same *fraction* (5/20 = |C|/4).
+  const int top_k = std::max(1, config.num_communities / 4);
+  return AverageConductance(graph, memberships, top_k);
+}
+
+void RunPanelSet(const BenchDataset& dataset, const BenchScale& scale,
+                 const std::vector<Variant>& variants, const char* panel,
+                 bool with_detection) {
+  PrintBenchHeader(std::string("Figure 3") + panel, scale, dataset);
+
+  TableWriter conductance("Community detection (conductance, lower=better) - " +
+                          dataset.name);
+  TableWriter friendship("Friendship link prediction (AUC) - " + dataset.name);
+  TableWriter diffusion("Diffusion link prediction (AUC) - " + dataset.name);
+  std::vector<std::string> header = {"variant"};
+  for (int kc : scale.community_sweep) header.push_back("C=" + std::to_string(kc));
+  conductance.SetHeader(header);
+  friendship.SetHeader(header);
+  diffusion.SetHeader(header);
+
+  for (const Variant& variant : variants) {
+    std::vector<double> cond_row, friend_row, diff_row;
+    for (int kc : scale.community_sweep) {
+      const CpdConfig config = VariantConfig(scale, kc, variant);
+      if (with_detection) {
+        cond_row.push_back(FullGraphConductance(dataset.data.graph, config));
+      }
+      const FoldResult folds = RunLinkPredictionFolds(
+          dataset.data.graph, scale, MakeCpdScorerFactory(config),
+          /*seed=*/977 + static_cast<uint64_t>(kc));
+      friend_row.push_back(folds.MeanFriendshipAuc());
+      diff_row.push_back(folds.MeanDiffusionAuc());
+    }
+    if (with_detection) conductance.AddRow(variant.name, cond_row);
+    friendship.AddRow(variant.name, friend_row);
+    diffusion.AddRow(variant.name, diff_row);
+  }
+  if (with_detection) {
+    conductance.Print();
+    friendship.Print();
+  }
+  diffusion.Print();
+}
+
+void Run() {
+  const BenchScale scale = BenchScale::FromEnv();
+
+  CpdAblation full;
+  CpdAblation no_joint;
+  no_joint.joint_profiling = false;
+  CpdAblation no_hetero;
+  no_hetero.heterogeneous_links = false;
+  const std::vector<Variant> abc = {{"No Heterogeneity", no_hetero},
+                                    {"No Joint Modeling", no_joint},
+                                    {"Ours", full}};
+
+  CpdAblation no_indiv_topic;
+  no_indiv_topic.individual_factor = false;
+  no_indiv_topic.topic_factor = false;
+  CpdAblation no_topic;
+  no_topic.topic_factor = false;
+  const std::vector<Variant> gh = {{"No Individual & Topic", no_indiv_topic},
+                                   {"No Topic", no_topic},
+                                   {"Ours", full}};
+
+  RunPanelSet(TwitterDataset(scale), scale, abc, "(a-c)", /*with_detection=*/true);
+  RunPanelSet(DblpDataset(scale), scale, abc, "(d-f)", /*with_detection=*/true);
+  RunPanelSet(TwitterDataset(scale), scale, gh, "(g)", /*with_detection=*/false);
+  RunPanelSet(DblpDataset(scale), scale, gh, "(h)", /*with_detection=*/false);
+}
+
+}  // namespace
+}  // namespace cpd::bench
+
+int main() {
+  cpd::bench::Run();
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Reproduces Figure 5 (diffusion-factor case study, §6.3.1) on the
+// DBLP-like dataset:
+//   (a) individual factor: #citations-made vs user activeness, and
+//       #citations-received vs user popularity (both should correlate);
+//   (b) topic factor: papers and citations per year for one topic track each
+//       other over time;
+//   (c) community factor: top diffusion topics between the top-2 communities
+//       ranked for a "router"-like query differ by direction.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "apps/community_ranking.h"
+#include "bench_common.h"
+#include "util/math_util.h"
+
+namespace cpd::bench {
+namespace {
+
+void PanelA(const BenchDataset& dataset) {
+  const SocialGraph& graph = dataset.data.graph;
+  std::vector<double> activeness, diffusions_made, popularity, citations_received;
+  std::vector<int64_t> received(graph.num_users(), 0);
+  for (const DiffusionLink& link : graph.diffusion_links()) {
+    ++received[static_cast<size_t>(graph.document(link.j).user)];
+  }
+  // Popularity = followers/followees is identically 1 on a symmetric
+  // co-authorship graph; fall back to the collaborator count ("established
+  // researchers have more co-authors") when the ratio is degenerate.
+  bool ratio_varies = false;
+  for (size_t u = 1; u < graph.num_users() && !ratio_varies; ++u) {
+    ratio_varies = std::fabs(graph.activity(static_cast<UserId>(u)).Popularity() -
+                             graph.activity(0).Popularity()) > 1e-12;
+  }
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    const UserActivity& activity = graph.activity(static_cast<UserId>(u));
+    activeness.push_back(activity.Activeness());
+    diffusions_made.push_back(static_cast<double>(activity.diffusions));
+    popularity.push_back(ratio_varies
+                             ? activity.Popularity()
+                             : static_cast<double>(activity.followers));
+    citations_received.push_back(static_cast<double>(received[u]));
+  }
+  TableWriter table("Fig 5(a): individual factor correlations - " + dataset.name);
+  table.SetHeader({"relationship", "Pearson r"});
+  table.AddRow({"#citations made vs activeness",
+                FormatDouble(PearsonCorrelation(activeness, diffusions_made), 4)});
+  table.AddRow({"#citations received vs popularity",
+                FormatDouble(PearsonCorrelation(popularity, citations_received), 4)});
+  table.Print();
+  std::printf("Paper observation: both correlations positive (more active "
+              "users cite more; more popular users are cited more).\n\n");
+}
+
+void PanelB(const BenchDataset& dataset, const CpdModel& model) {
+  const SocialGraph& graph = dataset.data.graph;
+  // Pick the topic with the most diffusions overall.
+  std::vector<int64_t> topic_diffusions(
+      static_cast<size_t>(model.num_topics()), 0);
+  // Re-derive per-doc topics from the model's posterior-free training counts
+  // is unavailable here; count by planted truth (the generator's labels).
+  const auto& truth = dataset.data.truth;
+  for (const DiffusionLink& link : graph.diffusion_links()) {
+    ++topic_diffusions[static_cast<size_t>(
+        truth.doc_topic[static_cast<size_t>(link.i)])];
+  }
+  const int z = static_cast<int>(std::distance(
+      topic_diffusions.begin(),
+      std::max_element(topic_diffusions.begin(), topic_diffusions.end())));
+
+  std::vector<int64_t> papers(static_cast<size_t>(graph.num_time_bins()), 0);
+  std::vector<int64_t> citations(static_cast<size_t>(graph.num_time_bins()), 0);
+  for (size_t d = 0; d < graph.num_documents(); ++d) {
+    if (truth.doc_topic[d] == z) {
+      ++papers[static_cast<size_t>(graph.document(static_cast<DocId>(d)).time)];
+    }
+  }
+  for (const DiffusionLink& link : graph.diffusion_links()) {
+    if (truth.doc_topic[static_cast<size_t>(link.i)] == z) {
+      ++citations[static_cast<size_t>(link.time)];
+    }
+  }
+  TableWriter table("Fig 5(b): papers vs citations per year, topic " +
+                    std::to_string(z) + " - " + dataset.name);
+  table.SetHeader({"year", "#papers", "#citations"});
+  std::vector<double> paper_series, citation_series;
+  for (int32_t t = 0; t < graph.num_time_bins(); ++t) {
+    table.AddRow({std::to_string(t),
+                  std::to_string(papers[static_cast<size_t>(t)]),
+                  std::to_string(citations[static_cast<size_t>(t)])});
+    paper_series.push_back(static_cast<double>(papers[static_cast<size_t>(t)]));
+    citation_series.push_back(
+        static_cast<double>(citations[static_cast<size_t>(t)]));
+  }
+  table.Print();
+  std::printf("Pearson(papers, citations) over time = %.4f (paper: \"high "
+              "correlation\" -> topic popularity drives diffusion)\n\n",
+              PearsonCorrelation(paper_series, citation_series));
+}
+
+void PanelC(const BenchDataset& dataset, const CpdModel& model) {
+  // Query the ranking application for a networking-themed term and inspect
+  // the diffusion between the top-2 communities (paper Fig. 5(c): c18/c32
+  // cite each other on "network", asymmetrically on "security"/"service").
+  CommunityRanker ranker(model);
+  const std::vector<WordId> query = CommunityRanker::ParseQuery(
+      dataset.data.graph.corpus().vocabulary(), "router");
+  CPD_CHECK(!query.empty());
+  const auto ranked = ranker.Rank(query);
+  CPD_CHECK(ranked.size() >= 2u);
+  const int a = ranked[0].community;
+  const int b = ranked[1].community;
+
+  auto top_topics = [&model](int from, int to) {
+    std::vector<std::pair<double, int>> strengths;
+    for (int z = 0; z < model.num_topics(); ++z) {
+      strengths.emplace_back(model.Eta(from, to, z), z);
+    }
+    std::sort(strengths.rbegin(), strengths.rend());
+    strengths.resize(5);
+    return strengths;
+  };
+
+  TableWriter table("Fig 5(c): top-5 diffusion topics between the top-2 "
+                    "communities for query 'router' - " +
+                    dataset.name);
+  table.SetHeader({"direction", "rank", "topic", "diffusion strength"});
+  const auto ab = top_topics(a, b);
+  const auto ba = top_topics(b, a);
+  for (size_t r = 0; r < 5; ++r) {
+    table.AddRow({StrFormat("c%02d -> c%02d", a, b), std::to_string(r + 1),
+                  "T" + std::to_string(ab[r].second),
+                  FormatDouble(ab[r].first, 6)});
+  }
+  for (size_t r = 0; r < 5; ++r) {
+    table.AddRow({StrFormat("c%02d -> c%02d", b, a), std::to_string(r + 1),
+                  "T" + std::to_string(ba[r].second),
+                  FormatDouble(ba[r].first, 6)});
+  }
+  table.Print();
+  std::printf("Paper observation: the two communities share a top exchange "
+              "topic but the remaining preferences are asymmetric -> the "
+              "community factor is direction- and topic-specific.\n");
+}
+
+void Run() {
+  const BenchScale scale = BenchScale::FromEnv();
+  const BenchDataset& dataset = DblpDataset(scale);
+  PrintBenchHeader("Figure 5: diffusion factor case study", scale, dataset);
+
+  CpdConfig config = BaseCpdConfig(scale);
+  config.num_communities = scale.community_sweep[1];
+  auto model = CpdModel::Train(dataset.data.graph, config);
+  CPD_CHECK(model.ok());
+
+  PanelA(dataset);
+  PanelB(dataset, *model);
+  PanelC(dataset, *model);
+}
+
+}  // namespace
+}  // namespace cpd::bench
+
+int main() {
+  cpd::bench::Run();
+  return 0;
+}

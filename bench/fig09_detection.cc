@@ -1,0 +1,167 @@
+// Reproduces Figure 9 (community quality, §6.3.4): conductance (top-5
+// membership, lower = better) and friendship link-prediction AUC of CPD vs
+// PMTLM, CRM and COLD across |C|, on both datasets. Expected shape (paper):
+// "Ours" has the lowest conductance and the highest AUC — PMTLM/COLD ignore
+// friendship links, CRM does not enforce intra-community density.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/cold.h"
+#include "baselines/crm.h"
+#include "baselines/pmtlm.h"
+#include "bench_common.h"
+#include "eval/significance.h"
+#include "util/math_util.h"
+
+namespace cpd::bench {
+namespace {
+
+using MembershipFn =
+    std::function<std::vector<std::vector<double>>(const SocialGraph&, int kc)>;
+using FriendFactoryFn = std::function<ScorerFactory(int kc)>;
+
+struct Method {
+  std::string name;
+  MembershipFn memberships;  ///< Trained on the full graph (conductance).
+  FriendFactoryFn factory;   ///< Trained per fold (friendship AUC).
+};
+
+void RunDataset(const BenchDataset& dataset, const BenchScale& scale) {
+  PrintBenchHeader("Figure 9: community detection quality", scale, dataset);
+  const SocialGraph& graph = dataset.data.graph;
+
+  std::vector<Method> methods;
+  methods.push_back(Method{
+      "PMTLM",
+      [](const SocialGraph& g, int kc) {
+        PmtlmConfig config;
+        config.num_topics = kc;
+        auto model = PmtlmModel::Train(g, config);
+        CPD_CHECK(model.ok());
+        return model->Memberships();
+      },
+      [](int kc) {
+        return [kc](const SocialGraph& train) -> TrainedScorers {
+          PmtlmConfig config;
+          config.num_topics = kc;
+          auto model = PmtlmModel::Train(train, config);
+          CPD_CHECK(model.ok());
+          auto shared = std::make_shared<PmtlmModel>(std::move(*model));
+          TrainedScorers scorers;
+          scorers.friendship = [shared](UserId u, UserId v) {
+            return shared->AsFriendshipScorer()(u, v);
+          };
+          return scorers;
+        };
+      }});
+  methods.push_back(Method{
+      "CRM",
+      [](const SocialGraph& g, int kc) {
+        CrmConfig config;
+        config.num_communities = kc;
+        auto model = CrmModel::Train(g, config);
+        CPD_CHECK(model.ok());
+        return model->Memberships();
+      },
+      [](int kc) {
+        return [kc](const SocialGraph& train) -> TrainedScorers {
+          CrmConfig config;
+          config.num_communities = kc;
+          auto model = CrmModel::Train(train, config);
+          CPD_CHECK(model.ok());
+          auto shared = std::make_shared<CrmModel>(std::move(*model));
+          TrainedScorers scorers;
+          scorers.friendship = [shared](UserId u, UserId v) {
+            return shared->AsFriendshipScorer()(u, v);
+          };
+          return scorers;
+        };
+      }});
+  const int em = scale.em_iterations;
+  methods.push_back(Method{
+      "COLD",
+      [em](const SocialGraph& g, int kc) {
+        ColdConfig config;
+        config.num_communities = kc;
+        config.num_topics = 12;
+        config.em_iterations = em;
+        auto model = ColdModel::Train(g, config);
+        CPD_CHECK(model.ok());
+        return model->Memberships();
+      },
+      [em](int kc) {
+        return [kc, em](const SocialGraph& train) -> TrainedScorers {
+          ColdConfig config;
+          config.num_communities = kc;
+          config.num_topics = 12;
+          config.em_iterations = em;
+          auto model = ColdModel::Train(train, config);
+          CPD_CHECK(model.ok());
+          auto shared = std::make_shared<ColdModel>(std::move(*model));
+          TrainedScorers scorers;
+          scorers.friendship = [shared](UserId u, UserId v) {
+            return shared->AsFriendshipScorer()(u, v);
+          };
+          return scorers;
+        };
+      }});
+  methods.push_back(Method{
+      "Ours",
+      [&scale](const SocialGraph& g, int kc) {
+        CpdConfig config = BaseCpdConfig(scale);
+        config.num_communities = kc;
+        auto model = CpdModel::Train(g, config);
+        CPD_CHECK(model.ok());
+        std::vector<std::vector<double>> memberships(g.num_users());
+        for (size_t u = 0; u < g.num_users(); ++u) {
+          memberships[u] = model->Membership(static_cast<UserId>(u));
+        }
+        return memberships;
+      },
+      [&scale](int kc) {
+        CpdConfig config = BaseCpdConfig(scale);
+        config.num_communities = kc;
+        return MakeCpdScorerFactory(config);
+      }});
+
+  TableWriter conductance("Community detection (conductance, lower=better) - " +
+                          dataset.name);
+  TableWriter friendship("Friendship link prediction (AUC) - " + dataset.name);
+  std::vector<std::string> header = {"method"};
+  for (int kc : scale.community_sweep) header.push_back("C=" + std::to_string(kc));
+  conductance.SetHeader(header);
+  friendship.SetHeader(header);
+
+  for (const Method& method : methods) {
+    std::vector<double> cond_row, friend_row;
+    for (int kc : scale.community_sweep) {
+      // Top-5 membership at the paper's |C| >= 20; the same fraction
+      // (|C|/4) at scaled-down community counts.
+      cond_row.push_back(AverageConductance(graph, method.memberships(graph, kc),
+                                            std::max(1, kc / 4)));
+      const FoldResult folds =
+          RunLinkPredictionFolds(graph, scale, method.factory(kc),
+                                 /*seed=*/919 + static_cast<uint64_t>(kc));
+      friend_row.push_back(folds.MeanFriendshipAuc());
+    }
+    conductance.AddRow(method.name, cond_row);
+    friendship.AddRow(method.name, friend_row);
+  }
+  conductance.Print();
+  friendship.Print();
+}
+
+void Run() {
+  const BenchScale scale = BenchScale::FromEnv();
+  RunDataset(TwitterDataset(scale), scale);
+  RunDataset(DblpDataset(scale), scale);
+}
+
+}  // namespace
+}  // namespace cpd::bench
+
+int main() {
+  cpd::bench::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Figure 11 (workload balancing, §6.4): for an 8-thread parallel
+// E-step, the estimated per-core workload from the LDA-segmentation +
+// knapsack allocation (Eq. 17) vs the measured per-core running time — both
+// should be flat across cores. Also contrasts the knapsack allocator's
+// imbalance with the greedy LPT baseline on the actual segment workloads.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/em_trainer.h"
+#include "parallel/knapsack.h"
+#include "parallel/segmenter.h"
+#include "util/math_util.h"
+
+namespace cpd::bench {
+namespace {
+
+constexpr int kCores = 8;
+
+void RunDataset(const BenchDataset& dataset, const BenchScale& scale) {
+  PrintBenchHeader("Figure 11: per-core workload balancing", scale, dataset);
+
+  CpdConfig config = BaseCpdConfig(scale);
+  config.num_communities = scale.community_sweep[1];
+  config.num_threads = kCores;
+  config.gibbs_sweeps_per_em = 2;
+  EmTrainer trainer(dataset.data.graph, config);
+  CPD_CHECK(trainer.Initialize().ok());
+  CPD_CHECK(trainer.EStep().ok());
+
+  const TrainStats& stats = trainer.stats();
+  TableWriter table("Estimated workload vs actual running time per core - " +
+                    dataset.name);
+  table.SetHeader({"core", "estimated workload (rel.)", "actual time (ms)"});
+  const double total_estimated = StableSum(stats.thread_estimated_workload);
+  for (int t = 0; t < kCores; ++t) {
+    table.AddRow({std::to_string(t + 1),
+                  FormatDouble(stats.thread_estimated_workload[static_cast<size_t>(t)] /
+                                   std::max(total_estimated, 1e-12) * kCores,
+                               3),
+                  FormatDouble(stats.thread_actual_seconds[static_cast<size_t>(t)] *
+                                   1e3,
+                               2)});
+  }
+  table.Print();
+
+  const double est_imbalance =
+      *std::max_element(stats.thread_estimated_workload.begin(),
+                        stats.thread_estimated_workload.end()) /
+      std::max(Mean(stats.thread_estimated_workload), 1e-12);
+  const double actual_imbalance =
+      *std::max_element(stats.thread_actual_seconds.begin(),
+                        stats.thread_actual_seconds.end()) /
+      std::max(Mean(stats.thread_actual_seconds), 1e-12);
+  std::printf("segments=%zu  estimated imbalance=%.3f  actual imbalance=%.3f "
+              "(1.0 = perfectly even; paper: \"good workload balancing\")\n",
+              stats.num_segments, est_imbalance, actual_imbalance);
+
+  // Knapsack vs greedy on the same segment workloads.
+  WorkloadCostModel cost;
+  auto segments = SegmentUsersByTopic(dataset.data.graph,
+                                      std::max(config.num_topics, kCores), cost,
+                                      /*lda_iterations=*/15, config.seed + 101);
+  CPD_CHECK(segments.ok());
+  std::vector<double> workloads;
+  for (const DataSegment& segment : *segments) {
+    workloads.push_back(segment.estimated_workload);
+  }
+  const SegmentAllocation knapsack = AllocateSegmentsKnapsack(workloads, kCores);
+  const SegmentAllocation greedy = AllocateSegmentsGreedy(workloads, kCores);
+  std::printf("allocator imbalance on these segments: knapsack (Eq. 17) = "
+              "%.3f, greedy LPT = %.3f\n\n",
+              knapsack.Imbalance(), greedy.Imbalance());
+}
+
+void Run() {
+  const BenchScale scale = BenchScale::FromEnv();
+  RunDataset(TwitterDataset(scale), scale);
+  RunDataset(DblpDataset(scale), scale);
+}
+
+}  // namespace
+}  // namespace cpd::bench
+
+int main() {
+  cpd::bench::Run();
+  return 0;
+}

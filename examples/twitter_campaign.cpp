@@ -1,0 +1,110 @@
+// Campaign targeting on a Twitter-like network (the paper's motivating
+// application, §1): a company wants the communities most likely to retweet
+// about its product so it can target a campaign. Uses profile-driven
+// community ranking (Eq. 19) and community-aware diffusion (Eq. 18) to pick
+// target communities and likely amplifier users.
+//
+//   ./build/examples/twitter_campaign "#network"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "apps/community_ranking.h"
+#include "apps/diffusion_prediction.h"
+#include "apps/visualization.h"
+#include "core/cpd_model.h"
+#include "synth/generator.h"
+#include "util/math_util.h"
+
+using namespace cpd;
+
+int main(int argc, char** argv) {
+  const std::string query_text = argc > 1 ? argv[1] : "#network";
+
+  // A Twitter-like network (followership + tweets + retweets).
+  auto generated = GenerateSocialGraph(SynthConfig::TwitterLike().Scaled(0.6));
+  if (!generated.ok()) return 1;
+  const SocialGraph& graph = generated->graph;
+  std::printf("Twitter-like network: %zu users, %zu tweets, %zu follows, %zu "
+              "retweets\n",
+              graph.num_users(), graph.num_documents(),
+              graph.num_friendship_links(), graph.num_diffusion_links());
+
+  CpdConfig config;
+  config.num_communities = 10;
+  config.num_topics = 12;
+  config.em_iterations = 12;
+  auto model = CpdModel::Train(graph, config);
+  if (!model.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+
+  // 1. Which communities will retweet about the campaign topic?
+  const Vocabulary& vocab = graph.corpus().vocabulary();
+  const auto query = CommunityRanker::ParseQuery(vocab, query_text);
+  if (query.empty()) {
+    std::fprintf(stderr, "query '%s' is out of vocabulary\n", query_text.c_str());
+    return 1;
+  }
+  CommunityRanker ranker(*model);
+  const auto ranked = ranker.Rank(query);
+  std::printf("\ntop-3 communities to target for '%s':\n", query_text.c_str());
+  for (int k = 0; k < 3 && k < static_cast<int>(ranked.size()); ++k) {
+    const auto& entry = ranked[static_cast<size_t>(k)];
+    std::printf("  %d. c%02d  score=%.5f  about: %s\n", k + 1, entry.community,
+                entry.score,
+                CommunityLabel(*model, vocab, entry.community, 4).c_str());
+  }
+
+  // 2. Within the top community, which members are the best amplifiers?
+  //    Score each member's probability of retweeting a seed tweet about the
+  //    query topic from a prototypical author (Eq. 18).
+  const int target = ranked.front().community;
+  // A seed document: the query topic's highest-probability document author.
+  DocId seed_doc = 0;
+  const int seed_topic = static_cast<int>(
+      ArgMax(ranked.front().topic_distribution));
+  // Find a document whose words best match the seed topic.
+  double best = -1e300;
+  const auto& phi = model->TopicWords(seed_topic);
+  for (size_t d = 0; d < graph.num_documents(); d += 7) {
+    double score = 0.0;
+    for (WordId w : graph.document(static_cast<DocId>(d)).words) {
+      score += phi[static_cast<size_t>(w)];
+    }
+    score /= static_cast<double>(
+        graph.document(static_cast<DocId>(d)).words.size());
+    if (score > best) {
+      best = score;
+      seed_doc = static_cast<DocId>(d);
+    }
+  }
+  const UserId author = graph.document(seed_doc).user;
+
+  DiffusionPredictor predictor(*model, graph);
+  std::vector<std::pair<double, UserId>> amplifiers;
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    const UserId user = static_cast<UserId>(u);
+    if (user == author) continue;
+    const auto& pi = model->Membership(user);
+    if (static_cast<int>(ArgMax(pi)) != target) continue;
+    amplifiers.emplace_back(
+        predictor.Score(user, author, seed_doc, graph.num_time_bins() - 1), user);
+  }
+  std::sort(amplifiers.rbegin(), amplifiers.rend());
+  std::printf("\ntop amplifier users inside community c%02d (retweet "
+              "probability of the seed tweet):\n",
+              target);
+  for (size_t k = 0; k < 5 && k < amplifiers.size(); ++k) {
+    const UserActivity& activity = graph.activity(amplifiers[k].second);
+    std::printf("  user %4d  p=%.4f  followers=%ld  retweet-ratio=%.2f\n",
+                amplifiers[k].second, amplifiers[k].first,
+                static_cast<long>(activity.followers), activity.Activeness());
+  }
+  std::printf("\nCampaign plan: seed the tweet with the top amplifiers; the "
+              "ranking already accounts for the community's content interest, "
+              "current topic popularity and individual retweet habits.\n");
+  return 0;
+}

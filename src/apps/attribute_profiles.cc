@@ -1,0 +1,95 @@
+#include "apps/attribute_profiles.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cpd {
+
+StatusOr<AttributeProfiles> AttributeProfiles::Build(
+    const CpdModel& model, const UserAttribute& attribute) {
+  if (attribute.values.empty()) {
+    return Status::InvalidArgument("attribute has no values");
+  }
+  if (attribute.value_of_user.size() != model.num_users()) {
+    return Status::InvalidArgument("attribute/user count mismatch");
+  }
+  for (int32_t v : attribute.value_of_user) {
+    if (v < 0 || static_cast<size_t>(v) >= attribute.values.size()) {
+      return Status::OutOfRange("attribute value id out of range");
+    }
+  }
+
+  AttributeProfiles profiles;
+  profiles.name_ = attribute.name;
+  profiles.num_communities_ = model.num_communities();
+  profiles.num_values_ = static_cast<int>(attribute.values.size());
+
+  const size_t kc = static_cast<size_t>(profiles.num_communities_);
+  const size_t ka = static_cast<size_t>(profiles.num_values_);
+  profiles.internal_.assign(kc * ka, 1e-9);
+  for (size_t u = 0; u < model.num_users(); ++u) {
+    const auto& pi = model.Membership(static_cast<UserId>(u));
+    const size_t a = static_cast<size_t>(attribute.value_of_user[u]);
+    for (size_t c = 0; c < kc; ++c) {
+      profiles.internal_[c * ka + a] += pi[c];
+    }
+  }
+  for (size_t c = 0; c < kc; ++c) {
+    double total = 0.0;
+    for (size_t a = 0; a < ka; ++a) total += profiles.internal_[c * ka + a];
+    for (size_t a = 0; a < ka; ++a) profiles.internal_[c * ka + a] /= total;
+  }
+
+  profiles.eta_agg_.assign(kc * kc, 0.0);
+  for (int c = 0; c < profiles.num_communities_; ++c) {
+    double total = 0.0;
+    for (int c2 = 0; c2 < profiles.num_communities_; ++c2) {
+      const double strength = model.EtaAggregated(c, c2);
+      profiles.eta_agg_[static_cast<size_t>(c) * kc + static_cast<size_t>(c2)] =
+          strength;
+      total += strength;
+    }
+    if (total > 0.0) {
+      for (int c2 = 0; c2 < profiles.num_communities_; ++c2) {
+        profiles.eta_agg_[static_cast<size_t>(c) * kc +
+                          static_cast<size_t>(c2)] /= total;
+      }
+    }
+  }
+  return profiles;
+}
+
+double AttributeProfiles::Internal(int community, int value) const {
+  CPD_DCHECK(community >= 0 && community < num_communities_);
+  CPD_DCHECK(value >= 0 && value < num_values_);
+  return internal_[static_cast<size_t>(community) *
+                       static_cast<size_t>(num_values_) +
+                   static_cast<size_t>(value)];
+}
+
+double AttributeProfiles::External(int c, int c2, int value, int value2) const {
+  return eta_agg_[static_cast<size_t>(c) * static_cast<size_t>(num_communities_) +
+                  static_cast<size_t>(c2)] *
+         Internal(c, value) * Internal(c2, value2);
+}
+
+int AttributeProfiles::DominantValue(int community) const {
+  int best = 0;
+  for (int a = 1; a < num_values_; ++a) {
+    if (Internal(community, a) > Internal(community, best)) best = a;
+  }
+  return best;
+}
+
+double AttributeProfiles::Entropy(int community) const {
+  double entropy = 0.0;
+  for (int a = 0; a < num_values_; ++a) {
+    const double p = Internal(community, a);
+    if (p > 0.0) entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+}  // namespace cpd

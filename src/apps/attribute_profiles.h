@@ -1,0 +1,70 @@
+#ifndef CPD_APPS_ATTRIBUTE_PROFILES_H_
+#define CPD_APPS_ATTRIBUTE_PROFILES_H_
+
+/// \file attribute_profiles.h
+/// The paper's stated future-work extension (§1, §7): "community profile" is
+/// a flexible concept over any user information X — beyond content, e.g.
+/// *attributes* in Facebook-style networks. This module derives
+///   internal profile:  p(attribute | community)            ("community-X")
+///   external profile:  p(attribute pair | community pair)  weighted by the
+///                      diffusion strengths                  ("community-
+///                                                           community-X")
+/// from a trained CPD model plus a categorical attribute per user, following
+/// the same membership-weighted aggregation semantics as Definition 4/5.
+
+#include <string>
+#include <vector>
+
+#include "core/cpd_model.h"
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace cpd {
+
+/// A categorical user attribute (e.g. region, affiliation type).
+struct UserAttribute {
+  std::string name;
+  std::vector<std::string> values;     ///< Value labels, ids = indices.
+  std::vector<int32_t> value_of_user;  ///< Per user, index into `values`.
+};
+
+class AttributeProfiles {
+ public:
+  /// Aggregates the attribute under the model's memberships:
+  ///   p(a | c) ∝ sum_u pi_{u,c} [attr_u = a].
+  /// The external profile weights user pairs by the communities' aggregated
+  /// diffusion strength:
+  ///   p(a, a' | c, c') ∝ eta_agg(c, c') p(a | c) p(a' | c').
+  static StatusOr<AttributeProfiles> Build(const CpdModel& model,
+                                           const UserAttribute& attribute);
+
+  int num_communities() const { return num_communities_; }
+  int num_values() const { return num_values_; }
+  const std::string& attribute_name() const { return name_; }
+
+  /// Internal profile p(a | c); rows sum to 1.
+  double Internal(int community, int value) const;
+
+  /// External profile entry for (c, c') and attribute pair (a, a').
+  double External(int c, int c2, int value, int value2) const;
+
+  /// Most probable attribute value of a community.
+  int DominantValue(int community) const;
+
+  /// Entropy of p(. | c) in nats — low entropy = attribute-homogeneous
+  /// community.
+  double Entropy(int community) const;
+
+ private:
+  AttributeProfiles() = default;
+
+  std::string name_;
+  int num_communities_ = 0;
+  int num_values_ = 0;
+  std::vector<double> internal_;  // C x A, row-normalized.
+  std::vector<double> eta_agg_;   // C x C, normalized over rows.
+};
+
+}  // namespace cpd
+
+#endif  // CPD_APPS_ATTRIBUTE_PROFILES_H_

@@ -1,0 +1,99 @@
+#include "apps/community_ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cpd {
+
+CommunityRanker::CommunityRanker(const CpdModel& model) : model_(model) {}
+
+std::vector<RankedCommunity> CommunityRanker::Rank(
+    std::span<const WordId> query) const {
+  const int kc = model_.num_communities();
+  const int kz = model_.num_topics();
+
+  // g_z = prod_{w in q} phi_{z,w}, computed in log space and rescaled by the
+  // max to avoid underflow (a global per-z factor cancels in the ranking).
+  std::vector<double> log_g(static_cast<size_t>(kz), 0.0);
+  for (int z = 0; z < kz; ++z) {
+    const auto& phi = model_.TopicWords(z);
+    double lg = 0.0;
+    for (WordId w : query) {
+      CPD_CHECK(w >= 0 && static_cast<size_t>(w) < phi.size());
+      lg += std::log(std::max(phi[static_cast<size_t>(w)], 1e-300));
+    }
+    log_g[static_cast<size_t>(z)] = lg;
+  }
+  const double max_log = *std::max_element(log_g.begin(), log_g.end());
+  std::vector<double> g(static_cast<size_t>(kz));
+  for (int z = 0; z < kz; ++z) {
+    g[static_cast<size_t>(z)] = std::exp(log_g[static_cast<size_t>(z)] - max_log);
+  }
+
+  std::vector<RankedCommunity> ranked(static_cast<size_t>(kc));
+  for (int c = 0; c < kc; ++c) {
+    RankedCommunity& entry = ranked[static_cast<size_t>(c)];
+    entry.community = c;
+    entry.topic_distribution.assign(static_cast<size_t>(kz), 0.0);
+    double score = 0.0;
+    for (int z = 0; z < kz; ++z) {
+      double inner = 0.0;
+      for (int c2 = 0; c2 < kc; ++c2) {
+        inner += model_.Eta(c, c2, z) *
+                 model_.ContentProfile(c2)[static_cast<size_t>(z)];
+      }
+      const double term = inner * g[static_cast<size_t>(z)];
+      entry.topic_distribution[static_cast<size_t>(z)] = term;
+      score += term;
+    }
+    entry.score = score;
+    NormalizeInPlace(&entry.topic_distribution);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedCommunity& a, const RankedCommunity& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.community < b.community;
+            });
+  return ranked;
+}
+
+std::vector<WordId> CommunityRanker::ParseQuery(const Vocabulary& vocabulary,
+                                                const std::string& text) {
+  std::vector<WordId> words;
+  TokenizerOptions options;
+  options.stem = true;
+  for (const std::string& token : Tokenize(text, options)) {
+    const WordId w = vocabulary.Find(token);
+    if (w != kInvalidWord) words.push_back(w);
+  }
+  // Fall back to raw whitespace tokens (synthetic vocabularies are not
+  // stemmed).
+  if (words.empty()) {
+    options.stem = false;
+    options.remove_stopwords = false;
+    options.remove_function_words = false;
+    for (const std::string& token : Tokenize(text, options)) {
+      const WordId w = vocabulary.Find(token);
+      if (w != kInvalidWord) words.push_back(w);
+    }
+  }
+  return words;
+}
+
+std::vector<std::vector<UserId>> CommunityRanker::CommunityUserSets(
+    const CpdModel& model, int top_k) {
+  std::vector<std::vector<UserId>> sets(
+      static_cast<size_t>(model.num_communities()));
+  for (size_t u = 0; u < model.num_users(); ++u) {
+    for (int c : model.TopCommunities(static_cast<UserId>(u), top_k)) {
+      sets[static_cast<size_t>(c)].push_back(static_cast<UserId>(u));
+    }
+  }
+  return sets;
+}
+
+}  // namespace cpd

@@ -1,0 +1,51 @@
+#ifndef CPD_APPS_COMMUNITY_RANKING_H_
+#define CPD_APPS_COMMUNITY_RANKING_H_
+
+/// \file community_ranking.h
+/// Profile-driven community ranking (application 2, §5 Eq. 19): rank
+/// communities by their probability of diffusing information about a query
+///   p(s=1 | c, q) ∝ sum_z sum_c' eta_{c,c',z} theta_{c',z} prod_{w in q}
+///   phi_{z,w},
+/// e.g. "which communities should a campaign target for query iPhone".
+
+#include <string>
+#include <vector>
+
+#include "core/cpd_model.h"
+#include "text/vocabulary.h"
+
+namespace cpd {
+
+/// One ranked community with its query-conditional topic distribution
+/// (Table 6's last column).
+struct RankedCommunity {
+  int community = -1;
+  double score = 0.0;
+  std::vector<double> topic_distribution;  ///< p(z | q, c), normalized.
+};
+
+class CommunityRanker {
+ public:
+  explicit CommunityRanker(const CpdModel& model);
+
+  /// Ranks all communities for a query of word ids (Eq. 19). Unknown words
+  /// must be filtered by the caller (see ParseQuery).
+  std::vector<RankedCommunity> Rank(std::span<const WordId> query) const;
+
+  /// Tokenizes a free-text query against the vocabulary; silently drops
+  /// out-of-vocabulary terms.
+  static std::vector<WordId> ParseQuery(const Vocabulary& vocabulary,
+                                        const std::string& text);
+
+  /// Users assigned to each community by top-k membership (the paper's
+  /// top-5 convention for ranking/conductance evaluation).
+  static std::vector<std::vector<UserId>> CommunityUserSets(const CpdModel& model,
+                                                            int top_k = 5);
+
+ private:
+  const CpdModel& model_;
+};
+
+}  // namespace cpd
+
+#endif  // CPD_APPS_COMMUNITY_RANKING_H_

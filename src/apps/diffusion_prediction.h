@@ -1,0 +1,45 @@
+#ifndef CPD_APPS_DIFFUSION_PREDICTION_H_
+#define CPD_APPS_DIFFUSION_PREDICTION_H_
+
+/// \file diffusion_prediction.h
+/// Community-aware diffusion (application 1, §5 Eq. 18): the probability
+/// that user u will publish a document diffusing user v's document d_vj at
+/// time t, marginalized over d_vj's topics:
+///   p = sum_z sigmoid(w_eta S(u,v,z) + w_pop n_tz + nu f_uv + b) p(z | d_vj).
+
+#include "core/cpd_model.h"
+#include "eval/evaluator.h"
+#include "graph/social_graph.h"
+
+namespace cpd {
+
+class DiffusionPredictor {
+ public:
+  /// Both references must outlive the predictor.
+  DiffusionPredictor(const CpdModel& model, const SocialGraph& graph);
+
+  /// Eq. 18: probability of u diffusing v's document j at time t.
+  double Score(UserId u, UserId v, DocId j, int32_t t) const;
+
+  /// Friendship link prediction score sigmoid(pi_u . pi_v) (Eq. 3).
+  double FriendshipScore(UserId u, UserId v) const;
+
+  /// Topic posterior p(z | d) ∝ (sum_c pi_{author,c} theta_{c,z})
+  ///                            prod_w phi_{z,w}   (normalized).
+  std::vector<double> DocumentTopicPosterior(DocId j) const;
+
+  /// The community-factor score S(u, v, z) of Eq. 4 under trained estimates.
+  double CommunityScore(UserId u, UserId v, int z) const;
+
+  /// Adapters for the evaluation harness.
+  DiffusionScorer AsDiffusionScorer() const;
+  FriendshipScorer AsFriendshipScorer() const;
+
+ private:
+  const CpdModel& model_;
+  const SocialGraph& graph_;
+};
+
+}  // namespace cpd
+
+#endif  // CPD_APPS_DIFFUSION_PREDICTION_H_

@@ -1,0 +1,138 @@
+#include "apps/visualization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace cpd {
+
+namespace {
+
+double EdgeStrength(const CpdModel& model, int c, int c2, int topic) {
+  return topic < 0 ? model.EtaAggregated(c, c2) : model.Eta(c, c2, topic);
+}
+
+double MeanStrength(const CpdModel& model, const VisualizationOptions& options) {
+  const int kc = model.num_communities();
+  double total = 0.0;
+  size_t count = 0;
+  for (int c = 0; c < kc; ++c) {
+    for (int c2 = 0; c2 < kc; ++c2) {
+      if (c == c2 && !options.include_self_loops) continue;
+      total += EdgeStrength(model, c, c2, options.topic);
+      ++count;
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace
+
+std::string CommunityLabel(const CpdModel& model, const Vocabulary& vocabulary,
+                           int community, int num_words) {
+  // Blend phi over the community's content profile, then take top words.
+  const auto& theta = model.ContentProfile(community);
+  std::vector<double> word_scores(model.vocab_size(), 0.0);
+  for (int z = 0; z < model.num_topics(); ++z) {
+    const double weight = theta[static_cast<size_t>(z)];
+    if (weight < 1e-6) continue;
+    const auto& phi = model.TopicWords(z);
+    for (size_t w = 0; w < word_scores.size(); ++w) {
+      word_scores[w] += weight * phi[w];
+    }
+  }
+  std::vector<std::string> words;
+  for (size_t idx : TopKIndices(word_scores, static_cast<size_t>(num_words))) {
+    words.push_back(vocabulary.WordOf(static_cast<WordId>(idx)));
+  }
+  return Join(words, " ");
+}
+
+std::vector<DiffusionEdge> CollectDiffusionEdges(
+    const CpdModel& model, const VisualizationOptions& options) {
+  const int kc = model.num_communities();
+  const double cutoff = MeanStrength(model, options) * options.strength_cutoff_factor;
+  std::vector<DiffusionEdge> edges;
+  for (int c = 0; c < kc; ++c) {
+    for (int c2 = 0; c2 < kc; ++c2) {
+      if (c == c2 && !options.include_self_loops) continue;
+      const double strength = EdgeStrength(model, c, c2, options.topic);
+      if (strength < cutoff) continue;
+      edges.push_back(DiffusionEdge{c, c2, strength});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const DiffusionEdge& a, const DiffusionEdge& b) {
+              return a.strength > b.strength;
+            });
+  return edges;
+}
+
+std::string ExportDiffusionDot(const CpdModel& model, const Vocabulary& vocabulary,
+                               const VisualizationOptions& options) {
+  const std::vector<DiffusionEdge> edges = CollectDiffusionEdges(model, options);
+  double max_strength = 1e-12;
+  for (const DiffusionEdge& edge : edges) {
+    max_strength = std::max(max_strength, edge.strength);
+  }
+  std::ostringstream out;
+  out << "digraph community_diffusion {\n";
+  out << "  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n";
+  for (int c = 0; c < model.num_communities(); ++c) {
+    out << StrFormat("  c%02d [label=\"c%02d: %s\"];\n", c, c,
+                     CommunityLabel(model, vocabulary, c, options.label_words)
+                         .c_str());
+  }
+  for (const DiffusionEdge& edge : edges) {
+    const double penwidth = 0.5 + 4.5 * edge.strength / max_strength;
+    out << StrFormat("  c%02d -> c%02d [penwidth=%.2f, label=\"%.4f\"];\n",
+                     edge.from, edge.to, penwidth, edge.strength);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string ExportProfilesJson(const CpdModel& model, const Vocabulary& vocabulary,
+                               const VisualizationOptions& options) {
+  const std::vector<DiffusionEdge> edges = CollectDiffusionEdges(model, options);
+  std::ostringstream out;
+  out << "{\n  \"communities\": [\n";
+  for (int c = 0; c < model.num_communities(); ++c) {
+    out << StrFormat("    {\"id\": %d, \"label\": \"%s\", \"openness\": %.4f}",
+                     c,
+                     CommunityLabel(model, vocabulary, c, options.label_words)
+                         .c_str(),
+                     CommunityOpenness(model, c, options));
+    out << (c + 1 < model.num_communities() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"edges\": [\n";
+  for (size_t e = 0; e < edges.size(); ++e) {
+    out << StrFormat("    {\"from\": %d, \"to\": %d, \"strength\": %.6f}",
+                     edges[e].from, edges[e].to, edges[e].strength);
+    out << (e + 1 < edges.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+double CommunityOpenness(const CpdModel& model, int community,
+                         const VisualizationOptions& options) {
+  const int kc = model.num_communities();
+  if (kc <= 1) return 0.0;
+  const double cutoff = MeanStrength(model, options) * options.strength_cutoff_factor;
+  int connected = 0;
+  for (int other = 0; other < kc; ++other) {
+    if (other == community) continue;
+    if (EdgeStrength(model, community, other, options.topic) >= cutoff ||
+        EdgeStrength(model, other, community, options.topic) >= cutoff) {
+      ++connected;
+    }
+  }
+  return static_cast<double>(connected) / static_cast<double>(kc - 1);
+}
+
+}  // namespace cpd

@@ -1,0 +1,58 @@
+#ifndef CPD_APPS_VISUALIZATION_H_
+#define CPD_APPS_VISUALIZATION_H_
+
+/// \file visualization.h
+/// Profile-driven community visualization (application 3, §5 / Fig. 7):
+/// export the inter-community diffusion graph — either aggregated over all
+/// topics (sum_z eta_{c,c',z}) or for one topic (eta_{c,c',z}) — as Graphviz
+/// DOT and as JSON, with communities labeled by their top content words.
+/// Edges below the average strength are skipped, matching the paper's
+/// rendering rule.
+
+#include <string>
+#include <vector>
+
+#include "core/cpd_model.h"
+#include "text/vocabulary.h"
+
+namespace cpd {
+
+struct VisualizationOptions {
+  int topic = -1;            ///< -1 = aggregate over topics (Fig. 7(a)).
+  int label_words = 3;       ///< Words per community label.
+  double strength_cutoff_factor = 1.0;  ///< Skip edges below factor * mean.
+  bool include_self_loops = true;
+};
+
+/// One rendered edge (exposed so tests and benches can inspect the graph).
+struct DiffusionEdge {
+  int from = -1;
+  int to = -1;
+  double strength = 0.0;
+};
+
+/// Human-readable label: top words of the community's dominant topics.
+std::string CommunityLabel(const CpdModel& model, const Vocabulary& vocabulary,
+                           int community, int num_words);
+
+/// Edges passing the cutoff, sorted by descending strength.
+std::vector<DiffusionEdge> CollectDiffusionEdges(const CpdModel& model,
+                                                 const VisualizationOptions& options);
+
+/// Graphviz DOT rendering (edge penwidth encodes strength).
+std::string ExportDiffusionDot(const CpdModel& model, const Vocabulary& vocabulary,
+                               const VisualizationOptions& options);
+
+/// JSON rendering: nodes with labels + content profiles, edges with
+/// strengths (consumed by the SocialLens-style browser of [4]).
+std::string ExportProfilesJson(const CpdModel& model, const Vocabulary& vocabulary,
+                               const VisualizationOptions& options);
+
+/// Openness of a community (§6.3.3): fraction of *other* communities it
+/// exchanges above-cutoff diffusion edges with (either direction).
+double CommunityOpenness(const CpdModel& model, int community,
+                         const VisualizationOptions& options);
+
+}  // namespace cpd
+
+#endif  // CPD_APPS_VISUALIZATION_H_

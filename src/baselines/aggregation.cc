@@ -1,0 +1,180 @@
+#include "baselines/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "topic/lda.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cpd {
+
+StatusOr<AggregatedProfiles> AggregatedProfiles::Build(
+    const SocialGraph& graph,
+    const std::vector<std::vector<double>>& memberships,
+    const AggregationConfig& config) {
+  if (memberships.size() != graph.num_users()) {
+    return Status::InvalidArgument("aggregation: memberships/users mismatch");
+  }
+  if (memberships.empty() || memberships.front().empty()) {
+    return Status::InvalidArgument("aggregation: empty memberships");
+  }
+
+  LdaConfig lda_config;
+  lda_config.num_topics = config.num_topics;
+  lda_config.iterations = config.lda_iterations;
+  lda_config.seed = config.seed;
+  auto lda = LdaModel::Train(graph.corpus(), lda_config);
+  if (!lda.ok()) return lda.status();
+
+  AggregatedProfiles profiles;
+  profiles.num_communities_ = static_cast<int>(memberships.front().size());
+  profiles.num_topics_ = config.num_topics;
+  profiles.memberships_ = memberships;
+
+  profiles.doc_topics_.resize(graph.num_documents());
+  for (size_t d = 0; d < graph.num_documents(); ++d) {
+    profiles.doc_topics_[d] = lda->DocumentTopics(static_cast<DocId>(d));
+  }
+  profiles.phi_.resize(static_cast<size_t>(config.num_topics));
+  for (int z = 0; z < config.num_topics; ++z) {
+    profiles.phi_[static_cast<size_t>(z)] = lda->TopicWords(z);
+  }
+
+  // Eq. 20: theta*_c = sum_u pi*_{u,c} (1/|D_u|) sum_i theta*_{d_ui}.
+  const size_t kc = static_cast<size_t>(profiles.num_communities_);
+  const size_t kz = static_cast<size_t>(config.num_topics);
+  profiles.theta_.assign(kc, std::vector<double>(kz, 1e-9));
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    const auto docs = graph.DocumentsOf(static_cast<UserId>(u));
+    if (docs.empty()) continue;
+    std::vector<double> mean_theta(kz, 0.0);
+    for (DocId d : docs) {
+      const auto& theta = profiles.doc_topics_[static_cast<size_t>(d)];
+      for (size_t z = 0; z < kz; ++z) mean_theta[z] += theta[z];
+    }
+    const double inv = 1.0 / static_cast<double>(docs.size());
+    for (size_t z = 0; z < kz; ++z) mean_theta[z] *= inv;
+    const auto& pi = memberships[u];
+    for (size_t c = 0; c < kc; ++c) {
+      const double weight = pi[c];
+      if (weight <= 0.0) continue;
+      for (size_t z = 0; z < kz; ++z) {
+        profiles.theta_[c][z] += weight * mean_theta[z];
+      }
+    }
+  }
+  for (auto& theta : profiles.theta_) NormalizeInPlace(&theta);
+
+  // Eq. 21: eta*_{c,c',z} ∝ sum_{(i,j)} pi*_{u,c} pi*_{v,c'} theta_{d_i,z}
+  // theta_{d_j,z}.
+  profiles.eta_.assign(kc * kc * kz, config.eta_smoothing);
+  for (const DiffusionLink& link : graph.diffusion_links()) {
+    const UserId u = graph.document(link.i).user;
+    const UserId v = graph.document(link.j).user;
+    const auto& pi_u = memberships[static_cast<size_t>(u)];
+    const auto& pi_v = memberships[static_cast<size_t>(v)];
+    const auto& ti = profiles.doc_topics_[static_cast<size_t>(link.i)];
+    const auto& tj = profiles.doc_topics_[static_cast<size_t>(link.j)];
+    for (size_t c = 0; c < kc; ++c) {
+      if (pi_u[c] < 1e-4) continue;
+      for (size_t c2 = 0; c2 < kc; ++c2) {
+        const double pair_weight = pi_u[c] * pi_v[c2];
+        if (pair_weight < 1e-6) continue;
+        for (size_t z = 0; z < kz; ++z) {
+          profiles.eta_[(c * kc + c2) * kz + z] += pair_weight * ti[z] * tj[z];
+        }
+      }
+    }
+  }
+  // Normalize per source community (Definition 5 semantics).
+  for (size_t c = 0; c < kc; ++c) {
+    double total = 0.0;
+    for (size_t k = 0; k < kc * kz; ++k) total += profiles.eta_[c * kc * kz + k];
+    if (total <= 0.0) continue;
+    for (size_t k = 0; k < kc * kz; ++k) profiles.eta_[c * kc * kz + k] /= total;
+  }
+  return profiles;
+}
+
+std::vector<int> AggregatedProfiles::RankCommunities(
+    std::span<const WordId> query) const {
+  const size_t kz = static_cast<size_t>(num_topics_);
+  std::vector<double> log_g(kz, 0.0);
+  for (size_t z = 0; z < kz; ++z) {
+    double lg = 0.0;
+    for (WordId w : query) {
+      lg += std::log(std::max(phi_[z][static_cast<size_t>(w)], 1e-300));
+    }
+    log_g[z] = lg;
+  }
+  const double max_log = *std::max_element(log_g.begin(), log_g.end());
+  std::vector<double> g(kz);
+  for (size_t z = 0; z < kz; ++z) g[z] = std::exp(log_g[z] - max_log);
+
+  std::vector<double> scores(static_cast<size_t>(num_communities_), 0.0);
+  for (int c = 0; c < num_communities_; ++c) {
+    double score = 0.0;
+    for (int c2 = 0; c2 < num_communities_; ++c2) {
+      for (size_t z = 0; z < kz; ++z) {
+        score += Eta(c, c2, static_cast<int>(z)) *
+                 theta_[static_cast<size_t>(c2)][z] * g[z];
+      }
+    }
+    scores[static_cast<size_t>(c)] = score;
+  }
+  std::vector<int> order(static_cast<size_t>(num_communities_));
+  for (int c = 0; c < num_communities_; ++c) order[static_cast<size_t>(c)] = c;
+  std::sort(order.begin(), order.end(), [&scores](int a, int b) {
+    if (scores[static_cast<size_t>(a)] != scores[static_cast<size_t>(b)]) {
+      return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+    }
+    return a < b;
+  });
+  return order;
+}
+
+DiffusionScorer AggregatedProfiles::AsDiffusionScorer(
+    const SocialGraph& graph) const {
+  return [this, &graph](DocId i, DocId j, int32_t) {
+    const UserId u = graph.document(i).user;
+    const UserId v = graph.document(j).user;
+    const auto& pi_u = memberships_[static_cast<size_t>(u)];
+    const auto& pi_v = memberships_[static_cast<size_t>(v)];
+    // Marginalize the target document's topic under its LDA mixture.
+    const auto& tj = doc_topics_[static_cast<size_t>(j)];
+    double score = 0.0;
+    for (int z = 0; z < num_topics_; ++z) {
+      const double pz = tj[static_cast<size_t>(z)];
+      if (pz < 1e-6) continue;
+      double s = 0.0;
+      for (int c = 0; c < num_communities_; ++c) {
+        const double left = pi_u[static_cast<size_t>(c)] *
+                            theta_[static_cast<size_t>(c)][static_cast<size_t>(z)];
+        if (left <= 0.0) continue;
+        double inner = 0.0;
+        for (int c2 = 0; c2 < num_communities_; ++c2) {
+          inner += Eta(c, c2, z) *
+                   theta_[static_cast<size_t>(c2)][static_cast<size_t>(z)] *
+                   pi_v[static_cast<size_t>(c2)];
+        }
+        s += left * inner;
+      }
+      score += pz * s;
+    }
+    return score;
+  };
+}
+
+std::vector<std::vector<UserId>> AggregatedProfiles::CommunityUserSets(
+    int top_k) const {
+  std::vector<std::vector<UserId>> sets(static_cast<size_t>(num_communities_));
+  for (size_t u = 0; u < memberships_.size(); ++u) {
+    for (size_t c : TopKIndices(memberships_[u], static_cast<size_t>(top_k))) {
+      sets[c].push_back(static_cast<UserId>(u));
+    }
+  }
+  return sets;
+}
+
+}  // namespace cpd

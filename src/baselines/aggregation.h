@@ -1,0 +1,85 @@
+#ifndef CPD_BASELINES_AGGREGATION_H_
+#define CPD_BASELINES_AGGREGATION_H_
+
+/// \file aggregation.h
+/// The straightforward "first detect, then aggregate" community profilers
+/// the paper builds as additional baselines (§6.1): given any detection's
+/// memberships pi*_u, run LDA with |Z| topics and aggregate
+///   content profile:  theta*_c = sum_u pi*_{u,c} mean_i theta*_{d_ui}  (Eq. 20)
+///   diffusion profile: eta*_{c,c',z} ∝ sum_{(i,j) in E} pi*_{u,c} pi*_{v,c'}
+///                       theta*_{d_i,z} theta*_{d_j,z}                  (Eq. 21)
+/// Combined with CRM and COLD detections this yields the paper's CRM+Agg and
+/// COLD+Agg baselines for diffusion prediction, ranking and perplexity.
+
+#include <span>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "graph/social_graph.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace cpd {
+
+struct AggregationConfig {
+  int num_topics = 20;
+  int lda_iterations = 40;
+  double eta_smoothing = 1e-6;
+  uint64_t seed = 37;
+};
+
+/// Profiles produced by detection-then-aggregation.
+class AggregatedProfiles {
+ public:
+  /// \param memberships pi*_u from any community detection (U x C).
+  static StatusOr<AggregatedProfiles> Build(
+      const SocialGraph& graph,
+      const std::vector<std::vector<double>>& memberships,
+      const AggregationConfig& config);
+
+  int num_communities() const { return num_communities_; }
+  int num_topics() const { return num_topics_; }
+
+  const std::vector<std::vector<double>>& memberships() const {
+    return memberships_;
+  }
+  /// theta*_c (Eq. 20), normalized.
+  const std::vector<std::vector<double>>& content_profiles() const {
+    return theta_;
+  }
+  /// LDA phi_z.
+  const std::vector<std::vector<double>>& topic_words() const { return phi_; }
+
+  double Eta(int c, int c2, int z) const {
+    return eta_[(static_cast<size_t>(c) * static_cast<size_t>(num_communities_) +
+                 static_cast<size_t>(c2)) *
+                    static_cast<size_t>(num_topics_) +
+                static_cast<size_t>(z)];
+  }
+
+  /// Eq. 19-style ranking with the aggregated profiles; returns community
+  /// ids in ranked order.
+  std::vector<int> RankCommunities(std::span<const WordId> query) const;
+
+  /// Diffusion score through the aggregated profiles (no individual or
+  /// popularity factor — the aggregation has none).
+  DiffusionScorer AsDiffusionScorer(const SocialGraph& graph) const;
+
+  /// Top-k user sets per community (ranking evaluation).
+  std::vector<std::vector<UserId>> CommunityUserSets(int top_k = 5) const;
+
+ private:
+  AggregatedProfiles() = default;
+
+  int num_communities_ = 0;
+  int num_topics_ = 0;
+  std::vector<std::vector<double>> memberships_;
+  std::vector<std::vector<double>> doc_topics_;  // D x Z (LDA).
+  std::vector<std::vector<double>> theta_;       // C x Z.
+  std::vector<std::vector<double>> phi_;         // Z x W.
+  std::vector<double> eta_;                      // C x C x Z.
+};
+
+}  // namespace cpd
+
+#endif  // CPD_BASELINES_AGGREGATION_H_

@@ -1,0 +1,60 @@
+#include "baselines/cold.h"
+
+#include "apps/diffusion_prediction.h"
+#include "util/math_util.h"
+
+namespace cpd {
+
+CpdConfig MakeColdCpdConfig(const ColdConfig& config) {
+  CpdConfig cpd_config;
+  cpd_config.num_communities = config.num_communities;
+  cpd_config.num_topics = config.num_topics;
+  cpd_config.em_iterations = config.em_iterations;
+  cpd_config.seed = config.seed;
+  // COLD's structural restrictions (Table 4).
+  cpd_config.ablation.model_friendship = false;
+  cpd_config.ablation.individual_factor = false;
+  cpd_config.ablation.topic_factor = false;
+  return cpd_config;
+}
+
+StatusOr<ColdModel> ColdModel::Train(const SocialGraph& graph,
+                                     const ColdConfig& config) {
+  auto model = CpdModel::Train(graph, MakeColdCpdConfig(config));
+  if (!model.ok()) return model.status();
+  ColdModel cold;
+  cold.model_ = std::move(*model);
+  return cold;
+}
+
+std::vector<std::vector<double>> ColdModel::Memberships() const {
+  std::vector<std::vector<double>> memberships(model_.num_users());
+  for (size_t u = 0; u < model_.num_users(); ++u) {
+    memberships[u] = model_.Membership(static_cast<UserId>(u));
+  }
+  return memberships;
+}
+
+FriendshipScorer ColdModel::AsFriendshipScorer() const {
+  return [this](UserId u, UserId v) {
+    const auto& pu = model_.Membership(u);
+    const auto& pv = model_.Membership(v);
+    double dot = 0.0;
+    for (size_t c = 0; c < pu.size(); ++c) dot += pu[c] * pv[c];
+    return Sigmoid(dot);
+  };
+}
+
+DiffusionScorer ColdModel::AsDiffusionScorer(const SocialGraph& graph) const {
+  // Shared predictor machinery, but the trained weights have the individual
+  // and popularity factors pinned to zero, so scores reduce to COLD's
+  // community-topic diffusion strength.
+  auto predictor = std::make_shared<DiffusionPredictor>(model_, graph);
+  return [predictor, &graph](DocId i, DocId j, int32_t t) {
+    const UserId u = graph.document(i).user;
+    const UserId v = graph.document(j).user;
+    return predictor->Score(u, v, j, t);
+  };
+}
+
+}  // namespace cpd

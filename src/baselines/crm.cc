@@ -1,0 +1,99 @@
+#include "baselines/crm.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace cpd {
+
+StatusOr<CrmModel> CrmModel::Train(const SocialGraph& graph,
+                                   const CrmConfig& config) {
+  if (config.num_communities < 1) {
+    return Status::InvalidArgument("CRM: num_communities < 1");
+  }
+  const size_t n = graph.num_users();
+  const size_t kc = static_cast<size_t>(config.num_communities);
+
+  // User-level weighted adjacency: friendship (symmetrized) + diffusion
+  // links collapsed to author pairs.
+  std::unordered_map<int64_t, double> adjacency;
+  auto add_edge = [&adjacency, n](UserId a, UserId b, double w) {
+    if (a == b) return;
+    adjacency[static_cast<int64_t>(a) * static_cast<int64_t>(n) + b] += w;
+    adjacency[static_cast<int64_t>(b) * static_cast<int64_t>(n) + a] += w;
+  };
+  for (const FriendshipLink& link : graph.friendship_links()) {
+    add_edge(link.u, link.v, 1.0);
+  }
+  for (const DiffusionLink& link : graph.diffusion_links()) {
+    add_edge(graph.document(link.i).user, graph.document(link.j).user,
+             config.diffusion_weight);
+  }
+
+  CrmModel model;
+  model.memberships_.assign(n, std::vector<double>(kc, 0.0));
+  Rng rng(config.seed);
+  for (auto& psi : model.memberships_) {
+    for (double& x : psi) x = 0.5 + rng.NextDouble();
+    NormalizeInPlace(&psi);
+  }
+
+  // Multiplicative updates maximizing sum_{(u,v)} w_uv log(psi_u . psi_v)
+  // (a Poisson block model with identity community affinity): the classic
+  // soft-assignment EM for overlapping community factors.
+  std::vector<std::vector<double>> next(n, std::vector<double>(kc, 0.0));
+  std::vector<double> q(kc);
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    for (auto& row : next) std::fill(row.begin(), row.end(), 1e-8);
+    for (const auto& [key, weight] : adjacency) {
+      const size_t u = static_cast<size_t>(key / static_cast<int64_t>(n));
+      const size_t v = static_cast<size_t>(key % static_cast<int64_t>(n));
+      const auto& pu = model.memberships_[u];
+      const auto& pv = model.memberships_[v];
+      double total = 0.0;
+      for (size_t c = 0; c < kc; ++c) {
+        q[c] = pu[c] * pv[c];
+        total += q[c];
+      }
+      if (total <= 0.0) continue;
+      for (size_t c = 0; c < kc; ++c) next[u][c] += weight * q[c] / total;
+    }
+    for (size_t u = 0; u < n; ++u) {
+      NormalizeInPlace(&next[u]);
+      model.memberships_[u] = next[u];
+    }
+  }
+
+  model.roles_.resize(n);
+  for (size_t u = 0; u < n; ++u) {
+    model.roles_[u] = graph.activity(static_cast<UserId>(u)).Activeness();
+  }
+  return model;
+}
+
+FriendshipScorer CrmModel::AsFriendshipScorer() const {
+  return [this](UserId u, UserId v) {
+    const auto& pu = memberships_[static_cast<size_t>(u)];
+    const auto& pv = memberships_[static_cast<size_t>(v)];
+    double dot = 0.0;
+    for (size_t c = 0; c < pu.size(); ++c) dot += pu[c] * pv[c];
+    return Sigmoid(dot);
+  };
+}
+
+DiffusionScorer CrmModel::AsDiffusionScorer(const SocialGraph& graph) const {
+  return [this, &graph](DocId i, DocId j, int32_t) {
+    const UserId u = graph.document(i).user;
+    const UserId v = graph.document(j).user;
+    const auto& pu = memberships_[static_cast<size_t>(u)];
+    const auto& pv = memberships_[static_cast<size_t>(v)];
+    double dot = 0.0;
+    for (size_t c = 0; c < pu.size(); ++c) dot += pu[c] * pv[c];
+    return Sigmoid(roles_[static_cast<size_t>(u)] * dot);
+  };
+}
+
+}  // namespace cpd

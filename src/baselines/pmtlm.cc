@@ -1,0 +1,110 @@
+#include "baselines/pmtlm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cpd {
+
+StatusOr<PmtlmModel> PmtlmModel::Train(const SocialGraph& graph,
+                                       const PmtlmConfig& config) {
+  LdaConfig lda_config;
+  lda_config.num_topics = config.num_topics;
+  lda_config.iterations = config.lda_iterations;
+  lda_config.seed = config.seed;
+  auto lda = LdaModel::Train(graph.corpus(), lda_config);
+  if (!lda.ok()) return lda.status();
+
+  PmtlmModel model;
+  model.num_topics_ = config.num_topics;
+  const size_t num_docs = graph.num_documents();
+  model.doc_topics_.resize(num_docs);
+  for (size_t d = 0; d < num_docs; ++d) {
+    model.doc_topics_[d] = lda->DocumentTopics(static_cast<DocId>(d));
+  }
+
+  // User membership = length-weighted average of her documents' topics.
+  model.memberships_.assign(graph.num_users(),
+                            std::vector<double>(static_cast<size_t>(config.num_topics),
+                                                1e-6));
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    auto& membership = model.memberships_[u];
+    for (DocId d : graph.DocumentsOf(static_cast<UserId>(u))) {
+      const auto& theta = model.doc_topics_[static_cast<size_t>(d)];
+      for (int z = 0; z < config.num_topics; ++z) {
+        membership[static_cast<size_t>(z)] += theta[static_cast<size_t>(z)];
+      }
+    }
+    NormalizeInPlace(&membership);
+  }
+
+  // EM for beta_z: with q_z(i,j) ∝ theta_iz theta_jz beta_z over observed
+  // links and the Poisson normalizer estimated over random pairing mass
+  // (sum_i theta_iz)^2 / D.
+  model.beta_.assign(static_cast<size_t>(config.num_topics), 1.0);
+  std::vector<double> topic_mass(static_cast<size_t>(config.num_topics), 0.0);
+  for (size_t d = 0; d < num_docs; ++d) {
+    for (int z = 0; z < config.num_topics; ++z) {
+      topic_mass[static_cast<size_t>(z)] +=
+          model.doc_topics_[d][static_cast<size_t>(z)];
+    }
+  }
+  const auto& links = graph.diffusion_links();
+  if (!links.empty()) {
+    std::vector<double> q(static_cast<size_t>(config.num_topics));
+    for (int iter = 0; iter < config.em_iterations; ++iter) {
+      std::vector<double> expected(static_cast<size_t>(config.num_topics), 0.0);
+      for (const DiffusionLink& link : links) {
+        const auto& ti = model.doc_topics_[static_cast<size_t>(link.i)];
+        const auto& tj = model.doc_topics_[static_cast<size_t>(link.j)];
+        double total = 0.0;
+        for (int z = 0; z < config.num_topics; ++z) {
+          q[static_cast<size_t>(z)] = ti[static_cast<size_t>(z)] *
+                                      tj[static_cast<size_t>(z)] *
+                                      model.beta_[static_cast<size_t>(z)];
+          total += q[static_cast<size_t>(z)];
+        }
+        if (total <= 0.0) continue;
+        for (int z = 0; z < config.num_topics; ++z) {
+          expected[static_cast<size_t>(z)] += q[static_cast<size_t>(z)] / total;
+        }
+      }
+      for (int z = 0; z < config.num_topics; ++z) {
+        const double mass = topic_mass[static_cast<size_t>(z)];
+        const double denom =
+            mass * mass / static_cast<double>(num_docs) + 1e-9;
+        model.beta_[static_cast<size_t>(z)] =
+            expected[static_cast<size_t>(z)] / denom + 1e-9;
+      }
+    }
+  }
+  return model;
+}
+
+double PmtlmModel::LinkRate(DocId i, DocId j) const {
+  const auto& ti = doc_topics_[static_cast<size_t>(i)];
+  const auto& tj = doc_topics_[static_cast<size_t>(j)];
+  double rate = 0.0;
+  for (int z = 0; z < num_topics_; ++z) {
+    rate += ti[static_cast<size_t>(z)] * tj[static_cast<size_t>(z)] *
+            beta_[static_cast<size_t>(z)];
+  }
+  return rate;
+}
+
+DiffusionScorer PmtlmModel::AsDiffusionScorer() const {
+  return [this](DocId i, DocId j, int32_t) { return LinkRate(i, j); };
+}
+
+FriendshipScorer PmtlmModel::AsFriendshipScorer() const {
+  return [this](UserId u, UserId v) {
+    const auto& mu = memberships_[static_cast<size_t>(u)];
+    const auto& mv = memberships_[static_cast<size_t>(v)];
+    double dot = 0.0;
+    for (size_t z = 0; z < mu.size(); ++z) dot += mu[z] * mv[z];
+    return Sigmoid(dot);
+  };
+}
+
+}  // namespace cpd

@@ -1,0 +1,57 @@
+#ifndef CPD_BASELINES_PMTLM_H_
+#define CPD_BASELINES_PMTLM_H_
+
+/// \file pmtlm.h
+/// Poisson Mixed-Topic Link Model baseline (Zhu, Yan, Getoor, Moore,
+/// KDD 2013 [43]): documents get mixed topic memberships from LDA-style
+/// modeling, and a link between documents i and j is Poisson with rate
+/// sum_z theta_{iz} theta_{jz} beta_z. As the paper does, we adapt it for
+/// community detection / friendship prediction by aggregating each user's
+/// document topics into a membership vector. PMTLM is *not applicable* to
+/// Twitter-style diffusion (a tweet and its retweet are near-identical
+/// texts, §6.3.1) — the benches mirror that restriction.
+
+#include "eval/evaluator.h"
+#include "graph/social_graph.h"
+#include "topic/lda.h"
+#include "util/status.h"
+
+namespace cpd {
+
+struct PmtlmConfig {
+  int num_topics = 20;  ///< Doubles as the community count when adapted.
+  int lda_iterations = 40;
+  int em_iterations = 10;  ///< beta_z re-estimation rounds.
+  uint64_t seed = 17;
+};
+
+class PmtlmModel {
+ public:
+  static StatusOr<PmtlmModel> Train(const SocialGraph& graph,
+                                    const PmtlmConfig& config);
+
+  /// Poisson link rate sum_z theta_iz theta_jz beta_z.
+  double LinkRate(DocId i, DocId j) const;
+
+  /// User memberships (aggregated document topics).
+  const std::vector<std::vector<double>>& Memberships() const {
+    return memberships_;
+  }
+
+  const std::vector<double>& beta() const { return beta_; }
+
+  DiffusionScorer AsDiffusionScorer() const;
+  FriendshipScorer AsFriendshipScorer() const;
+
+ private:
+  PmtlmModel() = default;
+
+  int num_topics_ = 0;
+  std::vector<std::vector<double>> doc_topics_;   // D x Z
+  std::vector<std::vector<double>> memberships_;  // U x Z
+  std::vector<double> beta_;                      // Z
+};
+
+}  // namespace cpd
+
+#endif  // CPD_BASELINES_PMTLM_H_

@@ -1,0 +1,129 @@
+#include "baselines/wtm.h"
+
+#include <cmath>
+
+#include "core/diffusion_features.h"
+#include "topic/lda.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cpd {
+
+namespace {
+double Cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+}  // namespace
+
+StatusOr<WtmModel> WtmModel::Train(const SocialGraph& graph,
+                                   const WtmConfig& config) {
+  LdaConfig lda_config;
+  lda_config.num_topics = config.num_topics;
+  lda_config.iterations = config.lda_iterations;
+  lda_config.seed = config.seed;
+  auto lda = LdaModel::Train(graph.corpus(), lda_config);
+  if (!lda.ok()) return lda.status();
+
+  WtmModel model;
+  model.graph_ = &graph;
+  model.doc_topics_.resize(graph.num_documents());
+  for (size_t d = 0; d < graph.num_documents(); ++d) {
+    model.doc_topics_[d] = lda->DocumentTopics(static_cast<DocId>(d));
+  }
+  model.user_topics_.assign(
+      graph.num_users(),
+      std::vector<double>(static_cast<size_t>(config.num_topics), 1e-6));
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    auto& mix = model.user_topics_[u];
+    for (DocId d : graph.DocumentsOf(static_cast<UserId>(u))) {
+      const auto& theta = model.doc_topics_[static_cast<size_t>(d)];
+      for (size_t z = 0; z < mix.size(); ++z) mix[z] += theta[z];
+    }
+    NormalizeInPlace(&mix);
+  }
+
+  // Training set: all diffusion links + equal sampled negatives.
+  Rng rng(config.seed + 1);
+  struct Example {
+    double x[kNumFeatures];
+    double y;
+  };
+  std::vector<Example> examples;
+  const auto& links = graph.diffusion_links();
+  examples.reserve(links.size() * 2);
+  for (const DiffusionLink& link : links) {
+    Example ex;
+    ex.y = 1.0;
+    model.FillFeatures(graph.document(link.i).user, link.j, ex.x);
+    examples.push_back(ex);
+  }
+  const size_t num_docs = graph.num_documents();
+  size_t drawn = 0, attempts = 0;
+  while (drawn < links.size() && attempts < links.size() * 20 + 100) {
+    ++attempts;
+    const DocId i = static_cast<DocId>(rng.NextUint64(num_docs));
+    const DocId j = static_cast<DocId>(rng.NextUint64(num_docs));
+    if (i == j || graph.HasDiffusion(i, j)) continue;
+    if (graph.document(i).user == graph.document(j).user) continue;
+    Example ex;
+    ex.y = 0.0;
+    model.FillFeatures(graph.document(i).user, j, ex.x);
+    examples.push_back(ex);
+    ++drawn;
+  }
+
+  model.weights_.assign(kNumFeatures, 0.0);
+  if (!examples.empty()) {
+    const double n_inv = 1.0 / static_cast<double>(examples.size());
+    for (int iter = 0; iter < config.train_iterations; ++iter) {
+      double grad[kNumFeatures] = {0.0};
+      for (const Example& ex : examples) {
+        double w = 0.0;
+        for (int k = 0; k < kNumFeatures; ++k) w += model.weights_[static_cast<size_t>(k)] * ex.x[k];
+        const double residual = ex.y - Sigmoid(w);
+        for (int k = 0; k < kNumFeatures; ++k) grad[k] += residual * ex.x[k];
+      }
+      for (int k = 0; k < kNumFeatures; ++k) {
+        model.weights_[static_cast<size_t>(k)] +=
+            config.learning_rate *
+            (grad[k] * n_inv - config.l2 * model.weights_[static_cast<size_t>(k)]);
+      }
+    }
+  }
+  return model;
+}
+
+void WtmModel::FillFeatures(UserId u, DocId j, double* x) const {
+  const UserId v = graph_->document(j).user;
+  // User-interest vs source-tweet content affinity; never doc-to-doc text.
+  x[0] = Cosine(user_topics_[static_cast<size_t>(u)],
+                doc_topics_[static_cast<size_t>(j)]);
+  x[1] = Cosine(user_topics_[static_cast<size_t>(u)],
+                user_topics_[static_cast<size_t>(v)]);
+  x[2] = graph_->HasFriendship(u, v) ? 1.0 : 0.0;
+  LinkCaches::ComputePairFeatures(*graph_, u, v, x + 3);
+  x[7] = 1.0;
+}
+
+double WtmModel::Score(UserId u, DocId j) const {
+  double x[kNumFeatures];
+  FillFeatures(u, j, x);
+  double w = 0.0;
+  for (int k = 0; k < kNumFeatures; ++k) w += weights_[static_cast<size_t>(k)] * x[k];
+  return Sigmoid(w);
+}
+
+DiffusionScorer WtmModel::AsDiffusionScorer() const {
+  return [this](DocId i, DocId j, int32_t) {
+    return Score(graph_->document(i).user, j);
+  };
+}
+
+}  // namespace cpd

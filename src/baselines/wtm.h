@@ -1,0 +1,59 @@
+#ifndef CPD_BASELINES_WTM_H_
+#define CPD_BASELINES_WTM_H_
+
+/// \file wtm.h
+/// "Whom To Mention" baseline (Wang et al., WWW 2013 [37]): recommends who
+/// will diffuse a given tweet from user-content affinity and individual
+/// features, with no community structure. Note the semantics: the diffusing
+/// *document* does not exist at recommendation time, so features compare the
+/// candidate user's aggregated interests with the source document — never
+/// document-to-document text (a retweet is a near copy of its source, which
+/// would be an oracle feature). Implemented as logistic regression over
+///  [cosine(user u's LDA interests, source doc j's LDA topics),
+///   cosine(user u's interests, author v's interests),
+///   friendship indicator, the four popularity/activeness features, bias],
+/// trained on observed diffusion links plus sampled negatives.
+
+#include "eval/evaluator.h"
+#include "graph/social_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cpd {
+
+struct WtmConfig {
+  int num_topics = 20;
+  int lda_iterations = 40;
+  int train_iterations = 120;
+  double learning_rate = 0.3;
+  double l2 = 1e-4;
+  uint64_t seed = 23;
+};
+
+class WtmModel {
+ public:
+  static StatusOr<WtmModel> Train(const SocialGraph& graph, const WtmConfig& config);
+
+  /// Logistic score for user u diffusing document j (authored by its user).
+  double Score(UserId u, DocId j) const;
+
+  DiffusionScorer AsDiffusionScorer() const;
+
+  /// Learned weights (for inspection).
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  WtmModel() = default;
+  void FillFeatures(UserId u, DocId j, double* x) const;
+
+  static constexpr int kNumFeatures = 8;  // 2 cosines + friend + 4 user + bias.
+
+  const SocialGraph* graph_ = nullptr;
+  std::vector<std::vector<double>> doc_topics_;
+  std::vector<std::vector<double>> user_topics_;
+  std::vector<double> weights_;
+};
+
+}  // namespace cpd
+
+#endif  // CPD_BASELINES_WTM_H_

@@ -1,0 +1,193 @@
+#include "core/cpd_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace cpd {
+
+StatusOr<CpdModel> CpdModel::Train(const SocialGraph& graph,
+                                   const CpdConfig& config) {
+  EmTrainer trainer(graph, config);
+  CPD_RETURN_IF_ERROR(trainer.Train());
+  return FromState(graph, config, trainer.state(), trainer.stats());
+}
+
+CpdModel CpdModel::FromState(const SocialGraph& graph, const CpdConfig& config,
+                             const ModelState& state, TrainStats stats) {
+  CpdModel model;
+  model.config_ = config;
+  model.num_communities_ = state.num_communities;
+  model.num_topics_ = state.num_topics;
+  model.num_users_ = state.num_users;
+  model.vocab_size_ = state.vocab_size;
+  model.num_time_bins_ = graph.num_time_bins();
+  model.stats_ = std::move(stats);
+
+  model.pi_.resize(state.num_users);
+  for (size_t u = 0; u < state.num_users; ++u) {
+    auto& pi = model.pi_[u];
+    pi.resize(static_cast<size_t>(state.num_communities));
+    for (int c = 0; c < state.num_communities; ++c) {
+      pi[static_cast<size_t>(c)] = state.PiHat(static_cast<UserId>(u), c);
+    }
+  }
+  model.theta_.resize(static_cast<size_t>(state.num_communities));
+  for (int c = 0; c < state.num_communities; ++c) {
+    auto& theta = model.theta_[static_cast<size_t>(c)];
+    theta.resize(static_cast<size_t>(state.num_topics));
+    for (int z = 0; z < state.num_topics; ++z) {
+      theta[static_cast<size_t>(z)] = state.ThetaHat(c, z);
+    }
+  }
+  model.phi_.resize(static_cast<size_t>(state.num_topics));
+  for (int z = 0; z < state.num_topics; ++z) {
+    auto& phi = model.phi_[static_cast<size_t>(z)];
+    phi.resize(state.vocab_size);
+    for (size_t w = 0; w < state.vocab_size; ++w) {
+      phi[w] = state.PhiHat(z, static_cast<WordId>(w));
+    }
+  }
+  model.eta_ = state.eta;
+  model.weights_ = state.weights;
+
+  model.popularity_.resize(static_cast<size_t>(graph.num_time_bins()) *
+                           static_cast<size_t>(state.num_topics));
+  for (int32_t t = 0; t < graph.num_time_bins(); ++t) {
+    for (int z = 0; z < state.num_topics; ++z) {
+      model.popularity_[static_cast<size_t>(t) *
+                            static_cast<size_t>(state.num_topics) +
+                        static_cast<size_t>(z)] = state.popularity.Value(t, z);
+    }
+  }
+  return model;
+}
+
+const std::vector<double>& CpdModel::Membership(UserId u) const {
+  CPD_CHECK(u >= 0 && static_cast<size_t>(u) < num_users_);
+  return pi_[static_cast<size_t>(u)];
+}
+
+const std::vector<double>& CpdModel::ContentProfile(int c) const {
+  CPD_CHECK(c >= 0 && c < num_communities_);
+  return theta_[static_cast<size_t>(c)];
+}
+
+const std::vector<double>& CpdModel::TopicWords(int z) const {
+  CPD_CHECK(z >= 0 && z < num_topics_);
+  return phi_[static_cast<size_t>(z)];
+}
+
+double CpdModel::Eta(int c, int c2, int z) const {
+  CPD_DCHECK(c >= 0 && c < num_communities_);
+  CPD_DCHECK(c2 >= 0 && c2 < num_communities_);
+  CPD_DCHECK(z >= 0 && z < num_topics_);
+  return eta_[(static_cast<size_t>(c) * static_cast<size_t>(num_communities_) +
+               static_cast<size_t>(c2)) *
+                  static_cast<size_t>(num_topics_) +
+              static_cast<size_t>(z)];
+}
+
+double CpdModel::EtaAggregated(int c, int c2) const {
+  double total = 0.0;
+  for (int z = 0; z < num_topics_; ++z) total += Eta(c, c2, z);
+  return total;
+}
+
+double CpdModel::TopicPopularity(int32_t t, int z) const {
+  CPD_DCHECK(z >= 0 && z < num_topics_);
+  // Clamp: prediction-time timestamps may fall outside the training range
+  // (e.g. the max-time link was held out by cross-validation).
+  t = std::min(std::max(t, 0), num_time_bins_ - 1);
+  return popularity_[static_cast<size_t>(t) * static_cast<size_t>(num_topics_) +
+                     static_cast<size_t>(z)];
+}
+
+std::vector<int> CpdModel::TopCommunities(UserId u, int k) const {
+  const auto& pi = Membership(u);
+  std::vector<int> result;
+  for (size_t idx : TopKIndices(pi, static_cast<size_t>(k))) {
+    result.push_back(static_cast<int>(idx));
+  }
+  return result;
+}
+
+namespace {
+constexpr char kMagic[] = "CPDMODEL v1";
+
+void WriteVector(std::ostringstream& out, const std::vector<double>& v) {
+  out << v.size();
+  for (double x : v) out << ' ' << x;
+  out << '\n';
+}
+
+bool ReadVector(std::istringstream& in, std::vector<double>* v) {
+  size_t n = 0;
+  if (!(in >> n)) return false;
+  v->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> (*v)[i])) return false;
+  }
+  return true;
+}
+}  // namespace
+
+Status CpdModel::SaveToFile(const std::string& path) const {
+  std::ostringstream out;
+  out.precision(17);  // Round-trippable doubles.
+  out << kMagic << '\n';
+  out << num_communities_ << ' ' << num_topics_ << ' ' << num_users_ << ' '
+      << vocab_size_ << ' ' << num_time_bins_ << '\n';
+  for (const auto& pi : pi_) WriteVector(out, pi);
+  for (const auto& theta : theta_) WriteVector(out, theta);
+  for (const auto& phi : phi_) WriteVector(out, phi);
+  WriteVector(out, eta_);
+  WriteVector(out, weights_);
+  WriteVector(out, popularity_);
+  return WriteStringToFile(path, out.str());
+}
+
+StatusOr<CpdModel> CpdModel::LoadFromFile(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  std::istringstream in(*contents);
+  std::string magic_line;
+  if (!std::getline(in, magic_line) || magic_line != kMagic) {
+    return Status::InvalidArgument("not a CPD model file: " + path);
+  }
+  CpdModel model;
+  if (!(in >> model.num_communities_ >> model.num_topics_ >> model.num_users_ >>
+        model.vocab_size_ >> model.num_time_bins_)) {
+    return Status::InvalidArgument("corrupt CPD model header: " + path);
+  }
+  auto fail = [&path] {
+    return Status::InvalidArgument("corrupt CPD model body: " + path);
+  };
+  // Re-wrap the remaining stream as an istringstream for ReadVector.
+  std::string rest;
+  std::getline(in, rest, '\0');
+  std::istringstream body(rest);
+  model.pi_.resize(model.num_users_);
+  for (auto& pi : model.pi_) {
+    if (!ReadVector(body, &pi)) return fail();
+  }
+  model.theta_.resize(static_cast<size_t>(model.num_communities_));
+  for (auto& theta : model.theta_) {
+    if (!ReadVector(body, &theta)) return fail();
+  }
+  model.phi_.resize(static_cast<size_t>(model.num_topics_));
+  for (auto& phi : model.phi_) {
+    if (!ReadVector(body, &phi)) return fail();
+  }
+  if (!ReadVector(body, &model.eta_)) return fail();
+  if (!ReadVector(body, &model.weights_)) return fail();
+  if (!ReadVector(body, &model.popularity_)) return fail();
+  return model;
+}
+
+}  // namespace cpd

@@ -1,0 +1,272 @@
+#include "core/em_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/timer.h"
+
+namespace cpd {
+
+EmTrainer::EmTrainer(const SocialGraph& graph, const CpdConfig& config)
+    : graph_(graph), config_(config), rng_(config.seed) {}
+
+Status EmTrainer::Initialize() {
+  CPD_RETURN_IF_ERROR(config_.Validate());
+  if (graph_.num_documents() == 0) {
+    return Status::FailedPrecondition("CPD: graph has no documents");
+  }
+  caches_ = std::make_unique<LinkCaches>(graph_);
+  state_ = std::make_unique<ModelState>(graph_, config_);
+  state_->InitializeRandom(graph_, &rng_,
+                           /*per_user_communities=*/!config_.ablation.joint_profiling);
+  state_->RebuildCounts(graph_);
+  state_->popularity.Refresh(graph_, state_->doc_topic);
+  sampler_ = std::make_unique<GibbsSampler>(graph_, config_, *caches_, state_.get());
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status EmTrainer::EnsureThreadPlan() {
+  if (plan_ != nullptr) return Status::OK();
+  WorkloadCostModel cost;
+  // Segment count = |Z| as in §4.3 (at least one segment per thread).
+  const int num_segments =
+      std::max(config_.num_topics, config_.num_threads);
+  auto plan = PlanThreads(graph_, num_segments, config_.num_threads, cost,
+                          /*lda_iterations=*/15, config_.seed + 101);
+  if (!plan.ok()) return plan.status();
+  plan_ = std::make_unique<ThreadPlan>(std::move(*plan));
+  pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_threads));
+  thread_rngs_.clear();
+  for (int t = 0; t < config_.num_threads; ++t) thread_rngs_.push_back(rng_.Split());
+  stats_.num_segments = plan_->num_segments;
+  stats_.thread_estimated_workload = plan_->allocation.thread_workload;
+  return Status::OK();
+}
+
+Status EmTrainer::EStep() {
+  CPD_CHECK(initialized_);
+  WallTimer timer;
+  const size_t num_flinks = graph_.num_friendship_links();
+  const size_t num_elinks = graph_.num_diffusion_links();
+
+  if (config_.num_threads <= 1) {
+    for (int sweep = 0; sweep < config_.gibbs_sweeps_per_em; ++sweep) {
+      sampler_->SweepDocuments(&rng_);
+      sampler_->SweepFriendshipAugmentation(&rng_);
+      sampler_->SweepDiffusionAugmentation(&rng_);
+    }
+    stats_.e_step_seconds += timer.ElapsedSeconds();
+    return Status::OK();
+  }
+
+  CPD_RETURN_IF_ERROR(EnsureThreadPlan());
+  const int num_threads = config_.num_threads;
+  stats_.thread_actual_seconds.assign(static_cast<size_t>(num_threads), 0.0);
+
+  for (int sweep = 0; sweep < config_.gibbs_sweeps_per_em; ++sweep) {
+    // Phase 1: document sweeps on disjoint user segments.
+    for (int t = 0; t < num_threads; ++t) {
+      pool_->Submit([this, t] {
+        WallTimer thread_timer;
+        sampler_->SweepUsers(plan_->users_per_thread[static_cast<size_t>(t)],
+                             /*concurrent=*/true, &thread_rngs_[static_cast<size_t>(t)]);
+        stats_.thread_actual_seconds[static_cast<size_t>(t)] +=
+            thread_timer.ElapsedSeconds();
+      });
+    }
+    pool_->WaitAll();
+
+    // Phase 2: Polya-Gamma sweeps on contiguous link ranges (embarrassingly
+    // parallel given the assignments).
+    for (int t = 0; t < num_threads; ++t) {
+      const size_t f_begin = num_flinks * static_cast<size_t>(t) /
+                             static_cast<size_t>(num_threads);
+      const size_t f_end = num_flinks * (static_cast<size_t>(t) + 1) /
+                           static_cast<size_t>(num_threads);
+      const size_t e_begin = num_elinks * static_cast<size_t>(t) /
+                             static_cast<size_t>(num_threads);
+      const size_t e_end = num_elinks * (static_cast<size_t>(t) + 1) /
+                           static_cast<size_t>(num_threads);
+      pool_->Submit([this, t, f_begin, f_end, e_begin, e_end] {
+        WallTimer thread_timer;
+        sampler_->SweepFriendshipAugmentation(f_begin, f_end,
+                                              &thread_rngs_[static_cast<size_t>(t)]);
+        sampler_->SweepDiffusionAugmentation(e_begin, e_end,
+                                             &thread_rngs_[static_cast<size_t>(t)]);
+        stats_.thread_actual_seconds[static_cast<size_t>(t)] +=
+            thread_timer.ElapsedSeconds();
+      });
+    }
+    pool_->WaitAll();
+  }
+  stats_.e_step_seconds += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+void EmTrainer::UpdateEta() {
+  ModelState& s = *state_;
+  std::fill(s.eta.begin(), s.eta.end(), 0.0);
+  for (const DiffusionLink& link : graph_.diffusion_links()) {
+    const int32_t ci = s.doc_community[static_cast<size_t>(link.i)];
+    const int32_t cj = s.doc_community[static_cast<size_t>(link.j)];
+    const int32_t zi = s.doc_topic[static_cast<size_t>(link.i)];
+    s.EtaAt(ci, cj, zi) += 1.0;
+  }
+  // Normalize per source community over the (c', z) simplex (Definition 5),
+  // with additive smoothing.
+  const size_t block = static_cast<size_t>(s.num_communities) *
+                       static_cast<size_t>(s.num_topics);
+  const double eps = config_.eta_smoothing;
+  for (int c = 0; c < s.num_communities; ++c) {
+    double total = 0.0;
+    const size_t base = static_cast<size_t>(c) * block;
+    for (size_t k = 0; k < block; ++k) total += s.eta[base + k];
+    const double denom = total + eps * static_cast<double>(block);
+    for (size_t k = 0; k < block; ++k) {
+      s.eta[base + k] = (s.eta[base + k] + eps) / denom;
+    }
+  }
+}
+
+void EmTrainer::TrainDiffusionWeights(Rng* rng) {
+  // Fitting Eq. 6's diffusion term is logistic regression over the observed
+  // links plus an equal number of sampled negatives (§4.2 M-step).
+  ModelState& s = *state_;
+  const auto& links = graph_.diffusion_links();
+  const size_t num_pos = links.size();
+  if (num_pos == 0 || config_.nu_iterations == 0) return;
+
+  struct Example {
+    double x[kNumDiffusionWeights];
+    double y;
+  };
+  std::vector<Example> examples;
+  examples.reserve(num_pos * 2);
+
+  auto fill_example = [&](UserId u, UserId v, int z, int32_t time, size_t e,
+                          double label) {
+    Example ex;
+    ex.y = label;
+    ex.x[kWeightEta] = s.CommunityDiffusionScore(u, v, z);
+    ex.x[kWeightPopularity] =
+        config_.ablation.topic_factor ? s.popularity.Value(time, z) : 0.0;
+    double feats[kNumUserFeatures];
+    if (config_.ablation.individual_factor) {
+      if (e != static_cast<size_t>(-1)) {
+        const auto cached = caches_->Features(e);
+        std::copy(cached.begin(), cached.end(), feats);
+      } else {
+        LinkCaches::ComputePairFeatures(graph_, u, v, feats);
+      }
+    } else {
+      std::fill(feats, feats + kNumUserFeatures, 0.0);
+    }
+    for (int k = 0; k < kNumUserFeatures; ++k) {
+      ex.x[kWeightFeature0 + k] = feats[k];
+    }
+    ex.x[kWeightBias] = 1.0;
+    examples.push_back(ex);
+  };
+
+  for (size_t e = 0; e < num_pos; ++e) {
+    const DiffusionLink& link = links[e];
+    const UserId u = graph_.document(link.i).user;
+    const UserId v = graph_.document(link.j).user;
+    const int z = s.doc_topic[static_cast<size_t>(link.i)];
+    fill_example(u, v, z, link.time, e, 1.0);
+  }
+
+  // Negative sampling: uniform random document pairs that are not linked
+  // ("we randomly sample the same amount of non-observed diffusion links").
+  const size_t num_docs = graph_.num_documents();
+  size_t drawn = 0;
+  size_t attempts = 0;
+  while (drawn < num_pos && attempts < num_pos * 20) {
+    ++attempts;
+    const DocId i = static_cast<DocId>(rng->NextUint64(num_docs));
+    const DocId j = static_cast<DocId>(rng->NextUint64(num_docs));
+    if (i == j || graph_.HasDiffusion(i, j)) continue;
+    const Document& di = graph_.document(i);
+    const Document& dj = graph_.document(j);
+    if (di.user == dj.user) continue;
+    fill_example(di.user, dj.user, s.doc_topic[static_cast<size_t>(i)], di.time,
+                 static_cast<size_t>(-1), 0.0);
+    ++drawn;
+  }
+
+  // Full-batch gradient ascent on the regularized log-likelihood.
+  const double n_inv = 1.0 / static_cast<double>(examples.size());
+  for (int iter = 0; iter < config_.nu_iterations; ++iter) {
+    double grad[kNumDiffusionWeights] = {0.0};
+    for (const Example& ex : examples) {
+      double w = 0.0;
+      for (int k = 0; k < kNumDiffusionWeights; ++k) w += s.weights[k] * ex.x[k];
+      const double residual = ex.y - Sigmoid(w);
+      for (int k = 0; k < kNumDiffusionWeights; ++k) {
+        grad[k] += residual * ex.x[k];
+      }
+    }
+    for (int k = 0; k < kNumDiffusionWeights; ++k) {
+      // Ablated factors keep their weight pinned at initialization.
+      if (k == kWeightPopularity && !config_.ablation.topic_factor) continue;
+      if (k >= kWeightFeature0 && k < kWeightFeature0 + kNumUserFeatures &&
+          !config_.ablation.individual_factor) {
+        continue;
+      }
+      s.weights[k] += config_.nu_learning_rate *
+                      (grad[k] * n_inv - config_.nu_l2 * s.weights[k]);
+    }
+  }
+}
+
+void EmTrainer::MStep() {
+  CPD_CHECK(initialized_);
+  WallTimer timer;
+  state_->popularity.Refresh(graph_, state_->doc_topic);
+  if (config_.ablation.model_diffusion) {
+    UpdateEta();
+    if (config_.ablation.heterogeneous_links) {
+      TrainDiffusionWeights(&rng_);
+    }
+  }
+  stats_.m_step_seconds += timer.ElapsedSeconds();
+}
+
+Status EmTrainer::Train() {
+  WallTimer total_timer;
+  CPD_RETURN_IF_ERROR(Initialize());
+
+  int joint_iterations = config_.em_iterations;
+  if (!config_.ablation.joint_profiling) {
+    // "No joint modeling": phase A detects communities from friendship links
+    // only (content and diffusion excluded from the community conditional),
+    // phase B freezes the communities and fits topics + profiles.
+    const int phase_a = std::max(1, config_.em_iterations / 2);
+    sampler_->set_community_uses_content(false);
+    sampler_->set_community_uses_diffusion(false);
+    for (int iter = 0; iter < phase_a; ++iter) {
+      CPD_RETURN_IF_ERROR(EStep());
+    }
+    sampler_->set_freeze_communities(true);
+    sampler_->set_community_uses_content(true);
+    sampler_->set_community_uses_diffusion(true);
+    joint_iterations = std::max(1, config_.em_iterations - phase_a);
+  }
+
+  for (int iter = 0; iter < joint_iterations; ++iter) {
+    CPD_RETURN_IF_ERROR(EStep());
+    MStep();
+    const double loglik = sampler_->LinkLogLikelihood();
+    stats_.link_log_likelihood.push_back(loglik);
+    if (config_.verbose) {
+      CPD_LOG(Info) << "EM iter " << iter << " link log-likelihood " << loglik;
+    }
+  }
+  stats_.total_seconds = total_timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace cpd

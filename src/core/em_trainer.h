@@ -1,0 +1,80 @@
+#ifndef CPD_CORE_EM_TRAINER_H_
+#define CPD_CORE_EM_TRAINER_H_
+
+/// \file em_trainer.h
+/// Variational EM for CPD (paper Alg. 1): the E-step runs collapsed Gibbs
+/// sweeps over documents plus the Polya-Gamma augmentation variables; the
+/// M-step re-estimates eta by aggregating the sampled assignments and fits
+/// the factor weights (nu and the per-factor coefficients) by logistic
+/// regression with negative sampling. With config.num_threads > 1 the
+/// E-step is parallelized per §4.3 (LDA segmentation + knapsack allocation).
+
+#include <memory>
+#include <vector>
+
+#include "core/gibbs_sampler.h"
+#include "core/model_config.h"
+#include "core/model_state.h"
+#include "graph/social_graph.h"
+#include "parallel/segmenter.h"
+#include "parallel/thread_pool.h"
+
+namespace cpd {
+
+/// Timing/diagnostic record of one training run.
+struct TrainStats {
+  std::vector<double> link_log_likelihood;  ///< Per EM iteration.
+  double e_step_seconds = 0.0;
+  double m_step_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// Parallel E-step only: per-thread estimated workload and measured time
+  /// of the last E-step (Fig. 11 data).
+  std::vector<double> thread_estimated_workload;
+  std::vector<double> thread_actual_seconds;
+  size_t num_segments = 0;
+};
+
+class EmTrainer {
+ public:
+  /// Graph must outlive the trainer.
+  EmTrainer(const SocialGraph& graph, const CpdConfig& config);
+
+  /// Runs Alg. 1 end to end (handles the "no joint modeling" two-phase
+  /// schedule when config.ablation.joint_profiling is false).
+  Status Train();
+
+  /// Pieces exposed for the scalability benchmarks (Fig. 10): one E-step /
+  /// M-step at a time. Initialize() must be called first.
+  Status Initialize();
+  Status EStep();
+  void MStep();
+
+  const ModelState& state() const { return *state_; }
+  ModelState* mutable_state() { return state_.get(); }
+  const TrainStats& stats() const { return stats_; }
+  const LinkCaches& caches() const { return *caches_; }
+  GibbsSampler* sampler() { return sampler_.get(); }
+
+ private:
+  void UpdateEta();
+  void TrainDiffusionWeights(Rng* rng);
+  Status EnsureThreadPlan();
+
+  const SocialGraph& graph_;
+  CpdConfig config_;
+  std::unique_ptr<LinkCaches> caches_;
+  std::unique_ptr<ModelState> state_;
+  std::unique_ptr<GibbsSampler> sampler_;
+  Rng rng_;
+  TrainStats stats_;
+  bool initialized_ = false;
+
+  // Parallel E-step plumbing (lazily built).
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPlan> plan_;
+  std::vector<Rng> thread_rngs_;
+};
+
+}  // namespace cpd
+
+#endif  // CPD_CORE_EM_TRAINER_H_

@@ -1,0 +1,375 @@
+#include "core/gibbs_sampler.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "sampling/distributions.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cpd {
+
+namespace {
+
+// Counter updates: plain in the serial sweep, relaxed atomics in the
+// parallel sweep (benign-staleness reads, AD-LDA style).
+inline void Add32(int32_t* x, int32_t d, bool concurrent) {
+  if (concurrent) {
+    std::atomic_ref<int32_t>(*x).fetch_add(d, std::memory_order_relaxed);
+  } else {
+    *x += d;
+  }
+}
+
+inline void Add64(int64_t* x, int64_t d, bool concurrent) {
+  if (concurrent) {
+    std::atomic_ref<int64_t>(*x).fetch_add(d, std::memory_order_relaxed);
+  } else {
+    *x += d;
+  }
+}
+
+}  // namespace
+
+GibbsSampler::GibbsSampler(const SocialGraph& graph, const CpdConfig& config,
+                           const LinkCaches& caches, ModelState* state)
+    : graph_(graph), config_(config), caches_(caches), state_(state) {
+  CPD_CHECK(state != nullptr);
+}
+
+double GibbsSampler::LinkEnergyParts(UserId u, UserId v, int z, int32_t time,
+                                     size_t e, double community_score) const {
+  const ModelState& s = *state_;
+  double w = s.weights[kWeightEta] * community_score + s.weights[kWeightBias];
+  if (config_.ablation.topic_factor) {
+    w += s.weights[kWeightPopularity] * s.popularity.Value(time, z);
+  }
+  if (config_.ablation.individual_factor) {
+    double feats[kNumUserFeatures];
+    const double* f = feats;
+    if (e != static_cast<size_t>(-1)) {
+      f = caches_.Features(e).data();
+    } else {
+      LinkCaches::ComputePairFeatures(graph_, u, v, feats);
+    }
+    for (int k = 0; k < kNumUserFeatures; ++k) {
+      w += s.weights[kWeightFeature0 + k] * f[k];
+    }
+  }
+  return w;
+}
+
+double GibbsSampler::DiffusionEnergy(size_t e) const {
+  const ModelState& s = *state_;
+  const DiffusionLink& link = graph_.diffusion_links()[e];
+  const UserId u = graph_.document(link.i).user;
+  const UserId v = graph_.document(link.j).user;
+  if (!config_.ablation.heterogeneous_links) {
+    // "No heterogeneity": diffusion links share the Eq. 3 friendship energy.
+    return s.MembershipDot(u, v);
+  }
+  const int z = s.doc_topic[static_cast<size_t>(link.i)];
+  const double score = s.CommunityDiffusionScore(u, v, z);
+  return LinkEnergyParts(u, v, z, link.time, e, score);
+}
+
+double GibbsSampler::FriendshipEnergy(size_t f) const {
+  const FriendshipLink& link = graph_.friendship_links()[f];
+  return state_->MembershipDot(link.u, link.v);
+}
+
+double GibbsSampler::LinkLogLikelihood() const {
+  double total = 0.0;
+  if (config_.ablation.model_friendship) {
+    for (size_t f = 0; f < graph_.num_friendship_links(); ++f) {
+      total += -Log1pExp(-FriendshipEnergy(f));
+    }
+  }
+  if (config_.ablation.model_diffusion) {
+    for (size_t e = 0; e < graph_.num_diffusion_links(); ++e) {
+      total += -Log1pExp(-DiffusionEnergy(e));
+    }
+  }
+  return total;
+}
+
+void GibbsSampler::ResampleTopic(DocId d, bool concurrent, Rng* rng) {
+  ModelState& s = *state_;
+  const Document& doc = graph_.document(d);
+  const UserId u = doc.user;
+  const int kz = s.num_topics;
+  const size_t vocab = s.vocab_size;
+  const int32_t c = s.doc_community[static_cast<size_t>(d)];
+  const int32_t z_old = s.doc_topic[static_cast<size_t>(d)];
+  const size_t len = doc.words.size();
+
+  // Exclude the document: topic-side counters only (community unchanged).
+  Add32(&s.n_cz[static_cast<size_t>(c) * kz + z_old], -1, concurrent);
+  Add32(&s.n_c[static_cast<size_t>(c)], -1, concurrent);
+  for (WordId w : doc.words) {
+    Add32(&s.n_zw[static_cast<size_t>(z_old) * vocab + static_cast<size_t>(w)], -1,
+          concurrent);
+  }
+  Add64(&s.n_z[static_cast<size_t>(z_old)], -static_cast<int64_t>(len), concurrent);
+
+  static thread_local std::vector<double> logw;
+  logw.assign(static_cast<size_t>(kz), 0.0);
+
+  const double v_beta = static_cast<double>(vocab) * s.beta;
+  for (int z = 0; z < kz; ++z) {
+    // Community-topic term (denominator n_c is candidate-independent).
+    double lw = std::log(
+        static_cast<double>(s.n_cz[static_cast<size_t>(c) * kz + z]) + s.alpha);
+    // Dirichlet-multinomial word term of Eq. 13 (single topic per document);
+    // the inner "+ occurrences so far" handles repeated words.
+    for (size_t k = 0; k < len; ++k) {
+      int prev = 0;
+      for (size_t k2 = 0; k2 < k; ++k2) {
+        if (doc.words[k2] == doc.words[k]) ++prev;
+      }
+      lw += std::log(static_cast<double>(
+                         s.n_zw[static_cast<size_t>(z) * vocab +
+                                static_cast<size_t>(doc.words[k])]) +
+                     s.beta + static_cast<double>(prev));
+    }
+    for (size_t j = 0; j < len; ++j) {
+      lw -= std::log(static_cast<double>(s.n_z[static_cast<size_t>(z)]) + v_beta +
+                     static_cast<double>(j));
+    }
+    logw[static_cast<size_t>(z)] = lw;
+  }
+
+  // Diffusion psi terms (Eq. 13's product over Lambda_i). Only links where
+  // this document is the diffusing side depend on the candidate topic; links
+  // where it is the diffused side keep the source document's topic.
+  if (config_.ablation.model_diffusion && config_.ablation.heterogeneous_links &&
+      community_uses_diffusion_) {
+    for (int32_t e_idx : graph_.DiffusionNeighbors(d)) {
+      const DiffusionLink& link = graph_.diffusion_links()[static_cast<size_t>(e_idx)];
+      if (link.i != d) continue;
+      const UserId v = graph_.document(link.j).user;
+      const double de = s.delta[static_cast<size_t>(e_idx)];
+      for (int z = 0; z < kz; ++z) {
+        const double score = s.CommunityDiffusionScore(u, v, z);
+        const double w = LinkEnergyParts(u, v, z, link.time,
+                                         static_cast<size_t>(e_idx), score);
+        logw[static_cast<size_t>(z)] += LogPsi(w, de);
+      }
+    }
+  }
+
+  const int32_t z_new =
+      static_cast<int32_t>(SampleCategoricalFromLog(logw, rng));
+  s.doc_topic[static_cast<size_t>(d)] = z_new;
+  Add32(&s.n_cz[static_cast<size_t>(c) * kz + z_new], 1, concurrent);
+  Add32(&s.n_c[static_cast<size_t>(c)], 1, concurrent);
+  for (WordId w : doc.words) {
+    Add32(&s.n_zw[static_cast<size_t>(z_new) * vocab + static_cast<size_t>(w)], 1,
+          concurrent);
+  }
+  Add64(&s.n_z[static_cast<size_t>(z_new)], static_cast<int64_t>(len), concurrent);
+}
+
+void GibbsSampler::ResampleCommunity(DocId d, bool concurrent, Rng* rng) {
+  if (freeze_communities_) return;
+  ModelState& s = *state_;
+  const Document& doc = graph_.document(d);
+  const UserId u = doc.user;
+  const int kz = s.num_topics;
+  const int kc = s.num_communities;
+  const int32_t z = s.doc_topic[static_cast<size_t>(d)];
+  const int32_t c_old = s.doc_community[static_cast<size_t>(d)];
+
+  // Exclude the document: community-side counters.
+  Add32(&s.n_uc[static_cast<size_t>(u) * kc + c_old], -1, concurrent);
+  Add32(&s.n_u[static_cast<size_t>(u)], -1, concurrent);
+  Add32(&s.n_cz[static_cast<size_t>(c_old) * kz + z], -1, concurrent);
+  Add32(&s.n_c[static_cast<size_t>(c_old)], -1, concurrent);
+
+  static thread_local std::vector<double> logw, q, pio, th, a;
+  logw.assign(static_cast<size_t>(kc), 0.0);
+  q.resize(static_cast<size_t>(kc));
+
+  // pihat_u(candidate) = (q[c] + [c == candidate]) / denom_pi.
+  const double denom_pi = static_cast<double>(s.n_u[static_cast<size_t>(u)]) + 1.0 +
+                          static_cast<double>(kc) * s.rho;
+  for (int c = 0; c < kc; ++c) {
+    q[static_cast<size_t>(c)] =
+        static_cast<double>(s.n_uc[static_cast<size_t>(u) * kc + c]) + s.rho;
+    logw[static_cast<size_t>(c)] = std::log(q[static_cast<size_t>(c)]);
+  }
+  if (community_uses_content_) {
+    const double z_alpha = static_cast<double>(kz) * s.alpha;
+    for (int c = 0; c < kc; ++c) {
+      logw[static_cast<size_t>(c)] +=
+          std::log(static_cast<double>(s.n_cz[static_cast<size_t>(c) * kz + z]) +
+                   s.alpha) -
+          std::log(static_cast<double>(s.n_c[static_cast<size_t>(c)]) + z_alpha);
+    }
+  }
+
+  // Friendship psi terms over Lambda_u (Eq. 14). The candidate shifts one
+  // coordinate of pihat_u; the neighbor's pihat is held at current counts.
+  if (config_.ablation.model_friendship) {
+    pio.resize(static_cast<size_t>(kc));
+    for (int32_t f_idx : caches_.FriendLinksOf(u)) {
+      const FriendshipLink& fl = graph_.friendship_links()[static_cast<size_t>(f_idx)];
+      const UserId other = (fl.u == u) ? fl.v : fl.u;
+      const double lam = s.lambda[static_cast<size_t>(f_idx)];
+      const double other_denom =
+          static_cast<double>(s.n_u[static_cast<size_t>(other)]) +
+          static_cast<double>(kc) * s.rho;
+      double base = 0.0;
+      for (int c = 0; c < kc; ++c) {
+        pio[static_cast<size_t>(c)] =
+            (static_cast<double>(s.n_uc[static_cast<size_t>(other) * kc + c]) +
+             s.rho) /
+            other_denom;
+        base += q[static_cast<size_t>(c)] * pio[static_cast<size_t>(c)];
+      }
+      for (int cand = 0; cand < kc; ++cand) {
+        const double dot = (base + pio[static_cast<size_t>(cand)]) / denom_pi;
+        logw[static_cast<size_t>(cand)] += LogPsi(dot, lam);
+      }
+    }
+  }
+
+  // Diffusion psi terms over Lambda_i (Eq. 14).
+  if (config_.ablation.model_diffusion && community_uses_diffusion_) {
+    th.resize(static_cast<size_t>(kc));
+    a.resize(static_cast<size_t>(kc));
+    pio.resize(static_cast<size_t>(kc));
+    for (int32_t e_idx : graph_.DiffusionNeighbors(d)) {
+      const DiffusionLink& link = graph_.diffusion_links()[static_cast<size_t>(e_idx)];
+      const double de = s.delta[static_cast<size_t>(e_idx)];
+      const bool is_source = (link.i == d);
+      const UserId other = is_source ? graph_.document(link.j).user
+                                     : graph_.document(link.i).user;
+
+      if (!config_.ablation.heterogeneous_links) {
+        // Ablated variant: diffusion links behave like friendship links.
+        const double other_denom =
+            static_cast<double>(s.n_u[static_cast<size_t>(other)]) +
+            static_cast<double>(kc) * s.rho;
+        double base = 0.0;
+        for (int c = 0; c < kc; ++c) {
+          pio[static_cast<size_t>(c)] =
+              (static_cast<double>(s.n_uc[static_cast<size_t>(other) * kc + c]) +
+               s.rho) /
+              other_denom;
+          base += q[static_cast<size_t>(c)] * pio[static_cast<size_t>(c)];
+        }
+        for (int cand = 0; cand < kc; ++cand) {
+          const double dot = (base + pio[static_cast<size_t>(cand)]) / denom_pi;
+          logw[static_cast<size_t>(cand)] += LogPsi(dot, de);
+        }
+        continue;
+      }
+
+      // Link topic: the diffusing document's topic.
+      const int z_e =
+          is_source ? z : s.doc_topic[static_cast<size_t>(link.i)];
+      for (int c = 0; c < kc; ++c) {
+        th[static_cast<size_t>(c)] = s.ThetaHat(c, z_e);
+      }
+      const double other_denom =
+          static_cast<double>(s.n_u[static_cast<size_t>(other)]) +
+          static_cast<double>(kc) * s.rho;
+      for (int c = 0; c < kc; ++c) {
+        pio[static_cast<size_t>(c)] =
+            (static_cast<double>(s.n_uc[static_cast<size_t>(other) * kc + c]) +
+             s.rho) /
+            other_denom;
+      }
+      // a[c] collapses the fixed endpoint so each candidate costs O(1):
+      //   source side: a[c]  = th[c]  sum_c' eta[c][c'][z_e] th[c'] pio[c']
+      //   target side: a[c'] = th[c'] sum_c  eta[c][c'][z_e] th[c]  pio[c]
+      if (is_source) {
+        for (int c = 0; c < kc; ++c) {
+          double inner = 0.0;
+          for (int c2 = 0; c2 < kc; ++c2) {
+            inner += s.EtaAt(c, c2, z_e) * th[static_cast<size_t>(c2)] *
+                     pio[static_cast<size_t>(c2)];
+          }
+          a[static_cast<size_t>(c)] = th[static_cast<size_t>(c)] * inner;
+        }
+      } else {
+        for (int c2 = 0; c2 < kc; ++c2) {
+          double inner = 0.0;
+          for (int c = 0; c < kc; ++c) {
+            inner += s.EtaAt(c, c2, z_e) * th[static_cast<size_t>(c)] *
+                     pio[static_cast<size_t>(c)];
+          }
+          a[static_cast<size_t>(c2)] = th[static_cast<size_t>(c2)] * inner;
+        }
+      }
+      double base = 0.0;
+      for (int c = 0; c < kc; ++c) {
+        base += q[static_cast<size_t>(c)] * a[static_cast<size_t>(c)];
+      }
+      const UserId src_user = is_source ? u : other;
+      const UserId dst_user = is_source ? other : u;
+      const double const_part =
+          LinkEnergyParts(src_user, dst_user, z_e, link.time,
+                          static_cast<size_t>(e_idx), 0.0);
+      const double w_eta = s.weights[kWeightEta];
+      for (int cand = 0; cand < kc; ++cand) {
+        const double score = (base + a[static_cast<size_t>(cand)]) / denom_pi;
+        const double w = const_part + w_eta * score;
+        logw[static_cast<size_t>(cand)] += LogPsi(w, de);
+      }
+    }
+  }
+
+  const int32_t c_new =
+      static_cast<int32_t>(SampleCategoricalFromLog(logw, rng));
+  s.doc_community[static_cast<size_t>(d)] = c_new;
+  Add32(&s.n_uc[static_cast<size_t>(u) * kc + c_new], 1, concurrent);
+  Add32(&s.n_u[static_cast<size_t>(u)], 1, concurrent);
+  Add32(&s.n_cz[static_cast<size_t>(c_new) * kz + z], 1, concurrent);
+  Add32(&s.n_c[static_cast<size_t>(c_new)], 1, concurrent);
+}
+
+void GibbsSampler::SweepDocuments(Rng* rng) {
+  for (size_t u = 0; u < graph_.num_users(); ++u) {
+    for (DocId d : graph_.DocumentsOf(static_cast<UserId>(u))) {
+      ResampleTopic(d, /*concurrent=*/false, rng);
+      ResampleCommunity(d, /*concurrent=*/false, rng);
+    }
+  }
+}
+
+void GibbsSampler::SweepUsers(std::span<const UserId> users, bool concurrent,
+                              Rng* rng) {
+  for (UserId u : users) {
+    for (DocId d : graph_.DocumentsOf(u)) {
+      ResampleTopic(d, concurrent, rng);
+      ResampleCommunity(d, concurrent, rng);
+    }
+  }
+}
+
+void GibbsSampler::SweepFriendshipAugmentation(Rng* rng) {
+  SweepFriendshipAugmentation(0, graph_.num_friendship_links(), rng);
+}
+
+void GibbsSampler::SweepFriendshipAugmentation(size_t begin, size_t end,
+                                               Rng* rng) {
+  if (!config_.ablation.model_friendship) return;
+  for (size_t f = begin; f < end; ++f) {
+    state_->lambda[f] = pg_.Sample(FriendshipEnergy(f), rng);
+  }
+}
+
+void GibbsSampler::SweepDiffusionAugmentation(Rng* rng) {
+  SweepDiffusionAugmentation(0, graph_.num_diffusion_links(), rng);
+}
+
+void GibbsSampler::SweepDiffusionAugmentation(size_t begin, size_t end, Rng* rng) {
+  if (!config_.ablation.model_diffusion) return;
+  for (size_t e = begin; e < end; ++e) {
+    state_->delta[e] = pg_.Sample(DiffusionEnergy(e), rng);
+  }
+}
+
+}  // namespace cpd

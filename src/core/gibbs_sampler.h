@@ -1,0 +1,91 @@
+#ifndef CPD_CORE_GIBBS_SAMPLER_H_
+#define CPD_CORE_GIBBS_SAMPLER_H_
+
+/// \file gibbs_sampler.h
+/// Collapsed Gibbs sampler with Polya-Gamma augmentation for CPD
+/// (paper §4.1, Eqs. 13-16). The same kernels serve the serial E-step and
+/// the multithreaded E-step of §4.3 (`concurrent = true` switches counter
+/// updates to relaxed atomics; reads may then be slightly stale, which is the
+/// standard AD-LDA-style approximation).
+
+#include <span>
+#include <vector>
+
+#include "core/diffusion_features.h"
+#include "core/model_config.h"
+#include "core/model_state.h"
+#include "graph/social_graph.h"
+#include "sampling/polya_gamma.h"
+#include "util/rng.h"
+
+namespace cpd {
+
+class GibbsSampler {
+ public:
+  /// The sampler keeps references; graph/caches must outlive it and state is
+  /// mutated in place.
+  GibbsSampler(const SocialGraph& graph, const CpdConfig& config,
+               const LinkCaches& caches, ModelState* state);
+
+  /// One full sweep: resamples z_ui and c_ui for every document (Alg. 1
+  /// steps 4-6).
+  void SweepDocuments(Rng* rng);
+
+  /// Sweeps only the documents of the given users (one parallel segment).
+  void SweepUsers(std::span<const UserId> users, bool concurrent, Rng* rng);
+
+  /// Resamples every lambda_uv ~ PG(1, pihat_u . pihat_v) (Eq. 15),
+  /// optionally restricted to a range of link indices [begin, end).
+  void SweepFriendshipAugmentation(Rng* rng);
+  void SweepFriendshipAugmentation(size_t begin, size_t end, Rng* rng);
+
+  /// Resamples every delta_ij ~ PG(1, w_ij) (Eq. 16), optionally restricted
+  /// to a range of link indices.
+  void SweepDiffusionAugmentation(Rng* rng);
+  void SweepDiffusionAugmentation(size_t begin, size_t end, Rng* rng);
+
+  /// Per-document kernels (exposed for tests).
+  void ResampleTopic(DocId d, bool concurrent, Rng* rng);
+  void ResampleCommunity(DocId d, bool concurrent, Rng* rng);
+
+  /// w_ij of Eq. 5 (or the Eq. 3 energy under the no-heterogeneity
+  /// ablation) for diffusion link index e under the current state.
+  double DiffusionEnergy(size_t e) const;
+
+  /// pihat_u . pihat_v for friendship link index f.
+  double FriendshipEnergy(size_t f) const;
+
+  /// Sum over observed links of log sigmoid(energy) — a training diagnostic
+  /// (increases as the model fits the links).
+  double LinkLogLikelihood() const;
+
+  /// "No joint modeling" support: phase A detects communities from
+  /// friendship links only (content and diffusion excluded from the
+  /// community weights), phase B freezes communities.
+  void set_freeze_communities(bool freeze) { freeze_communities_ = freeze; }
+  void set_community_uses_content(bool use) { community_uses_content_ = use; }
+  void set_community_uses_diffusion(bool use) { community_uses_diffusion_ = use; }
+
+ private:
+  /// log psi(w, x) = w/2 - x w^2 / 2 (the PG mixture kernel, Eq. 7).
+  static double LogPsi(double w, double x) { return 0.5 * w - 0.5 * x * w * w; }
+
+  /// Energy of a diffusion link given explicit endpoint users/topic; used by
+  /// both DiffusionEnergy and candidate evaluation.
+  double LinkEnergyParts(UserId u, UserId v, int z, int32_t time, size_t e,
+                         double community_score) const;
+
+  const SocialGraph& graph_;
+  const CpdConfig& config_;
+  const LinkCaches& caches_;
+  ModelState* state_;
+  PolyaGammaSampler pg_;
+
+  bool freeze_communities_ = false;
+  bool community_uses_content_ = true;
+  bool community_uses_diffusion_ = true;
+};
+
+}  // namespace cpd
+
+#endif  // CPD_CORE_GIBBS_SAMPLER_H_

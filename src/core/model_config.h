@@ -1,0 +1,109 @@
+#ifndef CPD_CORE_MODEL_CONFIG_H_
+#define CPD_CORE_MODEL_CONFIG_H_
+
+/// \file model_config.h
+/// Configuration for the CPD model (paper §3-4), including the ablation
+/// switches used by the model-design study (§6.2) and the baselines that are
+/// structural restrictions of CPD (COLD).
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace cpd {
+
+/// How the topic-popularity factor n_tz (§3.1) is represented. The paper
+/// says "the count of topic z at t"; raw counts saturate the sigmoid, so the
+/// default is the per-bin fraction (see DESIGN.md §5).
+enum class PopularityMode {
+  kRaw,       ///< Raw count of topic-z diffusions in bin t.
+  kFraction,  ///< Count divided by total diffusions in bin t.
+  kLog1p,     ///< log(1 + count).
+};
+
+/// Ablation / variant switches. Default = full CPD.
+struct CpdAblation {
+  /// false reproduces the "no joint modeling" baseline: detect communities
+  /// from friendship links only, then freeze them and fit the profiles.
+  bool joint_profiling = true;
+
+  /// false reproduces "no heterogeneity": diffusion links are generated the
+  /// same way as friendship links (Eq. 3), ignoring topics/eta/nu.
+  bool heterogeneous_links = true;
+
+  /// false drops the individual-preference factor nu^T f_uv from Eq. 5.
+  bool individual_factor = true;
+
+  /// false drops the topic-popularity factor n_tz from Eq. 5.
+  bool topic_factor = true;
+
+  /// false drops friendship links from the model entirely (COLD-style).
+  bool model_friendship = true;
+
+  /// false drops diffusion links from the model entirely.
+  bool model_diffusion = true;
+};
+
+/// Full model configuration (Table 2 symbols in comments).
+struct CpdConfig {
+  int num_communities = 20;  ///< |C|
+  int num_topics = 20;       ///< |Z|
+
+  /// Dirichlet priors; negative values select the paper's convention
+  /// alpha = 50/|Z|, rho = 50/|C| [13], capped so the prior stays sparse
+  /// relative to the likelihood: alpha <= 1.0 and rho <= 0.1. The uncapped
+  /// convention assumes the paper's data scale (hundreds of documents per
+  /// user, where rho/n_u is negligible); at smaller scales an uncapped rho
+  /// smooths every user's membership toward uniform and nothing is detected
+  /// (see DESIGN.md §5). beta = 0.1.
+  double alpha = -1.0;
+  double rho = -1.0;
+  double beta = 0.1;
+
+  int em_iterations = 15;          ///< T1, outer variational-EM iterations.
+  int gibbs_sweeps_per_em = 3;     ///< Collapsed-Gibbs sweeps per E-step.
+  int nu_iterations = 60;          ///< T2, gradient steps for nu per M-step.
+  double nu_learning_rate = 0.1;
+  double nu_l2 = 1e-4;             ///< L2 regularization for nu.
+  double eta_smoothing = 1e-3;     ///< Additive smoothing for eta aggregation.
+
+  PopularityMode popularity_mode = PopularityMode::kFraction;
+
+  CpdAblation ablation;
+
+  uint64_t seed = 42;
+  int num_threads = 1;  ///< >1 enables the parallel E-step (§4.3).
+  bool verbose = false;
+
+  /// Resolved priors.
+  double ResolvedAlpha() const {
+    if (alpha > 0.0) return alpha;
+    return std::min(1.0, 50.0 / static_cast<double>(num_topics));
+  }
+  double ResolvedRho() const {
+    if (rho > 0.0) return rho;
+    return std::min(0.1, 50.0 / static_cast<double>(num_communities));
+  }
+
+  /// Validates field ranges.
+  Status Validate() const {
+    if (num_communities < 1) return Status::InvalidArgument("|C| < 1");
+    if (num_topics < 1) return Status::InvalidArgument("|Z| < 1");
+    if (beta <= 0.0) return Status::InvalidArgument("beta <= 0");
+    if (em_iterations < 1) return Status::InvalidArgument("em_iterations < 1");
+    if (gibbs_sweeps_per_em < 1) {
+      return Status::InvalidArgument("gibbs_sweeps_per_em < 1");
+    }
+    if (nu_iterations < 0) return Status::InvalidArgument("nu_iterations < 0");
+    if (nu_learning_rate <= 0.0) {
+      return Status::InvalidArgument("nu_learning_rate <= 0");
+    }
+    if (num_threads < 1) return Status::InvalidArgument("num_threads < 1");
+    return Status::OK();
+  }
+};
+
+}  // namespace cpd
+
+#endif  // CPD_CORE_MODEL_CONFIG_H_

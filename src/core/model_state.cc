@@ -1,0 +1,118 @@
+#include "core/model_state.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cpd {
+
+ModelState::ModelState(const SocialGraph& graph, const CpdConfig& config)
+    : num_communities(config.num_communities),
+      num_topics(config.num_topics),
+      num_users(graph.num_users()),
+      num_documents(graph.num_documents()),
+      vocab_size(graph.vocabulary_size()),
+      alpha(config.ResolvedAlpha()),
+      rho(config.ResolvedRho()),
+      beta(config.beta),
+      popularity(graph.num_time_bins(), config.num_topics,
+                 config.popularity_mode) {
+  doc_topic.assign(num_documents, 0);
+  doc_community.assign(num_documents, 0);
+  n_uc.assign(num_users * static_cast<size_t>(num_communities), 0);
+  n_u.assign(num_users, 0);
+  n_cz.assign(static_cast<size_t>(num_communities) * static_cast<size_t>(num_topics),
+              0);
+  n_c.assign(static_cast<size_t>(num_communities), 0);
+  n_zw.assign(static_cast<size_t>(num_topics) * vocab_size, 0);
+  n_z.assign(static_cast<size_t>(num_topics), 0);
+  lambda.assign(graph.num_friendship_links(), 0.25);
+  delta.assign(graph.num_diffusion_links(), 0.25);
+  eta.assign(static_cast<size_t>(num_communities) *
+                 static_cast<size_t>(num_communities) *
+                 static_cast<size_t>(num_topics),
+             1.0 / static_cast<double>(static_cast<size_t>(num_communities) *
+                                       static_cast<size_t>(num_topics)));
+  // Eq. 5's implicit unit coefficients on the community and popularity
+  // factors; ablated factors are pinned to zero so they vanish both in the
+  // Gibbs energies and in application-time scoring (Eq. 18). The individual
+  // features (nu) start at zero and are learned in the M-step.
+  weights.assign(kNumDiffusionWeights, 0.0);
+  weights[kWeightEta] = 1.0;
+  weights[kWeightPopularity] = config.ablation.topic_factor ? 1.0 : 0.0;
+}
+
+void ModelState::InitializeRandom(const SocialGraph& graph, Rng* rng,
+                                  bool per_user_communities) {
+  for (size_t d = 0; d < num_documents; ++d) {
+    doc_topic[d] =
+        static_cast<int32_t>(rng->NextUint64(static_cast<uint64_t>(num_topics)));
+  }
+  if (per_user_communities) {
+    for (size_t u = 0; u < num_users; ++u) {
+      const int32_t c = static_cast<int32_t>(
+          rng->NextUint64(static_cast<uint64_t>(num_communities)));
+      for (DocId d : graph.DocumentsOf(static_cast<UserId>(u))) {
+        doc_community[static_cast<size_t>(d)] = c;
+      }
+    }
+  } else {
+    for (size_t d = 0; d < num_documents; ++d) {
+      doc_community[d] = static_cast<int32_t>(
+          rng->NextUint64(static_cast<uint64_t>(num_communities)));
+    }
+  }
+}
+
+void ModelState::RebuildCounts(const SocialGraph& graph) {
+  std::fill(n_uc.begin(), n_uc.end(), 0);
+  std::fill(n_u.begin(), n_u.end(), 0);
+  std::fill(n_cz.begin(), n_cz.end(), 0);
+  std::fill(n_c.begin(), n_c.end(), 0);
+  std::fill(n_zw.begin(), n_zw.end(), 0);
+  std::fill(n_z.begin(), n_z.end(), 0);
+  for (size_t d = 0; d < num_documents; ++d) {
+    const Document& doc = graph.document(static_cast<DocId>(d));
+    const int32_t z = doc_topic[d];
+    const int32_t c = doc_community[d];
+    CPD_DCHECK(z >= 0 && z < num_topics);
+    CPD_DCHECK(c >= 0 && c < num_communities);
+    ++n_uc[static_cast<size_t>(doc.user) * static_cast<size_t>(num_communities) +
+           static_cast<size_t>(c)];
+    ++n_u[static_cast<size_t>(doc.user)];
+    ++n_cz[static_cast<size_t>(c) * static_cast<size_t>(num_topics) +
+           static_cast<size_t>(z)];
+    ++n_c[static_cast<size_t>(c)];
+    for (WordId w : doc.words) {
+      ++n_zw[static_cast<size_t>(z) * vocab_size + static_cast<size_t>(w)];
+    }
+    n_z[static_cast<size_t>(z)] += static_cast<int64_t>(doc.words.size());
+  }
+}
+
+double ModelState::MembershipDot(UserId u, UserId v) const {
+  double dot = 0.0;
+  for (int c = 0; c < num_communities; ++c) {
+    dot += PiHat(u, c) * PiHat(v, c);
+  }
+  return dot;
+}
+
+double ModelState::CommunityDiffusionScore(UserId u, UserId v, int z) const {
+  // sum_c sum_c' pihat_{u,c} thetahat_{c,z} eta_{c,c',z} thetahat_{c',z}
+  //              pihat_{v,c'}  (Eq. 4, step 2).
+  const int kc = num_communities;
+  double score = 0.0;
+  for (int c = 0; c < kc; ++c) {
+    const double left = PiHat(u, c) * ThetaHat(c, z);
+    if (left == 0.0) continue;
+    double inner = 0.0;
+    for (int c2 = 0; c2 < kc; ++c2) {
+      inner += EtaAt(c, c2, z) * ThetaHat(c2, z) * PiHat(v, c2);
+    }
+    score += left * inner;
+  }
+  return score;
+}
+
+}  // namespace cpd

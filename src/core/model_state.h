@@ -1,0 +1,137 @@
+#ifndef CPD_CORE_MODEL_STATE_H_
+#define CPD_CORE_MODEL_STATE_H_
+
+/// \file model_state.h
+/// Mutable inference state of the CPD sampler: topic/community assignments
+/// per document, the collapsed count matrices of §4.1, the Polya-Gamma
+/// augmentation variables, and the model parameters eta / nu / factor
+/// weights. Data members are public by design — the Gibbs sampler and the
+/// M-step are performance-critical and operate on the raw arrays.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/diffusion_features.h"
+#include "core/model_config.h"
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace cpd {
+
+/// Index of the learned factor weights (the logistic regression of the
+/// M-step learns "how much each factor contributes", §3.1): the community
+/// term c_bar^T eta_bar, the popularity term n_tz, four user features, bias.
+inline constexpr int kWeightEta = 0;
+inline constexpr int kWeightPopularity = 1;
+inline constexpr int kWeightFeature0 = 2;  // .. kWeightFeature0+3
+inline constexpr int kWeightBias = kWeightFeature0 + kNumUserFeatures;
+inline constexpr int kNumDiffusionWeights = kWeightBias + 1;
+
+struct ModelState {
+  ModelState(const SocialGraph& graph, const CpdConfig& config);
+
+  /// Random initial assignments; topics are drawn per document. Communities
+  /// are drawn per document by default; with per_user_communities all of a
+  /// user's documents start in one random community. The per-user start
+  /// matters for friendship-only detection ("no joint" phase A): uniform
+  /// per-document draws leave every pihat_u near-uniform, a symmetric fixed
+  /// point where the friendship energy (Eq. 3) has no gradient. The joint
+  /// model prefers the per-document start (content breaks symmetry first;
+  /// block starts create sticky wrong commitments under a sparse rho).
+  /// Counters are NOT built; call RebuildCounts afterwards.
+  void InitializeRandom(const SocialGraph& graph, Rng* rng,
+                        bool per_user_communities = false);
+
+  /// Recomputes all count matrices from the current assignments (used by
+  /// tests to verify sampler invariants and by the parallel driver after
+  /// merging).
+  void RebuildCounts(const SocialGraph& graph);
+
+  // ----- sizes -----
+  int num_communities = 0;
+  int num_topics = 0;
+  size_t num_users = 0;
+  size_t num_documents = 0;
+  size_t vocab_size = 0;
+  double alpha = 0.0;
+  double rho = 0.0;
+  double beta = 0.0;
+
+  // ----- assignments (per document) -----
+  std::vector<int32_t> doc_topic;      ///< z_ui
+  std::vector<int32_t> doc_community;  ///< c_ui
+
+  // ----- collapsed counters (Table 2 / §4.1) -----
+  std::vector<int32_t> n_uc;  ///< |U|x|C|: docs of u assigned to community c.
+  std::vector<int32_t> n_u;   ///< |U|: docs of u (constant once built).
+  std::vector<int32_t> n_cz;  ///< |C|x|Z|: docs in community c with topic z.
+  std::vector<int32_t> n_c;   ///< |C|: docs in community c.
+  std::vector<int32_t> n_zw;  ///< |Z|x|W|: word w occurrences with topic z.
+  std::vector<int64_t> n_z;   ///< |Z|: words assigned to topic z.
+
+  // ----- Polya-Gamma augmentation -----
+  std::vector<double> lambda;  ///< Per friendship link (Eq. 8/15).
+  std::vector<double> delta;   ///< Per diffusion link (Eq. 9/16).
+
+  // ----- model parameters -----
+  std::vector<double> eta;      ///< |C|x|C|x|Z| diffusion profile tensor.
+  std::vector<double> weights;  ///< kNumDiffusionWeights factor weights.
+
+  /// Topic popularity n_tz; refreshed by the trainer.
+  PopularityTable popularity;
+
+  // ----- smoothed estimates -----
+  /// pihat_{u,c} = (n_uc + rho) / (n_u + |C| rho).
+  double PiHat(UserId u, int c) const {
+    return (static_cast<double>(
+                n_uc[static_cast<size_t>(u) * static_cast<size_t>(num_communities) +
+                     static_cast<size_t>(c)]) +
+            rho) /
+           (static_cast<double>(n_u[static_cast<size_t>(u)]) +
+            static_cast<double>(num_communities) * rho);
+  }
+
+  /// thetahat_{c,z} = (n_cz + alpha) / (n_c + |Z| alpha).
+  double ThetaHat(int c, int z) const {
+    return (static_cast<double>(
+                n_cz[static_cast<size_t>(c) * static_cast<size_t>(num_topics) +
+                     static_cast<size_t>(z)]) +
+            alpha) /
+           (static_cast<double>(n_c[static_cast<size_t>(c)]) +
+            static_cast<double>(num_topics) * alpha);
+  }
+
+  /// phihat_{z,w} = (n_zw + beta) / (n_z + |W| beta).
+  double PhiHat(int z, WordId w) const {
+    return (static_cast<double>(n_zw[static_cast<size_t>(z) * vocab_size +
+                                     static_cast<size_t>(w)]) +
+            beta) /
+           (static_cast<double>(n_z[static_cast<size_t>(z)]) +
+            static_cast<double>(vocab_size) * beta);
+  }
+
+  double& EtaAt(int c, int c2, int z) {
+    return eta[(static_cast<size_t>(c) * static_cast<size_t>(num_communities) +
+                static_cast<size_t>(c2)) *
+                   static_cast<size_t>(num_topics) +
+               static_cast<size_t>(z)];
+  }
+  double EtaAt(int c, int c2, int z) const {
+    return eta[(static_cast<size_t>(c) * static_cast<size_t>(num_communities) +
+                static_cast<size_t>(c2)) *
+                   static_cast<size_t>(num_topics) +
+               static_cast<size_t>(z)];
+  }
+
+  /// pihat_u . pihat_v (Eq. 3 energy).
+  double MembershipDot(UserId u, UserId v) const;
+
+  /// The community-factor score S_eta = c_bar_ij^T eta_bar (Eq. 4) for users
+  /// u (diffusing) and v (diffused) on topic z, under current estimates.
+  double CommunityDiffusionScore(UserId u, UserId v, int z) const;
+};
+
+}  // namespace cpd
+
+#endif  // CPD_CORE_MODEL_STATE_H_

@@ -1,0 +1,62 @@
+#include "eval/cross_validation.h"
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace cpd {
+
+LinkFolds AssignLinkFolds(const SocialGraph& graph, int num_folds, Rng* rng) {
+  CPD_CHECK_GT(num_folds, 1);
+  LinkFolds folds;
+  folds.num_folds = num_folds;
+  folds.friendship_fold.resize(graph.num_friendship_links());
+  for (int& fold : folds.friendship_fold) {
+    fold = static_cast<int>(rng->NextUint64(static_cast<uint64_t>(num_folds)));
+  }
+  folds.diffusion_fold.resize(graph.num_diffusion_links());
+  for (int& fold : folds.diffusion_fold) {
+    fold = static_cast<int>(rng->NextUint64(static_cast<uint64_t>(num_folds)));
+  }
+  return folds;
+}
+
+StatusOr<FoldData> BuildFold(const SocialGraph& graph, const LinkFolds& folds,
+                             int fold) {
+  CPD_CHECK(fold >= 0 && fold < folds.num_folds);
+  CPD_CHECK_EQ(folds.friendship_fold.size(), graph.num_friendship_links());
+  CPD_CHECK_EQ(folds.diffusion_fold.size(), graph.num_diffusion_links());
+
+  GraphBuilder builder;
+  builder.SetNumUsers(graph.num_users());
+  builder.SetVocabulary(graph.corpus().vocabulary());
+  for (size_t d = 0; d < graph.num_documents(); ++d) {
+    const Document& doc = graph.document(static_cast<DocId>(d));
+    const DocId added = builder.AddTokenizedDocument(doc.user, doc.time, doc.words);
+    CPD_CHECK_EQ(added, static_cast<DocId>(d));
+  }
+
+  FoldData data;
+  const auto& flinks = graph.friendship_links();
+  for (size_t f = 0; f < flinks.size(); ++f) {
+    if (folds.friendship_fold[f] == fold) {
+      data.heldout_friendship.push_back(flinks[f]);
+    } else {
+      builder.AddFriendship(flinks[f].u, flinks[f].v);
+    }
+  }
+  const auto& elinks = graph.diffusion_links();
+  for (size_t e = 0; e < elinks.size(); ++e) {
+    if (folds.diffusion_fold[e] == fold) {
+      data.heldout_diffusion.push_back(elinks[e]);
+    } else {
+      builder.AddDiffusion(elinks[e].i, elinks[e].j, elinks[e].time);
+    }
+  }
+
+  auto built = builder.Build(/*drop_isolated_users=*/false);
+  if (!built.ok()) return built.status();
+  data.train_graph = std::move(*built);
+  return data;
+}
+
+}  // namespace cpd

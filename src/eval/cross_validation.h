@@ -1,0 +1,43 @@
+#ifndef CPD_EVAL_CROSS_VALIDATION_H_
+#define CPD_EVAL_CROSS_VALIDATION_H_
+
+/// \file cross_validation.h
+/// 10-fold link holdout for the prediction tasks (§6.1): each fold removes
+/// 10% of the friendship links and 10% of the diffusion links from the
+/// training graph; AUC is computed on the held-out positives against an
+/// equal number of sampled negatives.
+
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cpd {
+
+/// Random fold assignment for both link types.
+struct LinkFolds {
+  int num_folds = 10;
+  std::vector<int> friendship_fold;  ///< Per friendship-link index.
+  std::vector<int> diffusion_fold;   ///< Per diffusion-link index.
+};
+
+LinkFolds AssignLinkFolds(const SocialGraph& graph, int num_folds, Rng* rng);
+
+/// One fold's view: the training graph (held-out links removed) plus the
+/// held-out links themselves.
+struct FoldData {
+  SocialGraph train_graph;
+  std::vector<FriendshipLink> heldout_friendship;
+  std::vector<DiffusionLink> heldout_diffusion;
+};
+
+/// Rebuilds the graph without fold `fold`'s links. Documents, users and the
+/// vocabulary are preserved verbatim (doc ids are stable because documents
+/// are re-added in order).
+StatusOr<FoldData> BuildFold(const SocialGraph& graph, const LinkFolds& folds,
+                             int fold);
+
+}  // namespace cpd
+
+#endif  // CPD_EVAL_CROSS_VALIDATION_H_

@@ -1,0 +1,57 @@
+#include "eval/evaluator.h"
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+
+namespace cpd {
+
+double EvaluateFriendshipAuc(const SocialGraph& full_graph,
+                             std::span<const FriendshipLink> heldout,
+                             const FriendshipScorer& scorer, Rng* rng) {
+  if (heldout.empty()) return 0.5;
+  std::vector<double> positives;
+  positives.reserve(heldout.size());
+  for (const FriendshipLink& link : heldout) {
+    positives.push_back(scorer(link.u, link.v));
+  }
+  std::vector<double> negatives;
+  negatives.reserve(heldout.size());
+  const size_t num_users = full_graph.num_users();
+  CPD_CHECK_GE(num_users, 2u);
+  size_t attempts = 0;
+  while (negatives.size() < heldout.size() && attempts < heldout.size() * 50) {
+    ++attempts;
+    const UserId u = static_cast<UserId>(rng->NextUint64(num_users));
+    const UserId v = static_cast<UserId>(rng->NextUint64(num_users));
+    if (u == v || full_graph.HasFriendship(u, v)) continue;
+    negatives.push_back(scorer(u, v));
+  }
+  return ComputeAuc(positives, negatives);
+}
+
+double EvaluateDiffusionAuc(const SocialGraph& full_graph,
+                            std::span<const DiffusionLink> heldout,
+                            const DiffusionScorer& scorer, Rng* rng) {
+  if (heldout.empty()) return 0.5;
+  std::vector<double> positives;
+  positives.reserve(heldout.size());
+  for (const DiffusionLink& link : heldout) {
+    positives.push_back(scorer(link.i, link.j, link.time));
+  }
+  std::vector<double> negatives;
+  negatives.reserve(heldout.size());
+  const size_t num_docs = full_graph.num_documents();
+  CPD_CHECK_GE(num_docs, 2u);
+  size_t attempts = 0;
+  while (negatives.size() < heldout.size() && attempts < heldout.size() * 50) {
+    ++attempts;
+    const DocId i = static_cast<DocId>(rng->NextUint64(num_docs));
+    const DocId j = static_cast<DocId>(rng->NextUint64(num_docs));
+    if (i == j || full_graph.HasDiffusion(i, j)) continue;
+    if (full_graph.document(i).user == full_graph.document(j).user) continue;
+    negatives.push_back(scorer(i, j, full_graph.document(i).time));
+  }
+  return ComputeAuc(positives, negatives);
+}
+
+}  // namespace cpd

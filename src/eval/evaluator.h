@@ -1,0 +1,38 @@
+#ifndef CPD_EVAL_EVALUATOR_H_
+#define CPD_EVAL_EVALUATOR_H_
+
+/// \file evaluator.h
+/// Task harnesses shared by CPD and every baseline: friendship link
+/// prediction and diffusion link prediction AUC over held-out links with
+/// uniformly sampled non-link negatives (one per positive, §6.1).
+
+#include <functional>
+#include <span>
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace cpd {
+
+/// Scores the likelihood of a (directed) friendship link u -> v.
+using FriendshipScorer = std::function<double(UserId u, UserId v)>;
+
+/// Scores the likelihood of document i diffusing document j at time t.
+using DiffusionScorer = std::function<double(DocId i, DocId j, int32_t time)>;
+
+/// AUC of the scorer on held-out friendship positives vs sampled negatives.
+/// Negatives are user pairs absent from the *full* graph.
+double EvaluateFriendshipAuc(const SocialGraph& full_graph,
+                             std::span<const FriendshipLink> heldout,
+                             const FriendshipScorer& scorer, Rng* rng);
+
+/// AUC of the scorer on held-out diffusion positives vs sampled negatives.
+/// Negatives are document pairs (different authors) absent from the full
+/// graph; each negative inherits the source document's time bin.
+double EvaluateDiffusionAuc(const SocialGraph& full_graph,
+                            std::span<const DiffusionLink> heldout,
+                            const DiffusionScorer& scorer, Rng* rng);
+
+}  // namespace cpd
+
+#endif  // CPD_EVAL_EVALUATOR_H_

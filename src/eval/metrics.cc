@@ -1,0 +1,247 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cpd {
+
+double ComputeAuc(std::span<const double> positive_scores,
+                  std::span<const double> negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) return 0.5;
+  // Rank-sum formulation with midranks for ties.
+  struct Entry {
+    double score;
+    bool positive;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(positive_scores.size() + negative_scores.size());
+  for (double s : positive_scores) entries.push_back({s, true});
+  for (double s : negative_scores) entries.push_back({s, false});
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.score < b.score; });
+
+  double rank_sum_positive = 0.0;
+  size_t i = 0;
+  while (i < entries.size()) {
+    size_t j = i;
+    while (j < entries.size() && entries[j].score == entries[i].score) ++j;
+    // Midrank of the tie group [i, j): ranks are 1-based.
+    const double midrank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    for (size_t k = i; k < j; ++k) {
+      if (entries[k].positive) rank_sum_positive += midrank;
+    }
+    i = j;
+  }
+  const double np = static_cast<double>(positive_scores.size());
+  const double nn = static_cast<double>(negative_scores.size());
+  return (rank_sum_positive - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+double SetConductance(const SocialGraph& graph, std::span<const char> in_set) {
+  CPD_CHECK_EQ(in_set.size(), graph.num_users());
+  int64_t cut = 0;
+  int64_t vol_in = 0;
+  int64_t vol_out = 0;
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    const auto neighbors = graph.FriendNeighbors(static_cast<UserId>(u));
+    const int64_t degree = static_cast<int64_t>(neighbors.size());
+    if (in_set[u]) {
+      vol_in += degree;
+      for (UserId v : neighbors) {
+        if (!in_set[static_cast<size_t>(v)]) ++cut;
+      }
+    } else {
+      vol_out += degree;
+    }
+  }
+  const int64_t denom = std::min(vol_in, vol_out);
+  if (denom == 0) return 1.0;
+  return static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+double AverageConductance(const SocialGraph& graph,
+                          const std::vector<std::vector<double>>& memberships,
+                          int top_k) {
+  CPD_CHECK_EQ(memberships.size(), graph.num_users());
+  if (memberships.empty()) return 1.0;
+  const size_t num_communities = memberships.front().size();
+  std::vector<std::vector<char>> in_set(num_communities,
+                                        std::vector<char>(graph.num_users(), 0));
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    for (size_t c : TopKIndices(memberships[u], static_cast<size_t>(top_k))) {
+      in_set[c][u] = 1;
+    }
+  }
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t c = 0; c < num_communities; ++c) {
+    bool non_empty = false;
+    for (char flag : in_set[c]) {
+      if (flag) {
+        non_empty = true;
+        break;
+      }
+    }
+    if (!non_empty) continue;
+    total += SetConductance(graph, in_set[c]);
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 1.0;
+}
+
+std::vector<RankingPoint> EvaluateRanking(
+    const std::vector<int>& ranked_communities,
+    const std::vector<std::vector<UserId>>& community_users,
+    const std::vector<char>& relevant_users, int max_k) {
+  size_t num_relevant = 0;
+  for (char flag : relevant_users) {
+    if (flag) ++num_relevant;
+  }
+  std::vector<RankingPoint> points;
+  points.reserve(static_cast<size_t>(max_k));
+  std::vector<char> covered(relevant_users.size(), 0);
+  size_t covered_users = 0;
+  size_t covered_relevant = 0;
+  for (int k = 0; k < max_k; ++k) {
+    if (k < static_cast<int>(ranked_communities.size())) {
+      const int c = ranked_communities[static_cast<size_t>(k)];
+      for (UserId u : community_users[static_cast<size_t>(c)]) {
+        if (!covered[static_cast<size_t>(u)]) {
+          covered[static_cast<size_t>(u)] = 1;
+          ++covered_users;
+          if (relevant_users[static_cast<size_t>(u)]) ++covered_relevant;
+        }
+      }
+    }
+    RankingPoint point;
+    point.precision = covered_users > 0 ? static_cast<double>(covered_relevant) /
+                                              static_cast<double>(covered_users)
+                                        : 0.0;
+    point.recall = num_relevant > 0 ? static_cast<double>(covered_relevant) /
+                                          static_cast<double>(num_relevant)
+                                    : 0.0;
+    point.f1 = (point.precision + point.recall) > 0.0
+                   ? 2.0 * point.precision * point.recall /
+                         (point.precision + point.recall)
+                   : 0.0;
+    points.push_back(point);
+  }
+  return points;
+}
+
+MeanRankingMetrics AggregateRankings(
+    const std::vector<std::vector<RankingPoint>>& per_query_points, int max_k) {
+  MeanRankingMetrics metrics;
+  metrics.map_at_k.assign(static_cast<size_t>(max_k), 0.0);
+  metrics.mar_at_k.assign(static_cast<size_t>(max_k), 0.0);
+  metrics.maf_at_k.assign(static_cast<size_t>(max_k), 0.0);
+  if (per_query_points.empty()) return metrics;
+
+  const double q_inv = 1.0 / static_cast<double>(per_query_points.size());
+  for (int k = 1; k <= max_k; ++k) {
+    double map_sum = 0.0;
+    double mar_sum = 0.0;
+    for (const auto& points : per_query_points) {
+      double p_sum = 0.0;
+      double r_sum = 0.0;
+      for (int i = 0; i < k && i < static_cast<int>(points.size()); ++i) {
+        p_sum += points[static_cast<size_t>(i)].precision;
+        r_sum += points[static_cast<size_t>(i)].recall;
+      }
+      map_sum += p_sum / static_cast<double>(k);
+      mar_sum += r_sum / static_cast<double>(k);
+    }
+    const double map_k = map_sum * q_inv;
+    const double mar_k = mar_sum * q_inv;
+    metrics.map_at_k[static_cast<size_t>(k - 1)] = map_k;
+    metrics.mar_at_k[static_cast<size_t>(k - 1)] = mar_k;
+    metrics.maf_at_k[static_cast<size_t>(k - 1)] =
+        (map_k + mar_k) > 0.0 ? 2.0 * map_k * mar_k / (map_k + mar_k) : 0.0;
+  }
+  return metrics;
+}
+
+double ContentPerplexity(const SocialGraph& graph, std::span<const DocId> docs,
+                         const std::vector<std::vector<double>>& pi,
+                         const std::vector<std::vector<double>>& theta,
+                         const std::vector<std::vector<double>>& phi) {
+  CPD_CHECK(!theta.empty());
+  const size_t num_communities = theta.size();
+  const size_t num_topics = theta.front().size();
+  double log_likelihood = 0.0;
+  int64_t tokens = 0;
+
+  // Cache user mixtures over topics: m_u[z] = sum_c pi_{u,c} theta_{c,z}.
+  std::unordered_map<UserId, std::vector<double>> user_topic_mix;
+  for (DocId d : docs) {
+    const Document& doc = graph.document(d);
+    auto it = user_topic_mix.find(doc.user);
+    if (it == user_topic_mix.end()) {
+      std::vector<double> mix(num_topics, 0.0);
+      const auto& user_pi = pi[static_cast<size_t>(doc.user)];
+      for (size_t c = 0; c < num_communities; ++c) {
+        const double weight = user_pi[c];
+        if (weight == 0.0) continue;
+        for (size_t z = 0; z < num_topics; ++z) mix[z] += weight * theta[c][z];
+      }
+      it = user_topic_mix.emplace(doc.user, std::move(mix)).first;
+    }
+    const std::vector<double>& mix = it->second;
+    for (WordId w : doc.words) {
+      double p = 0.0;
+      for (size_t z = 0; z < num_topics; ++z) {
+        p += mix[z] * phi[z][static_cast<size_t>(w)];
+      }
+      log_likelihood += std::log(std::max(p, 1e-300));
+      ++tokens;
+    }
+  }
+  if (tokens == 0) return 0.0;
+  return std::exp(-log_likelihood / static_cast<double>(tokens));
+}
+
+double NormalizedMutualInformation(std::span<const int> labels_a,
+                                   std::span<const int> labels_b) {
+  CPD_CHECK_EQ(labels_a.size(), labels_b.size());
+  const size_t n = labels_a.size();
+  if (n == 0) return 0.0;
+
+  std::unordered_map<int, int64_t> count_a, count_b;
+  std::unordered_map<int64_t, int64_t> joint;
+  for (size_t i = 0; i < n; ++i) {
+    ++count_a[labels_a[i]];
+    ++count_b[labels_b[i]];
+    ++joint[(static_cast<int64_t>(labels_a[i]) << 32) |
+            static_cast<uint32_t>(labels_b[i])];
+  }
+  const double dn = static_cast<double>(n);
+  double mi = 0.0;
+  for (const auto& [key, count] : joint) {
+    const int a = static_cast<int>(key >> 32);
+    const int b = static_cast<int>(key & 0xffffffff);
+    const double p_ab = static_cast<double>(count) / dn;
+    const double p_a = static_cast<double>(count_a[a]) / dn;
+    const double p_b = static_cast<double>(count_b[b]) / dn;
+    mi += p_ab * std::log(p_ab / (p_a * p_b));
+  }
+  double h_a = 0.0;
+  for (const auto& [label, count] : count_a) {
+    (void)label;
+    const double p = static_cast<double>(count) / dn;
+    h_a -= p * std::log(p);
+  }
+  double h_b = 0.0;
+  for (const auto& [label, count] : count_b) {
+    (void)label;
+    const double p = static_cast<double>(count) / dn;
+    h_b -= p * std::log(p);
+  }
+  if (h_a <= 0.0 || h_b <= 0.0) return (h_a == h_b) ? 1.0 : 0.0;
+  return mi / std::sqrt(h_a * h_b);
+}
+
+}  // namespace cpd

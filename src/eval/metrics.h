@@ -1,0 +1,76 @@
+#ifndef CPD_EVAL_METRICS_H_
+#define CPD_EVAL_METRICS_H_
+
+/// \file metrics.h
+/// Evaluation metrics of §6.1: AUC for link/diffusion prediction,
+/// conductance for community quality (with the paper's top-5 membership
+/// convention), MAP/MAR/MAF@K for profile-driven ranking, perplexity for
+/// content profiles, and NMI for recovery against planted ground truth.
+
+#include <span>
+#include <vector>
+
+#include "graph/social_graph.h"
+
+namespace cpd {
+
+/// Probability that a random positive outscores a random negative (ties
+/// count half). Empty inputs yield 0.5.
+double ComputeAuc(std::span<const double> positive_scores,
+                  std::span<const double> negative_scores);
+
+/// Conductance of one user set S over the undirected friendship graph:
+/// cut(S) / min(vol(S), vol(V\S)); 1.0 when either side has zero volume.
+double SetConductance(const SocialGraph& graph, std::span<const char> in_set);
+
+/// Average conductance across communities where each user belongs to her
+/// top-k communities (paper follows [17] with k = 5). `memberships[u]` is
+/// the user's distribution over communities.
+double AverageConductance(const SocialGraph& graph,
+                          const std::vector<std::vector<double>>& memberships,
+                          int top_k = 5);
+
+/// Precision/recall/F1 of ranked communities for one query (§6.1):
+/// P(K,q) = |U*_q cap U_K| / |U_K|, R(K,q) = |U*_q cap U_K| / |U*_q|.
+struct RankingPoint {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Evaluates one query's community ranking at every K in [1, max_k].
+/// \param ranked_communities Communities in ranked order.
+/// \param community_users For each community, its (top-5 assigned) users.
+/// \param relevant_users U*_q, users who truly diffuse about the query.
+std::vector<RankingPoint> EvaluateRanking(
+    const std::vector<int>& ranked_communities,
+    const std::vector<std::vector<UserId>>& community_users,
+    const std::vector<char>& relevant_users, int max_k);
+
+/// MAP/MAR/MAF@K across queries: MAP@K = mean_q (sum_{i<=K} P(i,q) / K),
+/// analogously MAR; MAF = harmonic mean of MAP and MAR (§6.1).
+struct MeanRankingMetrics {
+  std::vector<double> map_at_k;
+  std::vector<double> mar_at_k;
+  std::vector<double> maf_at_k;
+};
+
+MeanRankingMetrics AggregateRankings(
+    const std::vector<std::vector<RankingPoint>>& per_query_points, int max_k);
+
+/// Perplexity of user content under community content profiles:
+/// exp(-sum log p(w | u) / N) with p(w|u) = sum_c pi_{u,c} sum_z theta_{c,z}
+/// phi_{z,w} (the definition used for Fig. 8, following [17]).
+double ContentPerplexity(const SocialGraph& graph, std::span<const DocId> docs,
+                         const std::vector<std::vector<double>>& pi,
+                         const std::vector<std::vector<double>>& theta,
+                         const std::vector<std::vector<double>>& phi);
+
+/// Normalized mutual information between two hard labelings (planted-truth
+/// recovery diagnostic). Returns a value in [0, 1].
+double NormalizedMutualInformation(std::span<const int> labels_a,
+                                   std::span<const int> labels_b);
+
+}  // namespace cpd
+
+#endif  // CPD_EVAL_METRICS_H_

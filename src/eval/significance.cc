@@ -1,0 +1,94 @@
+#include "eval/significance.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cpd {
+
+namespace {
+
+// Lentz's continued-fraction evaluation for the incomplete beta function.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3e-14;
+  constexpr double kTiny = 1e-30;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = static_cast<double>(m) * (b - m) * x /
+                ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  CPD_CHECK(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double log_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                           a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(log_front);
+  // Use the symmetry transformation for faster convergence.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, int dof) {
+  CPD_CHECK_GT(dof, 0);
+  const double v = static_cast<double>(dof);
+  const double x = v / (v + t * t);
+  const double tail = 0.5 * RegularizedIncompleteBeta(v / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+TTestResult PairedTTestGreater(std::span<const double> a,
+                               std::span<const double> b) {
+  CPD_CHECK_EQ(a.size(), b.size());
+  CPD_CHECK_GE(a.size(), 2u);
+  std::vector<double> diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  const double mean = Mean(diff);
+  const double sd = StdDev(diff);
+  TTestResult result;
+  result.degrees_of_freedom = static_cast<int>(a.size()) - 1;
+  if (sd == 0.0) {
+    result.t_statistic = mean > 0.0 ? 1e30 : (mean < 0.0 ? -1e30 : 0.0);
+    result.p_value = mean > 0.0 ? 0.0 : 1.0;
+    return result;
+  }
+  result.t_statistic =
+      mean / (sd / std::sqrt(static_cast<double>(a.size())));
+  result.p_value = 1.0 - StudentTCdf(result.t_statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace cpd

@@ -1,0 +1,32 @@
+#ifndef CPD_EVAL_SIGNIFICANCE_H_
+#define CPD_EVAL_SIGNIFICANCE_H_
+
+/// \file significance.h
+/// One-tailed paired Student's t-test, used as in the paper to check that
+/// CPD's per-fold improvements over a baseline are significant (p < 0.01).
+
+#include <span>
+
+namespace cpd {
+
+/// Result of a paired one-tailed t-test of H1: mean(a - b) > 0.
+struct TTestResult {
+  double t_statistic = 0.0;
+  double p_value = 1.0;  ///< One-tailed.
+  int degrees_of_freedom = 0;
+};
+
+/// Paired test over equal-length samples (e.g. per-fold AUCs). Requires at
+/// least two pairs; a zero-variance difference yields p = 0 or 1 by sign.
+TTestResult PairedTTestGreater(std::span<const double> a, std::span<const double> b);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom
+/// (via the regularized incomplete beta function).
+double StudentTCdf(double t, int dof);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+}  // namespace cpd
+
+#endif  // CPD_EVAL_SIGNIFICANCE_H_

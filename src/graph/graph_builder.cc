@@ -1,0 +1,163 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpd {
+
+namespace {
+inline int64_t PairKey(int32_t a, int32_t b) {
+  return (static_cast<int64_t>(a) << 32) | static_cast<uint32_t>(b);
+}
+}  // namespace
+
+DocId GraphBuilder::AddDocument(UserId user, int32_t time, std::string_view text,
+                                const TokenizerOptions& options) {
+  CPD_CHECK(user >= 0 && static_cast<size_t>(user) < num_users_);
+  return corpus_.AddRawDocument(user, time, text, options);
+}
+
+DocId GraphBuilder::AddTokenizedDocument(UserId user, int32_t time,
+                                         std::span<const WordId> words) {
+  CPD_CHECK(user >= 0 && static_cast<size_t>(user) < num_users_);
+  return corpus_.AddTokenizedDocument(user, time, words);
+}
+
+void GraphBuilder::AddFriendship(UserId u, UserId v) {
+  CPD_CHECK(u >= 0 && static_cast<size_t>(u) < num_users_);
+  CPD_CHECK(v >= 0 && static_cast<size_t>(v) < num_users_);
+  if (u == v) return;
+  if (!friendship_keys_.insert(PairKey(u, v)).second) return;
+  friendship_links_.push_back(FriendshipLink{u, v});
+}
+
+void GraphBuilder::AddDiffusion(DocId i, DocId j, int32_t time) {
+  CPD_CHECK(i >= 0 && static_cast<size_t>(i) < corpus_.num_documents());
+  CPD_CHECK(j >= 0 && static_cast<size_t>(j) < corpus_.num_documents());
+  CPD_CHECK_GE(time, 0);
+  if (i == j) return;
+  if (!diffusion_keys_.insert(PairKey(i, j)).second) return;
+  diffusion_links_.push_back(DiffusionLink{i, j, time});
+}
+
+StatusOr<SocialGraph> GraphBuilder::Build(bool drop_isolated_users) {
+  if (num_users_ == 0) {
+    return Status::FailedPrecondition("GraphBuilder: no users declared");
+  }
+
+  // Optionally drop users that ended up without documents.
+  std::vector<UserId> remap(num_users_);
+  size_t kept_users = num_users_;
+  const auto& by_user = corpus_.documents_by_user();
+  auto user_has_docs = [&](size_t u) {
+    return u < by_user.size() && !by_user[u].empty();
+  };
+  if (drop_isolated_users) {
+    kept_users = 0;
+    for (size_t u = 0; u < num_users_; ++u) {
+      remap[u] = user_has_docs(u) ? static_cast<UserId>(kept_users++) : -1;
+    }
+  } else {
+    std::iota(remap.begin(), remap.end(), 0);
+  }
+
+  SocialGraph graph;
+  graph.num_users_ = kept_users;
+  corpus_.RemapUsers(remap, kept_users);
+  graph.corpus_ = std::move(corpus_);
+
+  graph.friendship_links_.reserve(friendship_links_.size());
+  for (const FriendshipLink& link : friendship_links_) {
+    const UserId u = remap[static_cast<size_t>(link.u)];
+    const UserId v = remap[static_cast<size_t>(link.v)];
+    if (u < 0 || v < 0) continue;
+    graph.friendship_links_.push_back(FriendshipLink{u, v});
+  }
+  graph.diffusion_links_ = std::move(diffusion_links_);
+
+  // Existence sets over remapped ids.
+  graph.friendship_set_.reserve(graph.friendship_links_.size() * 2);
+  for (const FriendshipLink& link : graph.friendship_links_) {
+    graph.friendship_set_.insert(PairKey(link.u, link.v));
+  }
+  graph.diffusion_set_.reserve(graph.diffusion_links_.size() * 2);
+  for (const DiffusionLink& link : graph.diffusion_links_) {
+    graph.diffusion_set_.insert(PairKey(link.i, link.j));
+  }
+
+  // Friend adjacency Lambda_u: undirected, deduplicated CSR.
+  const size_t n = graph.num_users_;
+  std::vector<std::unordered_set<UserId>> neighbor_sets(n);
+  for (const FriendshipLink& link : graph.friendship_links_) {
+    neighbor_sets[static_cast<size_t>(link.u)].insert(link.v);
+    neighbor_sets[static_cast<size_t>(link.v)].insert(link.u);
+  }
+  graph.friend_offsets_.assign(n + 1, 0);
+  for (size_t u = 0; u < n; ++u) {
+    graph.friend_offsets_[u + 1] =
+        graph.friend_offsets_[u] + static_cast<int64_t>(neighbor_sets[u].size());
+  }
+  graph.friend_neighbors_.resize(static_cast<size_t>(graph.friend_offsets_[n]));
+  for (size_t u = 0; u < n; ++u) {
+    auto out = graph.friend_neighbors_.begin() + graph.friend_offsets_[u];
+    std::copy(neighbor_sets[u].begin(), neighbor_sets[u].end(), out);
+    std::sort(graph.friend_neighbors_.begin() + graph.friend_offsets_[u],
+              graph.friend_neighbors_.begin() + graph.friend_offsets_[u + 1]);
+  }
+
+  // Diffusion incidence Lambda_i (CSR over documents; stores link indices).
+  const size_t nd = graph.corpus_.num_documents();
+  std::vector<int32_t> degree(nd, 0);
+  for (const DiffusionLink& link : graph.diffusion_links_) {
+    ++degree[static_cast<size_t>(link.i)];
+    ++degree[static_cast<size_t>(link.j)];
+  }
+  graph.diffusion_offsets_.assign(nd + 1, 0);
+  for (size_t d = 0; d < nd; ++d) {
+    graph.diffusion_offsets_[d + 1] = graph.diffusion_offsets_[d] + degree[d];
+  }
+  graph.diffusion_incident_.resize(
+      static_cast<size_t>(graph.diffusion_offsets_[nd]));
+  std::vector<int64_t> cursor(graph.diffusion_offsets_.begin(),
+                              graph.diffusion_offsets_.end() - 1);
+  for (size_t e = 0; e < graph.diffusion_links_.size(); ++e) {
+    const DiffusionLink& link = graph.diffusion_links_[e];
+    graph.diffusion_incident_[static_cast<size_t>(
+        cursor[static_cast<size_t>(link.i)]++)] = static_cast<int32_t>(e);
+    graph.diffusion_incident_[static_cast<size_t>(
+        cursor[static_cast<size_t>(link.j)]++)] = static_cast<int32_t>(e);
+  }
+
+  // Per-user document index (copy from the corpus view).
+  graph.documents_by_user_.assign(n, {});
+  const auto& corpus_by_user = graph.corpus_.documents_by_user();
+  for (size_t u = 0; u < n && u < corpus_by_user.size(); ++u) {
+    graph.documents_by_user_[u] = corpus_by_user[u];
+  }
+
+  // Activity counts for the individual-preference features.
+  graph.activity_.assign(n, UserActivity{});
+  for (const FriendshipLink& link : graph.friendship_links_) {
+    ++graph.activity_[static_cast<size_t>(link.u)].followees;
+    ++graph.activity_[static_cast<size_t>(link.v)].followers;
+  }
+  for (size_t u = 0; u < n; ++u) {
+    graph.activity_[u].documents =
+        static_cast<int64_t>(graph.documents_by_user_[u].size());
+  }
+  int32_t max_time = 0;
+  for (const DiffusionLink& link : graph.diffusion_links_) {
+    const UserId u = graph.corpus_.document(link.i).user;
+    ++graph.activity_[static_cast<size_t>(u)].diffusions;
+    max_time = std::max(max_time, link.time);
+  }
+  graph.num_time_bins_ = max_time + 1;
+
+  return graph;
+}
+
+}  // namespace cpd

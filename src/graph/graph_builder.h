@@ -1,0 +1,64 @@
+#ifndef CPD_GRAPH_GRAPH_BUILDER_H_
+#define CPD_GRAPH_GRAPH_BUILDER_H_
+
+/// \file graph_builder.h
+/// Mutable accumulator that validates and freezes a SocialGraph: deduplicates
+/// links, optionally drops users left without documents (paper §6.1),
+/// computes CSR adjacency and the per-user activity counts.
+
+#include <string_view>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace cpd {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Declares n users with ids [0, n). Must be called before adding data.
+  void SetNumUsers(size_t n) { num_users_ = n; }
+  size_t num_users() const { return num_users_; }
+
+  /// Pre-seeds the vocabulary (before any document is added) so word ids
+  /// stay aligned with a source corpus, e.g. for cross-validation rebuilds.
+  void SetVocabulary(Vocabulary vocabulary) {
+    corpus_.SetVocabulary(std::move(vocabulary));
+  }
+
+  /// Tokenizes and adds a raw-text document. Returns the DocId, or
+  /// Corpus::kInvalidDoc if it fails the min-length filter.
+  DocId AddDocument(UserId user, int32_t time, std::string_view text,
+                    const TokenizerOptions& options = {});
+
+  /// Adds an already-tokenized document (synthetic generator path).
+  DocId AddTokenizedDocument(UserId user, int32_t time,
+                             std::span<const WordId> words);
+
+  /// Adds a directed friendship link u -> v. Self-loops and duplicates are
+  /// silently ignored.
+  void AddFriendship(UserId u, UserId v);
+
+  /// Adds a directed diffusion link: doc i diffuses doc j at time >= 0.
+  /// Self-loops and duplicates are silently ignored.
+  void AddDiffusion(DocId i, DocId j, int32_t time);
+
+  /// Validates and freezes the graph.
+  /// \param drop_isolated_users Remove users with no documents, remapping
+  ///        user ids densely and dropping their friendship links (§6.1).
+  StatusOr<SocialGraph> Build(bool drop_isolated_users = false);
+
+ private:
+  size_t num_users_ = 0;
+  Corpus corpus_;
+  std::vector<FriendshipLink> friendship_links_;
+  std::vector<DiffusionLink> diffusion_links_;
+  std::unordered_set<int64_t> friendship_keys_;
+  std::unordered_set<int64_t> diffusion_keys_;
+};
+
+}  // namespace cpd
+
+#endif  // CPD_GRAPH_GRAPH_BUILDER_H_

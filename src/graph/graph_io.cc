@@ -1,0 +1,136 @@
+#include "graph/graph_io.h"
+
+#include <sstream>
+
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace cpd {
+
+namespace {
+
+StatusOr<int64_t> ParseInt(const std::string& text, const char* what) {
+  try {
+    size_t pos = 0;
+    const int64_t value = std::stoll(text, &pos);
+    if (pos != text.size()) {
+      return Status::InvalidArgument(StrFormat("trailing junk in %s: %s", what,
+                                               text.c_str()));
+    }
+    return value;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument(StrFormat("cannot parse %s: %s", what,
+                                             text.c_str()));
+  }
+}
+
+}  // namespace
+
+StatusOr<SocialGraph> LoadSocialGraph(size_t num_users,
+                                      const std::string& documents_path,
+                                      const std::string& friendship_path,
+                                      const std::string& diffusion_path,
+                                      const GraphIoOptions& options) {
+  GraphBuilder builder;
+  builder.SetNumUsers(num_users);
+
+  auto doc_lines = ReadLines(documents_path);
+  if (!doc_lines.ok()) return doc_lines.status();
+  // Maps file row -> builder DocId (kInvalidDoc for filtered rows).
+  std::vector<DocId> row_to_doc;
+  row_to_doc.reserve(doc_lines->size());
+  for (const std::string& line : *doc_lines) {
+    if (line.empty()) continue;
+    const auto parts = Split(line, '\t');
+    if (parts.size() < 3) {
+      return Status::InvalidArgument("documents row needs 3 fields: " + line);
+    }
+    auto user = ParseInt(parts[0], "user id");
+    if (!user.ok()) return user.status();
+    auto time = ParseInt(parts[1], "document time");
+    if (!time.ok()) return time.status();
+    if (*user < 0 || static_cast<size_t>(*user) >= num_users) {
+      return Status::OutOfRange("user id out of range: " + parts[0]);
+    }
+    row_to_doc.push_back(builder.AddDocument(static_cast<UserId>(*user),
+                                             static_cast<int32_t>(*time), parts[2],
+                                             options.tokenizer));
+  }
+
+  auto friend_lines = ReadLines(friendship_path);
+  if (!friend_lines.ok()) return friend_lines.status();
+  for (const std::string& line : *friend_lines) {
+    if (line.empty()) continue;
+    const auto parts = Split(line, '\t');
+    if (parts.size() < 2) {
+      return Status::InvalidArgument("friendship row needs 2 fields: " + line);
+    }
+    auto u = ParseInt(parts[0], "friendship source");
+    if (!u.ok()) return u.status();
+    auto v = ParseInt(parts[1], "friendship target");
+    if (!v.ok()) return v.status();
+    if (*u < 0 || static_cast<size_t>(*u) >= num_users || *v < 0 ||
+        static_cast<size_t>(*v) >= num_users) {
+      return Status::OutOfRange("friendship user id out of range: " + line);
+    }
+    builder.AddFriendship(static_cast<UserId>(*u), static_cast<UserId>(*v));
+  }
+
+  auto diff_lines = ReadLines(diffusion_path);
+  if (!diff_lines.ok()) return diff_lines.status();
+  for (const std::string& line : *diff_lines) {
+    if (line.empty()) continue;
+    const auto parts = Split(line, '\t');
+    if (parts.size() < 3) {
+      return Status::InvalidArgument("diffusion row needs 3 fields: " + line);
+    }
+    auto i = ParseInt(parts[0], "diffusion source doc");
+    if (!i.ok()) return i.status();
+    auto j = ParseInt(parts[1], "diffusion target doc");
+    if (!j.ok()) return j.status();
+    auto t = ParseInt(parts[2], "diffusion time");
+    if (!t.ok()) return t.status();
+    if (*i < 0 || static_cast<size_t>(*i) >= row_to_doc.size() || *j < 0 ||
+        static_cast<size_t>(*j) >= row_to_doc.size()) {
+      return Status::OutOfRange("diffusion doc row out of range: " + line);
+    }
+    const DocId di = row_to_doc[static_cast<size_t>(*i)];
+    const DocId dj = row_to_doc[static_cast<size_t>(*j)];
+    if (di == Corpus::kInvalidDoc || dj == Corpus::kInvalidDoc) continue;
+    if (*t < 0) return Status::OutOfRange("negative diffusion time: " + line);
+    builder.AddDiffusion(di, dj, static_cast<int32_t>(*t));
+  }
+
+  return builder.Build(options.drop_isolated_users);
+}
+
+Status SaveSocialGraph(const SocialGraph& graph, const std::string& documents_path,
+                       const std::string& friendship_path,
+                       const std::string& diffusion_path) {
+  std::ostringstream docs;
+  const Vocabulary& vocab = graph.corpus().vocabulary();
+  for (size_t d = 0; d < graph.num_documents(); ++d) {
+    const Document& doc = graph.document(static_cast<DocId>(d));
+    docs << doc.user << '\t' << doc.time << '\t';
+    for (size_t k = 0; k < doc.words.size(); ++k) {
+      if (k > 0) docs << ' ';
+      docs << vocab.WordOf(doc.words[k]);
+    }
+    docs << '\n';
+  }
+  CPD_RETURN_IF_ERROR(WriteStringToFile(documents_path, docs.str()));
+
+  std::ostringstream friends;
+  for (const FriendshipLink& link : graph.friendship_links()) {
+    friends << link.u << '\t' << link.v << '\n';
+  }
+  CPD_RETURN_IF_ERROR(WriteStringToFile(friendship_path, friends.str()));
+
+  std::ostringstream diffusion;
+  for (const DiffusionLink& link : graph.diffusion_links()) {
+    diffusion << link.i << '\t' << link.j << '\t' << link.time << '\n';
+  }
+  return WriteStringToFile(diffusion_path, diffusion.str());
+}
+
+}  // namespace cpd

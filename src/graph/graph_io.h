@@ -1,0 +1,44 @@
+#ifndef CPD_GRAPH_GRAPH_IO_H_
+#define CPD_GRAPH_GRAPH_IO_H_
+
+/// \file graph_io.h
+/// TSV import/export for social graphs, so users can run CPD on their own
+/// Twitter/DBLP-style dumps. Formats:
+///   documents file:  user_id <TAB> time <TAB> raw text
+///   friendship file: u <TAB> v                       (directed)
+///   diffusion file:  doc_i <TAB> doc_j <TAB> time    (doc ids = document row
+///                                                     numbers, 0-based,
+///                                                     counting kept docs only)
+
+#include <string>
+
+#include "graph/graph_builder.h"
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace cpd {
+
+/// Options for LoadSocialGraph.
+struct GraphIoOptions {
+  TokenizerOptions tokenizer;
+  bool drop_isolated_users = true;  ///< Paper §6.1 preprocessing.
+};
+
+/// Loads a graph from the three TSV files. `num_users` must cover every user
+/// id referenced. Diffusion rows referencing documents that were dropped by
+/// preprocessing are skipped.
+StatusOr<SocialGraph> LoadSocialGraph(size_t num_users,
+                                      const std::string& documents_path,
+                                      const std::string& friendship_path,
+                                      const std::string& diffusion_path,
+                                      const GraphIoOptions& options = {});
+
+/// Writes the graph back to the three TSV files (documents are emitted as
+/// space-joined tokens; ids are post-preprocessing).
+Status SaveSocialGraph(const SocialGraph& graph, const std::string& documents_path,
+                       const std::string& friendship_path,
+                       const std::string& diffusion_path);
+
+}  // namespace cpd
+
+#endif  // CPD_GRAPH_GRAPH_IO_H_

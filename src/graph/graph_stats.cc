@@ -1,0 +1,47 @@
+#include "graph/graph_stats.h"
+
+#include "util/string_util.h"
+
+namespace cpd {
+
+GraphStats ComputeGraphStats(const SocialGraph& graph) {
+  GraphStats stats;
+  stats.num_users = graph.num_users();
+  stats.num_friendship_links = graph.num_friendship_links();
+  stats.num_diffusion_links = graph.num_diffusion_links();
+  stats.num_documents = graph.num_documents();
+  stats.num_words = graph.vocabulary_size();
+  stats.num_time_bins = graph.num_time_bins();
+
+  if (stats.num_users > 0) {
+    stats.avg_documents_per_user =
+        static_cast<double>(stats.num_documents) / static_cast<double>(stats.num_users);
+    int64_t total_degree = 0;
+    for (size_t u = 0; u < stats.num_users; ++u) {
+      total_degree +=
+          static_cast<int64_t>(graph.FriendNeighbors(static_cast<UserId>(u)).size());
+    }
+    stats.avg_friend_degree =
+        static_cast<double>(total_degree) / static_cast<double>(stats.num_users);
+  }
+  if (stats.num_documents > 0) {
+    stats.avg_words_per_document =
+        static_cast<double>(graph.corpus().total_tokens()) /
+        static_cast<double>(stats.num_documents);
+    stats.avg_diffusions_per_doc =
+        2.0 * static_cast<double>(stats.num_diffusion_links) /
+        static_cast<double>(stats.num_documents);
+  }
+  return stats;
+}
+
+std::string GraphStatsToString(const GraphStats& stats) {
+  return StrFormat(
+      "users=%zu friend_links=%zu diff_links=%zu docs=%zu words=%zu "
+      "docs/user=%.2f words/doc=%.2f degree=%.2f time_bins=%d",
+      stats.num_users, stats.num_friendship_links, stats.num_diffusion_links,
+      stats.num_documents, stats.num_words, stats.avg_documents_per_user,
+      stats.avg_words_per_document, stats.avg_friend_degree, stats.num_time_bins);
+}
+
+}  // namespace cpd

@@ -1,0 +1,37 @@
+#ifndef CPD_GRAPH_GRAPH_STATS_H_
+#define CPD_GRAPH_GRAPH_STATS_H_
+
+/// \file graph_stats.h
+/// Dataset statistics in the shape of the paper's Table 3, plus degree
+/// summaries used to sanity-check the synthetic generators.
+
+#include <string>
+
+#include "graph/social_graph.h"
+
+namespace cpd {
+
+/// Table-3 row: #(user), #(friend. link), #(diff. link), #(doc.), #(word).
+struct GraphStats {
+  size_t num_users = 0;
+  size_t num_friendship_links = 0;
+  size_t num_diffusion_links = 0;
+  size_t num_documents = 0;
+  size_t num_words = 0;  ///< Vocabulary size.
+
+  double avg_documents_per_user = 0.0;
+  double avg_words_per_document = 0.0;
+  double avg_friend_degree = 0.0;       ///< Undirected neighbor count.
+  double avg_diffusions_per_doc = 0.0;  ///< Incident diffusion links.
+  int32_t num_time_bins = 1;
+};
+
+/// Computes all statistics in one pass.
+GraphStats ComputeGraphStats(const SocialGraph& graph);
+
+/// One-line summary, e.g. for logging.
+std::string GraphStatsToString(const GraphStats& stats);
+
+}  // namespace cpd
+
+#endif  // CPD_GRAPH_GRAPH_STATS_H_

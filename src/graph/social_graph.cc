@@ -1,0 +1,47 @@
+#include "graph/social_graph.h"
+
+#include "util/logging.h"
+
+namespace cpd {
+
+namespace {
+// Packs an ordered id pair into a single set key (ids are < 2^31).
+inline int64_t PairKey(int32_t a, int32_t b) {
+  return (static_cast<int64_t>(a) << 32) | static_cast<uint32_t>(b);
+}
+}  // namespace
+
+std::span<const DocId> SocialGraph::DocumentsOf(UserId u) const {
+  CPD_DCHECK(u >= 0 && static_cast<size_t>(u) < num_users_);
+  const auto& docs = documents_by_user_[static_cast<size_t>(u)];
+  return {docs.data(), docs.size()};
+}
+
+std::span<const UserId> SocialGraph::FriendNeighbors(UserId u) const {
+  CPD_DCHECK(u >= 0 && static_cast<size_t>(u) < num_users_);
+  const auto begin = friend_offsets_[static_cast<size_t>(u)];
+  const auto end = friend_offsets_[static_cast<size_t>(u) + 1];
+  return {friend_neighbors_.data() + begin, static_cast<size_t>(end - begin)};
+}
+
+std::span<const int32_t> SocialGraph::DiffusionNeighbors(DocId i) const {
+  CPD_DCHECK(i >= 0 && static_cast<size_t>(i) < num_documents());
+  const auto begin = diffusion_offsets_[static_cast<size_t>(i)];
+  const auto end = diffusion_offsets_[static_cast<size_t>(i) + 1];
+  return {diffusion_incident_.data() + begin, static_cast<size_t>(end - begin)};
+}
+
+bool SocialGraph::HasFriendship(UserId u, UserId v) const {
+  return friendship_set_.count(PairKey(u, v)) > 0;
+}
+
+bool SocialGraph::HasDiffusion(DocId i, DocId j) const {
+  return diffusion_set_.count(PairKey(i, j)) > 0;
+}
+
+const UserActivity& SocialGraph::activity(UserId u) const {
+  CPD_DCHECK(u >= 0 && static_cast<size_t>(u) < num_users_);
+  return activity_[static_cast<size_t>(u)];
+}
+
+}  // namespace cpd

@@ -1,0 +1,124 @@
+#ifndef CPD_GRAPH_SOCIAL_GRAPH_H_
+#define CPD_GRAPH_SOCIAL_GRAPH_H_
+
+/// \file social_graph.h
+/// The paper's problem input (Definition 1): a social graph
+/// G = (U, D, F, E) of users, user-published documents, directed friendship
+/// links F (follow / co-author) and directed, timestamped diffusion links E
+/// between documents (retweet / citation). Immutable once built; construct
+/// via GraphBuilder.
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace cpd {
+
+/// Directed friendship link: u follows / co-authors-with v.
+struct FriendshipLink {
+  UserId u = -1;
+  UserId v = -1;
+  bool operator==(const FriendshipLink&) const = default;
+};
+
+/// Directed diffusion link: document i diffuses (retweets / cites)
+/// document j, at discrete time bin `time`.
+struct DiffusionLink {
+  DocId i = -1;
+  DocId j = -1;
+  int32_t time = 0;
+  bool operator==(const DiffusionLink&) const = default;
+};
+
+/// Raw per-user behavioural counts from which the individual-preference
+/// features of §3.1 are derived.
+struct UserActivity {
+  int64_t followers = 0;   ///< In-degree in F.
+  int64_t followees = 0;   ///< Out-degree in F.
+  int64_t documents = 0;   ///< |D_u| ("tweets"/"papers").
+  int64_t diffusions = 0;  ///< Documents of u that diffuse another document.
+
+  /// |Followers(u)| / |Followees(u)|, smoothed to avoid division by zero.
+  double Popularity() const {
+    return static_cast<double>(followers + 1) / static_cast<double>(followees + 1);
+  }
+  /// |Retweets(u)| / |Tweets(u)|, smoothed.
+  double Activeness() const {
+    return static_cast<double>(diffusions + 1) / static_cast<double>(documents + 1);
+  }
+};
+
+/// Immutable social graph. All adjacency is precomputed:
+///  - FriendNeighbors(u): Lambda_u, users adjacent to u in F (either direction);
+///  - DiffusionNeighbors(i): Lambda_i, diffusion links incident to document i.
+class SocialGraph {
+ public:
+  /// An empty graph; populate via GraphBuilder::Build.
+  SocialGraph() = default;
+
+  size_t num_users() const { return num_users_; }
+  size_t num_documents() const { return corpus_.num_documents(); }
+  size_t num_friendship_links() const { return friendship_links_.size(); }
+  size_t num_diffusion_links() const { return diffusion_links_.size(); }
+  size_t vocabulary_size() const { return corpus_.vocabulary().size(); }
+
+  const Corpus& corpus() const { return corpus_; }
+  const std::vector<FriendshipLink>& friendship_links() const {
+    return friendship_links_;
+  }
+  const std::vector<DiffusionLink>& diffusion_links() const {
+    return diffusion_links_;
+  }
+
+  const Document& document(DocId d) const { return corpus_.document(d); }
+
+  /// Documents published by user u.
+  std::span<const DocId> DocumentsOf(UserId u) const;
+
+  /// Lambda_u: users v with (u,v) in F or (v,u) in F (deduplicated).
+  std::span<const UserId> FriendNeighbors(UserId u) const;
+
+  /// Lambda_i: indices into diffusion_links() incident to document i
+  /// (as source or target).
+  std::span<const int32_t> DiffusionNeighbors(DocId i) const;
+
+  /// True if the directed friendship link (u, v) exists.
+  bool HasFriendship(UserId u, UserId v) const;
+
+  /// True if the directed diffusion link (i, j) exists.
+  bool HasDiffusion(DocId i, DocId j) const;
+
+  const UserActivity& activity(UserId u) const;
+
+  /// Number of discrete time bins covered by diffusion links:
+  /// 1 + max link time (at least 1).
+  int32_t num_time_bins() const { return num_time_bins_; }
+
+ private:
+  friend class GraphBuilder;
+
+  size_t num_users_ = 0;
+  Corpus corpus_;
+  std::vector<FriendshipLink> friendship_links_;
+  std::vector<DiffusionLink> diffusion_links_;
+
+  // CSR adjacency.
+  std::vector<int64_t> friend_offsets_;
+  std::vector<UserId> friend_neighbors_;
+  std::vector<int64_t> diffusion_offsets_;
+  std::vector<int32_t> diffusion_incident_;
+  std::vector<std::vector<DocId>> documents_by_user_;
+
+  std::unordered_set<int64_t> friendship_set_;  // u * num_users + v
+  std::unordered_set<int64_t> diffusion_set_;   // i * num_docs + j
+
+  std::vector<UserActivity> activity_;
+  int32_t num_time_bins_ = 1;
+};
+
+}  // namespace cpd
+
+#endif  // CPD_GRAPH_SOCIAL_GRAPH_H_

@@ -1,0 +1,139 @@
+#include "parallel/knapsack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cpd {
+
+std::vector<size_t> SolveKnapsack01(const std::vector<double>& weights,
+                                    double capacity, int resolution) {
+  CPD_CHECK_GT(resolution, 0);
+  if (weights.empty() || capacity <= 0.0) return {};
+
+  // Discretize weights onto [0, resolution] buckets of the capacity.
+  // Round-to-nearest: the packed total can exceed the capacity by at most
+  // half a bucket per item (capacity / (2 * resolution) each), which the
+  // caller's leftover pass absorbs; rounding up instead would reject exact
+  // fits like {6, 4} against capacity 10.
+  const double scale = static_cast<double>(resolution) / capacity;
+  const size_t n = weights.size();
+  std::vector<int> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    CPD_CHECK_GE(weights[i], 0.0);
+    scaled[i] = static_cast<int>(std::llround(weights[i] * scale));
+  }
+
+  // dp[w] = best total real weight achievable with discretized weight
+  // exactly <= w; choice[i][w] tracks whether item i was taken.
+  const int cap = resolution;
+  std::vector<double> dp(static_cast<size_t>(cap) + 1, 0.0);
+  std::vector<std::vector<bool>> taken(
+      n, std::vector<bool>(static_cast<size_t>(cap) + 1, false));
+  for (size_t i = 0; i < n; ++i) {
+    if (scaled[i] > cap) continue;
+    for (int w = cap; w >= scaled[i]; --w) {
+      const double candidate =
+          dp[static_cast<size_t>(w - scaled[i])] + weights[i];
+      if (candidate > dp[static_cast<size_t>(w)]) {
+        dp[static_cast<size_t>(w)] = candidate;
+        taken[i][static_cast<size_t>(w)] = true;
+      }
+    }
+  }
+
+  // Backtrack from the best bucket.
+  int w = cap;
+  std::vector<size_t> chosen;
+  for (size_t ri = n; ri-- > 0;) {
+    if (w >= scaled[ri] && taken[ri][static_cast<size_t>(w)]) {
+      chosen.push_back(ri);
+      w -= scaled[ri];
+    }
+  }
+  std::reverse(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+double SegmentAllocation::Imbalance() const {
+  if (thread_workload.empty()) return 1.0;
+  const double mean = Mean(thread_workload);
+  if (mean <= 0.0) return 1.0;
+  const double max_load =
+      *std::max_element(thread_workload.begin(), thread_workload.end());
+  return max_load / mean;
+}
+
+SegmentAllocation AllocateSegmentsKnapsack(const std::vector<double>& workloads,
+                                           int num_threads) {
+  CPD_CHECK_GT(num_threads, 0);
+  SegmentAllocation result;
+  result.thread_of_segment.assign(workloads.size(), -1);
+  result.thread_workload.assign(static_cast<size_t>(num_threads), 0.0);
+
+  const double total = StableSum(workloads);
+  const double capacity = total / static_cast<double>(num_threads);
+
+  std::vector<size_t> remaining(workloads.size());
+  std::iota(remaining.begin(), remaining.end(), size_t{0});
+
+  for (int t = 0; t < num_threads && !remaining.empty(); ++t) {
+    std::vector<double> pool;
+    pool.reserve(remaining.size());
+    for (size_t idx : remaining) pool.push_back(workloads[idx]);
+    const std::vector<size_t> chosen = SolveKnapsack01(pool, capacity);
+
+    std::vector<bool> is_chosen(remaining.size(), false);
+    for (size_t local : chosen) {
+      is_chosen[local] = true;
+      const size_t segment = remaining[local];
+      result.thread_of_segment[segment] = t;
+      result.thread_workload[static_cast<size_t>(t)] += workloads[segment];
+    }
+    std::vector<size_t> next;
+    next.reserve(remaining.size() - chosen.size());
+    for (size_t local = 0; local < remaining.size(); ++local) {
+      if (!is_chosen[local]) next.push_back(remaining[local]);
+    }
+    remaining = std::move(next);
+  }
+
+  // Leftovers (knapsack capacity rounding): least-loaded thread first.
+  for (size_t segment : remaining) {
+    const size_t t = static_cast<size_t>(
+        std::distance(result.thread_workload.begin(),
+                      std::min_element(result.thread_workload.begin(),
+                                       result.thread_workload.end())));
+    result.thread_of_segment[segment] = static_cast<int>(t);
+    result.thread_workload[t] += workloads[segment];
+  }
+  return result;
+}
+
+SegmentAllocation AllocateSegmentsGreedy(const std::vector<double>& workloads,
+                                         int num_threads) {
+  CPD_CHECK_GT(num_threads, 0);
+  SegmentAllocation result;
+  result.thread_of_segment.assign(workloads.size(), -1);
+  result.thread_workload.assign(static_cast<size_t>(num_threads), 0.0);
+
+  std::vector<size_t> order(workloads.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&workloads](size_t a, size_t b) {
+    return workloads[a] > workloads[b];
+  });
+  for (size_t segment : order) {
+    const size_t t = static_cast<size_t>(
+        std::distance(result.thread_workload.begin(),
+                      std::min_element(result.thread_workload.begin(),
+                                       result.thread_workload.end())));
+    result.thread_of_segment[segment] = static_cast<int>(t);
+    result.thread_workload[t] += workloads[segment];
+  }
+  return result;
+}
+
+}  // namespace cpd

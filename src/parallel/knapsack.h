@@ -1,0 +1,46 @@
+#ifndef CPD_PARALLEL_KNAPSACK_H_
+#define CPD_PARALLEL_KNAPSACK_H_
+
+/// \file knapsack.h
+/// Workload balancing of §4.3: distributing |Z| data segments to M threads
+/// by solving M standard 0-1 knapsack problems (Eq. 17) — each thread picks
+/// a subset of the remaining segments whose total estimated workload is as
+/// close to O/M as possible. A greedy LPT allocator is provided as a
+/// baseline/fallback.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cpd {
+
+/// Exact 0-1 knapsack by dynamic programming on discretized weights.
+/// Maximizes total weight subject to total weight <= capacity. Items have
+/// value == weight (Eq. 17). Returns chosen item indices.
+/// \param resolution Number of DP buckets the capacity is split into
+///        (time/accuracy trade-off).
+std::vector<size_t> SolveKnapsack01(const std::vector<double>& weights,
+                                    double capacity, int resolution = 4096);
+
+/// Allocation result: segment -> thread, plus per-thread workload sums.
+struct SegmentAllocation {
+  std::vector<int> thread_of_segment;
+  std::vector<double> thread_workload;
+
+  /// max workload / mean workload (1.0 = perfectly balanced).
+  double Imbalance() const;
+};
+
+/// The paper's allocator: repeatedly solve a 0-1 knapsack with capacity
+/// O/M over the remaining segments (Eq. 17); leftovers after the M rounds
+/// are placed greedily on the least-loaded thread.
+SegmentAllocation AllocateSegmentsKnapsack(const std::vector<double>& workloads,
+                                           int num_threads);
+
+/// Greedy longest-processing-time-first baseline.
+SegmentAllocation AllocateSegmentsGreedy(const std::vector<double>& workloads,
+                                         int num_threads);
+
+}  // namespace cpd
+
+#endif  // CPD_PARALLEL_KNAPSACK_H_

@@ -1,0 +1,80 @@
+#include "parallel/segmenter.h"
+
+#include "topic/lda.h"
+#include "util/logging.h"
+
+namespace cpd {
+
+double EstimateUserWorkload(const SocialGraph& graph, UserId u,
+                            const WorkloadCostModel& cost) {
+  double workload = 0.0;
+  const auto docs = graph.DocumentsOf(u);
+  const double friend_degree =
+      static_cast<double>(graph.FriendNeighbors(u).size());
+  for (DocId d : docs) {
+    const Document& doc = graph.document(d);
+    workload += cost.per_document;
+    workload += cost.per_word * static_cast<double>(doc.words.size());
+    // Every document sweep touches the user's friendship links (Eq. 14)...
+    workload += cost.per_friend_link * friend_degree;
+    // ...and the diffusion links incident to the document (Eqs. 13-14).
+    workload += cost.per_diffusion_link *
+                static_cast<double>(graph.DiffusionNeighbors(d).size());
+  }
+  return workload;
+}
+
+StatusOr<std::vector<DataSegment>> SegmentUsersByTopic(
+    const SocialGraph& graph, int num_segments, const WorkloadCostModel& cost,
+    int lda_iterations, uint64_t seed) {
+  if (num_segments < 1) {
+    return Status::InvalidArgument("num_segments < 1");
+  }
+  LdaConfig lda_config;
+  lda_config.num_topics = num_segments;
+  lda_config.iterations = lda_iterations;
+  lda_config.seed = seed;
+  auto lda = LdaModel::Train(graph.corpus(), lda_config);
+  if (!lda.ok()) return lda.status();
+
+  std::vector<DataSegment> segments(static_cast<size_t>(num_segments));
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    const UserId user = static_cast<UserId>(u);
+    const int segment = lda->DominantTopicOfUser(graph.corpus(), user);
+    CPD_DCHECK(segment >= 0 && segment < num_segments);
+    segments[static_cast<size_t>(segment)].users.push_back(user);
+    segments[static_cast<size_t>(segment)].estimated_workload +=
+        EstimateUserWorkload(graph, user, cost);
+  }
+  return segments;
+}
+
+StatusOr<ThreadPlan> PlanThreads(const SocialGraph& graph, int num_segments,
+                                 int num_threads, const WorkloadCostModel& cost,
+                                 int lda_iterations, uint64_t seed) {
+  if (num_threads < 1) return Status::InvalidArgument("num_threads < 1");
+  auto segments =
+      SegmentUsersByTopic(graph, num_segments, cost, lda_iterations, seed);
+  if (!segments.ok()) return segments.status();
+
+  std::vector<double> workloads;
+  workloads.reserve(segments->size());
+  for (const DataSegment& segment : *segments) {
+    workloads.push_back(segment.estimated_workload);
+  }
+
+  ThreadPlan plan;
+  plan.num_segments = segments->size();
+  plan.allocation = AllocateSegmentsKnapsack(workloads, num_threads);
+  plan.users_per_thread.assign(static_cast<size_t>(num_threads), {});
+  for (size_t s = 0; s < segments->size(); ++s) {
+    const int thread = plan.allocation.thread_of_segment[s];
+    CPD_CHECK_GE(thread, 0);
+    auto& users = plan.users_per_thread[static_cast<size_t>(thread)];
+    users.insert(users.end(), (*segments)[s].users.begin(),
+                 (*segments)[s].users.end());
+  }
+  return plan;
+}
+
+}  // namespace cpd

@@ -1,0 +1,70 @@
+#include "parallel/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace cpd {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    CPD_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  for (size_t i = 0; i < count; ++i) {
+    pool->Submit([i, &fn] { fn(i); });
+  }
+  pool->WaitAll();
+}
+
+}  // namespace cpd

@@ -1,0 +1,55 @@
+#ifndef CPD_PARALLEL_THREAD_POOL_H_
+#define CPD_PARALLEL_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// Minimal persistent worker pool. The parallel E-step (§4.3) submits one
+/// task per data-segment batch and blocks until the batch drains.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpd {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitAll();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool, blocking until done.
+void ParallelFor(ThreadPool* pool, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace cpd
+
+#endif  // CPD_PARALLEL_THREAD_POOL_H_

@@ -1,0 +1,51 @@
+#include "sampling/alias_table.h"
+
+#include "util/logging.h"
+
+namespace cpd {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  CPD_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    CPD_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  CPD_CHECK_GT(total, 0.0);
+
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's stable partition into small/large buckets.
+  std::vector<double> scaled(n);
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t l : large) probability_[l] = 1.0;
+  for (size_t s : small) probability_[s] = 1.0;  // Numerical leftovers.
+}
+
+size_t AliasTable::Sample(Rng* rng) const {
+  const size_t bucket = static_cast<size_t>(rng->NextUint64(probability_.size()));
+  return rng->NextDouble() < probability_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace cpd

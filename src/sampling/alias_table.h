@@ -1,0 +1,40 @@
+#ifndef CPD_SAMPLING_ALIAS_TABLE_H_
+#define CPD_SAMPLING_ALIAS_TABLE_H_
+
+/// \file alias_table.h
+/// Walker/Vose alias method: O(n) construction, O(1) categorical sampling.
+/// The synthetic-data generator draws millions of words from fixed topic-word
+/// distributions, where the alias table is the right tool.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cpd {
+
+/// Immutable sampler over a fixed discrete distribution.
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights (not necessarily normalized).
+  /// Requires at least one strictly positive weight.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draws one index with probability proportional to its weight.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return probability_.size(); }
+
+  /// Normalized probability of index i (for testing).
+  double Probability(size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> probability_;  // Acceptance threshold per bucket.
+  std::vector<size_t> alias_;        // Fallback index per bucket.
+  std::vector<double> normalized_;   // Kept for introspection/testing.
+};
+
+}  // namespace cpd
+
+#endif  // CPD_SAMPLING_ALIAS_TABLE_H_

@@ -1,0 +1,93 @@
+#include "sampling/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cpd {
+
+double SampleGamma(double shape, Rng* rng) {
+  CPD_DCHECK(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^{1/a}.
+    const double u = rng->NextDoubleOpen();
+    return SampleGamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x, v;
+    do {
+      x = rng->NextGaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng->NextDoubleOpen();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return d * v;
+    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+double SampleGamma(double shape, double scale, Rng* rng) {
+  CPD_DCHECK(scale > 0.0);
+  return SampleGamma(shape, rng) * scale;
+}
+
+double SampleBeta(double a, double b, Rng* rng) {
+  const double x = SampleGamma(a, rng);
+  const double y = SampleGamma(b, rng);
+  return x / (x + y);
+}
+
+std::vector<double> SampleSymmetricDirichlet(size_t dimension, double alpha,
+                                             Rng* rng) {
+  CPD_DCHECK(dimension > 0);
+  std::vector<double> sample(dimension);
+  for (double& v : sample) v = SampleGamma(alpha, rng);
+  NormalizeInPlace(&sample);
+  return sample;
+}
+
+std::vector<double> SampleDirichlet(std::span<const double> alpha, Rng* rng) {
+  CPD_DCHECK(!alpha.empty());
+  std::vector<double> sample(alpha.size());
+  for (size_t i = 0; i < alpha.size(); ++i) sample[i] = SampleGamma(alpha[i], rng);
+  NormalizeInPlace(&sample);
+  return sample;
+}
+
+size_t SampleCategorical(std::span<const double> weights, Rng* rng) {
+  CPD_DCHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CPD_DCHECK(w >= 0.0);
+    total += w;
+  }
+  CPD_DCHECK(total > 0.0);
+  double draw = rng->NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack lands on the last bucket.
+}
+
+size_t SampleCategoricalFromLog(std::span<const double> log_weights, Rng* rng) {
+  CPD_DCHECK(!log_weights.empty());
+  const double max_log =
+      *std::max_element(log_weights.begin(), log_weights.end());
+  double total = 0.0;
+  for (double lw : log_weights) total += std::exp(lw - max_log);
+  double draw = rng->NextDouble() * total;
+  for (size_t i = 0; i < log_weights.size(); ++i) {
+    draw -= std::exp(log_weights[i] - max_log);
+    if (draw < 0.0) return i;
+  }
+  return log_weights.size() - 1;
+}
+
+}  // namespace cpd

@@ -1,0 +1,42 @@
+#ifndef CPD_SAMPLING_DISTRIBUTIONS_H_
+#define CPD_SAMPLING_DISTRIBUTIONS_H_
+
+/// \file distributions.h
+/// Samplers for the standard distributions used by the generative models:
+/// gamma, beta, Dirichlet, and categorical (from linear or log weights).
+
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cpd {
+
+/// Gamma(shape, 1) via Marsaglia-Tsang squeeze; handles shape < 1 with the
+/// boosting trick. Requires shape > 0.
+double SampleGamma(double shape, Rng* rng);
+
+/// Gamma(shape, scale). Requires shape > 0, scale > 0.
+double SampleGamma(double shape, double scale, Rng* rng);
+
+/// Beta(a, b) via two gammas. Requires a > 0, b > 0.
+double SampleBeta(double a, double b, Rng* rng);
+
+/// Symmetric Dirichlet(alpha, ..., alpha) draw of the given dimension.
+std::vector<double> SampleSymmetricDirichlet(size_t dimension, double alpha,
+                                             Rng* rng);
+
+/// Dirichlet(alpha) draw for an arbitrary concentration vector.
+std::vector<double> SampleDirichlet(std::span<const double> alpha, Rng* rng);
+
+/// Draws an index proportional to non-negative weights (not necessarily
+/// normalized). Requires a positive total weight.
+size_t SampleCategorical(std::span<const double> weights, Rng* rng);
+
+/// Draws an index proportional to exp(log_weights[i]); stable for widely
+/// ranging magnitudes. Requires non-empty input.
+size_t SampleCategoricalFromLog(std::span<const double> log_weights, Rng* rng);
+
+}  // namespace cpd
+
+#endif  // CPD_SAMPLING_DISTRIBUTIONS_H_

@@ -1,0 +1,130 @@
+#include "sampling/polya_gamma.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace cpd {
+
+namespace {
+// Devroye's optimal truncation point between the inverse-Gaussian (left) and
+// exponential (right) pieces of the J*(1, z) proposal.
+constexpr double kTruncation = 0.64;
+constexpr double kPi = 3.14159265358979323846;
+
+// Piecewise series coefficients a_n(x) of the Jacobi density (PSW Eq. 16).
+double SeriesCoefficient(int n, double x) {
+  const double np = static_cast<double>(n) + 0.5;
+  if (x <= kTruncation) {
+    const double base = 2.0 / (kPi * x);
+    return kPi * np * base * std::sqrt(base) * std::exp(-2.0 * np * np / x);
+  }
+  return kPi * np * std::exp(-np * np * kPi * kPi * x / 2.0);
+}
+}  // namespace
+
+double StandardNormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double InverseGaussianCdf(double x, double z) {
+  CPD_DCHECK(x > 0.0);
+  // Standard IG(mu, lambda) CDF with mu = 1/z, lambda = 1:
+  //   Phi(sqrt(1/x) (x z - 1)) + exp(2 z) Phi(-sqrt(1/x) (x z + 1)).
+  // Continuous at z = 0 (the Levy limit gives 2 Phi(-1/sqrt(x))).
+  const double rsx = 1.0 / std::sqrt(x);
+  const double first = StandardNormalCdf(rsx * (x * z - 1.0));
+  double second = 0.0;
+  const double log_second =
+      2.0 * z + std::log(StandardNormalCdf(-rsx * (x * z + 1.0)));
+  if (std::isfinite(log_second)) second = std::exp(log_second);
+  return first + second;
+}
+
+double PolyaGammaSampler::SampleTruncatedInverseGaussian(double z, double t,
+                                                         Rng* rng) const {
+  const double mu = (z > 0.0) ? 1.0 / z : std::numeric_limits<double>::infinity();
+  double x = t + 1.0;
+  if (mu > t) {
+    // Small-z regime: rejection against the Levy-like proposal (PSW Alg. 3).
+    while (true) {
+      double e1 = rng->NextExp();
+      double e2 = rng->NextExp();
+      while (e1 * e1 > 2.0 * e2 / t) {
+        e1 = rng->NextExp();
+        e2 = rng->NextExp();
+      }
+      x = t / ((1.0 + t * e1) * (1.0 + t * e1));
+      const double alpha = std::exp(-0.5 * z * z * x);
+      if (rng->NextDouble() <= alpha) break;
+    }
+    return x;
+  }
+  // Large-z regime: Michael-Schucany-Haas IG sampling, retried until <= t.
+  while (x > t) {
+    const double y = rng->NextGaussian();
+    const double y2 = y * y;
+    const double mu_y2 = mu * y2;
+    x = mu + 0.5 * mu * mu_y2 -
+        0.5 * mu * std::sqrt(4.0 * mu_y2 + mu_y2 * mu_y2);
+    if (rng->NextDouble() > mu / (mu + x)) x = mu * mu / x;
+  }
+  return x;
+}
+
+double PolyaGammaSampler::SampleJacobi(double z, Rng* rng) const {
+  CPD_DCHECK(z >= 0.0);
+  const double t = kTruncation;
+  const double k = kPi * kPi / 8.0 + z * z / 2.0;
+  // Mass of the exponential (right) and inverse-Gaussian (left) pieces.
+  const double p = (kPi / (2.0 * k)) * std::exp(-k * t);
+  const double q = 2.0 * std::exp(-z) * InverseGaussianCdf(t, z);
+  const double right_prob = p / (p + q);
+
+  while (true) {
+    double x;
+    if (rng->NextDouble() < right_prob) {
+      x = t + rng->NextExp() / k;
+    } else {
+      x = SampleTruncatedInverseGaussian(z, t, rng);
+    }
+    // Alternating-series accept/reject (squeeze) on the Jacobi density.
+    double s = SeriesCoefficient(0, x);
+    const double y = rng->NextDouble() * s;
+    int n = 0;
+    bool accepted = false;
+    while (true) {
+      ++n;
+      if (n % 2 == 1) {
+        s -= SeriesCoefficient(n, x);
+        if (y <= s) {
+          accepted = true;
+          break;
+        }
+      } else {
+        s += SeriesCoefficient(n, x);
+        if (y > s) break;
+      }
+    }
+    if (accepted) return x;
+  }
+}
+
+double PolyaGammaSampler::Sample(double c, Rng* rng) const {
+  const double z = std::fabs(c) / 2.0;
+  return SampleJacobi(z, rng) / 4.0;
+}
+
+double PolyaGammaSampler::Mean(double c) {
+  const double a = std::fabs(c);
+  if (a < 1e-8) return 0.25 - a * a / 48.0;  // Series expansion near 0.
+  return std::tanh(a / 2.0) / (2.0 * a);
+}
+
+double PolyaGammaSampler::Variance(double c) {
+  const double a = std::fabs(c);
+  if (a < 1e-4) return 1.0 / 24.0;
+  const double cosh_half = std::cosh(a / 2.0);
+  return (std::sinh(a) - a) / (4.0 * a * a * a * cosh_half * cosh_half);
+}
+
+}  // namespace cpd

@@ -1,0 +1,49 @@
+#ifndef CPD_SAMPLING_POLYA_GAMMA_H_
+#define CPD_SAMPLING_POLYA_GAMMA_H_
+
+/// \file polya_gamma.h
+/// Exact Polya-Gamma PG(1, c) sampling via Devroye's exponentially tilted
+/// Jacobi method, following Polson, Scott & Windle (JASA 2013). CPD augments
+/// every friendship link (lambda_uv) and diffusion link (delta_ij) with a
+/// PG(1, psi) variable to turn the sigmoid link likelihoods into Gaussians
+/// (paper Eqs. 7-11, 15-16).
+
+#include "util/rng.h"
+
+namespace cpd {
+
+/// Sampler for PG(1, c). Stateless apart from scratch constants; thread-safe
+/// as long as each thread passes its own Rng.
+class PolyaGammaSampler {
+ public:
+  PolyaGammaSampler() = default;
+
+  /// Draws one PG(1, c) variate. c may be any real (the distribution depends
+  /// on |c|).
+  double Sample(double c, Rng* rng) const;
+
+  /// E[PG(1, c)] = tanh(c/2) / (2c), with the c -> 0 limit 1/4.
+  static double Mean(double c);
+
+  /// Var[PG(1, c)] = (sinh(c) - c) / (4 c^3 cosh^2(c/2)), limit 1/24 at c=0.
+  static double Variance(double c);
+
+ private:
+  /// Samples Devroye's J*(1, z) for z >= 0; PG(1, c) = J*(1, |c|/2) / 4.
+  double SampleJacobi(double z, Rng* rng) const;
+
+  /// Inverse-Gaussian(mu = 1/z, lambda = 1) truncated to (0, t].
+  double SampleTruncatedInverseGaussian(double z, double t, Rng* rng) const;
+};
+
+/// Standard normal CDF (used by the sampler's left/right mass split and
+/// exposed for tests).
+double StandardNormalCdf(double x);
+
+/// CDF of InverseGaussian(mu = 1/z, lambda = 1) at x > 0; handles z = 0 as
+/// the Levy limit.
+double InverseGaussianCdf(double x, double z);
+
+}  // namespace cpd
+
+#endif  // CPD_SAMPLING_POLYA_GAMMA_H_

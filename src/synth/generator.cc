@@ -1,0 +1,445 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "graph/graph_builder.h"
+#include "sampling/alias_table.h"
+#include "sampling/distributions.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace cpd {
+
+namespace {
+
+// Themed seed words (mirroring the research areas of the paper's Table 5)
+// keep generated topics human-readable in Table-5-style outputs.
+const std::vector<std::string> kThemes[kNumThemes] = {
+    {"network", "wireless", "sensor", "routing", "protocol", "packet", "router",
+     "bandwidth", "latency", "topology", "mobile", "channel", "node", "traffic",
+     "mesh", "gateway"},
+    {"security", "key", "authentication", "encryption", "attack", "privacy",
+     "signature", "cipher", "malware", "intrusion", "firewall", "trust",
+     "vulnerability", "secure", "password", "threat"},
+    {"circuit", "design", "power", "cmos", "voltage", "chip", "transistor",
+     "analog", "layout", "silicon", "frequency", "amplifier", "logic", "gate",
+     "fabrication", "wafer"},
+    {"parallel", "performance", "memory", "architecture", "cache", "thread",
+     "processor", "scheduling", "gpu", "cluster", "distributed", "throughput",
+     "pipeline", "core", "synchronization", "speedup"},
+    {"service", "web", "mobile", "management", "cloud", "workflow", "soa",
+     "composition", "rest", "middleware", "deployment", "orchestration",
+     "registry", "discovery", "api", "platform"},
+    {"code", "algorithm", "function", "linear", "complexity", "bound", "graph",
+     "approximation", "optimization", "matrix", "polynomial", "convex",
+     "theorem", "proof", "decoding", "lattice"},
+    {"learning", "model", "neural", "classification", "feature", "training",
+     "kernel", "deep", "regression", "inference", "bayesian", "clustering",
+     "embedding", "gradient", "supervised", "representation"},
+    {"data", "database", "search", "query", "index", "storage", "transaction",
+     "schema", "join", "sql", "warehouse", "tuple", "relational", "stream",
+     "partitioning", "scan"},
+    {"software", "engineering", "testing", "repository", "debugging",
+     "refactoring", "specification", "requirement", "maintenance", "bug",
+     "developer", "agile", "module", "component", "verification", "release"},
+    {"image", "video", "rendering", "vision", "segmentation", "texture",
+     "shape", "camera", "pixel", "recognition", "tracking", "geometry",
+     "illumination", "stereo", "motion", "depth"},
+    {"system", "operating", "kernel", "virtualization", "filesystem",
+     "scheduler", "container", "hypervisor", "interrupt", "driver", "paging",
+     "concurrency", "runtime", "resource", "isolation", "migration"},
+    {"language", "text", "semantic", "parsing", "translation", "corpus",
+     "syntax", "grammar", "sentiment", "dialogue", "summarization", "entity",
+     "discourse", "lexicon", "annotation", "tagging"},
+};
+
+// Poisson via Knuth's method (means here are small).
+int SamplePoisson(double mean, Rng* rng) {
+  const double limit = std::exp(-mean);
+  int k = 0;
+  double product = rng->NextDoubleOpen();
+  while (product > limit) {
+    ++k;
+    product *= rng->NextDoubleOpen();
+  }
+  return k;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ThemeWords(int theme) {
+  CPD_CHECK(theme >= 0 && theme < kNumThemes);
+  return kThemes[theme];
+}
+
+StatusOr<SynthResult> GenerateSocialGraph(const SynthConfig& config) {
+  if (config.num_users < 2) return Status::InvalidArgument("synth: num_users < 2");
+  if (config.num_communities < 2) {
+    return Status::InvalidArgument("synth: num_communities < 2");
+  }
+  if (config.num_topics < 2) return Status::InvalidArgument("synth: num_topics < 2");
+  if (config.doc_length_min < 2 || config.doc_length_max < config.doc_length_min) {
+    return Status::InvalidArgument("synth: bad doc length range");
+  }
+  if (config.num_time_bins < 2) {
+    return Status::InvalidArgument("synth: num_time_bins < 2");
+  }
+
+  Rng rng(config.seed);
+  const int kc = config.num_communities;
+  const int kz = config.num_topics;
+  const int kt = config.num_time_bins;
+  const size_t n = static_cast<size_t>(config.num_users);
+
+  SynthResult result;
+  SynthGroundTruth& truth = result.truth;
+  truth.num_communities = kc;
+  truth.num_topics = kz;
+
+  // ---- 1. Vocabulary and phi* ----------------------------------------------
+  Vocabulary vocab;
+  std::vector<std::vector<WordId>> theme_word_ids(kNumThemes);
+  for (int theme = 0; theme < kNumThemes; ++theme) {
+    for (const std::string& word : kThemes[theme]) {
+      theme_word_ids[static_cast<size_t>(theme)].push_back(vocab.GetOrAdd(word));
+    }
+  }
+  std::vector<WordId> hashtag_ids;
+  if (config.add_hashtags) {
+    for (int z = 0; z < kz; ++z) {
+      hashtag_ids.push_back(
+          vocab.GetOrAdd("#" + kThemes[z % kNumThemes][static_cast<size_t>(z) %
+                                                       kThemes[z % kNumThemes].size()]));
+    }
+  }
+  for (int b = 0; b < config.background_vocab; ++b) {
+    vocab.GetOrAdd(StrFormat("term%04d", b));
+  }
+  const size_t vocab_size = vocab.size();
+
+  truth.phi.assign(static_cast<size_t>(kz), std::vector<double>(vocab_size, 0.0));
+  std::vector<AliasTable> phi_samplers;
+  phi_samplers.reserve(static_cast<size_t>(kz));
+  for (int z = 0; z < kz; ++z) {
+    std::vector<double>& phi = truth.phi[static_cast<size_t>(z)];
+    const auto& theme_ids = theme_word_ids[static_cast<size_t>(z % kNumThemes)];
+    // Themed head: Zipf-decaying 65% of the mass (or 57% with a hashtag).
+    const double hashtag_mass = config.add_hashtags ? 0.08 : 0.0;
+    double zipf_total = 0.0;
+    for (size_t r = 0; r < theme_ids.size(); ++r) {
+      zipf_total += 1.0 / static_cast<double>(r + 1);
+    }
+    for (size_t r = 0; r < theme_ids.size(); ++r) {
+      phi[static_cast<size_t>(theme_ids[r])] +=
+          (0.65 - hashtag_mass) * (1.0 / static_cast<double>(r + 1)) / zipf_total;
+    }
+    if (config.add_hashtags) {
+      phi[static_cast<size_t>(hashtag_ids[static_cast<size_t>(z)])] += hashtag_mass;
+    }
+    // Background tail: Zipfian over the filler vocabulary, shifted per topic
+    // so tails differ.
+    double tail_total = 0.0;
+    for (int b = 0; b < config.background_vocab; ++b) {
+      tail_total += 1.0 / static_cast<double>(b + 2);
+    }
+    const size_t background_offset =
+        vocab_size - static_cast<size_t>(config.background_vocab);
+    for (int b = 0; b < config.background_vocab; ++b) {
+      const int shifted = (b + z * 97) % config.background_vocab;
+      phi[background_offset + static_cast<size_t>(shifted)] +=
+          0.35 * (1.0 / static_cast<double>(b + 2)) / tail_total;
+    }
+    phi_samplers.emplace_back(phi);
+  }
+
+  // ---- 2. Users: memberships, sociability ---------------------------------
+  truth.user_community.resize(n);
+  truth.pi.assign(n, std::vector<double>(static_cast<size_t>(kc), 0.0));
+  truth.sociability.resize(n);
+  for (size_t u = 0; u < n; ++u) {
+    const int home = static_cast<int>(rng.NextUint64(static_cast<uint64_t>(kc)));
+    int secondary = static_cast<int>(rng.NextUint64(static_cast<uint64_t>(kc)));
+    if (secondary == home) secondary = (secondary + 1) % kc;
+    truth.user_community[u] = home;
+    auto& pi = truth.pi[u];
+    const double rest =
+        (1.0 - config.primary_membership - config.secondary_membership) /
+        static_cast<double>(kc);
+    for (int c = 0; c < kc; ++c) pi[static_cast<size_t>(c)] = rest;
+    pi[static_cast<size_t>(home)] += config.primary_membership;
+    pi[static_cast<size_t>(secondary)] += config.secondary_membership;
+    truth.sociability[u] = std::exp(0.7 * rng.NextGaussian());
+  }
+
+  // Per-community member lists (home users) for link/diffuser sampling.
+  std::vector<std::vector<UserId>> members(static_cast<size_t>(kc));
+  for (size_t u = 0; u < n; ++u) {
+    members[static_cast<size_t>(truth.user_community[u])].push_back(
+        static_cast<UserId>(u));
+  }
+  for (int c = 0; c < kc; ++c) {
+    if (members[static_cast<size_t>(c)].empty()) {
+      // Tiny configs can leave a community empty; backfill one user.
+      const UserId u = static_cast<UserId>(rng.NextUint64(n));
+      members[static_cast<size_t>(c)].push_back(u);
+    }
+  }
+
+  // ---- theta*: a few topics per community ----------------------------------
+  truth.theta.assign(static_cast<size_t>(kc),
+                     std::vector<double>(static_cast<size_t>(kz), 0.0));
+  std::vector<std::vector<int>> community_topics(static_cast<size_t>(kc));
+  for (int c = 0; c < kc; ++c) {
+    std::vector<int>& topics = community_topics[static_cast<size_t>(c)];
+    // Main topic: pairs of communities share one (c and c + kc/2 both lead
+    // with topic c mod half-range). Content alone therefore cannot fully
+    // separate communities — friendship links are needed to disambiguate,
+    // exactly the regime the paper's detection comparison assumes.
+    topics.push_back(c % std::max(2, std::min(kz, (kc + 1) / 2)));
+    while (static_cast<int>(topics.size()) < config.topics_per_community) {
+      const int z = static_cast<int>(rng.NextUint64(static_cast<uint64_t>(kz)));
+      if (std::find(topics.begin(), topics.end(), z) == topics.end()) {
+        topics.push_back(z);
+      }
+    }
+    auto& theta = truth.theta[static_cast<size_t>(c)];
+    for (int z = 0; z < kz; ++z) theta[static_cast<size_t>(z)] = 0.02;
+    double mass = 0.9;
+    for (size_t r = 0; r < topics.size(); ++r) {
+      const double share = mass * (r + 1 == topics.size()
+                                       ? 1.0
+                                       : 0.55);  // Geometric-ish decay.
+      theta[static_cast<size_t>(topics[r])] += share;
+      mass -= share;
+    }
+    NormalizeInPlace(&theta);
+  }
+
+  // ---- topic popularity waves ----------------------------------------------
+  truth.topic_wave.assign(static_cast<size_t>(kt),
+                          std::vector<double>(static_cast<size_t>(kz), 0.0));
+  std::vector<std::vector<double>> wave_of_topic(static_cast<size_t>(kz));
+  for (int z = 0; z < kz; ++z) {
+    const double peak =
+        static_cast<double>(rng.NextUint64(static_cast<uint64_t>(kt)));
+    const double width = 1.5 + 3.0 * rng.NextDouble();
+    std::vector<double> wave(static_cast<size_t>(kt));
+    for (int t = 0; t < kt; ++t) {
+      const double d = (static_cast<double>(t) - peak) / width;
+      wave[static_cast<size_t>(t)] =
+          0.25 + std::exp(-config.wave_sharpness * d * d);
+    }
+    NormalizeInPlace(&wave);
+    wave_of_topic[static_cast<size_t>(z)] = wave;
+    for (int t = 0; t < kt; ++t) {
+      truth.topic_wave[static_cast<size_t>(t)][static_cast<size_t>(z)] =
+          wave[static_cast<size_t>(t)];
+    }
+  }
+  std::vector<AliasTable> wave_samplers;
+  wave_samplers.reserve(static_cast<size_t>(kz));
+  for (int z = 0; z < kz; ++z) wave_samplers.emplace_back(wave_of_topic[static_cast<size_t>(z)]);
+
+  // ---- 3. Friendship links --------------------------------------------------
+  GraphBuilder builder;
+  builder.SetNumUsers(n);
+  builder.SetVocabulary(vocab);
+
+  // Followers accrue superlinearly in sociability (s^2) while out-degree
+  // grows only linearly below, so the *popularity ratio* of Fig. 5(a) —
+  // followers / followees — genuinely increases with sociability.
+  std::vector<double> follow_weight(n);
+  for (size_t u = 0; u < n; ++u) {
+    follow_weight[u] = truth.sociability[u] * truth.sociability[u];
+  }
+  AliasTable global_target(follow_weight);
+  std::vector<AliasTable> community_target;
+  community_target.reserve(static_cast<size_t>(kc));
+  for (int c = 0; c < kc; ++c) {
+    std::vector<double> weights;
+    weights.reserve(members[static_cast<size_t>(c)].size());
+    for (UserId u : members[static_cast<size_t>(c)]) {
+      weights.push_back(follow_weight[static_cast<size_t>(u)]);
+    }
+    community_target.emplace_back(weights);
+  }
+
+  for (size_t u = 0; u < n; ++u) {
+    const int out_degree =
+        1 + SamplePoisson(std::max(0.5, config.avg_friend_degree *
+                                            (0.5 + 0.5 * truth.sociability[u]) -
+                                        1.0),
+                          &rng);
+    const int home = truth.user_community[u];
+    for (int k = 0; k < out_degree; ++k) {
+      UserId v;
+      if (rng.NextDouble() < config.intra_community_fraction) {
+        const auto& pool = members[static_cast<size_t>(home)];
+        v = pool[community_target[static_cast<size_t>(home)].Sample(&rng)];
+      } else {
+        v = static_cast<UserId>(global_target.Sample(&rng));
+      }
+      if (static_cast<size_t>(v) == u) continue;
+      builder.AddFriendship(static_cast<UserId>(u), v);
+      if (config.symmetric_friendship) builder.AddFriendship(v, static_cast<UserId>(u));
+    }
+  }
+
+  // ---- 4. Base documents ----------------------------------------------------
+  // Parallel truth arrays for every emitted document (base + diffusion docs).
+  std::vector<int32_t> doc_topic_truth;
+  std::vector<int32_t> doc_community_truth;
+  std::vector<int32_t> doc_time_truth;
+  std::vector<UserId> doc_user_truth;
+  std::vector<WordId> word_buffer;
+  auto emit_document = [&](UserId u, int c, int z, int32_t min_time) -> DocId {
+    const int length = static_cast<int>(
+        rng.NextInt(config.doc_length_min, config.doc_length_max));
+    word_buffer.clear();
+    for (int k = 0; k < length; ++k) {
+      word_buffer.push_back(static_cast<WordId>(
+          phi_samplers[static_cast<size_t>(z)].Sample(&rng)));
+    }
+    // Publication time follows the topic's popularity wave, clamped to
+    // respect causality when diffusing an earlier document.
+    int32_t time = static_cast<int32_t>(
+        wave_samplers[static_cast<size_t>(z)].Sample(&rng));
+    if (time < min_time) {
+      time = std::min<int32_t>(min_time + static_cast<int32_t>(rng.NextUint64(3)),
+                               kt - 1);
+    }
+    const DocId d = builder.AddTokenizedDocument(u, time, word_buffer);
+    CPD_CHECK_NE(d, Corpus::kInvalidDoc);  // doc_length_min >= 2 guarantees this.
+    doc_topic_truth.push_back(z);
+    doc_community_truth.push_back(c);
+    doc_time_truth.push_back(time);
+    doc_user_truth.push_back(u);
+    return d;
+  };
+
+  for (size_t u = 0; u < n; ++u) {
+    const double mean =
+        std::max(0.5, config.docs_per_user_mean * (0.4 + 0.6 * truth.sociability[u]));
+    const int num_docs = 1 + SamplePoisson(mean - 1.0, &rng);
+    for (int k = 0; k < num_docs; ++k) {
+      const int c = static_cast<int>(SampleCategorical(truth.pi[u], &rng));
+      const auto& theta = truth.theta[static_cast<size_t>(c)];
+      const int z = static_cast<int>(SampleCategorical(theta, &rng));
+      emit_document(static_cast<UserId>(u), c, z, 0);
+    }
+  }
+  const size_t num_base_docs = doc_topic_truth.size();
+
+  // ---- 5. Planted eta* -------------------------------------------------------
+  truth.eta.assign(static_cast<size_t>(kc) * static_cast<size_t>(kc) *
+                       static_cast<size_t>(kz),
+                   1e-4);
+  auto eta_at = [&](int c, int c2, int z) -> double& {
+    return truth.eta[(static_cast<size_t>(c) * static_cast<size_t>(kc) +
+                      static_cast<size_t>(c2)) *
+                         static_cast<size_t>(kz) +
+                     static_cast<size_t>(z)];
+  };
+  for (int c = 0; c < kc; ++c) {
+    const auto& topics = community_topics[static_cast<size_t>(c)];
+    for (size_t r = 0; r < topics.size(); ++r) {
+      eta_at(c, c, topics[r]) +=
+          config.eta_self_mass / static_cast<double>(topics.size());
+    }
+    // Cross-community "strong weak ties": c diffuses expert community c' on
+    // c''s main topic (e.g. SE cites ML on deep learning).
+    const double cross_mass =
+        (1.0 - config.eta_self_mass) /
+        static_cast<double>(std::max(1, config.cross_ties_per_community));
+    for (int tie = 0; tie < config.cross_ties_per_community; ++tie) {
+      int c2 = static_cast<int>(rng.NextUint64(static_cast<uint64_t>(kc)));
+      if (c2 == c) c2 = (c2 + 1) % kc;
+      const int z = community_topics[static_cast<size_t>(c2)].front();
+      eta_at(c, c2, z) += cross_mass;
+    }
+    // Normalize row c over (c', z).
+    double total = 0.0;
+    for (int c2 = 0; c2 < kc; ++c2) {
+      for (int z = 0; z < kz; ++z) total += eta_at(c, c2, z);
+    }
+    for (int c2 = 0; c2 < kc; ++c2) {
+      for (int z = 0; z < kz; ++z) eta_at(c, c2, z) /= total;
+    }
+  }
+
+  // ---- 6. Diffusion events ---------------------------------------------------
+  const size_t target_links = static_cast<size_t>(
+      config.diffusion_per_doc * static_cast<double>(num_base_docs));
+
+  // Diffuser choice: membership x (1 + strength * sociability^2). The square
+  // makes diffusion volume grow faster than document volume (which is linear
+  // in sociability), so *activeness* — diffusions / documents — increases
+  // with sociability, the individual factor Fig. 5(a) measures.
+  std::vector<AliasTable> diffuser_samplers;
+  diffuser_samplers.reserve(static_cast<size_t>(kc));
+  for (int c = 0; c < kc; ++c) {
+    std::vector<double> weights(n);
+    for (size_t u = 0; u < n; ++u) {
+      weights[u] = truth.pi[u][static_cast<size_t>(c)] *
+                   (1.0 + config.individual_strength * truth.sociability[u] *
+                              truth.sociability[u]);
+    }
+    diffuser_samplers.emplace_back(weights);
+  }
+
+  std::vector<double> community_weights(static_cast<size_t>(kc));
+  size_t made_links = 0;
+  size_t attempts = 0;
+  while (made_links < target_links && attempts < target_links * 30 + 100) {
+    ++attempts;
+    const DocId j = static_cast<DocId>(rng.NextUint64(num_base_docs));
+    const size_t js = static_cast<size_t>(j);
+    const int zj = doc_topic_truth[js];
+    const int cj = doc_community_truth[js];
+    const int32_t tj = doc_time_truth[js];
+    // Topic-popularity factor: documents on currently-hot topics and by
+    // sociable authors are diffused more often.
+    const double hot =
+        wave_of_topic[static_cast<size_t>(zj)][static_cast<size_t>(tj)] *
+        static_cast<double>(kt);
+    const double author_soc =
+        truth.sociability[static_cast<size_t>(doc_user_truth[js])];
+    const double accept_p = (0.25 + 0.75 * std::min(hot, 1.6) / 1.6) *
+                            (0.4 + 0.6 * author_soc / (1.0 + author_soc));
+    if (!rng.NextBernoulli(accept_p)) continue;
+
+    // Community factor: diffusing community ~ eta*[. -> c_j on z_j].
+    for (int c = 0; c < kc; ++c) {
+      community_weights[static_cast<size_t>(c)] = eta_at(c, cj, zj) + 1e-6;
+    }
+    const int c_diff =
+        static_cast<int>(SampleCategorical(community_weights, &rng));
+    const UserId u = static_cast<UserId>(
+        diffuser_samplers[static_cast<size_t>(c_diff)].Sample(&rng));
+
+    // The diffusing document keeps the source's topic with probability
+    // diffusion_same_topic (retweets are near copies); otherwise its text is
+    // from the diffuser's own research area (citing papers read like the
+    // citer's field, not the cited one). Either way it appears later.
+    int zi = zj;
+    if (!rng.NextBernoulli(config.diffusion_same_topic)) {
+      zi = static_cast<int>(
+          SampleCategorical(truth.theta[static_cast<size_t>(c_diff)], &rng));
+    }
+    const DocId i = emit_document(u, c_diff, zi, tj);
+    builder.AddDiffusion(i, j, doc_time_truth[static_cast<size_t>(i)]);
+    ++made_links;
+  }
+
+  auto graph = builder.Build(/*drop_isolated_users=*/false);
+  if (!graph.ok()) return graph.status();
+  result.graph = std::move(*graph);
+  truth.doc_topic = std::move(doc_topic_truth);
+  truth.doc_community = std::move(doc_community_truth);
+  return result;
+}
+
+}  // namespace cpd

@@ -1,0 +1,46 @@
+#ifndef CPD_SYNTH_GENERATOR_H_
+#define CPD_SYNTH_GENERATOR_H_
+
+/// \file generator.h
+/// Planted-model social-graph generator (the dataset substitution of
+/// DESIGN.md §2). Generation steps:
+///  1. topic-word distributions phi*: themed seed words (networking,
+///     security, databases, ...) + Zipfian filler, so Table-5-style top-word
+///     lists are human-readable;
+///  2. community memberships pi* (home + secondary community) and content
+///     profiles theta* (a few topics per community);
+///  3. directed friendship links with a planted intra-community fraction
+///     (low conductance);
+///  4. documents: community ~ pi*, topic ~ theta*, words ~ phi*, timestamp ~
+///     the topic's popularity wave;
+///  5. diffusion profile eta*: strong self-diffusion on home topics plus
+///     planted cross-community ties ("weak ties" of §1);
+///  6. diffusion events: source doc j ~ popularity-weighted; diffusing
+///     community ~ eta*[., c_j, z_j]; diffusing user ~ membership x
+///     sociability (individual factor); a NEW document with topic z_j is
+///     authored by the diffuser at a later time bin and linked to j — the
+///     retweet/citation semantics of Definition 1.
+
+#include "graph/social_graph.h"
+#include "synth/ground_truth.h"
+#include "synth/synth_config.h"
+#include "util/status.h"
+
+namespace cpd {
+
+struct SynthResult {
+  SocialGraph graph;
+  SynthGroundTruth truth;
+};
+
+/// Generates a graph + planted truth. Deterministic given config.seed.
+StatusOr<SynthResult> GenerateSocialGraph(const SynthConfig& config);
+
+/// The themed seed-word lists (exposed for tests and for query selection).
+/// There are kNumThemes lists; topic z uses list z % kNumThemes.
+inline constexpr int kNumThemes = 12;
+const std::vector<std::string>& ThemeWords(int theme);
+
+}  // namespace cpd
+
+#endif  // CPD_SYNTH_GENERATOR_H_

@@ -1,0 +1,53 @@
+#ifndef CPD_SYNTH_GROUND_TRUTH_H_
+#define CPD_SYNTH_GROUND_TRUTH_H_
+
+/// \file ground_truth.h
+/// The planted parameters kept alongside a generated graph, enabling
+/// recovery tests (NMI against planted communities) and factor-correlation
+/// case studies (Fig. 5).
+
+#include <vector>
+
+namespace cpd {
+
+struct SynthGroundTruth {
+  int num_communities = 0;
+  int num_topics = 0;
+
+  /// Home community of each user.
+  std::vector<int> user_community;
+
+  /// Planted membership pi*_u (num_users x C*).
+  std::vector<std::vector<double>> pi;
+
+  /// Planted content profiles theta*_c (C* x Z*).
+  std::vector<std::vector<double>> theta;
+
+  /// Planted word distributions phi*_z (Z* x V) — stored sparse-free.
+  std::vector<std::vector<double>> phi;
+
+  /// Planted diffusion profile eta*_{c,c',z} (C* x C* x Z*, rows normalized).
+  std::vector<double> eta;
+
+  /// Planted topic popularity waves (T x Z*, column-stochastic per topic).
+  std::vector<std::vector<double>> topic_wave;
+
+  /// Planted per-user sociability score driving the individual factor.
+  std::vector<double> sociability;
+
+  /// Per-document planted labels (parallel to the graph's documents,
+  /// including the documents created by diffusion events).
+  std::vector<int32_t> doc_topic;
+  std::vector<int32_t> doc_community;
+
+  double EtaAt(int c, int c2, int z) const {
+    return eta[(static_cast<size_t>(c) * static_cast<size_t>(num_communities) +
+                static_cast<size_t>(c2)) *
+                   static_cast<size_t>(num_topics) +
+               static_cast<size_t>(z)];
+  }
+};
+
+}  // namespace cpd
+
+#endif  // CPD_SYNTH_GROUND_TRUTH_H_

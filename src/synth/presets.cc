@@ -1,0 +1,67 @@
+#include "synth/synth_config.h"
+
+namespace cpd {
+
+SynthConfig SynthConfig::TwitterLike() {
+  SynthConfig config;
+  // Scaled-down analogue of the May-2011 Twitter crawl (Table 3): many short
+  // documents per user, dense directed followership, retweets concentrated
+  // on bursty topics, hashtags available as ranking queries.
+  config.num_users = 400;
+  config.num_communities = 10;
+  config.num_topics = 12;
+  config.background_vocab = 1500;
+  config.docs_per_user_mean = 9.0;
+  config.doc_length_min = 4;
+  config.doc_length_max = 9;
+  config.num_time_bins = 30;  // "Days".
+  config.avg_friend_degree = 14.0;
+  config.intra_community_fraction = 0.8;
+  config.symmetric_friendship = false;
+  config.primary_membership = 0.65;
+  config.secondary_membership = 0.2;  // Twitter users are topically diverse.
+  config.topics_per_community = 4;
+  config.diffusion_per_doc = 0.35;
+  config.eta_self_mass = 0.6;
+  config.cross_ties_per_community = 2;
+  config.individual_strength = 1.2;
+  config.diffusion_same_topic = 0.9;  // Retweets are near-verbatim copies.
+  config.wave_sharpness = 3.0;  // Bursty trending topics.
+  config.add_hashtags = true;
+  config.seed = 20110501;
+  return config;
+}
+
+SynthConfig SynthConfig::DBLPLike() {
+  SynthConfig config;
+  // Scaled-down analogue of the DBLP dump (Table 3): one "paper title" is a
+  // document, co-authorship is symmetric, citations are plentiful relative
+  // to papers, time bins are years, and users stay within one research area
+  // (low per-user topic diversity, which §6.4 credits for DBLP's better
+  // parallel speedup).
+  config.num_users = 500;
+  config.num_communities = 10;
+  config.num_topics = 12;
+  config.background_vocab = 1200;
+  config.docs_per_user_mean = 4.0;
+  config.doc_length_min = 5;
+  config.doc_length_max = 11;
+  config.num_time_bins = 40;  // "Years".
+  config.avg_friend_degree = 8.0;
+  config.intra_community_fraction = 0.9;
+  config.symmetric_friendship = true;
+  config.primary_membership = 0.85;
+  config.secondary_membership = 0.08;
+  config.topics_per_community = 3;
+  config.diffusion_per_doc = 1.2;  // Citations outnumber papers.
+  config.eta_self_mass = 0.55;
+  config.cross_ties_per_community = 2;
+  config.individual_strength = 1.0;
+  config.diffusion_same_topic = 0.35;  // Citing titles read like the citer's field.
+  config.wave_sharpness = 1.5;  // Research topics rise and fall slowly.
+  config.add_hashtags = false;
+  config.seed = 19362010;
+  return config;
+}
+
+}  // namespace cpd

@@ -1,0 +1,70 @@
+#include "synth/queries.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cpd {
+
+std::vector<RankingQuery> BuildRankingQueries(const SocialGraph& graph,
+                                              const QueryOptions& options,
+                                              Rng* rng) {
+  const Vocabulary& vocab = graph.corpus().vocabulary();
+  const size_t num_users = graph.num_users();
+
+  // Users mentioning word w in a *diffusing* document (a diffusion source).
+  std::unordered_map<WordId, std::unordered_set<UserId>> mentions;
+  std::vector<char> is_source(graph.num_documents(), 0);
+  for (const DiffusionLink& link : graph.diffusion_links()) {
+    is_source[static_cast<size_t>(link.i)] = 1;
+  }
+  for (size_t d = 0; d < graph.num_documents(); ++d) {
+    if (!is_source[d]) continue;
+    const Document& doc = graph.document(static_cast<DocId>(d));
+    for (WordId w : doc.words) mentions[w].insert(doc.user);
+  }
+
+  // Candidate words under the frequency and shape filters.
+  std::vector<std::pair<int64_t, WordId>> by_frequency;
+  for (size_t w = 0; w < vocab.size(); ++w) {
+    const WordId word = static_cast<WordId>(w);
+    const int64_t freq = vocab.Frequency(word);
+    if (freq < static_cast<int64_t>(options.min_frequency)) continue;
+    const bool is_hashtag = !vocab.WordOf(word).empty() && vocab.WordOf(word)[0] == '#';
+    if (options.hashtags_only && !is_hashtag) continue;
+    by_frequency.emplace_back(freq, word);
+  }
+  std::sort(by_frequency.begin(), by_frequency.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  // DBLP convention: drop the most frequent (uninformative) words.
+  const size_t skip = std::min(options.skip_top_frequent, by_frequency.size());
+
+  std::vector<RankingQuery> queries;
+  for (size_t idx = skip; idx < by_frequency.size(); ++idx) {
+    const WordId word = by_frequency[idx].second;
+    auto it = mentions.find(word);
+    if (it == mentions.end() || it->second.size() < options.min_relevant_users) {
+      continue;
+    }
+    RankingQuery query;
+    query.word = word;
+    query.relevant_users.assign(num_users, 0);
+    for (UserId u : it->second) query.relevant_users[static_cast<size_t>(u)] = 1;
+    query.num_relevant = it->second.size();
+    queries.push_back(std::move(query));
+  }
+
+  // Subsample deterministically if over the cap.
+  if (queries.size() > options.max_queries) {
+    for (size_t i = queries.size() - 1; i > 0; --i) {
+      const size_t j = static_cast<size_t>(rng->NextUint64(i + 1));
+      std::swap(queries[i], queries[j]);
+    }
+    queries.resize(options.max_queries);
+  }
+  return queries;
+}
+
+}  // namespace cpd

@@ -1,0 +1,39 @@
+#ifndef CPD_SYNTH_QUERIES_H_
+#define CPD_SYNTH_QUERIES_H_
+
+/// \file queries.h
+/// Query extraction for profile-driven community ranking (§6.3.2). The paper
+/// selects single terms (hashtags on Twitter, words on DBLP minus the top
+/// 1000 frequent ones) with corpus frequency above a threshold; a query's
+/// relevant users U*_q are those who mention it in their retweets/citations
+/// (documents that are diffusion sources).
+
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "util/rng.h"
+
+namespace cpd {
+
+struct RankingQuery {
+  WordId word = kInvalidWord;
+  std::vector<char> relevant_users;  ///< U*_q indicator per user.
+  size_t num_relevant = 0;
+};
+
+struct QueryOptions {
+  size_t min_frequency = 20;      ///< Paper: > 100 at full scale.
+  size_t max_queries = 50;        ///< Cap for bench runtime.
+  bool hashtags_only = false;     ///< Twitter convention.
+  size_t skip_top_frequent = 0;   ///< DBLP convention (paper: top 1000).
+  size_t min_relevant_users = 3;  ///< Drop degenerate queries.
+};
+
+/// Builds queries + ground truth from the graph's diffusing documents.
+std::vector<RankingQuery> BuildRankingQueries(const SocialGraph& graph,
+                                              const QueryOptions& options,
+                                              Rng* rng);
+
+}  // namespace cpd
+
+#endif  // CPD_SYNTH_QUERIES_H_

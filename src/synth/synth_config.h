@@ -1,0 +1,81 @@
+#ifndef CPD_SYNTH_SYNTH_CONFIG_H_
+#define CPD_SYNTH_SYNTH_CONFIG_H_
+
+/// \file synth_config.h
+/// Knobs of the planted-model generator that substitutes for the paper's
+/// Twitter (May 2011 crawl) and DBLP (1936-2010 dump) datasets; see
+/// DESIGN.md §2 for the substitution argument. The generator plants exactly
+/// the structures CPD models: conductance-structured friendships,
+/// community-correlated content, and diffusion driven by the community /
+/// topic-popularity / individual factors.
+
+#include <cstdint>
+
+namespace cpd {
+
+struct SynthConfig {
+  // ----- sizes -----
+  int num_users = 400;
+  int num_communities = 10;  ///< Planted C*.
+  int num_topics = 12;       ///< Planted Z*.
+  int background_vocab = 1500;  ///< Filler words beyond the themed lists.
+  double docs_per_user_mean = 6.0;
+  int doc_length_min = 4;
+  int doc_length_max = 10;
+  int num_time_bins = 24;
+
+  // ----- friendship structure -----
+  double avg_friend_degree = 10.0;
+  double intra_community_fraction = 0.85;  ///< Fraction of intra-community links.
+  bool symmetric_friendship = false;  ///< true for co-authorship (DBLP).
+
+  // ----- community structure -----
+  double primary_membership = 0.75;  ///< pi mass on the user's home community.
+  double secondary_membership = 0.15;
+  int topics_per_community = 3;
+
+  // ----- diffusion structure -----
+  double diffusion_per_doc = 0.5;  ///< Target |E| / |D|.
+  /// Mass of eta on self-diffusion vs planted cross-community "strong weak
+  /// ties" (SE-cites-ML pattern).
+  double eta_self_mass = 0.6;
+  int cross_ties_per_community = 2;
+  /// Strength of the individual factor: probability weight given to
+  /// high-sociability users when selecting diffusers.
+  double individual_strength = 1.0;
+  /// Probability that a diffusing document keeps the source's topic. Near 1
+  /// for retweets (near-verbatim copies); lower for citations, where the
+  /// citing paper is written in the *citer's* research area (SE cites ML,
+  /// but the citing title is about SE). With the remaining probability the
+  /// diffusing doc's topic is drawn from the diffuser community's profile.
+  double diffusion_same_topic = 0.6;
+  /// Topic popularity wave sharpness (higher = burstier topics).
+  double wave_sharpness = 2.0;
+
+  // ----- Twitter-isms -----
+  bool add_hashtags = false;  ///< Append a topic hashtag to ~30% of docs.
+
+  uint64_t seed = 1234;
+
+  /// Multiplies user count (and therefore docs/links) by `scale`.
+  SynthConfig Scaled(double scale) const {
+    SynthConfig scaled = *this;
+    scaled.num_users = static_cast<int>(static_cast<double>(num_users) * scale);
+    if (scaled.num_users < 20) scaled.num_users = 20;
+    return scaled;
+  }
+
+  /// Twitter-like preset: many short docs per user, directed follows,
+  /// hashtags, bursty topics, diverse per-user content.
+  static SynthConfig TwitterLike();
+
+  /// DBLP-like preset: fewer docs (papers) per user, symmetric co-author
+  /// links, citation-heavy diffusion, yearly bins, users focused on one
+  /// topic area (lower topic diversity, which the paper credits for DBLP's
+  /// larger parallel speedup).
+  static SynthConfig DBLPLike();
+};
+
+}  // namespace cpd
+
+#endif  // CPD_SYNTH_SYNTH_CONFIG_H_

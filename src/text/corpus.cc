@@ -1,0 +1,66 @@
+#include "text/corpus.h"
+
+#include "util/logging.h"
+
+namespace cpd {
+
+void Corpus::SetVocabulary(Vocabulary vocabulary) {
+  CPD_CHECK(documents_.empty());
+  vocabulary_ = std::move(vocabulary);
+}
+
+DocId Corpus::AddRawDocument(UserId user, int32_t time, std::string_view text,
+                             const TokenizerOptions& options) {
+  std::vector<WordId> words;
+  for (const std::string& token : Tokenize(text, options)) {
+    words.push_back(vocabulary_.GetOrAdd(token));
+  }
+  if (words.size() < kMinWordsPerDocument) {
+    ++num_dropped_;
+    return kInvalidDoc;
+  }
+  return Append(user, time, std::move(words));
+}
+
+DocId Corpus::AddTokenizedDocument(UserId user, int32_t time,
+                                   std::span<const WordId> words) {
+  if (words.size() < kMinWordsPerDocument) {
+    ++num_dropped_;
+    return kInvalidDoc;
+  }
+  return Append(user, time, std::vector<WordId>(words.begin(), words.end()));
+}
+
+DocId Corpus::Append(UserId user, int32_t time, std::vector<WordId> words) {
+  CPD_CHECK_GE(user, 0);
+  for (WordId w : words) vocabulary_.CountOccurrence(w);
+  total_tokens_ += static_cast<int64_t>(words.size());
+  const DocId id = static_cast<DocId>(documents_.size());
+  documents_.push_back(Document{user, time, std::move(words)});
+  if (static_cast<size_t>(user) >= documents_by_user_.size()) {
+    documents_by_user_.resize(static_cast<size_t>(user) + 1);
+  }
+  documents_by_user_[static_cast<size_t>(user)].push_back(id);
+  return id;
+}
+
+void Corpus::RemapUsers(const std::vector<UserId>& remap, size_t new_num_users) {
+  documents_by_user_.assign(new_num_users, {});
+  for (size_t d = 0; d < documents_.size(); ++d) {
+    Document& doc = documents_[d];
+    CPD_CHECK_LT(static_cast<size_t>(doc.user), remap.size());
+    const UserId mapped = remap[static_cast<size_t>(doc.user)];
+    CPD_CHECK_GE(mapped, 0);
+    CPD_CHECK_LT(static_cast<size_t>(mapped), new_num_users);
+    doc.user = mapped;
+    documents_by_user_[static_cast<size_t>(mapped)].push_back(static_cast<DocId>(d));
+  }
+}
+
+const Document& Corpus::document(DocId id) const {
+  CPD_CHECK_GE(id, 0);
+  CPD_CHECK_LT(static_cast<size_t>(id), documents_.size());
+  return documents_[static_cast<size_t>(id)];
+}
+
+}  // namespace cpd

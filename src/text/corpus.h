@@ -1,0 +1,90 @@
+#ifndef CPD_TEXT_CORPUS_H_
+#define CPD_TEXT_CORPUS_H_
+
+/// \file corpus.h
+/// Tokenized document collection with the paper's preprocessing filters:
+/// documents shorter than two tokens are dropped, and (at the graph level)
+/// users left without documents are removed (§6.1).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace cpd {
+
+/// Document identifier (dense, assigned by insertion order).
+using DocId = int32_t;
+/// User identifier (dense).
+using UserId = int32_t;
+
+/// One preprocessed document: its author, time bin and token ids.
+struct Document {
+  UserId user = -1;
+  int32_t time = 0;  ///< Discrete time bin (e.g. day for Twitter, year for DBLP).
+  std::vector<WordId> words;
+};
+
+/// Append-only collection of preprocessed documents sharing one vocabulary.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Tokenizes raw text and appends it if it passes the min-length filter.
+  /// Returns the new DocId or kInvalidDoc if the document was dropped.
+  DocId AddRawDocument(UserId user, int32_t time, std::string_view text,
+                       const TokenizerOptions& options = {});
+
+  /// Appends an already-tokenized document (used by the synthetic generator).
+  /// Applies the same min-length filter.
+  DocId AddTokenizedDocument(UserId user, int32_t time,
+                             std::span<const WordId> words);
+
+  static constexpr DocId kInvalidDoc = -1;
+  /// Minimum tokens a document needs to be kept (paper: 2).
+  static constexpr size_t kMinWordsPerDocument = 2;
+
+  const Document& document(DocId id) const;
+  size_t num_documents() const { return documents_.size(); }
+  /// Total token occurrences across all documents.
+  int64_t total_tokens() const { return total_tokens_; }
+
+  Vocabulary& vocabulary() { return vocabulary_; }
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  /// Replaces the vocabulary; only valid before any document is added. Used
+  /// when rebuilding a graph (e.g. cross-validation splits) so word ids stay
+  /// aligned with a source corpus.
+  void SetVocabulary(Vocabulary vocabulary);
+
+  /// Documents of each user, indexed by user id (grows as users appear).
+  const std::vector<std::vector<DocId>>& documents_by_user() const {
+    return documents_by_user_;
+  }
+
+  /// Number of dropped too-short documents (for statistics reporting).
+  int64_t num_dropped_documents() const { return num_dropped_; }
+
+  /// Rewrites document authors as remap[user] and rebuilds the per-user
+  /// index. Every referenced user must map to a valid id; only users without
+  /// documents may map to -1. Used by GraphBuilder when dropping isolated
+  /// users (paper §6.1).
+  void RemapUsers(const std::vector<UserId>& remap, size_t new_num_users);
+
+ private:
+  DocId Append(UserId user, int32_t time, std::vector<WordId> words);
+
+  Vocabulary vocabulary_;
+  std::vector<Document> documents_;
+  std::vector<std::vector<DocId>> documents_by_user_;
+  int64_t total_tokens_ = 0;
+  int64_t num_dropped_ = 0;
+};
+
+}  // namespace cpd
+
+#endif  // CPD_TEXT_CORPUS_H_

@@ -1,0 +1,291 @@
+#include "text/porter_stemmer.h"
+
+namespace cpd {
+
+namespace {
+
+// Implementation of Porter's algorithm operating on a mutable buffer
+// b[0..k]. Follows the reference implementation's structure (steps 1a-5b).
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : b_(std::move(word)), k_(static_cast<int>(b_.size()) - 1) {}
+
+  std::string Run() {
+    if (k_ <= 1) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    b_.resize(static_cast<size_t>(k_ + 1));
+    return b_;
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return (i == 0) ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b[0..j]: number of VC sequences.
+  int Measure(int j) const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem(int j) const {
+    for (int i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int j) const {
+    if (j < 1) return false;
+    if (b_[static_cast<size_t>(j)] != b_[static_cast<size_t>(j - 1)]) return false;
+    return IsConsonant(j);
+  }
+
+  // cvc at i-2..i where the last c is not w, x or y (enables e-restoration).
+  bool CvcEnding(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    const char ch = b_[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool EndsWith(const char* suffix) {
+    const int length = static_cast<int>(__builtin_strlen(suffix));
+    if (length > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ - length + 1), static_cast<size_t>(length),
+                   suffix) != 0) {
+      return false;
+    }
+    j_ = k_ - length;
+    return true;
+  }
+
+  void SetTo(const char* replacement) {
+    const int length = static_cast<int>(__builtin_strlen(replacement));
+    b_.replace(static_cast<size_t>(j_ + 1), static_cast<size_t>(k_ - j_), replacement);
+    k_ = j_ + length;
+  }
+
+  void ReplaceIfMeasure(const char* replacement) {
+    if (Measure(j_) > 0) SetTo(replacement);
+  }
+
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (EndsWith("sses")) {
+        k_ -= 2;
+      } else if (EndsWith("ies")) {
+        SetTo("i");
+      } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (EndsWith("eed")) {
+      if (Measure(j_) > 0) --k_;
+    } else if ((EndsWith("ed") || EndsWith("ing")) && VowelInStem(j_)) {
+      k_ = j_;
+      if (EndsWith("at")) {
+        SetTo("ate");
+      } else if (EndsWith("bl")) {
+        SetTo("ble");
+      } else if (EndsWith("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        const char ch = b_[static_cast<size_t>(k_)];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (Measure(k_) == 1 && CvcEnding(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (EndsWith("y") && VowelInStem(j_)) b_[static_cast<size_t>(k_)] = 'i';
+  }
+
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (EndsWith("ational")) { ReplaceIfMeasure("ate"); break; }
+        if (EndsWith("tional")) { ReplaceIfMeasure("tion"); }
+        break;
+      case 'c':
+        if (EndsWith("enci")) { ReplaceIfMeasure("ence"); break; }
+        if (EndsWith("anci")) { ReplaceIfMeasure("ance"); }
+        break;
+      case 'e':
+        if (EndsWith("izer")) { ReplaceIfMeasure("ize"); }
+        break;
+      case 'l':
+        if (EndsWith("bli")) { ReplaceIfMeasure("ble"); break; }
+        if (EndsWith("alli")) { ReplaceIfMeasure("al"); break; }
+        if (EndsWith("entli")) { ReplaceIfMeasure("ent"); break; }
+        if (EndsWith("eli")) { ReplaceIfMeasure("e"); break; }
+        if (EndsWith("ousli")) { ReplaceIfMeasure("ous"); }
+        break;
+      case 'o':
+        if (EndsWith("ization")) { ReplaceIfMeasure("ize"); break; }
+        if (EndsWith("ation")) { ReplaceIfMeasure("ate"); break; }
+        if (EndsWith("ator")) { ReplaceIfMeasure("ate"); }
+        break;
+      case 's':
+        if (EndsWith("alism")) { ReplaceIfMeasure("al"); break; }
+        if (EndsWith("iveness")) { ReplaceIfMeasure("ive"); break; }
+        if (EndsWith("fulness")) { ReplaceIfMeasure("ful"); break; }
+        if (EndsWith("ousness")) { ReplaceIfMeasure("ous"); }
+        break;
+      case 't':
+        if (EndsWith("aliti")) { ReplaceIfMeasure("al"); break; }
+        if (EndsWith("iviti")) { ReplaceIfMeasure("ive"); break; }
+        if (EndsWith("biliti")) { ReplaceIfMeasure("ble"); }
+        break;
+      case 'g':
+        if (EndsWith("logi")) { ReplaceIfMeasure("log"); }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (EndsWith("icate")) { ReplaceIfMeasure("ic"); break; }
+        if (EndsWith("ative")) { ReplaceIfMeasure(""); break; }
+        if (EndsWith("alize")) { ReplaceIfMeasure("al"); }
+        break;
+      case 'i':
+        if (EndsWith("iciti")) { ReplaceIfMeasure("ic"); }
+        break;
+      case 'l':
+        if (EndsWith("ical")) { ReplaceIfMeasure("ic"); break; }
+        if (EndsWith("ful")) { ReplaceIfMeasure(""); }
+        break;
+      case 's':
+        if (EndsWith("ness")) { ReplaceIfMeasure(""); }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (EndsWith("al")) break;
+        return;
+      case 'c':
+        if (EndsWith("ance")) break;
+        if (EndsWith("ence")) break;
+        return;
+      case 'e':
+        if (EndsWith("er")) break;
+        return;
+      case 'i':
+        if (EndsWith("ic")) break;
+        return;
+      case 'l':
+        if (EndsWith("able")) break;
+        if (EndsWith("ible")) break;
+        return;
+      case 'n':
+        if (EndsWith("ant")) break;
+        if (EndsWith("ement")) break;
+        if (EndsWith("ment")) break;
+        if (EndsWith("ent")) break;
+        return;
+      case 'o':
+        if (EndsWith("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' || b_[static_cast<size_t>(j_)] == 't')) {
+          break;
+        }
+        if (EndsWith("ou")) break;
+        return;
+      case 's':
+        if (EndsWith("ism")) break;
+        return;
+      case 't':
+        if (EndsWith("ate")) break;
+        if (EndsWith("iti")) break;
+        return;
+      case 'u':
+        if (EndsWith("ous")) break;
+        return;
+      case 'v':
+        if (EndsWith("ive")) break;
+        return;
+      case 'z':
+        if (EndsWith("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure(j_) > 1) k_ = j_;
+  }
+
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      // Drop a final e when measure > 1, or measure == 1 without cvc before it.
+      const int measure = Measure(k_);
+      if (measure > 1 || (measure == 1 && !CvcEnding(k_ - 1))) --k_;
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleConsonant(k_) && Measure(k_) > 1) {
+      --k_;
+    }
+  }
+
+  std::string b_;
+  int k_;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() < 3) return std::string(word);
+  return Stemmer(std::string(word)).Run();
+}
+
+}  // namespace cpd

@@ -1,0 +1,19 @@
+#ifndef CPD_TEXT_PORTER_STEMMER_H_
+#define CPD_TEXT_PORTER_STEMMER_H_
+
+/// \file porter_stemmer.h
+/// The classic Porter (1980) suffix-stripping stemmer. The paper's
+/// preprocessing stems tweets and paper titles before modeling (§6.1).
+
+#include <string>
+#include <string_view>
+
+namespace cpd {
+
+/// Returns the Porter stem of a lowercase ASCII word. Words shorter than
+/// 3 characters are returned unchanged, matching the original algorithm.
+std::string PorterStem(std::string_view word);
+
+}  // namespace cpd
+
+#endif  // CPD_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,72 @@
+#include "text/stopwords.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace cpd {
+
+namespace {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "a",      "about",  "above",   "after",   "again",   "against", "all",
+      "am",     "an",     "and",     "any",     "are",     "aren't",  "as",
+      "at",     "be",     "because", "been",    "before",  "being",   "below",
+      "between", "both",  "but",     "by",      "can",     "cannot",  "could",
+      "couldn't", "did",  "didn't",  "do",      "does",    "doesn't", "doing",
+      "don't",  "down",   "during",  "each",    "few",     "for",     "from",
+      "further", "had",   "hadn't",  "has",     "hasn't",  "have",    "haven't",
+      "having", "he",     "he'd",    "he'll",   "he's",    "her",     "here",
+      "here's", "hers",   "herself", "him",     "himself", "his",     "how",
+      "how's",  "i",      "i'd",     "i'll",    "i'm",     "i've",    "if",
+      "in",     "into",   "is",      "isn't",   "it",      "it's",    "its",
+      "itself", "let's",  "me",      "more",    "most",    "mustn't", "my",
+      "myself", "no",     "nor",     "not",     "of",      "off",     "on",
+      "once",   "only",   "or",      "other",   "ought",   "our",     "ours",
+      "ourselves", "out", "over",    "own",     "same",    "shan't",  "she",
+      "she'd",  "she'll", "she's",   "should",  "shouldn't", "so",    "some",
+      "such",   "than",   "that",    "that's",  "the",     "their",   "theirs",
+      "them",   "themselves", "then", "there",  "there's", "these",   "they",
+      "they'd", "they'll", "they're", "they've", "this",   "those",   "through",
+      "to",     "too",    "under",   "until",   "up",      "very",    "was",
+      "wasn't", "we",     "we'd",    "we'll",   "we're",   "we've",   "were",
+      "weren't", "what",  "what's",  "when",    "when's",  "where",   "where's",
+      "which",  "while",  "who",     "who's",   "whom",    "why",     "why's",
+      "with",   "won't",  "would",   "wouldn't", "you",    "you'd",   "you'll",
+      "you're", "you've", "your",    "yours",   "yourself", "yourselves",
+      "rt",     "via",    "amp",     "http",    "https",   "www",
+  };
+  return *kSet;
+}
+
+const std::unordered_set<std::string>& FunctionWordSet() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      // Prepositions / particles not already in the stopword list.
+      "across", "along", "amid", "among", "around", "atop", "behind", "beneath",
+      "beside", "besides", "beyond", "despite", "except", "inside", "near",
+      "onto", "outside", "past", "per", "since", "though", "throughout", "till",
+      "toward", "towards", "underneath", "unless", "unlike", "upon", "versus",
+      "within", "without",
+      // Conjunctions.
+      "although", "whereas", "whether", "yet",
+      // Common adverbs / interjections the POS filter would drop.
+      "also", "always", "ever", "just", "maybe", "never", "now", "often",
+      "perhaps", "quite", "rather", "really", "soon", "still", "today",
+      "tomorrow", "yesterday", "even", "already", "almost", "much", "many",
+      "oh", "ah", "wow", "hey", "yeah", "ok", "okay", "please", "thanks",
+      "thank", "lol", "omg", "hmm",
+  };
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(std::string(word)) > 0;
+}
+
+bool IsFunctionWord(std::string_view word) {
+  return FunctionWordSet().count(std::string(word)) > 0;
+}
+
+}  // namespace cpd

@@ -1,0 +1,21 @@
+#ifndef CPD_TEXT_STOPWORDS_H_
+#define CPD_TEXT_STOPWORDS_H_
+
+/// \file stopwords.h
+/// Built-in English stopword list plus a function-word list that approximates
+/// the paper's "keep nouns, verbs and hashtags" POS filter (see DESIGN.md §2).
+
+#include <string_view>
+
+namespace cpd {
+
+/// True for common English stopwords (articles, pronouns, auxiliaries, ...).
+bool IsStopword(std::string_view word);
+
+/// True for function words dropped by the POS-filter approximation
+/// (prepositions, conjunctions, interjections, modal adverbs).
+bool IsFunctionWord(std::string_view word);
+
+}  // namespace cpd
+
+#endif  // CPD_TEXT_STOPWORDS_H_

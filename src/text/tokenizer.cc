@@ -1,0 +1,67 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "util/string_util.h"
+
+namespace cpd {
+
+namespace {
+
+bool IsUrlToken(std::string_view token) {
+  return StartsWith(token, "http://") || StartsWith(token, "https://") ||
+         StartsWith(token, "www.");
+}
+
+bool IsAllDigits(std::string_view token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// Strips every non-alphanumeric character except a leading '#'.
+std::string CleanToken(std::string_view raw, bool keep_hashtags) {
+  std::string cleaned;
+  cleaned.reserve(raw.size());
+  bool is_hashtag = keep_hashtags && !raw.empty() && raw.front() == '#';
+  if (is_hashtag) cleaned += '#';
+  for (char c : raw) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '\'') cleaned += c;
+  }
+  // An apostrophe-only or '#'-only token is empty after cleaning.
+  if (cleaned == "#" || cleaned == "'") return "";
+  return cleaned;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  for (const std::string& raw : SplitWhitespace(text)) {
+    if (IsUrlToken(raw)) continue;
+    std::string token = options.lowercase ? ToLower(raw) : raw;
+    token = CleanToken(token, options.keep_hashtags);
+    if (token.empty()) continue;
+    const bool is_hashtag = token.front() == '#';
+    if (!is_hashtag) {
+      if (IsAllDigits(token)) continue;
+      if (token.size() < options.min_token_length) continue;
+      if (options.remove_stopwords && IsStopword(token)) continue;
+      if (options.remove_function_words && IsFunctionWord(token)) continue;
+      if (options.stem) token = PorterStem(token);
+      if (token.size() < options.min_token_length) continue;
+      if (options.remove_stopwords && IsStopword(token)) continue;
+    } else if (token.size() < 1 + options.min_token_length) {
+      continue;
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace cpd

@@ -1,0 +1,32 @@
+#ifndef CPD_TEXT_TOKENIZER_H_
+#define CPD_TEXT_TOKENIZER_H_
+
+/// \file tokenizer.h
+/// Tweet/title tokenizer reproducing the paper's preprocessing (§6.1):
+/// lowercasing, punctuation stripping, stopword + function-word removal
+/// (the POS-filter approximation), Porter stemming, hashtag preservation.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpd {
+
+/// Options controlling the token pipeline.
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool remove_stopwords = true;
+  bool remove_function_words = true;  ///< POS-filter approximation.
+  bool stem = true;
+  bool keep_hashtags = true;  ///< '#tag' survives unstemmed (Twitter queries).
+  size_t min_token_length = 2;
+};
+
+/// Splits raw text into cleaned tokens according to the options.
+/// Hashtags keep their leading '#'; URLs and pure numbers are dropped.
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options = {});
+
+}  // namespace cpd
+
+#endif  // CPD_TEXT_TOKENIZER_H_

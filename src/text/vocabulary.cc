@@ -1,0 +1,68 @@
+#include "text/vocabulary.h"
+
+#include <sstream>
+
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpd {
+
+WordId Vocabulary::GetOrAdd(std::string_view word) {
+  auto it = index_.find(std::string(word));
+  if (it != index_.end()) return it->second;
+  const WordId id = static_cast<WordId>(words_.size());
+  words_.emplace_back(word);
+  frequency_.push_back(0);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+WordId Vocabulary::Find(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? kInvalidWord : it->second;
+}
+
+const std::string& Vocabulary::WordOf(WordId id) const {
+  CPD_CHECK_GE(id, 0);
+  CPD_CHECK_LT(static_cast<size_t>(id), words_.size());
+  return words_[static_cast<size_t>(id)];
+}
+
+int64_t Vocabulary::Frequency(WordId id) const {
+  CPD_CHECK_GE(id, 0);
+  CPD_CHECK_LT(static_cast<size_t>(id), frequency_.size());
+  return frequency_[static_cast<size_t>(id)];
+}
+
+void Vocabulary::CountOccurrence(WordId id, int64_t delta) {
+  CPD_CHECK_GE(id, 0);
+  CPD_CHECK_LT(static_cast<size_t>(id), frequency_.size());
+  frequency_[static_cast<size_t>(id)] += delta;
+}
+
+Status Vocabulary::SaveToFile(const std::string& path) const {
+  std::ostringstream out;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out << words_[i] << '\t' << frequency_[i] << '\n';
+  }
+  return WriteStringToFile(path, out.str());
+}
+
+StatusOr<Vocabulary> Vocabulary::LoadFromFile(const std::string& path) {
+  auto lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+  Vocabulary vocab;
+  for (const std::string& line : *lines) {
+    if (line.empty()) continue;
+    const auto parts = Split(line, '\t');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("malformed vocabulary line: " + line);
+    }
+    const WordId id = vocab.GetOrAdd(parts[0]);
+    vocab.CountOccurrence(id, std::stoll(parts[1]));
+  }
+  return vocab;
+}
+
+}  // namespace cpd

@@ -1,0 +1,58 @@
+#ifndef CPD_TEXT_VOCABULARY_H_
+#define CPD_TEXT_VOCABULARY_H_
+
+/// \file vocabulary.h
+/// Bidirectional word <-> integer-id mapping shared by the corpus, the topic
+/// models and the ranking application (queries are looked up here).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cpd {
+
+/// Word identifier; kInvalidWord marks out-of-vocabulary lookups.
+using WordId = int32_t;
+inline constexpr WordId kInvalidWord = -1;
+
+/// Append-only dictionary. Ids are dense [0, size).
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of the word, inserting it if new.
+  WordId GetOrAdd(std::string_view word);
+
+  /// Returns the id of the word or kInvalidWord if absent.
+  WordId Find(std::string_view word) const;
+
+  /// Returns the word for a valid id.
+  const std::string& WordOf(WordId id) const;
+
+  /// Number of occurrences recorded via CountOccurrence.
+  int64_t Frequency(WordId id) const;
+
+  /// Bumps the occurrence counter (used for frequency-based query filtering,
+  /// paper §6.3.2).
+  void CountOccurrence(WordId id, int64_t delta = 1);
+
+  size_t size() const { return words_.size(); }
+  bool empty() const { return words_.empty(); }
+
+  /// Serializes as "word<TAB>frequency" lines.
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<Vocabulary> LoadFromFile(const std::string& path);
+
+ private:
+  std::unordered_map<std::string, WordId> index_;
+  std::vector<std::string> words_;
+  std::vector<int64_t> frequency_;
+};
+
+}  // namespace cpd
+
+#endif  // CPD_TEXT_VOCABULARY_H_

@@ -1,0 +1,180 @@
+#include "topic/lda.h"
+
+#include <cmath>
+
+#include "sampling/distributions.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cpd {
+
+Status LdaConfig::Validate() const {
+  if (num_topics < 1) return Status::InvalidArgument("LDA: num_topics < 1");
+  if (beta <= 0.0) return Status::InvalidArgument("LDA: beta <= 0");
+  if (iterations < 1) return Status::InvalidArgument("LDA: iterations < 1");
+  return Status::OK();
+}
+
+StatusOr<LdaModel> LdaModel::Train(const Corpus& corpus, const LdaConfig& config) {
+  CPD_RETURN_IF_ERROR(config.Validate());
+  if (corpus.num_documents() == 0) {
+    return Status::FailedPrecondition("LDA: empty corpus");
+  }
+
+  LdaModel model;
+  model.num_topics_ = config.num_topics;
+  model.vocab_size_ = corpus.vocabulary().size();
+  model.alpha_ = config.alpha > 0.0 ? config.alpha : 0.1;
+  model.beta_ = config.beta;
+
+  const size_t num_docs = corpus.num_documents();
+  const int kz = config.num_topics;
+  const size_t vocab = model.vocab_size_;
+
+  model.doc_topic_counts_.assign(num_docs, std::vector<int32_t>(kz, 0));
+  model.doc_lengths_.assign(num_docs, 0);
+  model.topic_word_counts_.assign(static_cast<size_t>(kz) * vocab, 0);
+  model.topic_totals_.assign(kz, 0);
+
+  // Token-level topic assignments.
+  std::vector<std::vector<int32_t>> assignments(num_docs);
+  Rng rng(config.seed);
+
+  for (size_t d = 0; d < num_docs; ++d) {
+    const Document& doc = corpus.document(static_cast<DocId>(d));
+    assignments[d].resize(doc.words.size());
+    model.doc_lengths_[d] = static_cast<int64_t>(doc.words.size());
+    for (size_t k = 0; k < doc.words.size(); ++k) {
+      const int z = static_cast<int>(rng.NextUint64(static_cast<uint64_t>(kz)));
+      assignments[d][k] = z;
+      ++model.doc_topic_counts_[d][static_cast<size_t>(z)];
+      ++model.topic_word_counts_[static_cast<size_t>(z) * vocab +
+                                 static_cast<size_t>(doc.words[k])];
+      ++model.topic_totals_[static_cast<size_t>(z)];
+    }
+  }
+
+  std::vector<double> weights(static_cast<size_t>(kz));
+  const double v_beta = static_cast<double>(vocab) * model.beta_;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    for (size_t d = 0; d < num_docs; ++d) {
+      const Document& doc = corpus.document(static_cast<DocId>(d));
+      for (size_t k = 0; k < doc.words.size(); ++k) {
+        const WordId w = doc.words[k];
+        const int old_z = assignments[d][k];
+        --model.doc_topic_counts_[d][static_cast<size_t>(old_z)];
+        --model.topic_word_counts_[static_cast<size_t>(old_z) * vocab +
+                                   static_cast<size_t>(w)];
+        --model.topic_totals_[static_cast<size_t>(old_z)];
+
+        for (int z = 0; z < kz; ++z) {
+          const double doc_part =
+              static_cast<double>(model.doc_topic_counts_[d][static_cast<size_t>(z)]) +
+              model.alpha_;
+          const double word_part =
+              (static_cast<double>(
+                   model.topic_word_counts_[static_cast<size_t>(z) * vocab +
+                                            static_cast<size_t>(w)]) +
+               model.beta_) /
+              (static_cast<double>(model.topic_totals_[static_cast<size_t>(z)]) +
+               v_beta);
+          weights[static_cast<size_t>(z)] = doc_part * word_part;
+        }
+        const int new_z = static_cast<int>(SampleCategorical(weights, &rng));
+        assignments[d][k] = new_z;
+        ++model.doc_topic_counts_[d][static_cast<size_t>(new_z)];
+        ++model.topic_word_counts_[static_cast<size_t>(new_z) * vocab +
+                                   static_cast<size_t>(w)];
+        ++model.topic_totals_[static_cast<size_t>(new_z)];
+      }
+    }
+  }
+  return model;
+}
+
+std::vector<double> LdaModel::DocumentTopics(DocId d) const {
+  CPD_CHECK_GE(d, 0);
+  CPD_CHECK_LT(static_cast<size_t>(d), doc_topic_counts_.size());
+  const auto& counts = doc_topic_counts_[static_cast<size_t>(d)];
+  const double denom = static_cast<double>(doc_lengths_[static_cast<size_t>(d)]) +
+                       static_cast<double>(num_topics_) * alpha_;
+  std::vector<double> theta(static_cast<size_t>(num_topics_));
+  for (int z = 0; z < num_topics_; ++z) {
+    theta[static_cast<size_t>(z)] =
+        (static_cast<double>(counts[static_cast<size_t>(z)]) + alpha_) / denom;
+  }
+  return theta;
+}
+
+std::vector<double> LdaModel::TopicWords(int z) const {
+  CPD_CHECK(z >= 0 && z < num_topics_);
+  std::vector<double> phi(vocab_size_);
+  const double denom = static_cast<double>(topic_totals_[static_cast<size_t>(z)]) +
+                       static_cast<double>(vocab_size_) * beta_;
+  for (size_t w = 0; w < vocab_size_; ++w) {
+    phi[w] = (static_cast<double>(
+                  topic_word_counts_[static_cast<size_t>(z) * vocab_size_ + w]) +
+              beta_) /
+             denom;
+  }
+  return phi;
+}
+
+double LdaModel::TopicWordProbability(int z, WordId w) const {
+  CPD_DCHECK(z >= 0 && z < num_topics_);
+  CPD_DCHECK(w >= 0 && static_cast<size_t>(w) < vocab_size_);
+  const double denom = static_cast<double>(topic_totals_[static_cast<size_t>(z)]) +
+                       static_cast<double>(vocab_size_) * beta_;
+  return (static_cast<double>(
+              topic_word_counts_[static_cast<size_t>(z) * vocab_size_ +
+                                 static_cast<size_t>(w)]) +
+          beta_) /
+         denom;
+}
+
+int LdaModel::DominantTopicOfUser(const Corpus& corpus, UserId u) const {
+  const auto& by_user = corpus.documents_by_user();
+  if (u < 0 || static_cast<size_t>(u) >= by_user.size()) return 0;
+  std::vector<int64_t> totals(static_cast<size_t>(num_topics_), 0);
+  for (DocId d : by_user[static_cast<size_t>(u)]) {
+    const auto& counts = doc_topic_counts_[static_cast<size_t>(d)];
+    for (int z = 0; z < num_topics_; ++z) {
+      totals[static_cast<size_t>(z)] += counts[static_cast<size_t>(z)];
+    }
+  }
+  int best = 0;
+  for (int z = 1; z < num_topics_; ++z) {
+    if (totals[static_cast<size_t>(z)] > totals[static_cast<size_t>(best)]) best = z;
+  }
+  return best;
+}
+
+double LdaModel::Perplexity(const Corpus& corpus, std::span<const DocId> docs) const {
+  double log_likelihood = 0.0;
+  int64_t token_count = 0;
+  for (DocId d : docs) {
+    const Document& doc = corpus.document(d);
+    const std::vector<double> theta = DocumentTopics(d);
+    for (WordId w : doc.words) {
+      double p = 0.0;
+      for (int z = 0; z < num_topics_; ++z) {
+        p += theta[static_cast<size_t>(z)] * TopicWordProbability(z, w);
+      }
+      log_likelihood += std::log(std::max(p, 1e-300));
+      ++token_count;
+    }
+  }
+  if (token_count == 0) return 0.0;
+  return std::exp(-log_likelihood / static_cast<double>(token_count));
+}
+
+std::vector<WordId> LdaModel::TopWords(int z, size_t k) const {
+  const std::vector<double> phi = TopicWords(z);
+  const std::vector<size_t> top = TopKIndices(phi, k);
+  std::vector<WordId> words;
+  words.reserve(top.size());
+  for (size_t idx : top) words.push_back(static_cast<WordId>(idx));
+  return words;
+}
+
+}  // namespace cpd

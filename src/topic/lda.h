@@ -1,0 +1,83 @@
+#ifndef CPD_TOPIC_LDA_H_
+#define CPD_TOPIC_LDA_H_
+
+/// \file lda.h
+/// Collapsed-Gibbs Latent Dirichlet Allocation (Blei et al., 2003 [3]).
+/// CPD uses LDA in three places, exactly as the paper does:
+///  1. the parallel E-step segments users by their dominant LDA topic (§4.3);
+///  2. the "+Agg" baselines aggregate LDA document topics into community
+///     content/diffusion profiles (Eqs. 20-21);
+///  3. perplexity evaluation of content profiles (§6.1).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "text/corpus.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cpd {
+
+struct LdaConfig {
+  int num_topics = 20;
+  /// Doc-topic prior; <0 selects 0.1. (The 50/K convention of [13] assumes
+  /// long documents; the short tweets/titles this library models need a
+  /// sparse doc-topic prior or the prior swamps the 5-10 word likelihood.)
+  double alpha = -1.0;
+  double beta = 0.1;  ///< Topic-word prior (paper convention).
+  int iterations = 50;
+  uint64_t seed = 7;
+
+  /// Validates field ranges.
+  Status Validate() const;
+};
+
+/// Trained LDA model over a corpus.
+class LdaModel {
+ public:
+  /// Runs collapsed Gibbs sampling over the corpus's documents.
+  static StatusOr<LdaModel> Train(const Corpus& corpus, const LdaConfig& config);
+
+  int num_topics() const { return num_topics_; }
+  size_t num_documents() const { return doc_topic_counts_.size(); }
+  size_t vocabulary_size() const { return vocab_size_; }
+
+  /// Smoothed document-topic distribution theta_d (length num_topics).
+  std::vector<double> DocumentTopics(DocId d) const;
+
+  /// Smoothed topic-word distribution phi_z (length vocabulary size).
+  std::vector<double> TopicWords(int z) const;
+
+  /// phi_{z,w} for a single word.
+  double TopicWordProbability(int z, WordId w) const;
+
+  /// The most frequently assigned topic among the user's document tokens;
+  /// drives the data segmentation of §4.3. Users without documents get
+  /// topic 0.
+  int DominantTopicOfUser(const Corpus& corpus, UserId u) const;
+
+  /// Per-token log-likelihood-based perplexity over the given documents
+  /// (lower is better). Documents must share this model's vocabulary.
+  double Perplexity(const Corpus& corpus, std::span<const DocId> docs) const;
+
+  /// Ids of the top-k most probable words of topic z.
+  std::vector<WordId> TopWords(int z, size_t k) const;
+
+ private:
+  LdaModel() = default;
+
+  int num_topics_ = 0;
+  size_t vocab_size_ = 0;
+  double alpha_ = 0.0;
+  double beta_ = 0.0;
+  // Final-sample counts (collapsed estimator).
+  std::vector<std::vector<int32_t>> doc_topic_counts_;  // [doc][topic]
+  std::vector<int64_t> doc_lengths_;
+  std::vector<int32_t> topic_word_counts_;  // [topic * V + word]
+  std::vector<int64_t> topic_totals_;       // [topic]
+};
+
+}  // namespace cpd
+
+#endif  // CPD_TOPIC_LDA_H_

@@ -1,0 +1,28 @@
+#ifndef CPD_UTIL_FILE_UTIL_H_
+#define CPD_UTIL_FILE_UTIL_H_
+
+/// \file file_util.h
+/// Whole-file and line-oriented I/O with Status-based error reporting.
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cpd {
+
+/// Reads the entire file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes (truncates) the file with the given contents.
+Status WriteStringToFile(const std::string& path, const std::string& contents);
+
+/// Reads all lines (without trailing newlines).
+StatusOr<std::vector<std::string>> ReadLines(const std::string& path);
+
+/// True if the path exists and is a regular file.
+bool FileExists(const std::string& path);
+
+}  // namespace cpd
+
+#endif  // CPD_UTIL_FILE_UTIL_H_

@@ -1,0 +1,65 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace cpd {
+
+namespace {
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::ostream& out = (level_ >= LogLevel::kWarning) ? std::cerr : std::clog;
+  out << stream_.str() << std::endl;
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
+  stream_ << "[FATAL " << file << ":" << line << "] Check failed: " << condition
+          << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << stream_.str() << std::endl;
+  }
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cpd

@@ -1,0 +1,82 @@
+#ifndef CPD_UTIL_LOGGING_H_
+#define CPD_UTIL_LOGGING_H_
+
+/// \file logging.h
+/// Minimal leveled logger plus CHECK/DCHECK assertion macros.
+///
+/// CPD_CHECK(cond) aborts with a message when cond is false, in all builds.
+/// CPD_DCHECK(cond) does the same only in debug builds (used in hot loops).
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace cpd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Emits the failure message and aborts. Used by CHECK macros.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  std::ostream& stream() { return stream_; }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CPD_LOG(level)                                                     \
+  if (::cpd::GetLogLevel() <= ::cpd::LogLevel::k##level)                   \
+  ::cpd::internal::LogMessage(::cpd::LogLevel::k##level, __FILE__, __LINE__) \
+      .stream()
+
+#define CPD_CHECK(condition)                                             \
+  if (!(condition))                                                      \
+  ::cpd::internal::FatalMessage(__FILE__, __LINE__, #condition).stream()
+
+#define CPD_CHECK_EQ(a, b) CPD_CHECK((a) == (b))
+#define CPD_CHECK_NE(a, b) CPD_CHECK((a) != (b))
+#define CPD_CHECK_LT(a, b) CPD_CHECK((a) < (b))
+#define CPD_CHECK_LE(a, b) CPD_CHECK((a) <= (b))
+#define CPD_CHECK_GT(a, b) CPD_CHECK((a) > (b))
+#define CPD_CHECK_GE(a, b) CPD_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define CPD_DCHECK(condition) \
+  if (false) ::cpd::internal::FatalMessage(__FILE__, __LINE__, #condition).stream()
+#else
+#define CPD_DCHECK(condition) CPD_CHECK(condition)
+#endif
+
+}  // namespace cpd
+
+#endif  // CPD_UTIL_LOGGING_H_

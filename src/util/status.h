@@ -1,0 +1,128 @@
+#ifndef CPD_UTIL_STATUS_H_
+#define CPD_UTIL_STATUS_H_
+
+/// \file status.h
+/// RocksDB-style Status / StatusOr error handling. Library entry points that
+/// can fail (I/O, config validation, malformed input) return Status instead
+/// of throwing; hot loops use CPD_DCHECK from logging.h.
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cpd {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK", "IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type describing the outcome of a fallible operation.
+///
+/// Usage:
+///   Status s = graph.SaveToFile(path);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, like absl::StatusOr).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Calling with an OK status is an error
+  /// and is converted to kInternal.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(rep_).ok()) {
+      rep_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns OK if a value is held, else the stored error.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Requires ok(). Accessors for the held value.
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define CPD_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::cpd::Status _cpd_status = (expr);      \
+    if (!_cpd_status.ok()) return _cpd_status; \
+  } while (0)
+
+}  // namespace cpd
+
+#endif  // CPD_UTIL_STATUS_H_

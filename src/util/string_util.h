@@ -1,0 +1,38 @@
+#ifndef CPD_UTIL_STRING_UTIL_H_
+#define CPD_UTIL_STRING_UTIL_H_
+
+/// \file string_util.h
+/// Small string helpers used by the text pipeline and file I/O.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpd {
+
+/// Splits on a single character; consecutive delimiters yield empty tokens
+/// unless skip_empty is set.
+std::vector<std::string> Split(std::string_view text, char delimiter,
+                               bool skip_empty = false);
+
+/// Splits on any whitespace run; never yields empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins parts with the separator between them.
+std::string Join(const std::vector<std::string>& parts, std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace cpd
+
+#endif  // CPD_UTIL_STRING_UTIL_H_

@@ -1,0 +1,94 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpd {
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+void TableWriter::SetHeader(std::vector<std::string> header) {
+  CPD_CHECK(rows_.empty());
+  header_ = std::move(header);
+}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  CPD_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TableWriter::AddRow(const std::string& label, const std::vector<double>& values,
+                         int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string TableWriter::ToText() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  }
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TableWriter::ToCsv() const {
+  std::ostringstream out;
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << escape(row[i]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TableWriter::Print() const { std::cout << ToText() << std::endl; }
+
+Status TableWriter::WriteCsv(const std::string& path) const {
+  return WriteStringToFile(path, ToCsv());
+}
+
+}  // namespace cpd

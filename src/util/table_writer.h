@@ -1,0 +1,58 @@
+#ifndef CPD_UTIL_TABLE_WRITER_H_
+#define CPD_UTIL_TABLE_WRITER_H_
+
+/// \file table_writer.h
+/// Aligned console tables and CSV dumps. Every benchmark binary uses this to
+/// print the rows/series the paper's tables and figures report.
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cpd {
+
+/// Collects rows of string cells and renders them either as an aligned text
+/// table (for the console) or as CSV (for plotting).
+class TableWriter {
+ public:
+  /// \param title Caption printed above the table (e.g. "Figure 4 (Twitter)").
+  explicit TableWriter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; its width must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 4);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Renders the aligned table.
+  std::string ToText() const;
+
+  /// Renders as CSV (header + rows).
+  std::string ToCsv() const;
+
+  /// Prints ToText() to stdout.
+  void Print() const;
+
+  /// Writes ToCsv() to a file.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace cpd
+
+#endif  // CPD_UTIL_TABLE_WRITER_H_

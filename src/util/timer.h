@@ -1,0 +1,34 @@
+#ifndef CPD_UTIL_TIMER_H_
+#define CPD_UTIL_TIMER_H_
+
+/// \file timer.h
+/// Wall-clock stopwatch used by the scalability benchmarks (Figs. 10-11).
+
+#include <chrono>
+
+namespace cpd {
+
+/// Monotonic stopwatch; starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cpd
+
+#endif  // CPD_UTIL_TIMER_H_

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sampling/alias_table.h"
+#include "util/rng.h"
+
+namespace cpd {
+namespace {
+
+TEST(AliasTableTest, NormalizedProbabilities) {
+  const std::vector<double> weights = {2.0, 6.0, 2.0};
+  AliasTable table(weights);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_NEAR(table.Probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(table.Probability(1), 0.6, 1e-12);
+}
+
+TEST(AliasTableTest, SamplingMatchesWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng rng(55);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, weights[k] / 10.0, 0.01)
+        << "bucket " << k;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  AliasTable table(weights);
+  Rng rng(56);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(table.Sample(&rng), 1u);
+}
+
+TEST(AliasTableTest, SingleBucket) {
+  const std::vector<double> weights = {3.5};
+  AliasTable table(weights);
+  Rng rng(57);
+  EXPECT_EQ(table.Sample(&rng), 0u);
+  EXPECT_DOUBLE_EQ(table.Probability(0), 1.0);
+}
+
+TEST(AliasTableTest, HighlySkewedDistribution) {
+  std::vector<double> weights(1000, 1e-6);
+  weights[500] = 1.0;
+  AliasTable table(weights);
+  Rng rng(58);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += table.Sample(&rng) == 500 ? 1 : 0;
+  // P(500) ~ 1 / (1 + 999e-6) ~ 0.999.
+  EXPECT_GT(static_cast<double>(hits) / n, 0.99);
+}
+
+TEST(AliasTableDeathTest, RejectsAllZeroWeights) {
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_DEATH({ AliasTable table(weights); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/attribute_profiles.h"
+#include "core/cpd_model.h"
+#include "test_util.h"
+
+namespace cpd {
+namespace {
+
+class AttributeProfilesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new SynthResult(testing::MakeTinyGraph(881));
+    CpdConfig config;
+    config.num_communities = 4;
+    config.num_topics = 6;
+    config.em_iterations = 8;
+    config.seed = 883;
+    auto model = CpdModel::Train(data_->graph, config);
+    ASSERT_TRUE(model.ok());
+    model_ = new CpdModel(std::move(*model));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+  }
+
+  // An attribute perfectly aligned with the planted communities.
+  static UserAttribute PlantedAttribute() {
+    UserAttribute attribute;
+    attribute.name = "region";
+    for (int c = 0; c < data_->truth.num_communities; ++c) {
+      attribute.values.push_back("region" + std::to_string(c));
+    }
+    attribute.value_of_user.assign(data_->truth.user_community.begin(),
+                                   data_->truth.user_community.end());
+    return attribute;
+  }
+
+  static SynthResult* data_;
+  static CpdModel* model_;
+};
+
+SynthResult* AttributeProfilesTest::data_ = nullptr;
+CpdModel* AttributeProfilesTest::model_ = nullptr;
+
+TEST_F(AttributeProfilesTest, InternalProfilesAreDistributions) {
+  auto profiles = AttributeProfiles::Build(*model_, PlantedAttribute());
+  ASSERT_TRUE(profiles.ok());
+  for (int c = 0; c < profiles->num_communities(); ++c) {
+    double total = 0.0;
+    for (int a = 0; a < profiles->num_values(); ++a) {
+      const double p = profiles->Internal(c, a);
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_F(AttributeProfilesTest, AlignedAttributeGivesLowEntropy) {
+  auto profiles = AttributeProfiles::Build(*model_, PlantedAttribute());
+  ASSERT_TRUE(profiles.ok());
+  // A community-aligned attribute must be far from uniform: mean entropy
+  // well below log(num_values).
+  double mean_entropy = 0.0;
+  for (int c = 0; c < profiles->num_communities(); ++c) {
+    mean_entropy += profiles->Entropy(c);
+  }
+  mean_entropy /= profiles->num_communities();
+  EXPECT_LT(mean_entropy, std::log(4.0) * 0.9);
+}
+
+TEST_F(AttributeProfilesTest, RandomAttributeGivesHighEntropy) {
+  UserAttribute attribute;
+  attribute.name = "coinflip";
+  attribute.values = {"heads", "tails"};
+  Rng rng(7);
+  for (size_t u = 0; u < data_->graph.num_users(); ++u) {
+    attribute.value_of_user.push_back(rng.NextBernoulli(0.5) ? 1 : 0);
+  }
+  auto profiles = AttributeProfiles::Build(*model_, attribute);
+  ASSERT_TRUE(profiles.ok());
+  for (int c = 0; c < profiles->num_communities(); ++c) {
+    EXPECT_GT(profiles->Entropy(c), std::log(2.0) * 0.7);
+  }
+}
+
+TEST_F(AttributeProfilesTest, DominantValueMatchesArgmax) {
+  auto profiles = AttributeProfiles::Build(*model_, PlantedAttribute());
+  ASSERT_TRUE(profiles.ok());
+  for (int c = 0; c < profiles->num_communities(); ++c) {
+    const int dominant = profiles->DominantValue(c);
+    for (int a = 0; a < profiles->num_values(); ++a) {
+      EXPECT_LE(profiles->Internal(c, a), profiles->Internal(c, dominant));
+    }
+  }
+}
+
+TEST_F(AttributeProfilesTest, ExternalProfileFactorizes) {
+  auto profiles = AttributeProfiles::Build(*model_, PlantedAttribute());
+  ASSERT_TRUE(profiles.ok());
+  // Definitionally eta_norm * p(a|c) * p(a'|c'); check consistency.
+  const double external = profiles->External(0, 1, 2, 3);
+  EXPECT_GE(external, 0.0);
+  EXPECT_LE(external, 1.0);
+  // Summing over attribute pairs recovers the normalized eta weight.
+  double total = 0.0;
+  for (int a = 0; a < profiles->num_values(); ++a) {
+    for (int a2 = 0; a2 < profiles->num_values(); ++a2) {
+      total += profiles->External(0, 1, a, a2);
+    }
+  }
+  double eta_row_total = 0.0;
+  for (int c2 = 0; c2 < profiles->num_communities(); ++c2) {
+    double pair_total = 0.0;
+    for (int a = 0; a < profiles->num_values(); ++a) {
+      for (int a2 = 0; a2 < profiles->num_values(); ++a2) {
+        pair_total += profiles->External(0, c2, a, a2);
+      }
+    }
+    eta_row_total += pair_total;
+  }
+  EXPECT_NEAR(eta_row_total, 1.0, 1e-6);  // Row-normalized eta.
+  EXPECT_LE(total, 1.0 + 1e-9);
+}
+
+TEST_F(AttributeProfilesTest, RejectsMalformedInput) {
+  UserAttribute empty;
+  empty.name = "empty";
+  EXPECT_FALSE(AttributeProfiles::Build(*model_, empty).ok());
+
+  UserAttribute wrong_size;
+  wrong_size.name = "short";
+  wrong_size.values = {"x"};
+  wrong_size.value_of_user = {0};
+  EXPECT_FALSE(AttributeProfiles::Build(*model_, wrong_size).ok());
+
+  UserAttribute bad_id = PlantedAttribute();
+  bad_id.value_of_user[0] = 99;
+  EXPECT_FALSE(AttributeProfiles::Build(*model_, bad_id).ok());
+}
+
+}  // namespace
+}  // namespace cpd

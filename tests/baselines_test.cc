@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/aggregation.h"
+#include "baselines/cold.h"
+#include "baselines/crm.h"
+#include "baselines/pmtlm.h"
+#include "baselines/wtm.h"
+#include "eval/evaluator.h"
+#include "test_util.h"
+
+namespace cpd {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new SynthResult(testing::MakeTinyGraph(71));
+  }
+  static void TearDownTestSuite() { delete data_; }
+  static SynthResult* data_;
+};
+
+SynthResult* BaselinesTest::data_ = nullptr;
+
+TEST_F(BaselinesTest, PmtlmTrainsAndScores) {
+  PmtlmConfig config;
+  config.num_topics = 6;
+  config.lda_iterations = 20;
+  auto model = PmtlmModel::Train(data_->graph, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Memberships().size(), data_->graph.num_users());
+  for (double b : model->beta()) EXPECT_GE(b, 0.0);
+  // Linked documents should have a higher Poisson rate than random pairs on
+  // average (the topics correlate along links).
+  const auto& links = data_->graph.diffusion_links();
+  double linked = 0.0, random = 0.0;
+  Rng rng(73);
+  for (size_t e = 0; e < std::min<size_t>(50, links.size()); ++e) {
+    linked += model->LinkRate(links[e].i, links[e].j);
+    random += model->LinkRate(
+        static_cast<DocId>(rng.NextUint64(data_->graph.num_documents())),
+        static_cast<DocId>(rng.NextUint64(data_->graph.num_documents())));
+  }
+  EXPECT_GT(linked, random);
+}
+
+TEST_F(BaselinesTest, PmtlmBeatsRandomOnDiffusionAuc) {
+  PmtlmConfig config;
+  config.num_topics = 6;
+  config.lda_iterations = 20;
+  auto model = PmtlmModel::Train(data_->graph, config);
+  ASSERT_TRUE(model.ok());
+  Rng rng(75);
+  const double auc =
+      EvaluateDiffusionAuc(data_->graph, data_->graph.diffusion_links(),
+                           model->AsDiffusionScorer(), &rng);
+  EXPECT_GT(auc, 0.55);
+}
+
+TEST_F(BaselinesTest, WtmLearnsInformativeWeights) {
+  WtmConfig config;
+  config.num_topics = 6;
+  config.lda_iterations = 20;
+  auto model = WtmModel::Train(data_->graph, config);
+  ASSERT_TRUE(model.ok());
+  ASSERT_FALSE(model->weights().empty());
+  Rng rng(77);
+  const double auc =
+      EvaluateDiffusionAuc(data_->graph, data_->graph.diffusion_links(),
+                           model->AsDiffusionScorer(), &rng);
+  EXPECT_GT(auc, 0.55);  // Trained on these links; must beat chance.
+}
+
+TEST_F(BaselinesTest, CrmMembershipsAreDistributions) {
+  CrmConfig config;
+  config.num_communities = 4;
+  config.iterations = 30;
+  auto model = CrmModel::Train(data_->graph, config);
+  ASSERT_TRUE(model.ok());
+  for (const auto& psi : model->Memberships()) {
+    double total = 0.0;
+    for (double p : psi) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST_F(BaselinesTest, CrmFriendshipAucBeatsRandom) {
+  CrmConfig config;
+  config.num_communities = 4;
+  config.iterations = 30;
+  auto model = CrmModel::Train(data_->graph, config);
+  ASSERT_TRUE(model.ok());
+  Rng rng(79);
+  const double auc =
+      EvaluateFriendshipAuc(data_->graph, data_->graph.friendship_links(),
+                            model->AsFriendshipScorer(), &rng);
+  EXPECT_GT(auc, 0.6);
+}
+
+TEST_F(BaselinesTest, ColdIsConstrainedCpd) {
+  ColdConfig config;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.em_iterations = 4;
+  const CpdConfig cpd_config = MakeColdCpdConfig(config);
+  EXPECT_FALSE(cpd_config.ablation.model_friendship);
+  EXPECT_FALSE(cpd_config.ablation.individual_factor);
+  EXPECT_FALSE(cpd_config.ablation.topic_factor);
+  EXPECT_TRUE(cpd_config.ablation.heterogeneous_links);
+
+  auto model = ColdModel::Train(data_->graph, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Memberships().size(), data_->graph.num_users());
+  // Individual/popularity weights stay pinned.
+  EXPECT_DOUBLE_EQ(model->model().DiffusionWeights()[kWeightPopularity], 0.0);
+  for (int k = 0; k < kNumUserFeatures; ++k) {
+    EXPECT_DOUBLE_EQ(model->model().DiffusionWeights()[kWeightFeature0 + k], 0.0);
+  }
+}
+
+TEST_F(BaselinesTest, AggregationProfilesWellFormed) {
+  CrmConfig crm_config;
+  crm_config.num_communities = 4;
+  crm_config.iterations = 20;
+  auto crm = CrmModel::Train(data_->graph, crm_config);
+  ASSERT_TRUE(crm.ok());
+
+  AggregationConfig agg_config;
+  agg_config.num_topics = 6;
+  agg_config.lda_iterations = 20;
+  auto profiles =
+      AggregatedProfiles::Build(data_->graph, crm->Memberships(), agg_config);
+  ASSERT_TRUE(profiles.ok());
+  EXPECT_EQ(profiles->num_communities(), 4);
+  for (const auto& theta : profiles->content_profiles()) {
+    double total = 0.0;
+    for (double p : theta) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  // Eta rows normalized.
+  for (int c = 0; c < 4; ++c) {
+    double total = 0.0;
+    for (int c2 = 0; c2 < 4; ++c2) {
+      for (int z = 0; z < 6; ++z) total += profiles->Eta(c, c2, z);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST_F(BaselinesTest, AggregationRankingAndScoring) {
+  CrmConfig crm_config;
+  crm_config.num_communities = 4;
+  crm_config.iterations = 20;
+  auto crm = CrmModel::Train(data_->graph, crm_config);
+  ASSERT_TRUE(crm.ok());
+  AggregationConfig agg_config;
+  agg_config.num_topics = 6;
+  agg_config.lda_iterations = 20;
+  auto profiles =
+      AggregatedProfiles::Build(data_->graph, crm->Memberships(), agg_config);
+  ASSERT_TRUE(profiles.ok());
+
+  // Ranking covers all communities exactly once.
+  const WordId some_word = 0;
+  const std::vector<WordId> query = {some_word};
+  const auto ranked = profiles->RankCommunities(query);
+  ASSERT_EQ(ranked.size(), 4u);
+  std::vector<bool> seen(4, false);
+  for (int c : ranked) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 4);
+    EXPECT_FALSE(seen[static_cast<size_t>(c)]);
+    seen[static_cast<size_t>(c)] = true;
+  }
+
+  // Scorer produces finite non-negative scores.
+  const auto scorer = profiles->AsDiffusionScorer(data_->graph);
+  const DiffusionLink& link = data_->graph.diffusion_links()[0];
+  const double score = scorer(link.i, link.j, link.time);
+  EXPECT_GE(score, 0.0);
+  EXPECT_TRUE(std::isfinite(score));
+
+  const auto sets = profiles->CommunityUserSets(2);
+  size_t total_members = 0;
+  for (const auto& users : sets) total_members += users.size();
+  EXPECT_EQ(total_members, data_->graph.num_users() * 2);
+}
+
+TEST_F(BaselinesTest, AggregationRejectsBadInput) {
+  AggregationConfig config;
+  std::vector<std::vector<double>> wrong_size(3, std::vector<double>(4, 0.25));
+  EXPECT_FALSE(AggregatedProfiles::Build(data_->graph, wrong_size, config).ok());
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "text/corpus.h"
+
+namespace cpd {
+namespace {
+
+TEST(CorpusTest, AddRawDocumentTokenizes) {
+  Corpus corpus;
+  const DocId d = corpus.AddRawDocument(0, 3, "wireless sensor networks");
+  ASSERT_NE(d, Corpus::kInvalidDoc);
+  const Document& doc = corpus.document(d);
+  EXPECT_EQ(doc.user, 0);
+  EXPECT_EQ(doc.time, 3);
+  EXPECT_EQ(doc.words.size(), 3u);
+  EXPECT_EQ(corpus.vocabulary().size(), 3u);
+}
+
+TEST(CorpusTest, ShortDocumentsDropped) {
+  Corpus corpus;
+  // After stopword removal only one token remains -> dropped.
+  EXPECT_EQ(corpus.AddRawDocument(0, 0, "the network"), Corpus::kInvalidDoc);
+  EXPECT_EQ(corpus.num_documents(), 0u);
+  EXPECT_EQ(corpus.num_dropped_documents(), 1);
+}
+
+TEST(CorpusTest, TokenizedPathEnforcesMinLength) {
+  Corpus corpus;
+  Vocabulary vocab;
+  const WordId w = vocab.GetOrAdd("x");
+  corpus.SetVocabulary(vocab);
+  const std::vector<WordId> one = {w};
+  EXPECT_EQ(corpus.AddTokenizedDocument(0, 0, one), Corpus::kInvalidDoc);
+  const std::vector<WordId> two = {w, w};
+  EXPECT_NE(corpus.AddTokenizedDocument(0, 0, two), Corpus::kInvalidDoc);
+}
+
+TEST(CorpusTest, DocumentsByUserIndexed) {
+  Corpus corpus;
+  corpus.AddRawDocument(2, 0, "alpha beta gamma");
+  corpus.AddRawDocument(0, 0, "delta epsilon zeta");
+  corpus.AddRawDocument(2, 1, "eta theta iota");
+  const auto& by_user = corpus.documents_by_user();
+  ASSERT_GE(by_user.size(), 3u);
+  EXPECT_EQ(by_user[2].size(), 2u);
+  EXPECT_EQ(by_user[0].size(), 1u);
+  EXPECT_TRUE(by_user[1].empty());
+}
+
+TEST(CorpusTest, TotalTokensAndFrequencies) {
+  Corpus corpus;
+  corpus.AddRawDocument(0, 0, "graph graph theory");
+  EXPECT_EQ(corpus.total_tokens(), 3);
+  const WordId graph = corpus.vocabulary().Find("graph");
+  ASSERT_NE(graph, kInvalidWord);
+  EXPECT_EQ(corpus.vocabulary().Frequency(graph), 2);
+}
+
+TEST(CorpusTest, RemapUsersRelabels) {
+  Corpus corpus;
+  corpus.AddRawDocument(1, 0, "alpha beta gamma");
+  corpus.AddRawDocument(3, 0, "delta epsilon zeta");
+  // Users 0 and 2 have no docs; compact to {1->0, 3->1}.
+  const std::vector<UserId> remap = {-1, 0, -1, 1};
+  corpus.RemapUsers(remap, 2);
+  EXPECT_EQ(corpus.document(0).user, 0);
+  EXPECT_EQ(corpus.document(1).user, 1);
+  EXPECT_EQ(corpus.documents_by_user().size(), 2u);
+}
+
+TEST(CorpusTest, SetVocabularyPreservesIds) {
+  Vocabulary vocab;
+  const WordId apple = vocab.GetOrAdd("apple");
+  Corpus corpus;
+  corpus.SetVocabulary(vocab);
+  TokenizerOptions options;
+  options.stem = false;  // Keep raw surface forms to match the seeded vocab.
+  const DocId d = corpus.AddRawDocument(0, 0, "apple banana cherry", options);
+  ASSERT_NE(d, Corpus::kInvalidDoc);
+  EXPECT_EQ(corpus.document(d).words[0], apple);
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "eval/cross_validation.h"
+#include "test_util.h"
+
+namespace cpd {
+namespace {
+
+TEST(CrossValidationTest, FoldsCoverAllLinks) {
+  const SocialGraph graph = testing::MakeTinyGraph().graph;
+  Rng rng(41);
+  const LinkFolds folds = AssignLinkFolds(graph, 10, &rng);
+  EXPECT_EQ(folds.friendship_fold.size(), graph.num_friendship_links());
+  EXPECT_EQ(folds.diffusion_fold.size(), graph.num_diffusion_links());
+  for (int f : folds.friendship_fold) {
+    EXPECT_GE(f, 0);
+    EXPECT_LT(f, 10);
+  }
+}
+
+TEST(CrossValidationTest, FoldSizesRoughlyEqual) {
+  const SocialGraph graph = testing::MakeTinyGraph().graph;
+  Rng rng(43);
+  const LinkFolds folds = AssignLinkFolds(graph, 5, &rng);
+  std::vector<int> counts(5, 0);
+  for (int f : folds.friendship_fold) ++counts[static_cast<size_t>(f)];
+  const double expected =
+      static_cast<double>(graph.num_friendship_links()) / 5.0;
+  for (int count : counts) {
+    EXPECT_NEAR(count, expected, expected * 0.5 + 5.0);
+  }
+}
+
+TEST(CrossValidationTest, BuildFoldSplitsLinks) {
+  const SocialGraph graph = testing::MakeTinyGraph().graph;
+  Rng rng(45);
+  const LinkFolds folds = AssignLinkFolds(graph, 10, &rng);
+  auto fold = BuildFold(graph, folds, 0);
+  ASSERT_TRUE(fold.ok()) << fold.status().ToString();
+  EXPECT_EQ(fold->train_graph.num_friendship_links() +
+                fold->heldout_friendship.size(),
+            graph.num_friendship_links());
+  EXPECT_EQ(fold->train_graph.num_diffusion_links() +
+                fold->heldout_diffusion.size(),
+            graph.num_diffusion_links());
+  // Documents/users/vocabulary preserved.
+  EXPECT_EQ(fold->train_graph.num_documents(), graph.num_documents());
+  EXPECT_EQ(fold->train_graph.num_users(), graph.num_users());
+  EXPECT_EQ(fold->train_graph.vocabulary_size(), graph.vocabulary_size());
+}
+
+TEST(CrossValidationTest, HeldOutLinksAbsentFromTrainGraph) {
+  const SocialGraph graph = testing::MakeTinyGraph().graph;
+  Rng rng(47);
+  const LinkFolds folds = AssignLinkFolds(graph, 4, &rng);
+  auto fold = BuildFold(graph, folds, 2);
+  ASSERT_TRUE(fold.ok());
+  for (const FriendshipLink& link : fold->heldout_friendship) {
+    EXPECT_FALSE(fold->train_graph.HasFriendship(link.u, link.v));
+    EXPECT_TRUE(graph.HasFriendship(link.u, link.v));
+  }
+  for (const DiffusionLink& link : fold->heldout_diffusion) {
+    EXPECT_FALSE(fold->train_graph.HasDiffusion(link.i, link.j));
+    EXPECT_TRUE(graph.HasDiffusion(link.i, link.j));
+  }
+}
+
+TEST(CrossValidationTest, DocumentsIdenticalAcrossFolds) {
+  const SocialGraph graph = testing::MakeTinyGraph().graph;
+  Rng rng(49);
+  const LinkFolds folds = AssignLinkFolds(graph, 3, &rng);
+  auto fold = BuildFold(graph, folds, 1);
+  ASSERT_TRUE(fold.ok());
+  for (size_t d = 0; d < graph.num_documents(); d += 11) {
+    const Document& original = graph.document(static_cast<DocId>(d));
+    const Document& rebuilt = fold->train_graph.document(static_cast<DocId>(d));
+    EXPECT_EQ(original.user, rebuilt.user);
+    EXPECT_EQ(original.time, rebuilt.time);
+    EXPECT_EQ(original.words, rebuilt.words);
+  }
+}
+
+}  // namespace
+}  // namespace cpd

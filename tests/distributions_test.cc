@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sampling/distributions.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace cpd {
+namespace {
+
+class GammaMomentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaMomentTest, MeanAndVarianceMatch) {
+  const double shape = GetParam();
+  Rng rng(static_cast<uint64_t>(shape * 100.0) + 5);
+  const int n = 150000;
+  std::vector<double> samples(n);
+  for (double& s : samples) s = SampleGamma(shape, &rng);
+  // Gamma(shape, 1): mean = shape, var = shape.
+  EXPECT_NEAR(Mean(samples), shape, 5.0 * std::sqrt(shape / n) + 0.01);
+  EXPECT_NEAR(Variance(samples), shape, 0.08 * shape + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeSweep, GammaMomentTest,
+                         ::testing::Values(0.05, 0.3, 0.9, 1.0, 2.5, 10.0));
+
+TEST(GammaTest, ScaleParameter) {
+  Rng rng(42);
+  const int n = 100000;
+  std::vector<double> samples(n);
+  for (double& s : samples) s = SampleGamma(2.0, 3.0, &rng);
+  EXPECT_NEAR(Mean(samples), 6.0, 0.1);
+}
+
+TEST(BetaTest, Moments) {
+  Rng rng(43);
+  const int n = 100000;
+  std::vector<double> samples(n);
+  for (double& s : samples) s = SampleBeta(2.0, 5.0, &rng);
+  EXPECT_NEAR(Mean(samples), 2.0 / 7.0, 0.01);
+  for (double s : samples) {
+    ASSERT_GT(s, 0.0);
+    ASSERT_LT(s, 1.0);
+  }
+}
+
+TEST(DirichletTest, SymmetricDrawSumsToOne) {
+  Rng rng(44);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = SampleSymmetricDirichlet(5, 0.1, &rng);
+    double total = 0.0;
+    for (double x : sample) {
+      EXPECT_GE(x, 0.0);
+      total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(DirichletTest, ConcentrationControlsSparsity) {
+  Rng rng(45);
+  // Low alpha -> most mass on one coordinate; high alpha -> near uniform.
+  double sparse_max = 0.0, dense_max = 0.0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    const auto sparse = SampleSymmetricDirichlet(10, 0.02, &rng);
+    const auto dense = SampleSymmetricDirichlet(10, 50.0, &rng);
+    sparse_max += *std::max_element(sparse.begin(), sparse.end());
+    dense_max += *std::max_element(dense.begin(), dense.end());
+  }
+  EXPECT_GT(sparse_max / trials, 0.8);
+  EXPECT_LT(dense_max / trials, 0.2);
+}
+
+TEST(DirichletTest, AsymmetricMeansFollowAlpha) {
+  Rng rng(46);
+  const std::vector<double> alpha = {1.0, 2.0, 7.0};
+  std::vector<double> mean(3, 0.0);
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    const auto sample = SampleDirichlet(alpha, &rng);
+    for (size_t k = 0; k < 3; ++k) mean[k] += sample[k];
+  }
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(mean[k] / trials, alpha[k] / 10.0, 0.01);
+  }
+}
+
+TEST(CategoricalTest, FollowsWeights) {
+  Rng rng(47);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[SampleCategorical(weights, &rng)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 40000.0, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 40000.0, 0.75, 0.01);
+}
+
+TEST(CategoricalFromLogTest, MatchesLinearSampling) {
+  Rng rng(48);
+  // log weights with big offsets must behave like the normalized weights.
+  const std::vector<double> log_weights = {-1000.0 + std::log(0.2),
+                                           -1000.0 + std::log(0.8)};
+  int ones = 0;
+  for (int i = 0; i < 40000; ++i) {
+    ones += SampleCategoricalFromLog(log_weights, &rng) == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / 40000.0, 0.8, 0.01);
+}
+
+TEST(CategoricalFromLogTest, SingleCandidate) {
+  Rng rng(49);
+  const std::vector<double> lw = {-5.0};
+  EXPECT_EQ(SampleCategoricalFromLog(lw, &rng), 0u);
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/em_trainer.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace cpd {
+namespace {
+
+CpdConfig TrainerConfig() {
+  CpdConfig config;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.em_iterations = 6;
+  config.gibbs_sweeps_per_em = 1;
+  config.nu_iterations = 30;
+  config.seed = 9;
+  return config;
+}
+
+TEST(EmTrainerTest, TrainRunsAndTracksLikelihood) {
+  const SynthResult data = testing::MakeTinyGraph();
+  EmTrainer trainer(data.graph, TrainerConfig());
+  ASSERT_TRUE(trainer.Train().ok());
+  const TrainStats& stats = trainer.stats();
+  ASSERT_EQ(stats.link_log_likelihood.size(), 6u);
+  for (double ll : stats.link_log_likelihood) {
+    EXPECT_TRUE(std::isfinite(ll));
+    EXPECT_LT(ll, 0.0);  // Log-likelihood of Bernoulli links.
+  }
+  EXPECT_GT(stats.total_seconds, 0.0);
+}
+
+TEST(EmTrainerTest, LinkLikelihoodImprovesOverTraining) {
+  const SynthResult data = testing::MakeTinyGraph();
+  EmTrainer trainer(data.graph, TrainerConfig());
+  ASSERT_TRUE(trainer.Train().ok());
+  const auto& ll = trainer.stats().link_log_likelihood;
+  // Sampled likelihood is noisy; require the last iterate to beat the first.
+  EXPECT_GT(ll.back(), ll.front());
+}
+
+TEST(EmTrainerTest, EtaRowsAreNormalized) {
+  const SynthResult data = testing::MakeTinyGraph();
+  CpdConfig config = TrainerConfig();
+  EmTrainer trainer(data.graph, config);
+  ASSERT_TRUE(trainer.Train().ok());
+  const ModelState& state = trainer.state();
+  for (int c = 0; c < config.num_communities; ++c) {
+    double total = 0.0;
+    for (int c2 = 0; c2 < config.num_communities; ++c2) {
+      for (int z = 0; z < config.num_topics; ++z) {
+        const double value = state.EtaAt(c, c2, z);
+        EXPECT_GE(value, 0.0);
+        total += value;
+      }
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6) << "community " << c;
+  }
+}
+
+TEST(EmTrainerTest, DiffusionWeightsAreLearned) {
+  const SynthResult data = testing::MakeTinyGraph();
+  EmTrainer trainer(data.graph, TrainerConfig());
+  ASSERT_TRUE(trainer.Train().ok());
+  const auto& weights = trainer.state().weights;
+  ASSERT_EQ(weights.size(), static_cast<size_t>(kNumDiffusionWeights));
+  // The logistic regression must move the bias off its zero init (negatives
+  // dominate the base rate).
+  EXPECT_NE(weights[kWeightBias], 0.0);
+  for (double w : weights) EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST(EmTrainerTest, NoJointTwoPhaseFreezesCommunities) {
+  const SynthResult data = testing::MakeTinyGraph();
+  CpdConfig config = TrainerConfig();
+  config.ablation.joint_profiling = false;
+  EmTrainer trainer(data.graph, config);
+  ASSERT_TRUE(trainer.Train().ok());
+  // Phase B freezes communities: run one more E-step and verify they hold.
+  const std::vector<int32_t> before = trainer.state().doc_community;
+  ASSERT_TRUE(trainer.EStep().ok());
+  EXPECT_EQ(trainer.state().doc_community, before);
+}
+
+TEST(EmTrainerTest, ParallelTrainingMatchesSerialQuality) {
+  const SynthResult data = testing::MakeTinyGraph();
+
+  CpdConfig serial_config = TrainerConfig();
+  EmTrainer serial(data.graph, serial_config);
+  ASSERT_TRUE(serial.Train().ok());
+
+  CpdConfig parallel_config = TrainerConfig();
+  parallel_config.num_threads = 4;
+  EmTrainer parallel(data.graph, parallel_config);
+  ASSERT_TRUE(parallel.Train().ok());
+
+  // Parallel inference is approximate (stale reads) but must land in the
+  // same quality regime: final link log-likelihoods within 20%.
+  const double serial_ll = serial.stats().link_log_likelihood.back();
+  const double parallel_ll = parallel.stats().link_log_likelihood.back();
+  EXPECT_LT(std::fabs(parallel_ll - serial_ll) / std::fabs(serial_ll), 0.2);
+
+  // Fig. 11 data recorded.
+  EXPECT_EQ(parallel.stats().thread_estimated_workload.size(), 4u);
+  EXPECT_EQ(parallel.stats().thread_actual_seconds.size(), 4u);
+  EXPECT_GT(parallel.stats().num_segments, 0u);
+}
+
+TEST(EmTrainerTest, RecoversPlantedCommunitiesBetterThanChance) {
+  // Slightly larger than the tiny fixture: 60-user/degree-6 graphs sit at
+  // the detectability threshold and recovery is seed-dependent there.
+  SynthConfig synth_config = testing::TinySynthConfig(123);
+  synth_config.num_users = 150;
+  synth_config.avg_friend_degree = 10.0;
+  auto generated = GenerateSocialGraph(synth_config);
+  ASSERT_TRUE(generated.ok());
+  const SynthResult& data = *generated;
+  CpdConfig config = TrainerConfig();
+  config.em_iterations = 12;
+  config.gibbs_sweeps_per_em = 4;
+  EmTrainer trainer(data.graph, config);
+  ASSERT_TRUE(trainer.Train().ok());
+
+  // Hard per-user label = argmax community by doc counts.
+  const ModelState& state = trainer.state();
+  std::vector<int> predicted(data.graph.num_users());
+  for (size_t u = 0; u < data.graph.num_users(); ++u) {
+    int best = 0;
+    for (int c = 1; c < config.num_communities; ++c) {
+      if (state.n_uc[u * static_cast<size_t>(config.num_communities) +
+                     static_cast<size_t>(c)] >
+          state.n_uc[u * static_cast<size_t>(config.num_communities) +
+                     static_cast<size_t>(best)]) {
+        best = c;
+      }
+    }
+    predicted[u] = best;
+  }
+  const double nmi =
+      NormalizedMutualInformation(predicted, data.truth.user_community);
+  EXPECT_GT(nmi, 0.25) << "planted community recovery too weak";
+}
+
+TEST(EmTrainerTest, InvalidConfigRejected) {
+  const SynthResult data = testing::MakeTinyGraph();
+  CpdConfig config = TrainerConfig();
+  config.num_communities = 0;
+  EmTrainer trainer(data.graph, config);
+  EXPECT_FALSE(trainer.Train().ok());
+}
+
+TEST(EmTrainerTest, EmptyGraphRejected) {
+  SocialGraph empty;
+  EmTrainer trainer(empty, TrainerConfig());
+  EXPECT_FALSE(trainer.Train().ok());
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gibbs_sampler.h"
+#include "test_util.h"
+
+namespace cpd {
+namespace {
+
+struct Harness {
+  explicit Harness(uint64_t seed = 5, CpdConfig cfg = {})
+      : result(testing::MakeTinyGraph(seed)),
+        config(PrepareConfig(std::move(cfg))),
+        caches(result.graph),
+        state(result.graph, config),
+        sampler(result.graph, config, caches, &state),
+        rng(seed + 1) {
+    state.InitializeRandom(result.graph, &rng);
+    state.RebuildCounts(result.graph);
+    state.popularity.Refresh(result.graph, state.doc_topic);
+  }
+
+  static CpdConfig PrepareConfig(CpdConfig cfg) {
+    cfg.num_communities = 4;
+    cfg.num_topics = 6;
+    return cfg;
+  }
+
+  SynthResult result;
+  CpdConfig config;
+  LinkCaches caches;
+  ModelState state;
+  GibbsSampler sampler;
+  Rng rng;
+};
+
+// Counter invariants must survive full sweeps (the sampler's remove/add
+// bookkeeping is exact).
+TEST(GibbsSamplerTest, CountsRemainConsistentAfterSweeps) {
+  Harness h;
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    h.sampler.SweepDocuments(&h.rng);
+  }
+  ModelState fresh(h.result.graph, h.config);
+  fresh.doc_topic = h.state.doc_topic;
+  fresh.doc_community = h.state.doc_community;
+  fresh.RebuildCounts(h.result.graph);
+  EXPECT_EQ(fresh.n_uc, h.state.n_uc);
+  EXPECT_EQ(fresh.n_cz, h.state.n_cz);
+  EXPECT_EQ(fresh.n_zw, h.state.n_zw);
+  EXPECT_EQ(fresh.n_z, h.state.n_z);
+  EXPECT_EQ(fresh.n_c, h.state.n_c);
+  EXPECT_EQ(fresh.n_u, h.state.n_u);
+}
+
+TEST(GibbsSamplerTest, AssignmentsStayInRange) {
+  Harness h;
+  h.sampler.SweepDocuments(&h.rng);
+  for (size_t d = 0; d < h.state.num_documents; ++d) {
+    EXPECT_GE(h.state.doc_topic[d], 0);
+    EXPECT_LT(h.state.doc_topic[d], h.config.num_topics);
+    EXPECT_GE(h.state.doc_community[d], 0);
+    EXPECT_LT(h.state.doc_community[d], h.config.num_communities);
+  }
+}
+
+TEST(GibbsSamplerTest, PolyaGammaSweepsProducePositiveFiniteValues) {
+  Harness h;
+  h.sampler.SweepFriendshipAugmentation(&h.rng);
+  h.sampler.SweepDiffusionAugmentation(&h.rng);
+  for (double lambda : h.state.lambda) {
+    EXPECT_GT(lambda, 0.0);
+    EXPECT_TRUE(std::isfinite(lambda));
+  }
+  for (double delta : h.state.delta) {
+    EXPECT_GT(delta, 0.0);
+    EXPECT_TRUE(std::isfinite(delta));
+  }
+}
+
+TEST(GibbsSamplerTest, EnergiesAreFinite) {
+  Harness h;
+  h.sampler.SweepDocuments(&h.rng);
+  for (size_t f = 0; f < h.result.graph.num_friendship_links(); ++f) {
+    EXPECT_TRUE(std::isfinite(h.sampler.FriendshipEnergy(f)));
+  }
+  for (size_t e = 0; e < h.result.graph.num_diffusion_links(); ++e) {
+    EXPECT_TRUE(std::isfinite(h.sampler.DiffusionEnergy(e)));
+  }
+  EXPECT_TRUE(std::isfinite(h.sampler.LinkLogLikelihood()));
+}
+
+TEST(GibbsSamplerTest, FreezeCommunitiesHoldsAssignments) {
+  Harness h;
+  h.sampler.set_freeze_communities(true);
+  const std::vector<int32_t> before = h.state.doc_community;
+  h.sampler.SweepDocuments(&h.rng);
+  EXPECT_EQ(h.state.doc_community, before);
+  // Topics still move.
+}
+
+TEST(GibbsSamplerTest, NoHeterogeneityEnergyIsMembershipDot) {
+  CpdConfig cfg;
+  cfg.ablation.heterogeneous_links = false;
+  Harness h(7, cfg);
+  const DiffusionLink& link = h.result.graph.diffusion_links()[0];
+  const UserId u = h.result.graph.document(link.i).user;
+  const UserId v = h.result.graph.document(link.j).user;
+  EXPECT_DOUBLE_EQ(h.sampler.DiffusionEnergy(0), h.state.MembershipDot(u, v));
+}
+
+TEST(GibbsSamplerTest, ModelFriendshipOffSkipsLambda) {
+  CpdConfig cfg;
+  cfg.ablation.model_friendship = false;
+  Harness h(8, cfg);
+  const std::vector<double> before = h.state.lambda;
+  h.sampler.SweepFriendshipAugmentation(&h.rng);
+  EXPECT_EQ(h.state.lambda, before);
+}
+
+TEST(GibbsSamplerTest, SweepUsersTouchesOnlyGivenUsers) {
+  Harness h;
+  // Sweep only user 0's documents; other users' assignments must not change
+  // ... their n_u entries must stay constant (assignments of other users may
+  // be re-sampled only via their own docs).
+  std::vector<int32_t> before_topics = h.state.doc_topic;
+  const std::vector<UserId> users = {0};
+  h.sampler.SweepUsers(users, /*concurrent=*/false, &h.rng);
+  for (size_t d = 0; d < h.state.num_documents; ++d) {
+    if (h.result.graph.document(static_cast<DocId>(d)).user != 0) {
+      EXPECT_EQ(h.state.doc_topic[d], before_topics[d]) << "doc " << d;
+    }
+  }
+}
+
+TEST(GibbsSamplerTest, ConcurrentSweepKeepsCountsConsistent) {
+  Harness h;
+  std::vector<UserId> all_users(h.result.graph.num_users());
+  for (size_t u = 0; u < all_users.size(); ++u) {
+    all_users[u] = static_cast<UserId>(u);
+  }
+  h.sampler.SweepUsers(all_users, /*concurrent=*/true, &h.rng);
+  ModelState fresh(h.result.graph, h.config);
+  fresh.doc_topic = h.state.doc_topic;
+  fresh.doc_community = h.state.doc_community;
+  fresh.RebuildCounts(h.result.graph);
+  EXPECT_EQ(fresh.n_cz, h.state.n_cz);
+  EXPECT_EQ(fresh.n_zw, h.state.n_zw);
+}
+
+// With strongly separated planted content, topic sampling should settle:
+// documents generated from the same planted topic end up sharing a sampled
+// topic more often than chance.
+TEST(GibbsSamplerTest, TopicsBecomeMoreCoherentThanRandom) {
+  Harness h;
+  for (int sweep = 0; sweep < 15; ++sweep) h.sampler.SweepDocuments(&h.rng);
+  // Compare documents' words overlap within sampled topic groups: documents
+  // with identical sampled topic should share vocabulary mass. Cheap proxy:
+  // average number of docs per used topic must exceed uniform random spread
+  // significantly (topics collapse onto planted clusters).
+  std::vector<int> counts(static_cast<size_t>(h.config.num_topics), 0);
+  for (int32_t z : h.state.doc_topic) ++counts[static_cast<size_t>(z)];
+  int max_count = 0;
+  for (int c : counts) max_count = std::max(max_count, c);
+  const double uniform =
+      static_cast<double>(h.state.num_documents) / h.config.num_topics;
+  EXPECT_GT(max_count, uniform * 1.2);
+}
+
+}  // namespace
+}  // namespace cpd

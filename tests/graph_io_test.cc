@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "graph/graph_io.h"
+#include "test_util.h"
+#include "util/file_util.h"
+
+namespace cpd {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/cpd_graph_io";
+    std::filesystem::create_directories(dir_);
+    docs_ = dir_ + "/docs.tsv";
+    friends_ = dir_ + "/friends.tsv";
+    diffusion_ = dir_ + "/diffusion.tsv";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_, docs_, friends_, diffusion_;
+};
+
+TEST_F(GraphIoTest, SaveLoadRoundTrip) {
+  const SocialGraph graph = testing::MakeHandGraph();
+  ASSERT_TRUE(SaveSocialGraph(graph, docs_, friends_, diffusion_).ok());
+
+  GraphIoOptions options;
+  options.tokenizer.stem = false;
+  options.tokenizer.remove_stopwords = false;
+  options.tokenizer.remove_function_words = false;
+  auto loaded = LoadSocialGraph(graph.num_users(), docs_, friends_, diffusion_,
+                                options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_users(), graph.num_users());
+  EXPECT_EQ(loaded->num_documents(), graph.num_documents());
+  EXPECT_EQ(loaded->num_friendship_links(), graph.num_friendship_links());
+  EXPECT_EQ(loaded->num_diffusion_links(), graph.num_diffusion_links());
+  EXPECT_TRUE(loaded->HasDiffusion(0, 1));
+}
+
+TEST_F(GraphIoTest, AppliesPreprocessing) {
+  // Doc 1 reduces to one token after stopword removal -> dropped, and the
+  // diffusion row touching it must be skipped; user 1 becomes isolated and
+  // is removed.
+  ASSERT_TRUE(WriteStringToFile(
+                  docs_, "0\t0\twireless sensor networks\n1\t1\tthe about\n")
+                  .ok());
+  ASSERT_TRUE(WriteStringToFile(friends_, "0\t1\n").ok());
+  ASSERT_TRUE(WriteStringToFile(diffusion_, "1\t0\t1\n").ok());
+  auto loaded = LoadSocialGraph(2, docs_, friends_, diffusion_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_users(), 1u);
+  EXPECT_EQ(loaded->num_documents(), 1u);
+  EXPECT_EQ(loaded->num_diffusion_links(), 0u);
+  EXPECT_EQ(loaded->num_friendship_links(), 0u);
+}
+
+TEST_F(GraphIoTest, MalformedRowsRejected) {
+  ASSERT_TRUE(WriteStringToFile(docs_, "0\tnotanumber\ttext here\n").ok());
+  ASSERT_TRUE(WriteStringToFile(friends_, "").ok());
+  ASSERT_TRUE(WriteStringToFile(diffusion_, "").ok());
+  auto loaded = LoadSocialGraph(1, docs_, friends_, diffusion_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, OutOfRangeUserRejected) {
+  ASSERT_TRUE(WriteStringToFile(docs_, "5\t0\talpha beta gamma\n").ok());
+  ASSERT_TRUE(WriteStringToFile(friends_, "").ok());
+  ASSERT_TRUE(WriteStringToFile(diffusion_, "").ok());
+  auto loaded = LoadSocialGraph(2, docs_, friends_, diffusion_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(GraphIoTest, MissingFileIsIOError) {
+  auto loaded = LoadSocialGraph(1, dir_ + "/none.tsv", friends_, diffusion_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+#include "graph/social_graph.h"
+#include "test_util.h"
+
+namespace cpd {
+namespace {
+
+TEST(GraphBuilderTest, HandGraphShape) {
+  const SocialGraph graph = testing::MakeHandGraph();
+  EXPECT_EQ(graph.num_users(), 4u);
+  EXPECT_EQ(graph.num_documents(), 4u);
+  EXPECT_EQ(graph.num_friendship_links(), 5u);
+  EXPECT_EQ(graph.num_diffusion_links(), 2u);
+  EXPECT_EQ(graph.num_time_bins(), 2);
+}
+
+TEST(GraphBuilderTest, FriendNeighborsAreUndirectedDeduped) {
+  const SocialGraph graph = testing::MakeHandGraph();
+  // User 1: links (0,1),(1,0),(1,2) -> neighbors {0, 2}.
+  const auto neighbors = graph.FriendNeighbors(1);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0], 0);
+  EXPECT_EQ(neighbors[1], 2);
+}
+
+TEST(GraphBuilderTest, HasFriendshipIsDirected) {
+  const SocialGraph graph = testing::MakeHandGraph();
+  EXPECT_TRUE(graph.HasFriendship(1, 2));
+  EXPECT_FALSE(graph.HasFriendship(2, 1));
+}
+
+TEST(GraphBuilderTest, DiffusionIncidenceCoversBothEndpoints) {
+  const SocialGraph graph = testing::MakeHandGraph();
+  // Link 0: docs 0 -> 1; both docs see link index 0.
+  ASSERT_EQ(graph.DiffusionNeighbors(0).size(), 1u);
+  ASSERT_EQ(graph.DiffusionNeighbors(1).size(), 1u);
+  EXPECT_EQ(graph.DiffusionNeighbors(0)[0], 0);
+  EXPECT_EQ(graph.DiffusionNeighbors(1)[0], 0);
+  EXPECT_TRUE(graph.HasDiffusion(0, 1));
+  EXPECT_FALSE(graph.HasDiffusion(1, 0));
+}
+
+TEST(GraphBuilderTest, DuplicateAndSelfLinksIgnored) {
+  GraphBuilder builder;
+  builder.SetNumUsers(2);
+  Vocabulary vocab;
+  const WordId w = vocab.GetOrAdd("w");
+  builder.SetVocabulary(vocab);
+  const std::vector<WordId> words = {w, w};
+  builder.AddTokenizedDocument(0, 0, words);
+  builder.AddTokenizedDocument(1, 0, words);
+  builder.AddFriendship(0, 1);
+  builder.AddFriendship(0, 1);  // Duplicate.
+  builder.AddFriendship(0, 0);  // Self-loop.
+  builder.AddDiffusion(0, 1, 0);
+  builder.AddDiffusion(0, 1, 0);  // Duplicate.
+  builder.AddDiffusion(0, 0, 0);  // Self-loop.
+  auto graph = builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_friendship_links(), 1u);
+  EXPECT_EQ(graph->num_diffusion_links(), 1u);
+}
+
+TEST(GraphBuilderTest, DropIsolatedUsersRemaps) {
+  GraphBuilder builder;
+  builder.SetNumUsers(4);
+  Vocabulary vocab;
+  const WordId w = vocab.GetOrAdd("w");
+  builder.SetVocabulary(vocab);
+  const std::vector<WordId> words = {w, w, w};
+  builder.AddTokenizedDocument(1, 0, words);
+  builder.AddTokenizedDocument(3, 0, words);
+  builder.AddFriendship(1, 3);
+  builder.AddFriendship(0, 1);  // User 0 has no docs; link must vanish.
+  auto graph = builder.Build(/*drop_isolated_users=*/true);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_users(), 2u);
+  EXPECT_EQ(graph->num_friendship_links(), 1u);
+  EXPECT_EQ(graph->document(0).user, 0);
+  EXPECT_EQ(graph->document(1).user, 1);
+  EXPECT_TRUE(graph->HasFriendship(0, 1));
+}
+
+TEST(GraphBuilderTest, ActivityCounts) {
+  const SocialGraph graph = testing::MakeHandGraph();
+  // User 0: out-degree 1 (0->1), in-degree 1 (1->0), 1 doc, doc 0 diffuses.
+  const UserActivity& activity = graph.activity(0);
+  EXPECT_EQ(activity.followees, 1);
+  EXPECT_EQ(activity.followers, 1);
+  EXPECT_EQ(activity.documents, 1);
+  EXPECT_EQ(activity.diffusions, 1);
+  EXPECT_GT(activity.Popularity(), 0.0);
+  EXPECT_GT(activity.Activeness(), 0.0);
+}
+
+TEST(GraphBuilderTest, BuildWithoutUsersFails) {
+  GraphBuilder builder;
+  auto result = builder.Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphStatsTest, HandGraphStats) {
+  const SocialGraph graph = testing::MakeHandGraph();
+  const GraphStats stats = ComputeGraphStats(graph);
+  EXPECT_EQ(stats.num_users, 4u);
+  EXPECT_EQ(stats.num_documents, 4u);
+  EXPECT_EQ(stats.num_friendship_links, 5u);
+  EXPECT_EQ(stats.num_diffusion_links, 2u);
+  EXPECT_EQ(stats.num_words, 3u);
+  EXPECT_DOUBLE_EQ(stats.avg_documents_per_user, 1.0);
+  EXPECT_DOUBLE_EQ(stats.avg_words_per_document, 3.0);
+  EXPECT_FALSE(GraphStatsToString(stats).empty());
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "apps/community_ranking.h"
+#include "apps/diffusion_prediction.h"
+#include "baselines/cold.h"
+#include "core/cpd_model.h"
+#include "eval/cross_validation.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "synth/queries.h"
+#include "test_util.h"
+
+namespace cpd {
+namespace {
+
+// End-to-end pipeline on one held-out fold: generate -> split -> train ->
+// evaluate all three tasks. This is the core claim of the paper in miniature:
+// joint CPD beats the COLD-style restricted model on diffusion prediction and
+// friendship prediction.
+TEST(IntegrationTest, FullPipelineCpdBeatsRestrictedModel) {
+  SynthConfig synth_config = testing::TinySynthConfig(201);
+  synth_config.num_users = 120;
+  synth_config.docs_per_user_mean = 5.0;
+  synth_config.diffusion_per_doc = 0.6;
+  synth_config.avg_friend_degree = 10.0;  // Degree 6 sits at detectability.
+  auto data = GenerateSocialGraph(synth_config);
+  ASSERT_TRUE(data.ok());
+  const SocialGraph& graph = data->graph;
+
+  Rng rng(203);
+  const LinkFolds folds = AssignLinkFolds(graph, 10, &rng);
+  auto fold = BuildFold(graph, folds, 0);
+  ASSERT_TRUE(fold.ok());
+
+  CpdConfig config;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.em_iterations = 12;
+  config.seed = 205;
+  auto cpd = CpdModel::Train(fold->train_graph, config);
+  ASSERT_TRUE(cpd.ok());
+
+  ColdConfig cold_config;
+  cold_config.num_communities = 4;
+  cold_config.num_topics = 6;
+  cold_config.em_iterations = 8;
+  cold_config.seed = 205;
+  auto cold = ColdModel::Train(fold->train_graph, cold_config);
+  ASSERT_TRUE(cold.ok());
+
+  DiffusionPredictor cpd_predictor(*cpd, fold->train_graph);
+
+  Rng eval_rng(207);
+  const double cpd_diff_auc = EvaluateDiffusionAuc(
+      graph, fold->heldout_diffusion, cpd_predictor.AsDiffusionScorer(),
+      &eval_rng);
+  Rng eval_rng2(207);
+  const double cold_diff_auc = EvaluateDiffusionAuc(
+      graph, fold->heldout_diffusion,
+      cold->AsDiffusionScorer(fold->train_graph), &eval_rng2);
+
+  Rng eval_rng3(209);
+  const double cpd_friend_auc = EvaluateFriendshipAuc(
+      graph, fold->heldout_friendship, cpd_predictor.AsFriendshipScorer(),
+      &eval_rng3);
+
+  // CPD must comfortably beat chance on both tasks.
+  EXPECT_GT(cpd_diff_auc, 0.6);
+  EXPECT_GT(cpd_friend_auc, 0.6);
+  // And at least match the friendship-blind, factor-blind COLD on diffusion.
+  EXPECT_GE(cpd_diff_auc, cold_diff_auc - 0.02);
+}
+
+TEST(IntegrationTest, RankingFindsRelevantCommunities) {
+  const SynthResult data = testing::MakeTinyGraph(211);
+  CpdConfig config;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.em_iterations = 6;
+  config.seed = 213;
+  auto model = CpdModel::Train(data.graph, config);
+  ASSERT_TRUE(model.ok());
+
+  Rng rng(215);
+  QueryOptions query_options;
+  query_options.min_frequency = 5;
+  query_options.min_relevant_users = 3;
+  query_options.max_queries = 10;
+  const auto queries = BuildRankingQueries(data.graph, query_options, &rng);
+  ASSERT_FALSE(queries.empty());
+
+  CommunityRanker ranker(*model);
+  const auto community_users = CommunityRanker::CommunityUserSets(*model, 2);
+  std::vector<std::vector<RankingPoint>> per_query;
+  for (const RankingQuery& query : queries) {
+    const std::vector<WordId> words = {query.word};
+    const auto ranked_communities = ranker.Rank(words);
+    std::vector<int> order;
+    for (const RankedCommunity& entry : ranked_communities) {
+      order.push_back(entry.community);
+    }
+    per_query.push_back(
+        EvaluateRanking(order, community_users, query.relevant_users, 4));
+  }
+  const auto metrics = AggregateRankings(per_query, 4);
+  // Recall grows with K and the curve is non-trivial.
+  EXPECT_GT(metrics.maf_at_k[3], 0.1);
+  EXPECT_GE(metrics.mar_at_k[3], metrics.mar_at_k[0] - 1e-12);
+}
+
+TEST(IntegrationTest, ProfilesExplainContentBetterThanUniform) {
+  const SynthResult data = testing::MakeTinyGraph(217);
+  CpdConfig config;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.em_iterations = 6;
+  auto model = CpdModel::Train(data.graph, config);
+  ASSERT_TRUE(model.ok());
+
+  std::vector<std::vector<double>> pi(data.graph.num_users());
+  for (size_t u = 0; u < pi.size(); ++u) {
+    pi[u] = model->Membership(static_cast<UserId>(u));
+  }
+  std::vector<std::vector<double>> theta(4), phi(6);
+  for (int c = 0; c < 4; ++c) theta[static_cast<size_t>(c)] = model->ContentProfile(c);
+  for (int z = 0; z < 6; ++z) phi[static_cast<size_t>(z)] = model->TopicWords(z);
+
+  std::vector<DocId> docs;
+  for (size_t d = 0; d < data.graph.num_documents(); d += 2) {
+    docs.push_back(static_cast<DocId>(d));
+  }
+  const double trained = ContentPerplexity(data.graph, docs, pi, theta, phi);
+  const size_t v = data.graph.vocabulary_size();
+  std::vector<std::vector<double>> uniform_phi(
+      6, std::vector<double>(v, 1.0 / static_cast<double>(v)));
+  const double uniform = ContentPerplexity(data.graph, docs, pi, theta, uniform_phi);
+  EXPECT_LT(trained, uniform * 0.5);
+}
+
+}  // namespace
+}  // namespace cpd

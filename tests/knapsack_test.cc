@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "parallel/knapsack.h"
+#include "util/rng.h"
+
+namespace cpd {
+namespace {
+
+TEST(Knapsack01Test, PicksOptimalSubset) {
+  // Capacity 10; best subset is {6, 4} = 10.
+  const std::vector<double> weights = {6.0, 4.0, 7.0, 9.0};
+  const auto chosen = SolveKnapsack01(weights, 10.0);
+  double total = 0.0;
+  for (size_t i : chosen) total += weights[i];
+  EXPECT_NEAR(total, 10.0, 1e-9);
+}
+
+TEST(Knapsack01Test, RespectsCapacity) {
+  Rng rng(3);
+  std::vector<double> weights(30);
+  for (double& w : weights) w = rng.NextDouble() * 10.0;
+  const double capacity = 25.0;
+  const auto chosen = SolveKnapsack01(weights, capacity);
+  double total = 0.0;
+  for (size_t i : chosen) total += weights[i];
+  // Round-to-nearest discretization can overshoot by half a bucket per item.
+  const double slack =
+      capacity * static_cast<double>(chosen.size()) / (2.0 * 4096.0);
+  EXPECT_LE(total, capacity + slack + 1e-9);
+  EXPECT_GT(total, capacity * 0.8);  // DP should pack close to capacity.
+}
+
+TEST(Knapsack01Test, OversizedItemsSkipped) {
+  const std::vector<double> weights = {100.0, 3.0};
+  const auto chosen = SolveKnapsack01(weights, 10.0);
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_EQ(chosen[0], 1u);
+}
+
+TEST(Knapsack01Test, EmptyInputs) {
+  EXPECT_TRUE(SolveKnapsack01({}, 10.0).empty());
+  EXPECT_TRUE(SolveKnapsack01({1.0}, 0.0).empty());
+}
+
+TEST(AllocationTest, KnapsackCoversAllSegments) {
+  Rng rng(5);
+  std::vector<double> workloads(24);
+  for (double& w : workloads) w = 1.0 + rng.NextDouble() * 9.0;
+  const auto allocation = AllocateSegmentsKnapsack(workloads, 4);
+  ASSERT_EQ(allocation.thread_of_segment.size(), 24u);
+  for (int t : allocation.thread_of_segment) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 4);
+  }
+  // Workload bookkeeping matches assignment.
+  std::vector<double> recomputed(4, 0.0);
+  for (size_t s = 0; s < workloads.size(); ++s) {
+    recomputed[static_cast<size_t>(allocation.thread_of_segment[s])] += workloads[s];
+  }
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_NEAR(recomputed[static_cast<size_t>(t)],
+                allocation.thread_workload[static_cast<size_t>(t)], 1e-9);
+  }
+}
+
+TEST(AllocationTest, KnapsackBalancesWell) {
+  Rng rng(7);
+  std::vector<double> workloads(32);
+  for (double& w : workloads) w = 1.0 + rng.NextDouble() * 5.0;
+  const auto allocation = AllocateSegmentsKnapsack(workloads, 8);
+  // Eq. 17 targets O/M per thread; imbalance must be modest.
+  EXPECT_LT(allocation.Imbalance(), 1.35);
+}
+
+TEST(AllocationTest, GreedyBaselineAlsoBalances) {
+  Rng rng(9);
+  std::vector<double> workloads(32);
+  for (double& w : workloads) w = 1.0 + rng.NextDouble() * 5.0;
+  const auto allocation = AllocateSegmentsGreedy(workloads, 8);
+  EXPECT_LT(allocation.Imbalance(), 1.5);
+  for (int t : allocation.thread_of_segment) EXPECT_GE(t, 0);
+}
+
+TEST(AllocationTest, SkewedWorkloadsHandled) {
+  // One huge segment plus many small ones (the data-skew case of §4.3).
+  std::vector<double> workloads = {100.0};
+  for (int i = 0; i < 20; ++i) workloads.push_back(1.0);
+  const auto allocation = AllocateSegmentsKnapsack(workloads, 4);
+  // The huge segment should sit alone-ish; every segment assigned.
+  for (int t : allocation.thread_of_segment) EXPECT_GE(t, 0);
+  const double total = std::accumulate(workloads.begin(), workloads.end(), 0.0);
+  double assigned = 0.0;
+  for (double w : allocation.thread_workload) assigned += w;
+  EXPECT_NEAR(assigned, total, 1e-9);
+}
+
+TEST(AllocationTest, MoreThreadsThanSegments) {
+  const std::vector<double> workloads = {3.0, 2.0};
+  const auto allocation = AllocateSegmentsKnapsack(workloads, 8);
+  for (int t : allocation.thread_of_segment) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 8);
+  }
+}
+
+TEST(AllocationTest, ImbalanceOfEmptyIsOne) {
+  SegmentAllocation allocation;
+  EXPECT_DOUBLE_EQ(allocation.Imbalance(), 1.0);
+}
+
+}  // namespace
+}  // namespace cpd

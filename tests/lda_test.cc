@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "topic/lda.h"
+#include "util/rng.h"
+
+namespace cpd {
+namespace {
+
+// Two perfectly separable planted topics.
+Corpus MakeSeparableCorpus(int docs_per_topic = 30) {
+  Corpus corpus;
+  Vocabulary vocab;
+  std::vector<WordId> topic_a, topic_b;
+  for (int i = 0; i < 6; ++i) {
+    topic_a.push_back(vocab.GetOrAdd("cat" + std::to_string(i)));
+    topic_b.push_back(vocab.GetOrAdd("dog" + std::to_string(i)));
+  }
+  corpus.SetVocabulary(vocab);
+  Rng rng(3);
+  for (int d = 0; d < docs_per_topic; ++d) {
+    std::vector<WordId> wa, wb;
+    for (int k = 0; k < 6; ++k) {
+      wa.push_back(topic_a[rng.NextUint64(topic_a.size())]);
+      wb.push_back(topic_b[rng.NextUint64(topic_b.size())]);
+    }
+    corpus.AddTokenizedDocument(static_cast<UserId>(d % 4), 0, wa);
+    corpus.AddTokenizedDocument(static_cast<UserId>(4 + d % 4), 0, wb);
+  }
+  return corpus;
+}
+
+TEST(LdaTest, RecoverSeparableTopics) {
+  const Corpus corpus = MakeSeparableCorpus();
+  LdaConfig config;
+  config.num_topics = 2;
+  config.iterations = 60;
+  auto model = LdaModel::Train(corpus, config);
+  ASSERT_TRUE(model.ok());
+
+  // Every "cat" doc should be dominated by one topic, "dog" by the other.
+  const auto theta0 = model->DocumentTopics(0);  // cat doc
+  const auto theta1 = model->DocumentTopics(1);  // dog doc
+  const int z_cat = theta0[0] > theta0[1] ? 0 : 1;
+  const int z_dog = 1 - z_cat;
+  EXPECT_GT(theta0[static_cast<size_t>(z_cat)], 0.8);
+  EXPECT_GT(theta1[static_cast<size_t>(z_dog)], 0.8);
+
+  // Top words of the cat topic are cat words.
+  const auto top = model->TopWords(z_cat, 3);
+  for (WordId w : top) {
+    EXPECT_EQ(corpus.vocabulary().WordOf(w).substr(0, 3), "cat");
+  }
+}
+
+TEST(LdaTest, DistributionsNormalized) {
+  const Corpus corpus = MakeSeparableCorpus(10);
+  LdaConfig config;
+  config.num_topics = 3;
+  config.iterations = 10;
+  auto model = LdaModel::Train(corpus, config);
+  ASSERT_TRUE(model.ok());
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    const auto theta = model->DocumentTopics(static_cast<DocId>(d));
+    double total = 0.0;
+    for (double p : theta) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  for (int z = 0; z < 3; ++z) {
+    const auto phi = model->TopicWords(z);
+    double total = 0.0;
+    for (double p : phi) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, PerplexityBeatsUniform) {
+  const Corpus corpus = MakeSeparableCorpus();
+  LdaConfig config;
+  config.num_topics = 2;
+  config.iterations = 50;
+  auto model = LdaModel::Train(corpus, config);
+  ASSERT_TRUE(model.ok());
+  std::vector<DocId> docs;
+  for (size_t d = 0; d < corpus.num_documents(); ++d) {
+    docs.push_back(static_cast<DocId>(d));
+  }
+  const double perplexity = model->Perplexity(corpus, docs);
+  // Uniform model perplexity = vocabulary size (12); planted structure means
+  // roughly 6 effective words per topic.
+  EXPECT_LT(perplexity, 9.0);
+  EXPECT_GT(perplexity, 1.0);
+}
+
+TEST(LdaTest, DominantTopicOfUserFollowsContent) {
+  const Corpus corpus = MakeSeparableCorpus();
+  LdaConfig config;
+  config.num_topics = 2;
+  config.iterations = 50;
+  auto model = LdaModel::Train(corpus, config);
+  ASSERT_TRUE(model.ok());
+  // Users 0-3 wrote cat docs, 4-7 dog docs.
+  const int cat_topic = model->DominantTopicOfUser(corpus, 0);
+  for (UserId u = 1; u < 4; ++u) {
+    EXPECT_EQ(model->DominantTopicOfUser(corpus, u), cat_topic);
+  }
+  for (UserId u = 4; u < 8; ++u) {
+    EXPECT_EQ(model->DominantTopicOfUser(corpus, u), 1 - cat_topic);
+  }
+}
+
+TEST(LdaTest, InvalidConfigRejected) {
+  const Corpus corpus = MakeSeparableCorpus(5);
+  LdaConfig config;
+  config.num_topics = 0;
+  EXPECT_FALSE(LdaModel::Train(corpus, config).ok());
+  config.num_topics = 2;
+  config.iterations = 0;
+  EXPECT_FALSE(LdaModel::Train(corpus, config).ok());
+}
+
+TEST(LdaTest, EmptyCorpusRejected) {
+  Corpus corpus;
+  LdaConfig config;
+  EXPECT_FALSE(LdaModel::Train(corpus, config).ok());
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/math_util.h"
+
+namespace cpd {
+namespace {
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_NEAR(Sigmoid(-2.0), 1.0 - Sigmoid(2.0), 1e-12);
+}
+
+TEST(SigmoidTest, ExtremeInputsDoNotOverflow) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(Log1pExpTest, MatchesDirectComputation) {
+  for (double x : {-30.0, -1.0, 0.0, 1.0, 30.0}) {
+    EXPECT_NEAR(Log1pExp(x), std::log1p(std::exp(std::min(x, 700.0))), 1e-9)
+        << "x=" << x;
+  }
+  // Large x: log(1+e^x) ~ x.
+  EXPECT_NEAR(Log1pExp(800.0), 800.0, 1e-9);
+}
+
+TEST(LogSumExpTest, StableForLargeMagnitudes) {
+  std::vector<double> values = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(values), 1000.0 + std::log(2.0), 1e-9);
+  std::vector<double> tiny = {-1000.0, -1001.0};
+  EXPECT_NEAR(LogSumExp(tiny), -1000.0 + std::log(1.0 + std::exp(-1.0)), 1e-9);
+}
+
+TEST(LogSumExpTest, EmptyIsNegativeInfinity) {
+  EXPECT_TRUE(std::isinf(LogSumExp({})));
+}
+
+TEST(SoftmaxTest, SumsToOne) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(&v);
+  EXPECT_NEAR(v[0] + v[1] + v[2], 1.0, 1e-12);
+  EXPECT_GT(v[2], v[1]);
+  EXPECT_GT(v[1], v[0]);
+}
+
+TEST(NormalizeTest, UniformFallbackOnZeroSum) {
+  std::vector<double> v = {0.0, 0.0, 0.0, 0.0};
+  NormalizeInPlace(&v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+TEST(NormalizeTest, ProportionsPreserved) {
+  std::vector<double> v = {1.0, 3.0};
+  NormalizeInPlace(&v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(StatsTest, MeanVarianceStdDev) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSideIsZero) {
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> c = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, c), 0.0);
+}
+
+TEST(FitLineTest, ExactLine) {
+  std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, NoisyLineHasHighR2) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(ArgMaxTest, FindsMaximum) {
+  std::vector<double> v = {1.0, 5.0, 3.0};
+  EXPECT_EQ(ArgMax(v), 1u);
+}
+
+TEST(TopKTest, OrderedAndClamped) {
+  std::vector<double> v = {0.1, 0.9, 0.5, 0.7};
+  const auto top2 = TopKIndices(v, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 1u);
+  EXPECT_EQ(top2[1], 3u);
+  EXPECT_EQ(TopKIndices(v, 100).size(), 4u);
+}
+
+TEST(TopKTest, TieBreaksByIndex) {
+  std::vector<double> v = {0.5, 0.5, 0.5};
+  const auto top = TopKIndices(v, 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(StableSumTest, CompensatesSmallTerms) {
+  std::vector<double> v(1000000, 1e-10);
+  v.push_back(1.0);
+  EXPECT_NEAR(StableSum(v), 1.0 + 1e-4, 1e-12);
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace cpd {
+namespace {
+
+TEST(AucTest, PerfectSeparation) {
+  const std::vector<double> pos = {0.9, 0.8, 0.7};
+  const std::vector<double> neg = {0.3, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(ComputeAuc(pos, neg), 1.0);
+  EXPECT_DOUBLE_EQ(ComputeAuc(neg, pos), 0.0);
+}
+
+TEST(AucTest, RandomScoresGiveHalf) {
+  const std::vector<double> pos = {0.1, 0.5, 0.9};
+  const std::vector<double> neg = {0.1, 0.5, 0.9};
+  EXPECT_DOUBLE_EQ(ComputeAuc(pos, neg), 0.5);
+}
+
+TEST(AucTest, TiesCountHalf) {
+  const std::vector<double> pos = {0.5, 0.8};
+  const std::vector<double> neg = {0.5, 0.2};
+  // Pairs: (0.5 vs 0.5)=0.5, (0.5 vs 0.2)=1, (0.8 vs 0.5)=1, (0.8 vs 0.2)=1.
+  EXPECT_DOUBLE_EQ(ComputeAuc(pos, neg), 3.5 / 4.0);
+}
+
+TEST(AucTest, EmptyInputsGiveHalf) {
+  EXPECT_DOUBLE_EQ(ComputeAuc({}, {}), 0.5);
+}
+
+TEST(ConductanceTest, PlantedCommunitiesBeatRandomSets) {
+  const SynthResult data = testing::MakeTinyGraph();
+  const SocialGraph& graph = data.graph;
+  // Planted community indicator sets.
+  const int kc = data.truth.num_communities;
+  double planted_total = 0.0;
+  for (int c = 0; c < kc; ++c) {
+    std::vector<char> in_set(graph.num_users(), 0);
+    for (size_t u = 0; u < graph.num_users(); ++u) {
+      in_set[u] = data.truth.user_community[u] == c ? 1 : 0;
+    }
+    planted_total += SetConductance(graph, in_set);
+  }
+  // Random sets of the same sizes.
+  Rng rng(15);
+  double random_total = 0.0;
+  for (int c = 0; c < kc; ++c) {
+    std::vector<char> in_set(graph.num_users(), 0);
+    for (size_t u = 0; u < graph.num_users(); ++u) {
+      in_set[u] = rng.NextBernoulli(1.0 / kc) ? 1 : 0;
+    }
+    random_total += SetConductance(graph, in_set);
+  }
+  EXPECT_LT(planted_total / kc, random_total / kc);
+}
+
+TEST(ConductanceTest, FullSetHasUnitConductance) {
+  const SocialGraph graph = testing::MakeHandGraph();
+  std::vector<char> all(graph.num_users(), 1);
+  EXPECT_DOUBLE_EQ(SetConductance(graph, all), 1.0);  // Zero outside volume.
+}
+
+TEST(ConductanceTest, CliqueHasLowConductance) {
+  const SocialGraph graph = testing::MakeHandGraph();
+  // Undirected neighbor sets: 0-1, 1-2, 2-3. {0, 1} has one outgoing edge
+  // (1-2), vol({0,1}) = 1 + 2 = 3 = vol({2,3}).
+  std::vector<char> in_set = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(SetConductance(graph, in_set), 1.0 / 3.0);
+}
+
+TEST(AverageConductanceTest, UsesTopKMembership) {
+  const SocialGraph graph = testing::MakeHandGraph();
+  // Two "communities": membership puts users 0,1 in c0 and 2,3 in c1.
+  std::vector<std::vector<double>> memberships = {
+      {0.9, 0.1}, {0.8, 0.2}, {0.1, 0.9}, {0.2, 0.8}};
+  const double top1 = AverageConductance(graph, memberships, /*top_k=*/1);
+  // With top-1 assignment the two cliques have conductance 1/3 each.
+  EXPECT_NEAR(top1, 1.0 / 3.0, 1e-9);
+  // With top-2 every user is in both communities -> conductance 1.
+  EXPECT_DOUBLE_EQ(AverageConductance(graph, memberships, /*top_k=*/2), 1.0);
+}
+
+TEST(RankingTest, PrecisionRecallF1) {
+  // Communities: c0 = {0,1}, c1 = {2,3}; relevant = {0,1,2}.
+  const std::vector<std::vector<UserId>> community_users = {{0, 1}, {2, 3}};
+  const std::vector<char> relevant = {1, 1, 1, 0};
+  const std::vector<int> ranked = {0, 1};
+  const auto points = EvaluateRanking(ranked, community_users, relevant, 2);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].precision, 1.0);       // {0,1} all relevant.
+  EXPECT_DOUBLE_EQ(points[0].recall, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(points[1].precision, 3.0 / 4.0);  // {0,1,2,3}, 3 relevant.
+  EXPECT_DOUBLE_EQ(points[1].recall, 1.0);
+  EXPECT_NEAR(points[1].f1, 2.0 * 0.75 * 1.0 / 1.75, 1e-12);
+}
+
+TEST(RankingTest, AggregateOverQueries) {
+  std::vector<std::vector<RankingPoint>> per_query(2);
+  per_query[0] = {{1.0, 0.5, 2.0 / 3.0}, {0.5, 1.0, 2.0 / 3.0}};
+  per_query[1] = {{0.0, 0.0, 0.0}, {0.5, 0.5, 0.5}};
+  const auto metrics = AggregateRankings(per_query, 2);
+  // MAP@1 = mean(1.0, 0.0) = 0.5.
+  EXPECT_DOUBLE_EQ(metrics.map_at_k[0], 0.5);
+  // MAP@2 = mean((1.0+0.5)/2, (0+0.5)/2) = mean(0.75, 0.25) = 0.5.
+  EXPECT_DOUBLE_EQ(metrics.map_at_k[1], 0.5);
+  EXPECT_GT(metrics.maf_at_k[1], 0.0);
+}
+
+TEST(PerplexityTest, PlantedProfilesBeatUniform) {
+  const SynthResult data = testing::MakeTinyGraph();
+  const SocialGraph& graph = data.graph;
+  std::vector<DocId> docs;
+  for (size_t d = 0; d < graph.num_documents(); d += 3) {
+    docs.push_back(static_cast<DocId>(d));
+  }
+  const double planted = ContentPerplexity(graph, docs, data.truth.pi,
+                                           data.truth.theta, data.truth.phi);
+  // Uniform profiles.
+  const size_t v = graph.vocabulary_size();
+  std::vector<std::vector<double>> uniform_phi(
+      static_cast<size_t>(data.truth.num_topics),
+      std::vector<double>(v, 1.0 / static_cast<double>(v)));
+  const double uniform = ContentPerplexity(graph, docs, data.truth.pi,
+                                           data.truth.theta, uniform_phi);
+  EXPECT_LT(planted, uniform);
+  EXPECT_NEAR(uniform, static_cast<double>(v), 1.0);
+}
+
+TEST(NmiTest, IdenticalPartitionsGiveOne) {
+  const std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(labels, labels), 1.0, 1e-12);
+}
+
+TEST(NmiTest, PermutedLabelsStillOne) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> b = {5, 5, 9, 9, 7, 7};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsNearZero) {
+  std::vector<int> a, b;
+  Rng rng(33);
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(static_cast<int>(rng.NextUint64(4)));
+    b.push_back(static_cast<int>(rng.NextUint64(4)));
+  }
+  EXPECT_LT(NormalizedMutualInformation(a, b), 0.02);
+}
+
+TEST(NmiTest, SingleClusterEdgeCase) {
+  const std::vector<int> ones(10, 1);
+  const std::vector<int> mixed = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(ones, ones), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(ones, mixed), 0.0);
+}
+
+}  // namespace
+}  // namespace cpd

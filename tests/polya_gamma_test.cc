@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sampling/polya_gamma.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace cpd {
+namespace {
+
+TEST(PolyaGammaTest, TheoreticalMeanFormula) {
+  EXPECT_NEAR(PolyaGammaSampler::Mean(0.0), 0.25, 1e-9);
+  // tanh(1/2)/2 for c = 1.
+  EXPECT_NEAR(PolyaGammaSampler::Mean(1.0), std::tanh(0.5) / 2.0, 1e-12);
+  // Symmetric in c.
+  EXPECT_DOUBLE_EQ(PolyaGammaSampler::Mean(2.5), PolyaGammaSampler::Mean(-2.5));
+}
+
+TEST(PolyaGammaTest, TheoreticalVarianceFormula) {
+  EXPECT_NEAR(PolyaGammaSampler::Variance(0.0), 1.0 / 24.0, 1e-9);
+  const double c = 2.0;
+  const double expected = (std::sinh(c) - c) /
+                          (4.0 * c * c * c * std::cosh(c / 2.0) * std::cosh(c / 2.0));
+  EXPECT_NEAR(PolyaGammaSampler::Variance(c), expected, 1e-12);
+}
+
+TEST(PolyaGammaTest, SamplesArePositive) {
+  PolyaGammaSampler sampler;
+  Rng rng(31);
+  for (double c : {0.0, 0.5, 2.0, 10.0, -3.0}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_GT(sampler.Sample(c, &rng), 0.0) << "c=" << c;
+    }
+  }
+}
+
+// Parameterized moment check: the sampled mean/variance must match the
+// closed-form PG(1, c) moments across the range of energies the Gibbs
+// sampler produces.
+class PolyaGammaMomentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolyaGammaMomentTest, EmpiricalMomentsMatchTheory) {
+  const double c = GetParam();
+  PolyaGammaSampler sampler;
+  Rng rng(static_cast<uint64_t>(1000 + c * 13.0));
+  const int n = 120000;
+  std::vector<double> samples(n);
+  for (double& s : samples) s = sampler.Sample(c, &rng);
+  const double mean = Mean(samples);
+  const double variance = Variance(samples);
+  const double expected_mean = PolyaGammaSampler::Mean(c);
+  const double expected_var = PolyaGammaSampler::Variance(c);
+  EXPECT_NEAR(mean, expected_mean, 6.0 * std::sqrt(expected_var / n) + 1e-6)
+      << "c=" << c;
+  EXPECT_NEAR(variance, expected_var, 0.08 * expected_var + 1e-6) << "c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(EnergySweep, PolyaGammaMomentTest,
+                         ::testing::Values(0.0, 0.1, 0.5, 1.0, 2.0, 4.0, 8.0,
+                                           16.0, -1.0, -6.0));
+
+TEST(PolyaGammaTest, LaplaceTransformIdentity) {
+  // E[exp(-x t)] for x ~ PG(1, 0) equals 1/cosh(sqrt(t/2)) (PSW Thm 1).
+  PolyaGammaSampler sampler;
+  Rng rng(77);
+  const double t = 1.7;
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += std::exp(-t * sampler.Sample(0.0, &rng));
+  const double expected = 1.0 / std::cosh(std::sqrt(t / 2.0));
+  EXPECT_NEAR(sum / n, expected, 0.004);
+}
+
+TEST(InverseGaussianCdfTest, MonotoneAndBounded) {
+  double prev = 0.0;
+  for (double x = 0.05; x < 5.0; x += 0.05) {
+    const double cdf = InverseGaussianCdf(x, 1.3);
+    EXPECT_GE(cdf, prev - 1e-12);
+    EXPECT_GE(cdf, 0.0);
+    EXPECT_LE(cdf, 1.0 + 1e-9);
+    prev = cdf;
+  }
+  EXPECT_NEAR(InverseGaussianCdf(50.0, 1.3), 1.0, 1e-6);
+}
+
+TEST(InverseGaussianCdfTest, ZeroTiltIsLevyLimit) {
+  // For z = 0 the CDF reduces to 2 Phi(-1/sqrt(x)).
+  for (double x : {0.2, 0.64, 2.0}) {
+    EXPECT_NEAR(InverseGaussianCdf(x, 0.0),
+                2.0 * StandardNormalCdf(-1.0 / std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(StandardNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(StandardNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(StandardNormalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/em_trainer.h"
+#include "test_util.h"
+
+namespace cpd {
+namespace {
+
+// Property sweep: across community/topic-count combinations and ablation
+// variants, training must terminate with normalized estimates, consistent
+// counters and finite parameters. This guards every configuration the
+// benchmarks exercise.
+struct VariantSpec {
+  const char* name;
+  bool joint;
+  bool heterogeneous;
+  bool individual;
+  bool topic;
+  bool friendship;
+};
+
+class CpdPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, VariantSpec>> {};
+
+TEST_P(CpdPropertyTest, TrainingPreservesInvariants) {
+  const auto [kc, kz, variant] = GetParam();
+  const SynthResult data = testing::MakeTinyGraph(301);
+
+  CpdConfig config;
+  config.num_communities = kc;
+  config.num_topics = kz;
+  config.em_iterations = 3;
+  config.gibbs_sweeps_per_em = 1;
+  config.nu_iterations = 10;
+  config.seed = 303;
+  config.ablation.joint_profiling = variant.joint;
+  config.ablation.heterogeneous_links = variant.heterogeneous;
+  config.ablation.individual_factor = variant.individual;
+  config.ablation.topic_factor = variant.topic;
+  config.ablation.model_friendship = variant.friendship;
+
+  EmTrainer trainer(data.graph, config);
+  ASSERT_TRUE(trainer.Train().ok()) << variant.name;
+  const ModelState& state = trainer.state();
+
+  // Counter consistency.
+  ModelState fresh(data.graph, config);
+  fresh.doc_topic = state.doc_topic;
+  fresh.doc_community = state.doc_community;
+  fresh.RebuildCounts(data.graph);
+  EXPECT_EQ(fresh.n_uc, state.n_uc) << variant.name;
+  EXPECT_EQ(fresh.n_cz, state.n_cz) << variant.name;
+  EXPECT_EQ(fresh.n_zw, state.n_zw) << variant.name;
+
+  // Estimates normalized.
+  for (size_t u = 0; u < state.num_users; u += 9) {
+    double total = 0.0;
+    for (int c = 0; c < kc; ++c) total += state.PiHat(static_cast<UserId>(u), c);
+    EXPECT_NEAR(total, 1.0, 1e-9) << variant.name;
+  }
+  for (int c = 0; c < kc; ++c) {
+    double total = 0.0;
+    for (int z = 0; z < kz; ++z) total += state.ThetaHat(c, z);
+    EXPECT_NEAR(total, 1.0, 1e-9) << variant.name;
+  }
+
+  // Parameters finite; ablated weights pinned.
+  for (double w : state.weights) EXPECT_TRUE(std::isfinite(w)) << variant.name;
+  if (!variant.topic) {
+    EXPECT_DOUBLE_EQ(state.weights[kWeightPopularity], 0.0) << variant.name;
+  }
+  if (!variant.individual) {
+    for (int k = 0; k < kNumUserFeatures; ++k) {
+      EXPECT_DOUBLE_EQ(state.weights[kWeightFeature0 + k], 0.0) << variant.name;
+    }
+  }
+  for (double value : state.eta) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_TRUE(std::isfinite(value));
+  }
+}
+
+constexpr VariantSpec kVariants[] = {
+    {"full", true, true, true, true, true},
+    {"no_joint", false, true, true, true, true},
+    {"no_heterogeneity", true, false, true, true, true},
+    {"no_individual_topic", true, true, false, false, true},
+    {"no_topic", true, true, true, false, true},
+    {"cold_style", true, true, false, false, false},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, CpdPropertyTest,
+    ::testing::Combine(::testing::Values(2, 4, 7), ::testing::Values(3, 6),
+                       ::testing::ValuesIn(kVariants)),
+    [](const ::testing::TestParamInfo<CpdPropertyTest::ParamType>& info) {
+      return "C" + std::to_string(std::get<0>(info.param)) + "_Z" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             std::get<2>(info.param).name;
+    });
+
+}  // namespace
+}  // namespace cpd

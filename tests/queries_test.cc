@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "synth/queries.h"
+#include "test_util.h"
+
+namespace cpd {
+namespace {
+
+TEST(QueriesTest, QueriesHaveRelevantUsers) {
+  const SynthResult data = testing::MakeTinyGraph();
+  Rng rng(51);
+  QueryOptions options;
+  options.min_frequency = 5;
+  options.min_relevant_users = 2;
+  const auto queries = BuildRankingQueries(data.graph, options, &rng);
+  ASSERT_FALSE(queries.empty());
+  for (const RankingQuery& query : queries) {
+    EXPECT_NE(query.word, kInvalidWord);
+    EXPECT_GE(query.num_relevant, options.min_relevant_users);
+    size_t count = 0;
+    for (char flag : query.relevant_users) count += flag ? 1 : 0;
+    EXPECT_EQ(count, query.num_relevant);
+    EXPECT_EQ(query.relevant_users.size(), data.graph.num_users());
+  }
+}
+
+TEST(QueriesTest, RelevantUsersActuallyDiffuseTheWord) {
+  const SynthResult data = testing::MakeTinyGraph();
+  Rng rng(53);
+  QueryOptions options;
+  options.min_frequency = 5;
+  options.min_relevant_users = 2;
+  options.max_queries = 5;
+  const auto queries = BuildRankingQueries(data.graph, options, &rng);
+  ASSERT_FALSE(queries.empty());
+
+  std::vector<char> is_source(data.graph.num_documents(), 0);
+  for (const DiffusionLink& link : data.graph.diffusion_links()) {
+    is_source[static_cast<size_t>(link.i)] = 1;
+  }
+  for (const RankingQuery& query : queries) {
+    for (size_t u = 0; u < query.relevant_users.size(); ++u) {
+      if (!query.relevant_users[u]) continue;
+      bool found = false;
+      for (DocId d : data.graph.DocumentsOf(static_cast<UserId>(u))) {
+        if (!is_source[static_cast<size_t>(d)]) continue;
+        const Document& doc = data.graph.document(d);
+        if (std::find(doc.words.begin(), doc.words.end(), query.word) !=
+            doc.words.end()) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "user " << u << " marked relevant without mention";
+    }
+  }
+}
+
+TEST(QueriesTest, MaxQueriesCapRespected) {
+  const SynthResult data = testing::MakeTinyGraph();
+  Rng rng(55);
+  QueryOptions options;
+  options.min_frequency = 2;
+  options.max_queries = 3;
+  options.min_relevant_users = 1;
+  const auto queries = BuildRankingQueries(data.graph, options, &rng);
+  EXPECT_LE(queries.size(), 3u);
+}
+
+TEST(QueriesTest, FrequencyFilterApplies) {
+  const SynthResult data = testing::MakeTinyGraph();
+  Rng rng(57);
+  QueryOptions options;
+  options.min_frequency = 1000000;  // Nothing is this frequent.
+  const auto queries = BuildRankingQueries(data.graph, options, &rng);
+  EXPECT_TRUE(queries.empty());
+}
+
+TEST(QueriesTest, HashtagsOnlyFilter) {
+  SynthConfig config = SynthConfig::TwitterLike().Scaled(0.15);
+  auto data = GenerateSocialGraph(config);
+  ASSERT_TRUE(data.ok());
+  Rng rng(59);
+  QueryOptions options;
+  options.min_frequency = 3;
+  options.hashtags_only = true;
+  options.min_relevant_users = 1;
+  const auto queries = BuildRankingQueries(data->graph, options, &rng);
+  const Vocabulary& vocab = data->graph.corpus().vocabulary();
+  for (const RankingQuery& query : queries) {
+    EXPECT_EQ(vocab.WordOf(query.word)[0], '#');
+  }
+  EXPECT_FALSE(queries.empty());
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace cpd {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleOpenNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDoubleOpen();
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextUint64RespectsBound) {
+  Rng rng(9);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const uint64_t x = rng.NextUint64(7);
+    ASSERT_LT(x, 7u);
+    ++counts[static_cast<size_t>(x)];
+  }
+  // Each bucket should be near 10000 (loose 5-sigma bound).
+  for (int count : counts) EXPECT_NEAR(count, 10000, 500);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t x = rng.NextInt(-3, 3);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  std::vector<double> samples(200000);
+  for (double& s : samples) s = rng.NextGaussian();
+  EXPECT_NEAR(Mean(samples), 0.0, 0.01);
+  EXPECT_NEAR(Variance(samples), 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng(17);
+  std::vector<double> samples(200000);
+  for (double& s : samples) s = rng.NextExp();
+  EXPECT_NEAR(Mean(samples), 1.0, 0.01);
+  EXPECT_NEAR(Variance(samples), 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Split();
+  // The child should not reproduce the parent's stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next64() == child.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace cpd

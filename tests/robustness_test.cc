@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cpd_model.h"
+#include "graph/graph_builder.h"
+#include "test_util.h"
+
+namespace cpd {
+namespace {
+
+// Degenerate-input robustness: the trainer must handle graphs missing whole
+// observation types (the generative model factorizes, so each part can be
+// absent) and extreme configuration corners without crashing.
+
+SocialGraph ContentOnlyGraph() {
+  GraphBuilder builder;
+  builder.SetNumUsers(20);
+  Vocabulary vocab;
+  std::vector<WordId> words;
+  for (int w = 0; w < 30; ++w) {
+    words.push_back(vocab.GetOrAdd("word" + std::to_string(w)));
+  }
+  builder.SetVocabulary(vocab);
+  Rng rng(17);
+  for (UserId u = 0; u < 20; ++u) {
+    for (int d = 0; d < 3; ++d) {
+      std::vector<WordId> doc;
+      for (int k = 0; k < 5; ++k) {
+        doc.push_back(words[rng.NextUint64(words.size())]);
+      }
+      builder.AddTokenizedDocument(u, 0, doc);
+    }
+  }
+  auto graph = builder.Build();
+  CPD_CHECK(graph.ok());
+  return std::move(*graph);
+}
+
+TEST(RobustnessTest, TrainsWithoutAnyLinks) {
+  const SocialGraph graph = ContentOnlyGraph();
+  ASSERT_EQ(graph.num_friendship_links(), 0u);
+  ASSERT_EQ(graph.num_diffusion_links(), 0u);
+  CpdConfig config;
+  config.num_communities = 3;
+  config.num_topics = 4;
+  config.em_iterations = 3;
+  auto model = CpdModel::Train(graph, config);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // Profiles still well-formed.
+  for (int c = 0; c < 3; ++c) {
+    double total = 0.0;
+    for (double p : model->ContentProfile(c)) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(RobustnessTest, TrainsWithSingleCommunityAndTopic) {
+  const SynthResult data = testing::MakeTinyGraph(19);
+  CpdConfig config;
+  config.num_communities = 1;
+  config.num_topics = 1;
+  config.em_iterations = 2;
+  auto model = CpdModel::Train(data.graph, config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->Membership(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(model->ContentProfile(0)[0], 1.0);
+}
+
+TEST(RobustnessTest, MoreCommunitiesThanUsers) {
+  const SocialGraph graph = ContentOnlyGraph();  // 20 users.
+  CpdConfig config;
+  config.num_communities = 40;
+  config.num_topics = 4;
+  config.em_iterations = 2;
+  auto model = CpdModel::Train(graph, config);
+  ASSERT_TRUE(model.ok());
+  // Memberships remain valid distributions.
+  double total = 0.0;
+  for (double p : model->Membership(0)) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RobustnessTest, ParallelTrainingWithMoreThreadsThanSegments) {
+  const SynthResult data = testing::MakeTinyGraph(23);
+  CpdConfig config;
+  config.num_communities = 3;
+  config.num_topics = 2;  // Few segments...
+  config.em_iterations = 2;
+  config.num_threads = 8;  // ...many threads.
+  auto model = CpdModel::Train(data.graph, config);
+  ASSERT_TRUE(model.ok());
+}
+
+TEST(RobustnessTest, AllAblationsOffStillTrains) {
+  const SynthResult data = testing::MakeTinyGraph(29);
+  CpdConfig config;
+  config.num_communities = 3;
+  config.num_topics = 4;
+  config.em_iterations = 2;
+  config.ablation.model_friendship = false;
+  config.ablation.model_diffusion = false;
+  config.ablation.individual_factor = false;
+  config.ablation.topic_factor = false;
+  auto model = CpdModel::Train(data.graph, config);
+  ASSERT_TRUE(model.ok());  // Reduces to a content-only mixture model.
+}
+
+TEST(RobustnessTest, PopularityModesAllTrain) {
+  const SynthResult data = testing::MakeTinyGraph(31);
+  for (PopularityMode mode : {PopularityMode::kRaw, PopularityMode::kFraction,
+                              PopularityMode::kLog1p}) {
+    CpdConfig config;
+    config.num_communities = 3;
+    config.num_topics = 4;
+    config.em_iterations = 2;
+    config.popularity_mode = mode;
+    auto model = CpdModel::Train(data.graph, config);
+    ASSERT_TRUE(model.ok()) << "mode " << static_cast<int>(mode);
+    for (double w : model->DiffusionWeights()) EXPECT_TRUE(std::isfinite(w));
+  }
+}
+
+TEST(RobustnessTest, RejectsOversizedPriors) {
+  const SynthResult data = testing::MakeTinyGraph(37);
+  CpdConfig config;
+  config.num_communities = 3;
+  config.num_topics = 4;
+  config.beta = 0.0;  // Invalid.
+  EXPECT_FALSE(CpdModel::Train(data.graph, config).ok());
+}
+
+}  // namespace
+}  // namespace cpd

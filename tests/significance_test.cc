@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "eval/significance.h"
+
+namespace cpd {
+namespace {
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 1.5, x),
+                1.0 - RegularizedIncompleteBeta(1.5, 2.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(StudentTCdfTest, SymmetryAndCenter) {
+  EXPECT_NEAR(StudentTCdf(0.0, 9), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(1.5, 9) + StudentTCdf(-1.5, 9), 1.0, 1e-10);
+}
+
+TEST(StudentTCdfTest, KnownCriticalValues) {
+  // t_{0.975, 9} = 2.2622.
+  EXPECT_NEAR(StudentTCdf(2.2622, 9), 0.975, 2e-4);
+  // t_{0.99, 9} = 2.8214 (one-tailed 0.01 critical value used by the paper).
+  EXPECT_NEAR(StudentTCdf(2.8214, 9), 0.99, 2e-4);
+  // Large dof approaches the normal: t_{0.975, 1000} ~ 1.962.
+  EXPECT_NEAR(StudentTCdf(1.962, 1000), 0.975, 5e-4);
+}
+
+TEST(PairedTTestTest, ClearImprovementIsSignificant) {
+  // CPD-style per-fold AUCs: consistent ~0.05 improvement.
+  const std::vector<double> ours = {0.85, 0.86, 0.84, 0.87, 0.85,
+                                    0.86, 0.85, 0.84, 0.86, 0.85};
+  const std::vector<double> baseline = {0.80, 0.81, 0.79, 0.81, 0.80,
+                                        0.81, 0.80, 0.79, 0.81, 0.80};
+  const TTestResult result = PairedTTestGreater(ours, baseline);
+  EXPECT_EQ(result.degrees_of_freedom, 9);
+  EXPECT_GT(result.t_statistic, 2.82);  // Beats the p<0.01 critical value.
+  EXPECT_LT(result.p_value, 0.01);
+}
+
+TEST(PairedTTestTest, NoDifferenceIsInsignificant) {
+  const std::vector<double> a = {0.5, 0.6, 0.4, 0.55, 0.45};
+  const std::vector<double> b = {0.6, 0.5, 0.45, 0.5, 0.55};
+  const TTestResult result = PairedTTestGreater(a, b);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(PairedTTestTest, WrongDirectionHasLargePValue) {
+  const std::vector<double> worse = {0.4, 0.41, 0.39, 0.4};
+  const std::vector<double> better = {0.6, 0.61, 0.59, 0.6};
+  const TTestResult result = PairedTTestGreater(worse, better);
+  EXPECT_GT(result.p_value, 0.99);
+}
+
+TEST(PairedTTestTest, ZeroVarianceHandled) {
+  const std::vector<double> a = {0.6, 0.6, 0.6};
+  const std::vector<double> b = {0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(PairedTTestGreater(a, b).p_value, 0.0);
+  EXPECT_DOUBLE_EQ(PairedTTestGreater(b, a).p_value, 1.0);
+  EXPECT_DOUBLE_EQ(PairedTTestGreater(a, a).p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace cpd

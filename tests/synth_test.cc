@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "synth/generator.h"
+#include "test_util.h"
+#include "util/math_util.h"
+
+namespace cpd {
+namespace {
+
+TEST(SynthTest, DeterministicGivenSeed) {
+  auto a = GenerateSocialGraph(testing::TinySynthConfig(5));
+  auto b = GenerateSocialGraph(testing::TinySynthConfig(5));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->graph.num_documents(), b->graph.num_documents());
+  EXPECT_EQ(a->graph.num_friendship_links(), b->graph.num_friendship_links());
+  EXPECT_EQ(a->graph.num_diffusion_links(), b->graph.num_diffusion_links());
+  EXPECT_EQ(a->truth.user_community, b->truth.user_community);
+  // Spot-check a document.
+  EXPECT_EQ(a->graph.document(0).words, b->graph.document(0).words);
+}
+
+TEST(SynthTest, DifferentSeedsDiffer) {
+  auto a = GenerateSocialGraph(testing::TinySynthConfig(5));
+  auto b = GenerateSocialGraph(testing::TinySynthConfig(6));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->truth.user_community, b->truth.user_community);
+}
+
+TEST(SynthTest, SizesTrackConfig) {
+  const SynthConfig config = testing::TinySynthConfig();
+  auto result = GenerateSocialGraph(config);
+  ASSERT_TRUE(result.ok());
+  const SocialGraph& graph = result->graph;
+  EXPECT_EQ(graph.num_users(), static_cast<size_t>(config.num_users));
+  EXPECT_GE(graph.num_documents(), graph.num_users());  // >= 1 doc per user.
+  EXPECT_GT(graph.num_friendship_links(), graph.num_users());
+  EXPECT_GT(graph.num_diffusion_links(), 0u);
+  // Diffusion target is approximate (acceptance sampling).
+  EXPECT_LT(graph.num_diffusion_links(), graph.num_documents());
+}
+
+TEST(SynthTest, GroundTruthShapes) {
+  auto result = GenerateSocialGraph(testing::TinySynthConfig());
+  ASSERT_TRUE(result.ok());
+  const SynthGroundTruth& truth = result->truth;
+  EXPECT_EQ(truth.pi.size(), result->graph.num_users());
+  EXPECT_EQ(truth.theta.size(), static_cast<size_t>(truth.num_communities));
+  EXPECT_EQ(truth.phi.size(), static_cast<size_t>(truth.num_topics));
+  for (const auto& pi : truth.pi) {
+    double total = 0.0;
+    for (double p : pi) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  for (const auto& theta : truth.theta) {
+    double total = 0.0;
+    for (double p : theta) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  for (const auto& phi : truth.phi) {
+    double total = 0.0;
+    for (double p : phi) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+  // Eta rows normalized.
+  for (int c = 0; c < truth.num_communities; ++c) {
+    double total = 0.0;
+    for (int c2 = 0; c2 < truth.num_communities; ++c2) {
+      for (int z = 0; z < truth.num_topics; ++z) total += truth.EtaAt(c, c2, z);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(SynthTest, FriendshipsRespectCommunities) {
+  auto result = GenerateSocialGraph(testing::TinySynthConfig());
+  ASSERT_TRUE(result.ok());
+  size_t intra = 0;
+  const auto& links = result->graph.friendship_links();
+  for (const FriendshipLink& link : links) {
+    if (result->truth.user_community[static_cast<size_t>(link.u)] ==
+        result->truth.user_community[static_cast<size_t>(link.v)]) {
+      ++intra;
+    }
+  }
+  // With intra_community_fraction = 0.85 and 4 communities, the intra share
+  // should be far above the 1/4 random baseline.
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(links.size()), 0.6);
+}
+
+TEST(SynthTest, DiffusionRespectsCausality) {
+  auto result = GenerateSocialGraph(testing::TinySynthConfig());
+  ASSERT_TRUE(result.ok());
+  for (const DiffusionLink& link : result->graph.diffusion_links()) {
+    EXPECT_GE(result->graph.document(link.i).time,
+              result->graph.document(link.j).time)
+        << "diffusing doc must not precede its source";
+    EXPECT_EQ(link.time, result->graph.document(link.i).time);
+  }
+}
+
+TEST(SynthTest, SociabilityCorrelatesWithDiffusionActivity) {
+  // The planted individual factor (Fig. 5(a)'s premise): more sociable
+  // users make more diffusions.
+  SynthConfig config = testing::TinySynthConfig(77);
+  config.num_users = 150;
+  config.diffusion_per_doc = 0.8;
+  auto result = GenerateSocialGraph(config);
+  ASSERT_TRUE(result.ok());
+  std::vector<double> sociability, diffusions;
+  for (size_t u = 0; u < result->graph.num_users(); ++u) {
+    sociability.push_back(result->truth.sociability[u]);
+    diffusions.push_back(
+        static_cast<double>(result->graph.activity(static_cast<UserId>(u)).diffusions));
+  }
+  EXPECT_GT(PearsonCorrelation(sociability, diffusions), 0.15);
+}
+
+TEST(SynthTest, ThemedWordsDominateTopics) {
+  auto result = GenerateSocialGraph(testing::TinySynthConfig());
+  ASSERT_TRUE(result.ok());
+  // Top word of each planted topic must come from its theme list.
+  const Vocabulary& vocab = result->graph.corpus().vocabulary();
+  for (int z = 0; z < result->truth.num_topics; ++z) {
+    const auto& phi = result->truth.phi[static_cast<size_t>(z)];
+    const size_t top = ArgMax(phi);
+    const std::string& word = vocab.WordOf(static_cast<WordId>(top));
+    const auto& theme = ThemeWords(z % kNumThemes);
+    EXPECT_NE(std::find(theme.begin(), theme.end(), word), theme.end())
+        << "topic " << z << " top word " << word;
+  }
+}
+
+TEST(SynthTest, TwitterPresetHasHashtags) {
+  SynthConfig config = SynthConfig::TwitterLike().Scaled(0.15);
+  auto result = GenerateSocialGraph(config);
+  ASSERT_TRUE(result.ok());
+  const Vocabulary& vocab = result->graph.corpus().vocabulary();
+  bool found_hashtag = false;
+  for (size_t w = 0; w < vocab.size() && !found_hashtag; ++w) {
+    if (!vocab.WordOf(static_cast<WordId>(w)).empty() &&
+        vocab.WordOf(static_cast<WordId>(w))[0] == '#' &&
+        vocab.Frequency(static_cast<WordId>(w)) > 0) {
+      found_hashtag = true;
+    }
+  }
+  EXPECT_TRUE(found_hashtag);
+}
+
+TEST(SynthTest, DblpPresetIsSymmetric) {
+  SynthConfig config = SynthConfig::DBLPLike().Scaled(0.1);
+  auto result = GenerateSocialGraph(config);
+  ASSERT_TRUE(result.ok());
+  for (const FriendshipLink& link : result->graph.friendship_links()) {
+    EXPECT_TRUE(result->graph.HasFriendship(link.v, link.u))
+        << "co-authorship must be symmetric";
+  }
+}
+
+TEST(SynthTest, InvalidConfigsRejected) {
+  SynthConfig config = testing::TinySynthConfig();
+  config.num_users = 1;
+  EXPECT_FALSE(GenerateSocialGraph(config).ok());
+  config = testing::TinySynthConfig();
+  config.doc_length_min = 1;
+  EXPECT_FALSE(GenerateSocialGraph(config).ok());
+  config = testing::TinySynthConfig();
+  config.num_time_bins = 1;
+  EXPECT_FALSE(GenerateSocialGraph(config).ok());
+}
+
+}  // namespace
+}  // namespace cpd

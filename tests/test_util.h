@@ -1,0 +1,71 @@
+#ifndef CPD_TESTS_TEST_UTIL_H_
+#define CPD_TESTS_TEST_UTIL_H_
+
+/// \file test_util.h
+/// Shared fixtures: tiny synthetic graphs sized for unit tests (seconds, not
+/// minutes) and a cached medium graph for integration tests.
+
+#include "graph/graph_builder.h"
+#include "graph/social_graph.h"
+#include "synth/generator.h"
+#include "synth/synth_config.h"
+#include "util/logging.h"
+
+namespace cpd::testing {
+
+/// Small planted graph: ~60 users, 4 communities, 6 topics.
+inline SynthConfig TinySynthConfig(uint64_t seed = 99) {
+  SynthConfig config;
+  config.num_users = 60;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.background_vocab = 200;
+  config.docs_per_user_mean = 4.0;
+  config.doc_length_min = 4;
+  config.doc_length_max = 8;
+  config.num_time_bins = 8;
+  config.avg_friend_degree = 6.0;
+  config.diffusion_per_doc = 0.5;
+  config.diffusion_same_topic = 0.8;  // Twitter-ish fixture.
+  config.seed = seed;
+  return config;
+}
+
+inline SynthResult MakeTinyGraph(uint64_t seed = 99) {
+  auto result = GenerateSocialGraph(TinySynthConfig(seed));
+  CPD_CHECK(result.ok());
+  return std::move(*result);
+}
+
+/// Hand-built 4-user graph with known structure:
+///   users 0,1 in a clique; users 2,3 in a clique; one cross link 1->2.
+///   docs: one per user; diffusion 0->1 (t=0), 2->3 (t=1).
+inline SocialGraph MakeHandGraph() {
+  GraphBuilder builder;
+  builder.SetNumUsers(4);
+  std::vector<WordId> words;
+  Vocabulary vocab;
+  const WordId apple = vocab.GetOrAdd("apple");
+  const WordId banana = vocab.GetOrAdd("banana");
+  const WordId cherry = vocab.GetOrAdd("cherry");
+  builder.SetVocabulary(vocab);
+  // Documents (ids 0..3, one per user).
+  for (UserId u = 0; u < 4; ++u) {
+    words = {apple, banana, u >= 2 ? cherry : apple};
+    CPD_CHECK_EQ(builder.AddTokenizedDocument(u, u, words), u);
+  }
+  builder.AddFriendship(0, 1);
+  builder.AddFriendship(1, 0);
+  builder.AddFriendship(2, 3);
+  builder.AddFriendship(3, 2);
+  builder.AddFriendship(1, 2);
+  builder.AddDiffusion(0, 1, 0);
+  builder.AddDiffusion(2, 3, 1);
+  auto graph = builder.Build();
+  CPD_CHECK(graph.ok());
+  return std::move(*graph);
+}
+
+}  // namespace cpd::testing
+
+#endif  // CPD_TESTS_TEST_UTIL_H_

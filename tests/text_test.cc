@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace cpd {
+namespace {
+
+// Reference pairs from Porter's published vocabulary examples.
+TEST(PorterStemmerTest, ClassicExamples) {
+  EXPECT_EQ(PorterStem("caresses"), "caress");
+  EXPECT_EQ(PorterStem("ponies"), "poni");
+  EXPECT_EQ(PorterStem("caress"), "caress");
+  EXPECT_EQ(PorterStem("cats"), "cat");
+  EXPECT_EQ(PorterStem("feed"), "feed");
+  EXPECT_EQ(PorterStem("agreed"), "agre");
+  EXPECT_EQ(PorterStem("plastered"), "plaster");
+  EXPECT_EQ(PorterStem("bled"), "bled");
+  EXPECT_EQ(PorterStem("motoring"), "motor");
+  EXPECT_EQ(PorterStem("sing"), "sing");
+  EXPECT_EQ(PorterStem("conflated"), "conflat");
+  EXPECT_EQ(PorterStem("troubled"), "troubl");
+  EXPECT_EQ(PorterStem("sized"), "size");
+  EXPECT_EQ(PorterStem("hopping"), "hop");
+  EXPECT_EQ(PorterStem("tanned"), "tan");
+  EXPECT_EQ(PorterStem("falling"), "fall");
+  EXPECT_EQ(PorterStem("hissing"), "hiss");
+  EXPECT_EQ(PorterStem("fizzed"), "fizz");
+  EXPECT_EQ(PorterStem("failing"), "fail");
+  EXPECT_EQ(PorterStem("filing"), "file");
+  EXPECT_EQ(PorterStem("happy"), "happi");
+  EXPECT_EQ(PorterStem("sky"), "sky");
+}
+
+TEST(PorterStemmerTest, Step2Through4Examples) {
+  EXPECT_EQ(PorterStem("relational"), "relat");
+  EXPECT_EQ(PorterStem("conditional"), "condit");
+  EXPECT_EQ(PorterStem("rational"), "ration");
+  EXPECT_EQ(PorterStem("valency"), "valenc");
+  EXPECT_EQ(PorterStem("digitizer"), "digit");
+  EXPECT_EQ(PorterStem("conformably"), "conform");
+  EXPECT_EQ(PorterStem("radically"), "radic");
+  EXPECT_EQ(PorterStem("differently"), "differ");
+  EXPECT_EQ(PorterStem("vileness"), "vile");
+  EXPECT_EQ(PorterStem("analogously"), "analog");
+  EXPECT_EQ(PorterStem("vietnamization"), "vietnam");
+  EXPECT_EQ(PorterStem("predication"), "predic");
+  EXPECT_EQ(PorterStem("operator"), "oper");
+  EXPECT_EQ(PorterStem("feudalism"), "feudal");
+  EXPECT_EQ(PorterStem("decisiveness"), "decis");
+  EXPECT_EQ(PorterStem("hopefulness"), "hope");
+  EXPECT_EQ(PorterStem("formality"), "formal");
+  EXPECT_EQ(PorterStem("sensitivity"), "sensit");
+  EXPECT_EQ(PorterStem("triplicate"), "triplic");
+  EXPECT_EQ(PorterStem("formative"), "form");
+  EXPECT_EQ(PorterStem("formalize"), "formal");
+  EXPECT_EQ(PorterStem("electricity"), "electr");
+  EXPECT_EQ(PorterStem("hopeful"), "hope");
+  EXPECT_EQ(PorterStem("goodness"), "good");
+  EXPECT_EQ(PorterStem("revival"), "reviv");
+  EXPECT_EQ(PorterStem("allowance"), "allow");
+  EXPECT_EQ(PorterStem("inference"), "infer");
+  EXPECT_EQ(PorterStem("airliner"), "airlin");
+  EXPECT_EQ(PorterStem("adjustment"), "adjust");
+  EXPECT_EQ(PorterStem("dependent"), "depend");
+  EXPECT_EQ(PorterStem("adoption"), "adopt");
+  EXPECT_EQ(PorterStem("homologous"), "homolog");
+  EXPECT_EQ(PorterStem("effective"), "effect");
+  EXPECT_EQ(PorterStem("bowdlerize"), "bowdler");
+}
+
+TEST(PorterStemmerTest, Step5Examples) {
+  EXPECT_EQ(PorterStem("probate"), "probat");
+  EXPECT_EQ(PorterStem("rate"), "rate");
+  EXPECT_EQ(PorterStem("cease"), "ceas");
+  EXPECT_EQ(PorterStem("controll"), "control");
+  EXPECT_EQ(PorterStem("roll"), "roll");
+}
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("go"), "go");
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(StopwordsTest, CommonWordsDetected) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("rt"));  // Twitter artifact.
+  EXPECT_FALSE(IsStopword("network"));
+}
+
+TEST(StopwordsTest, FunctionWordsDetected) {
+  EXPECT_TRUE(IsFunctionWord("toward"));
+  EXPECT_TRUE(IsFunctionWord("lol"));
+  EXPECT_FALSE(IsFunctionWord("database"));
+}
+
+TEST(TokenizerTest, BasicPipeline) {
+  const auto tokens = Tokenize("The networks are ROUTING packets!");
+  // "the"/"are" are stopwords; rest stemmed + lowercased.
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "network");
+  EXPECT_EQ(tokens[1], "rout");
+  EXPECT_EQ(tokens[2], "packet");
+}
+
+TEST(TokenizerTest, HashtagsPreservedUnstemmed) {
+  const auto tokens = Tokenize("#DeepLearning is amazing #ai");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "#deeplearning");  // Not stemmed, case folded.
+  EXPECT_EQ(tokens[1], "amaz");
+  EXPECT_EQ(tokens[2], "#ai");  // Hashtag min length is 1 + min_token_length.
+}
+
+TEST(TokenizerTest, UrlsAndNumbersDropped) {
+  const auto tokens = Tokenize("see https://example.com 12345 details42");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "see");
+  EXPECT_EQ(tokens[1], "details42");
+}
+
+TEST(TokenizerTest, PunctuationStripped) {
+  const auto tokens = Tokenize("hello, world!!! (testing)");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "test");
+}
+
+TEST(TokenizerTest, OptionsDisablePipelineStages) {
+  TokenizerOptions options;
+  options.stem = false;
+  options.remove_stopwords = false;
+  options.remove_function_words = false;
+  const auto tokens = Tokenize("the running dogs", options);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], "running");
+}
+
+TEST(VocabularyTest, GetOrAddIsIdempotent) {
+  Vocabulary vocab;
+  const WordId a = vocab.GetOrAdd("alpha");
+  const WordId b = vocab.GetOrAdd("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), a);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.WordOf(a), "alpha");
+}
+
+TEST(VocabularyTest, FindMissingReturnsInvalid) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("x");
+  EXPECT_EQ(vocab.Find("y"), kInvalidWord);
+  EXPECT_NE(vocab.Find("x"), kInvalidWord);
+}
+
+TEST(VocabularyTest, FrequencyAccumulates) {
+  Vocabulary vocab;
+  const WordId w = vocab.GetOrAdd("data");
+  vocab.CountOccurrence(w);
+  vocab.CountOccurrence(w, 4);
+  EXPECT_EQ(vocab.Frequency(w), 5);
+}
+
+TEST(VocabularyTest, SaveLoadRoundTrip) {
+  Vocabulary vocab;
+  vocab.CountOccurrence(vocab.GetOrAdd("one"), 1);
+  vocab.CountOccurrence(vocab.GetOrAdd("two"), 2);
+  const std::string path = ::testing::TempDir() + "/cpd_vocab_test.tsv";
+  ASSERT_TRUE(vocab.SaveToFile(path).ok());
+  auto loaded = Vocabulary::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->Frequency(loaded->Find("two")), 2);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,137 @@
+// Command-line front end: train CPD on TSV dumps and emit the profiles,
+// without writing any C++. Input format (see graph/graph_io.h):
+//   docs.tsv:      user_id <TAB> time_bin <TAB> raw text
+//   friends.tsv:   u <TAB> v
+//   diffusion.tsv: doc_row_i <TAB> doc_row_j <TAB> time_bin
+//
+// Usage:
+//   cpd_train --users N --docs docs.tsv --friends friends.tsv
+//             --diffusion diffusion.tsv [--communities 20] [--topics 20]
+//             [--iterations 15] [--threads 1] [--seed 42]
+//             [--model out.cpd] [--dot diffusion.dot] [--json profiles.json]
+//
+// Prints dataset statistics, training progress, community labels and the
+// topic-aggregated diffusion matrix; optionally saves the model and the
+// Fig. 7-style visualization exports.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "apps/visualization.h"
+#include "core/cpd_model.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "util/file_util.h"
+#include "util/timer.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --users N --docs docs.tsv --friends friends.tsv "
+               "--diffusion diffusion.tsv\n"
+               "          [--communities 20] [--topics 20] [--iterations 15]\n"
+               "          [--threads 1] [--seed 42] [--model out.cpd]\n"
+               "          [--dot out.dot] [--json out.json]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (argv[i][0] != '-' || argv[i][1] != '-') {
+      Usage(argv[0]);
+      return 2;
+    }
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  auto get = [&args](const std::string& key, const std::string& fallback) {
+    auto it = args.find(key);
+    return it == args.end() ? fallback : it->second;
+  };
+  if (!args.count("users") || !args.count("docs") || !args.count("friends") ||
+      !args.count("diffusion")) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  const size_t num_users = std::strtoull(args["users"].c_str(), nullptr, 10);
+  std::printf("loading graph (%zu users)...\n", num_users);
+  auto graph = cpd::LoadSocialGraph(num_users, args["docs"], args["friends"],
+                                    args["diffusion"]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", cpd::GraphStatsToString(cpd::ComputeGraphStats(*graph)).c_str());
+
+  cpd::CpdConfig config;
+  config.num_communities = std::atoi(get("communities", "20").c_str());
+  config.num_topics = std::atoi(get("topics", "20").c_str());
+  config.em_iterations = std::atoi(get("iterations", "15").c_str());
+  config.num_threads = std::atoi(get("threads", "1").c_str());
+  config.seed = std::strtoull(get("seed", "42").c_str(), nullptr, 10);
+  config.verbose = true;
+
+  std::printf("training CPD: |C|=%d |Z|=%d T1=%d threads=%d...\n",
+              config.num_communities, config.num_topics, config.em_iterations,
+              config.num_threads);
+  cpd::WallTimer timer;
+  auto model = cpd::CpdModel::Train(*graph, config);
+  if (!model.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trained in %.1fs (E-step %.1fs, M-step %.1fs)\n\n",
+              timer.ElapsedSeconds(), model->stats().e_step_seconds,
+              model->stats().m_step_seconds);
+
+  const cpd::Vocabulary& vocab = graph->corpus().vocabulary();
+  std::printf("communities:\n");
+  for (int c = 0; c < model->num_communities(); ++c) {
+    std::printf("  c%02d: %s\n", c,
+                cpd::CommunityLabel(*model, vocab, c, 5).c_str());
+  }
+  std::printf("\ntopic-aggregated diffusion profile (row diffuses column):\n");
+  for (int c = 0; c < model->num_communities(); ++c) {
+    std::printf("  c%02d:", c);
+    for (int c2 = 0; c2 < model->num_communities(); ++c2) {
+      std::printf(" %.3f", model->EtaAggregated(c, c2));
+    }
+    std::printf("\n");
+  }
+
+  if (args.count("model")) {
+    const cpd::Status status = model->SaveToFile(args["model"]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "model save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nmodel -> %s\n", args["model"].c_str());
+  }
+  cpd::VisualizationOptions viz;
+  if (args.count("dot")) {
+    const cpd::Status status = cpd::WriteStringToFile(
+        args["dot"], cpd::ExportDiffusionDot(*model, vocab, viz));
+    if (!status.ok()) {
+      std::fprintf(stderr, "dot export failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("visualization -> %s\n", args["dot"].c_str());
+  }
+  if (args.count("json")) {
+    const cpd::Status status = cpd::WriteStringToFile(
+        args["json"], cpd::ExportProfilesJson(*model, vocab, viz));
+    if (!status.ok()) {
+      std::fprintf(stderr, "json export failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("profiles -> %s\n", args["json"].c_str());
+  }
+  return 0;
+}
