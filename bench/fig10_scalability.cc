@@ -45,13 +45,15 @@ SocialGraph Subsample(const SocialGraph& graph, double p, uint64_t seed) {
   return std::move(*built);
 }
 
-// Seconds for one E-step at the given thread count.
+// Seconds for one E-step at the given thread count and sampler backend.
 double TimeEStep(const SocialGraph& graph, const BenchScale& scale,
-                 int num_threads) {
+                 int num_threads,
+                 SamplerMode sampler_mode = SamplerMode::kDense) {
   CpdConfig config = BaseCpdConfig(scale);
   config.num_communities = scale.community_sweep[1];
   config.gibbs_sweeps_per_em = 1;
   config.num_threads = num_threads;
+  config.sampler_mode = sampler_mode;
   EmTrainer trainer(graph, config);
   CPD_CHECK(trainer.Initialize().ok());
   CPD_CHECK(trainer.EStep().ok());  // Warm-up (builds the thread plan).
@@ -64,7 +66,8 @@ double TimeEStep(const SocialGraph& graph, const BenchScale& scale,
 void PanelA(const BenchDataset& dataset, const BenchScale& scale) {
   TableWriter table("Fig 10(a): E-step seconds vs dataset fraction - " +
                     dataset.name);
-  table.SetHeader({"fraction", "serial (s)", "parallel (s)"});
+  table.SetHeader(
+      {"fraction", "serial (s)", "parallel (s)", "serial sparse (s)"});
   std::vector<double> fractions, serial_times;
   const int cores =
       std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
@@ -72,7 +75,8 @@ void PanelA(const BenchDataset& dataset, const BenchScale& scale) {
     const SocialGraph sub = Subsample(dataset.data.graph, p, 1010);
     const double serial = TimeEStep(sub, scale, 1);
     const double parallel = TimeEStep(sub, scale, cores);
-    table.AddRow(FormatDouble(p, 1), {serial, parallel}, 4);
+    const double sparse = TimeEStep(sub, scale, 1, SamplerMode::kSparse);
+    table.AddRow(FormatDouble(p, 1), {serial, parallel, sparse}, 4);
     fractions.push_back(p);
     serial_times.push_back(serial);
   }
@@ -81,6 +85,28 @@ void PanelA(const BenchDataset& dataset, const BenchScale& scale) {
   std::printf("Linearity check (paper: time is linear in data size): "
               "serial time = %.4f * p + %.4f, R^2 = %.4f\n\n",
               fit.slope, fit.intercept, fit.r_squared);
+}
+
+// Not in the paper: E-step seconds for the dense vs the sparse (alias + MH)
+// backend as the community count grows — the axis on which the sparse
+// sampler is designed to win (amortized O(k_d + nnz) per document).
+void PanelSamplerMode(const BenchDataset& dataset, const BenchScale& scale) {
+  TableWriter table("Fig 10(+): E-step seconds, dense vs sparse backend - " +
+                    dataset.name);
+  table.SetHeader({"|C|", "dense (s)", "sparse (s)", "speedup"});
+  for (int communities : scale.community_sweep) {
+    BenchScale point = scale;
+    point.community_sweep = {communities, communities};
+    const double dense =
+        TimeEStep(dataset.data.graph, point, 1, SamplerMode::kDense);
+    const double sparse =
+        TimeEStep(dataset.data.graph, point, 1, SamplerMode::kSparse);
+    table.AddRow(std::to_string(communities), {dense, sparse, dense / sparse},
+                 4);
+  }
+  table.Print();
+  std::printf("Sparse backend target: >= 2x dense throughput at large |C|/|Z| "
+              "(see BENCH_sampler.json from bench_micro_benchmarks).\n\n");
 }
 
 void PanelB(const BenchDataset& dataset, const BenchScale& scale) {
@@ -105,6 +131,7 @@ void Run() {
     PrintBenchHeader("Figure 10: scalability", scale, *dataset);
     PanelA(*dataset, scale);
     PanelB(*dataset, scale);
+    PanelSamplerMode(*dataset, scale);
   }
 }
 

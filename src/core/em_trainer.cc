@@ -67,6 +67,13 @@ Status EmTrainer::EStep() {
   stats_.thread_actual_seconds.assign(static_cast<size_t>(num_threads), 0.0);
 
   for (int sweep = 0; sweep < config_.gibbs_sweeps_per_em; ++sweep) {
+    // Sparse mode: refresh the stale alias proposal tables once per sweep,
+    // sharded over the pool, before the segment fan-out (the tables are
+    // shared and read-only during the sweep; MH corrects the staleness).
+    if (config_.sampler_mode == SamplerMode::kSparse) {
+      sampler_->RebuildSparseTables(pool_.get());
+    }
+
     // Phase 1: document sweeps on disjoint user segments.
     for (int t = 0; t < num_threads; ++t) {
       pool_->Submit([this, t] {

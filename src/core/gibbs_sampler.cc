@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "parallel/thread_pool.h"
 #include "sampling/distributions.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -30,6 +31,46 @@ inline void Add64(int64_t* x, int64_t d, bool concurrent) {
 }
 
 }  // namespace
+
+void SparseSamplerTables::Rebuild(const ModelState& state, ThreadPool* pool) {
+  const int kc = state.num_communities;
+  const int kz = state.num_topics;
+  const size_t vocab = state.vocab_size;
+  community_topic.resize(static_cast<size_t>(kc));
+  word_topic.resize(vocab);
+
+  const auto build_community = [this, &state, kz](size_t c) {
+    static thread_local std::vector<double> weights;
+    weights.resize(static_cast<size_t>(kz));
+    const size_t base = c * static_cast<size_t>(kz);
+    for (int z = 0; z < kz; ++z) {
+      weights[static_cast<size_t>(z)] =
+          static_cast<double>(state.n_cz[base + static_cast<size_t>(z)]) +
+          state.alpha;
+    }
+    community_topic[c].Rebuild(weights);
+  };
+  const auto build_word = [this, &state, kz, vocab](size_t w) {
+    static thread_local std::vector<double> weights;
+    weights.resize(static_cast<size_t>(kz));
+    for (int z = 0; z < kz; ++z) {
+      weights[static_cast<size_t>(z)] =
+          static_cast<double>(state.n_zw[static_cast<size_t>(z) * vocab + w]) +
+          state.beta;
+    }
+    word_topic[w].Rebuild(weights);
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1) {
+    // Shard whole table groups per worker; each alias rebuild is O(|Z|) so
+    // chunking by index keeps the per-task overhead negligible.
+    ParallelFor(pool, static_cast<size_t>(kc), build_community);
+    ParallelFor(pool, vocab, build_word);
+  } else {
+    for (size_t c = 0; c < static_cast<size_t>(kc); ++c) build_community(c);
+    for (size_t w = 0; w < vocab; ++w) build_word(w);
+  }
+}
 
 GibbsSampler::GibbsSampler(const SocialGraph& graph, const CpdConfig& config,
                            const LinkCaches& caches, ModelState* state)
@@ -93,7 +134,75 @@ double GibbsSampler::LinkLogLikelihood() const {
   return total;
 }
 
+void GibbsSampler::RemoveDocTopicCounts(const Document& doc, int32_t c,
+                                        int32_t z, bool concurrent) {
+  ModelState& s = *state_;
+  const int kz = s.num_topics;
+  const size_t vocab = s.vocab_size;
+  Add32(&s.n_cz[static_cast<size_t>(c) * kz + z], -1, concurrent);
+  Add32(&s.n_c[static_cast<size_t>(c)], -1, concurrent);
+  for (WordId w : doc.words) {
+    Add32(&s.n_zw[static_cast<size_t>(z) * vocab + static_cast<size_t>(w)], -1,
+          concurrent);
+  }
+  Add64(&s.n_z[static_cast<size_t>(z)],
+        -static_cast<int64_t>(doc.words.size()), concurrent);
+}
+
+void GibbsSampler::AddDocTopicCounts(const Document& doc, int32_t c, int32_t z,
+                                     bool concurrent) {
+  ModelState& s = *state_;
+  const int kz = s.num_topics;
+  const size_t vocab = s.vocab_size;
+  Add32(&s.n_cz[static_cast<size_t>(c) * kz + z], 1, concurrent);
+  Add32(&s.n_c[static_cast<size_t>(c)], 1, concurrent);
+  for (WordId w : doc.words) {
+    Add32(&s.n_zw[static_cast<size_t>(z) * vocab + static_cast<size_t>(w)], 1,
+          concurrent);
+  }
+  Add64(&s.n_z[static_cast<size_t>(z)], static_cast<int64_t>(doc.words.size()),
+        concurrent);
+}
+
+void GibbsSampler::RemoveDocCommunityCounts(UserId u, int32_t c, int32_t z,
+                                            bool concurrent) {
+  ModelState& s = *state_;
+  const int kz = s.num_topics;
+  const int kc = s.num_communities;
+  Add32(&s.n_uc[static_cast<size_t>(u) * kc + c], -1, concurrent);
+  Add32(&s.n_u[static_cast<size_t>(u)], -1, concurrent);
+  Add32(&s.n_cz[static_cast<size_t>(c) * kz + z], -1, concurrent);
+  Add32(&s.n_c[static_cast<size_t>(c)], -1, concurrent);
+}
+
+void GibbsSampler::AddDocCommunityCounts(UserId u, int32_t c, int32_t z,
+                                         bool concurrent) {
+  ModelState& s = *state_;
+  const int kz = s.num_topics;
+  const int kc = s.num_communities;
+  Add32(&s.n_uc[static_cast<size_t>(u) * kc + c], 1, concurrent);
+  Add32(&s.n_u[static_cast<size_t>(u)], 1, concurrent);
+  Add32(&s.n_cz[static_cast<size_t>(c) * kz + z], 1, concurrent);
+  Add32(&s.n_c[static_cast<size_t>(c)], 1, concurrent);
+}
+
 void GibbsSampler::ResampleTopic(DocId d, bool concurrent, Rng* rng) {
+  if (config_.sampler_mode == SamplerMode::kSparse) {
+    ResampleTopicSparse(d, concurrent, rng);
+  } else {
+    ResampleTopicDense(d, concurrent, rng);
+  }
+}
+
+void GibbsSampler::ResampleCommunity(DocId d, bool concurrent, Rng* rng) {
+  if (config_.sampler_mode == SamplerMode::kSparse) {
+    ResampleCommunitySparse(d, concurrent, rng);
+  } else {
+    ResampleCommunityDense(d, concurrent, rng);
+  }
+}
+
+void GibbsSampler::ResampleTopicDense(DocId d, bool concurrent, Rng* rng) {
   ModelState& s = *state_;
   const Document& doc = graph_.document(d);
   const UserId u = doc.user;
@@ -104,13 +213,7 @@ void GibbsSampler::ResampleTopic(DocId d, bool concurrent, Rng* rng) {
   const size_t len = doc.words.size();
 
   // Exclude the document: topic-side counters only (community unchanged).
-  Add32(&s.n_cz[static_cast<size_t>(c) * kz + z_old], -1, concurrent);
-  Add32(&s.n_c[static_cast<size_t>(c)], -1, concurrent);
-  for (WordId w : doc.words) {
-    Add32(&s.n_zw[static_cast<size_t>(z_old) * vocab + static_cast<size_t>(w)], -1,
-          concurrent);
-  }
-  Add64(&s.n_z[static_cast<size_t>(z_old)], -static_cast<int64_t>(len), concurrent);
+  RemoveDocTopicCounts(doc, c, z_old, concurrent);
 
   static thread_local std::vector<double> logw;
   logw.assign(static_cast<size_t>(kz), 0.0);
@@ -161,16 +264,170 @@ void GibbsSampler::ResampleTopic(DocId d, bool concurrent, Rng* rng) {
   const int32_t z_new =
       static_cast<int32_t>(SampleCategoricalFromLog(logw, rng));
   s.doc_topic[static_cast<size_t>(d)] = z_new;
-  Add32(&s.n_cz[static_cast<size_t>(c) * kz + z_new], 1, concurrent);
-  Add32(&s.n_c[static_cast<size_t>(c)], 1, concurrent);
-  for (WordId w : doc.words) {
-    Add32(&s.n_zw[static_cast<size_t>(z_new) * vocab + static_cast<size_t>(w)], 1,
-          concurrent);
-  }
-  Add64(&s.n_z[static_cast<size_t>(z_new)], static_cast<int64_t>(len), concurrent);
+  AddDocTopicCounts(doc, c, z_new, concurrent);
 }
 
-void GibbsSampler::ResampleCommunity(DocId d, bool concurrent, Rng* rng) {
+double GibbsSampler::TopicLogWeight(DocId d, const Document& doc, int32_t c,
+                                    int z) const {
+  const ModelState& s = *state_;
+  const int kz = s.num_topics;
+  const size_t vocab = s.vocab_size;
+  const size_t len = doc.words.size();
+  const double v_beta = static_cast<double>(vocab) * s.beta;
+
+  double lw = std::log(
+      static_cast<double>(s.n_cz[static_cast<size_t>(c) * kz + z]) + s.alpha);
+  // Dirichlet-multinomial word term over unique words: the histogram form of
+  // the dense path's "+ occurrences so far" product (same multiset, so the
+  // same value without the O(len^2) rescan).
+  for (const SparseCount& entry : s.doc_words.Row(d)) {
+    const double base = static_cast<double>(
+        s.n_zw[static_cast<size_t>(z) * vocab + static_cast<size_t>(entry.index)]);
+    for (int i = 0; i < entry.count; ++i) {
+      lw += std::log(base + s.beta + static_cast<double>(i));
+    }
+  }
+  for (size_t j = 0; j < len; ++j) {
+    lw -= std::log(static_cast<double>(s.n_z[static_cast<size_t>(z)]) + v_beta +
+                   static_cast<double>(j));
+  }
+
+  if (config_.ablation.model_diffusion && config_.ablation.heterogeneous_links &&
+      community_uses_diffusion_) {
+    const UserId u = doc.user;
+    for (int32_t e_idx : graph_.DiffusionNeighbors(d)) {
+      const DiffusionLink& link =
+          graph_.diffusion_links()[static_cast<size_t>(e_idx)];
+      if (link.i != d) continue;
+      const UserId v = graph_.document(link.j).user;
+      const double de = s.delta[static_cast<size_t>(e_idx)];
+      const double score = s.CommunityDiffusionScore(u, v, z);
+      const double w =
+          LinkEnergyParts(u, v, z, link.time, static_cast<size_t>(e_idx), score);
+      lw += LogPsi(w, de);
+    }
+  }
+  return lw;
+}
+
+void GibbsSampler::ResampleTopicSparse(DocId d, bool concurrent, Rng* rng) {
+  if (!tables_.ready()) {
+    // Lazy init is inherently serial; a concurrent caller that skipped
+    // RebuildSparseTables() would race the table construction, so fail
+    // loudly instead of corrupting memory.
+    CPD_CHECK(!concurrent);
+    RebuildSparseTables();
+  }
+  ModelState& s = *state_;
+  const Document& doc = graph_.document(d);
+  const int32_t c = s.doc_community[static_cast<size_t>(d)];
+  const int32_t z_old = s.doc_topic[static_cast<size_t>(d)];
+  const size_t len = doc.words.size();
+
+  RemoveDocTopicCounts(doc, c, z_old, concurrent);
+
+  // MH chain targeting the exact conditional, started at the current
+  // assignment. Cycle proposals: even steps draw from the community-prior
+  // table, odd steps from a random word's table. Both proposals have full
+  // support (alpha/beta smoothing), so the chain is irreducible regardless
+  // of staleness.
+  int32_t z_cur = z_old;
+  double lw_cur = TopicLogWeight(d, doc, c, z_cur);
+  int64_t proposals = 0;
+  int64_t accepts = 0;
+  for (int step = 0; step < config_.mh_steps; ++step) {
+    const bool word_proposal = (step % 2 == 1) && len > 0;
+    const AliasTable& table =
+        word_proposal
+            ? tables_.word_topic[static_cast<size_t>(
+                  doc.words[static_cast<size_t>(rng->NextUint64(len))])]
+            : tables_.community_topic[static_cast<size_t>(c)];
+    const int32_t z_prop = static_cast<int32_t>(table.Sample(rng));
+    ++proposals;
+    if (z_prop == z_cur) {
+      ++accepts;
+      continue;
+    }
+    const double lw_prop = TopicLogWeight(d, doc, c, z_prop);
+    const double log_accept =
+        lw_prop - lw_cur +
+        std::log(table.Probability(static_cast<size_t>(z_cur))) -
+        std::log(table.Probability(static_cast<size_t>(z_prop)));
+    if (log_accept >= 0.0 || rng->NextDoubleOpen() < std::exp(log_accept)) {
+      z_cur = z_prop;
+      lw_cur = lw_prop;
+      ++accepts;
+    }
+  }
+  topic_proposals_.fetch_add(proposals, std::memory_order_relaxed);
+  topic_accepts_.fetch_add(accepts, std::memory_order_relaxed);
+
+  s.doc_topic[static_cast<size_t>(d)] = z_cur;
+  AddDocTopicCounts(doc, c, z_cur, concurrent);
+}
+
+double GibbsSampler::FillMembershipVector(UserId other, const double* q,
+                                          double* out) const {
+  const ModelState& s = *state_;
+  const int kc = s.num_communities;
+  const double other_denom =
+      static_cast<double>(s.n_u[static_cast<size_t>(other)]) +
+      static_cast<double>(kc) * s.rho;
+  double base = 0.0;
+  for (int c = 0; c < kc; ++c) {
+    out[c] = (static_cast<double>(s.n_uc[static_cast<size_t>(other) * kc + c]) +
+              s.rho) /
+             other_denom;
+    base += q[c] * out[c];
+  }
+  return base;
+}
+
+double GibbsSampler::FillEtaCollapseVector(UserId other, int z_e,
+                                           bool is_source, const double* q,
+                                           const double* th,
+                                           double* out) const {
+  const ModelState& s = *state_;
+  const int kc = s.num_communities;
+  static thread_local std::vector<double> pio;
+  pio.resize(static_cast<size_t>(kc));
+  const double other_denom =
+      static_cast<double>(s.n_u[static_cast<size_t>(other)]) +
+      static_cast<double>(kc) * s.rho;
+  for (int c = 0; c < kc; ++c) {
+    pio[static_cast<size_t>(c)] =
+        (static_cast<double>(s.n_uc[static_cast<size_t>(other) * kc + c]) +
+         s.rho) /
+        other_denom;
+  }
+  // a[c] collapses the fixed endpoint so each candidate costs O(1):
+  //   source side: a[c]  = th[c]  sum_c' eta[c][c'][z_e] th[c'] pio[c']
+  //   target side: a[c'] = th[c'] sum_c  eta[c][c'][z_e] th[c]  pio[c]
+  if (is_source) {
+    for (int c = 0; c < kc; ++c) {
+      double inner = 0.0;
+      for (int c2 = 0; c2 < kc; ++c2) {
+        inner += s.EtaAt(c, c2, z_e) * th[c2] * pio[static_cast<size_t>(c2)];
+      }
+      out[c] = th[c] * inner;
+    }
+  } else {
+    for (int c2 = 0; c2 < kc; ++c2) {
+      double inner = 0.0;
+      for (int c = 0; c < kc; ++c) {
+        inner += s.EtaAt(c, c2, z_e) * th[c] * pio[static_cast<size_t>(c)];
+      }
+      out[c2] = th[c2] * inner;
+    }
+  }
+  double base = 0.0;
+  for (int c = 0; c < kc; ++c) {
+    base += q[c] * out[c];
+  }
+  return base;
+}
+
+void GibbsSampler::ResampleCommunityDense(DocId d, bool concurrent, Rng* rng) {
   if (freeze_communities_) return;
   ModelState& s = *state_;
   const Document& doc = graph_.document(d);
@@ -181,10 +438,7 @@ void GibbsSampler::ResampleCommunity(DocId d, bool concurrent, Rng* rng) {
   const int32_t c_old = s.doc_community[static_cast<size_t>(d)];
 
   // Exclude the document: community-side counters.
-  Add32(&s.n_uc[static_cast<size_t>(u) * kc + c_old], -1, concurrent);
-  Add32(&s.n_u[static_cast<size_t>(u)], -1, concurrent);
-  Add32(&s.n_cz[static_cast<size_t>(c_old) * kz + z], -1, concurrent);
-  Add32(&s.n_c[static_cast<size_t>(c_old)], -1, concurrent);
+  RemoveDocCommunityCounts(u, c_old, z, concurrent);
 
   static thread_local std::vector<double> logw, q, pio, th, a;
   logw.assign(static_cast<size_t>(kc), 0.0);
@@ -216,17 +470,7 @@ void GibbsSampler::ResampleCommunity(DocId d, bool concurrent, Rng* rng) {
       const FriendshipLink& fl = graph_.friendship_links()[static_cast<size_t>(f_idx)];
       const UserId other = (fl.u == u) ? fl.v : fl.u;
       const double lam = s.lambda[static_cast<size_t>(f_idx)];
-      const double other_denom =
-          static_cast<double>(s.n_u[static_cast<size_t>(other)]) +
-          static_cast<double>(kc) * s.rho;
-      double base = 0.0;
-      for (int c = 0; c < kc; ++c) {
-        pio[static_cast<size_t>(c)] =
-            (static_cast<double>(s.n_uc[static_cast<size_t>(other) * kc + c]) +
-             s.rho) /
-            other_denom;
-        base += q[static_cast<size_t>(c)] * pio[static_cast<size_t>(c)];
-      }
+      const double base = FillMembershipVector(other, q.data(), pio.data());
       for (int cand = 0; cand < kc; ++cand) {
         const double dot = (base + pio[static_cast<size_t>(cand)]) / denom_pi;
         logw[static_cast<size_t>(cand)] += LogPsi(dot, lam);
@@ -248,17 +492,7 @@ void GibbsSampler::ResampleCommunity(DocId d, bool concurrent, Rng* rng) {
 
       if (!config_.ablation.heterogeneous_links) {
         // Ablated variant: diffusion links behave like friendship links.
-        const double other_denom =
-            static_cast<double>(s.n_u[static_cast<size_t>(other)]) +
-            static_cast<double>(kc) * s.rho;
-        double base = 0.0;
-        for (int c = 0; c < kc; ++c) {
-          pio[static_cast<size_t>(c)] =
-              (static_cast<double>(s.n_uc[static_cast<size_t>(other) * kc + c]) +
-               s.rho) /
-              other_denom;
-          base += q[static_cast<size_t>(c)] * pio[static_cast<size_t>(c)];
-        }
+        const double base = FillMembershipVector(other, q.data(), pio.data());
         for (int cand = 0; cand < kc; ++cand) {
           const double dot = (base + pio[static_cast<size_t>(cand)]) / denom_pi;
           logw[static_cast<size_t>(cand)] += LogPsi(dot, de);
@@ -272,41 +506,8 @@ void GibbsSampler::ResampleCommunity(DocId d, bool concurrent, Rng* rng) {
       for (int c = 0; c < kc; ++c) {
         th[static_cast<size_t>(c)] = s.ThetaHat(c, z_e);
       }
-      const double other_denom =
-          static_cast<double>(s.n_u[static_cast<size_t>(other)]) +
-          static_cast<double>(kc) * s.rho;
-      for (int c = 0; c < kc; ++c) {
-        pio[static_cast<size_t>(c)] =
-            (static_cast<double>(s.n_uc[static_cast<size_t>(other) * kc + c]) +
-             s.rho) /
-            other_denom;
-      }
-      // a[c] collapses the fixed endpoint so each candidate costs O(1):
-      //   source side: a[c]  = th[c]  sum_c' eta[c][c'][z_e] th[c'] pio[c']
-      //   target side: a[c'] = th[c'] sum_c  eta[c][c'][z_e] th[c]  pio[c]
-      if (is_source) {
-        for (int c = 0; c < kc; ++c) {
-          double inner = 0.0;
-          for (int c2 = 0; c2 < kc; ++c2) {
-            inner += s.EtaAt(c, c2, z_e) * th[static_cast<size_t>(c2)] *
-                     pio[static_cast<size_t>(c2)];
-          }
-          a[static_cast<size_t>(c)] = th[static_cast<size_t>(c)] * inner;
-        }
-      } else {
-        for (int c2 = 0; c2 < kc; ++c2) {
-          double inner = 0.0;
-          for (int c = 0; c < kc; ++c) {
-            inner += s.EtaAt(c, c2, z_e) * th[static_cast<size_t>(c)] *
-                     pio[static_cast<size_t>(c)];
-          }
-          a[static_cast<size_t>(c2)] = th[static_cast<size_t>(c2)] * inner;
-        }
-      }
-      double base = 0.0;
-      for (int c = 0; c < kc; ++c) {
-        base += q[static_cast<size_t>(c)] * a[static_cast<size_t>(c)];
-      }
+      const double base = FillEtaCollapseVector(other, z_e, is_source,
+                                                q.data(), th.data(), a.data());
       const UserId src_user = is_source ? u : other;
       const UserId dst_user = is_source ? other : u;
       const double const_part =
@@ -324,13 +525,196 @@ void GibbsSampler::ResampleCommunity(DocId d, bool concurrent, Rng* rng) {
   const int32_t c_new =
       static_cast<int32_t>(SampleCategoricalFromLog(logw, rng));
   s.doc_community[static_cast<size_t>(d)] = c_new;
-  Add32(&s.n_uc[static_cast<size_t>(u) * kc + c_new], 1, concurrent);
-  Add32(&s.n_u[static_cast<size_t>(u)], 1, concurrent);
-  Add32(&s.n_cz[static_cast<size_t>(c_new) * kz + z], 1, concurrent);
-  Add32(&s.n_c[static_cast<size_t>(c_new)], 1, concurrent);
+  AddDocCommunityCounts(u, c_new, z, concurrent);
+}
+
+void GibbsSampler::ResampleCommunitySparse(DocId d, bool concurrent, Rng* rng) {
+  if (freeze_communities_) return;
+  ModelState& s = *state_;
+  const Document& doc = graph_.document(d);
+  const UserId u = doc.user;
+  const int kz = s.num_topics;
+  const int kc = s.num_communities;
+  const int32_t z = s.doc_topic[static_cast<size_t>(d)];
+  const int32_t c_old = s.doc_community[static_cast<size_t>(d)];
+
+  RemoveDocCommunityCounts(u, c_old, z, concurrent);
+
+  // The conditional factors as  p(c) ∝ (n_uc[u][c] + rho) * R(c)  where R
+  // collects the content term and the link psi terms. We propose directly
+  // from the *fresh* prior factor — its sparse part is the user's nonzero
+  // community row, its dense part is the flat rho mass — so the MH ratio
+  // reduces to R(c_prop) / R(c_cur): no O(|C|) log/exp scan anywhere.
+  static thread_local std::vector<SparseCount> nonzero;
+  s.NonzeroUserCommunities(u, &nonzero);
+  const double sparse_mass = static_cast<double>(s.n_u[static_cast<size_t>(u)]);
+  const double rho_mass = static_cast<double>(kc) * s.rho;
+  const double denom_pi = sparse_mass + 1.0 + rho_mass;
+
+  // q[c] = n_uc + rho (candidate-independent base masses for the link dots).
+  static thread_local std::vector<double> q;
+  q.resize(static_cast<size_t>(kc));
+  for (int c = 0; c < kc; ++c) {
+    q[static_cast<size_t>(c)] =
+        static_cast<double>(s.n_uc[static_cast<size_t>(u) * kc + c]) + s.rho;
+  }
+
+  // Per-link candidate evaluators, precomputed once per document so each MH
+  // candidate costs O(1) per link afterwards. `vec` holds the link's
+  // candidate-indexed array (pio for membership-dot links, the collapsed a[]
+  // for heterogeneous diffusion links) in one flat buffer.
+  struct LinkEval {
+    double base = 0.0;       // Candidate-independent part of the dot.
+    double aug = 0.0;        // Polya-Gamma variable (lambda or delta).
+    double const_part = 0.0; // Non-community energy terms (kind 1 only).
+    double w_eta = 1.0;      // Eta weight (kind 1 only).
+    size_t vec_offset = 0;   // Offset of this link's C-vector in `vecs`.
+    bool heterogeneous = false;
+  };
+  static thread_local std::vector<LinkEval> links;
+  static thread_local std::vector<double> vecs, th;
+  links.clear();
+  vecs.clear();
+
+  const auto push_membership_link = [&](UserId other, double aug) {
+    LinkEval ev;
+    ev.aug = aug;
+    ev.vec_offset = vecs.size();
+    vecs.resize(vecs.size() + static_cast<size_t>(kc));
+    ev.base = FillMembershipVector(other, q.data(), vecs.data() + ev.vec_offset);
+    links.push_back(ev);
+  };
+
+  if (config_.ablation.model_friendship) {
+    for (int32_t f_idx : caches_.FriendLinksOf(u)) {
+      const FriendshipLink& fl =
+          graph_.friendship_links()[static_cast<size_t>(f_idx)];
+      const UserId other = (fl.u == u) ? fl.v : fl.u;
+      push_membership_link(other, s.lambda[static_cast<size_t>(f_idx)]);
+    }
+  }
+
+  if (config_.ablation.model_diffusion && community_uses_diffusion_) {
+    th.resize(static_cast<size_t>(kc));
+    for (int32_t e_idx : graph_.DiffusionNeighbors(d)) {
+      const DiffusionLink& link =
+          graph_.diffusion_links()[static_cast<size_t>(e_idx)];
+      const double de = s.delta[static_cast<size_t>(e_idx)];
+      const bool is_source = (link.i == d);
+      const UserId other = is_source ? graph_.document(link.j).user
+                                     : graph_.document(link.i).user;
+      if (!config_.ablation.heterogeneous_links) {
+        push_membership_link(other, de);
+        continue;
+      }
+
+      const int z_e = is_source ? z : s.doc_topic[static_cast<size_t>(link.i)];
+      for (int c = 0; c < kc; ++c) {
+        th[static_cast<size_t>(c)] = s.ThetaHat(c, z_e);
+      }
+
+      LinkEval ev;
+      ev.heterogeneous = true;
+      ev.aug = de;
+      ev.vec_offset = vecs.size();
+      vecs.resize(vecs.size() + static_cast<size_t>(kc));
+      ev.base = FillEtaCollapseVector(other, z_e, is_source, q.data(),
+                                      th.data(), vecs.data() + ev.vec_offset);
+      const UserId src_user = is_source ? u : other;
+      const UserId dst_user = is_source ? other : u;
+      ev.const_part = LinkEnergyParts(src_user, dst_user, z_e, link.time,
+                                      static_cast<size_t>(e_idx), 0.0);
+      ev.w_eta = s.weights[kWeightEta];
+      links.push_back(ev);
+    }
+  }
+
+  const double z_alpha = static_cast<double>(kz) * s.alpha;
+  const auto log_rest = [&](int cand) {
+    double lw = 0.0;
+    if (community_uses_content_) {
+      lw += std::log(
+                static_cast<double>(s.n_cz[static_cast<size_t>(cand) * kz + z]) +
+                s.alpha) -
+            std::log(static_cast<double>(s.n_c[static_cast<size_t>(cand)]) +
+                     z_alpha);
+    }
+    for (const LinkEval& ev : links) {
+      const double val =
+          (ev.base + vecs[ev.vec_offset + static_cast<size_t>(cand)]) / denom_pi;
+      const double w =
+          ev.heterogeneous ? ev.const_part + ev.w_eta * val : val;
+      lw += LogPsi(w, ev.aug);
+    }
+    return lw;
+  };
+
+  const auto propose_from_prior = [&]() -> int32_t {
+    const double r = rng->NextDouble() * (sparse_mass + rho_mass);
+    if (r < sparse_mass) {
+      double acc = 0.0;
+      for (const SparseCount& entry : nonzero) {
+        acc += static_cast<double>(entry.count);
+        if (r < acc) return entry.index;
+      }
+      return nonzero.empty() ? 0 : nonzero.back().index;
+    }
+    return static_cast<int32_t>(rng->NextUint64(static_cast<uint64_t>(kc)));
+  };
+
+  int32_t c_cur = c_old;
+  double lw_cur = log_rest(c_cur);
+  int64_t proposals = 0;
+  int64_t accepts = 0;
+  for (int step = 0; step < config_.mh_steps; ++step) {
+    const int32_t c_prop = propose_from_prior();
+    ++proposals;
+    if (c_prop == c_cur) {
+      ++accepts;
+      continue;
+    }
+    const double lw_prop = log_rest(c_prop);
+    // Proposal ∝ fresh prior factor, which therefore cancels out of the MH
+    // ratio: accept with min(1, R(c_prop)/R(c_cur)).
+    const double log_accept = lw_prop - lw_cur;
+    if (log_accept >= 0.0 || rng->NextDoubleOpen() < std::exp(log_accept)) {
+      c_cur = c_prop;
+      lw_cur = lw_prop;
+      ++accepts;
+    }
+  }
+  community_proposals_.fetch_add(proposals, std::memory_order_relaxed);
+  community_accepts_.fetch_add(accepts, std::memory_order_relaxed);
+
+  s.doc_community[static_cast<size_t>(d)] = c_cur;
+  AddDocCommunityCounts(u, c_cur, z, concurrent);
+}
+
+void GibbsSampler::RebuildSparseTables(ThreadPool* pool) {
+  tables_.Rebuild(*state_, pool);
+}
+
+MhStats GibbsSampler::mh_stats() const {
+  MhStats stats;
+  stats.topic_proposals = topic_proposals_.load(std::memory_order_relaxed);
+  stats.topic_accepts = topic_accepts_.load(std::memory_order_relaxed);
+  stats.community_proposals =
+      community_proposals_.load(std::memory_order_relaxed);
+  stats.community_accepts = community_accepts_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void GibbsSampler::ResetMhStats() {
+  topic_proposals_.store(0, std::memory_order_relaxed);
+  topic_accepts_.store(0, std::memory_order_relaxed);
+  community_proposals_.store(0, std::memory_order_relaxed);
+  community_accepts_.store(0, std::memory_order_relaxed);
 }
 
 void GibbsSampler::SweepDocuments(Rng* rng) {
+  if (config_.sampler_mode == SamplerMode::kSparse) {
+    RebuildSparseTables();
+  }
   for (size_t u = 0; u < graph_.num_users(); ++u) {
     for (DocId d : graph_.DocumentsOf(static_cast<UserId>(u))) {
       ResampleTopic(d, /*concurrent=*/false, rng);

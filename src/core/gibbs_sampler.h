@@ -7,7 +7,21 @@
 /// the multithreaded E-step of §4.3 (`concurrent = true` switches counter
 /// updates to relaxed atomics; reads may then be slightly stale, which is the
 /// standard AD-LDA-style approximation).
+///
+/// Two interchangeable E-step backends (CpdConfig::sampler_mode):
+///  - kDense: exact conditional scan over every candidate topic/community in
+///    log space. O(|Z|) resp. O(|C|) heavy log/exp evaluations per document.
+///    Reference implementation; bit-for-bit the seed behavior.
+///  - kSparse: the conditional is decomposed into a dense prior term served
+///    by stale Walker alias tables (SparseSamplerTables, rebuilt once per
+///    sweep) and sparse count terms iterated over nonzero entries only, with
+///    a Metropolis-Hastings acceptance step correcting for proposal
+///    staleness (LightLDA-style cycle proposals). Amortized cost per
+///    document is O(len + links) per MH step instead of O(|Z| * len) /
+///    O(|C| * links); the stationary distribution is identical.
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -15,10 +29,59 @@
 #include "core/model_config.h"
 #include "core/model_state.h"
 #include "graph/social_graph.h"
+#include "sampling/alias_table.h"
 #include "sampling/polya_gamma.h"
 #include "util/rng.h"
 
 namespace cpd {
+
+class ThreadPool;
+
+/// Stale alias proposal tables for the sparse E-step. Rebuilt once per sweep
+/// from the current counts and read-only until the next rebuild; the MH
+/// correction in the sparse kernels uses AliasTable::Probability() (the
+/// build-time distribution) so staleness costs acceptance rate, never
+/// correctness.
+struct SparseSamplerTables {
+  /// community_topic[c] draws z with q_c(z) proportional to n_cz[c][z] +
+  /// alpha — the community-prior proposal of the topic conditional (Eq. 13).
+  std::vector<AliasTable> community_topic;
+
+  /// word_topic[w] draws z with q_w(z) proportional to n_zw[z][w] + beta —
+  /// the word proposal (cycled with the prior proposal, as in LightLDA).
+  std::vector<AliasTable> word_topic;
+
+  bool ready() const { return !community_topic.empty(); }
+
+  /// Rebuilds every table from the state's current counts. With a pool the
+  /// per-community / per-word rebuilds are sharded across the workers (the
+  /// trainer schedules this once per sweep inside the §4.3 segment plan);
+  /// with nullptr the rebuild runs serially.
+  void Rebuild(const ModelState& state, ThreadPool* pool);
+};
+
+/// Metropolis-Hastings diagnostics of the sparse sampler. Self-proposals
+/// count as accepted (they are); rates near zero indicate pathologically
+/// stale tables, rates near one a near-exact proposal.
+struct MhStats {
+  int64_t topic_proposals = 0;
+  int64_t topic_accepts = 0;
+  int64_t community_proposals = 0;
+  int64_t community_accepts = 0;
+
+  double TopicAcceptRate() const {
+    return topic_proposals > 0
+               ? static_cast<double>(topic_accepts) /
+                     static_cast<double>(topic_proposals)
+               : 0.0;
+  }
+  double CommunityAcceptRate() const {
+    return community_proposals > 0
+               ? static_cast<double>(community_accepts) /
+                     static_cast<double>(community_proposals)
+               : 0.0;
+  }
+};
 
 class GibbsSampler {
  public:
@@ -28,10 +91,12 @@ class GibbsSampler {
                const LinkCaches& caches, ModelState* state);
 
   /// One full sweep: resamples z_ui and c_ui for every document (Alg. 1
-  /// steps 4-6).
+  /// steps 4-6). In sparse mode the alias tables are rebuilt at sweep start.
   void SweepDocuments(Rng* rng);
 
   /// Sweeps only the documents of the given users (one parallel segment).
+  /// In sparse mode the caller must RebuildSparseTables() once per sweep
+  /// before fanning out segments (the tables are shared and read-only).
   void SweepUsers(std::span<const UserId> users, bool concurrent, Rng* rng);
 
   /// Resamples every lambda_uv ~ PG(1, pihat_u . pihat_v) (Eq. 15),
@@ -44,9 +109,26 @@ class GibbsSampler {
   void SweepDiffusionAugmentation(Rng* rng);
   void SweepDiffusionAugmentation(size_t begin, size_t end, Rng* rng);
 
-  /// Per-document kernels (exposed for tests).
+  /// Per-document kernels (exposed for tests). Dispatch on
+  /// config.sampler_mode; the *Dense/*Sparse variants are also exposed so
+  /// the equivalence tests can drive both paths on one state.
   void ResampleTopic(DocId d, bool concurrent, Rng* rng);
   void ResampleCommunity(DocId d, bool concurrent, Rng* rng);
+  void ResampleTopicDense(DocId d, bool concurrent, Rng* rng);
+  void ResampleCommunityDense(DocId d, bool concurrent, Rng* rng);
+  void ResampleTopicSparse(DocId d, bool concurrent, Rng* rng);
+  void ResampleCommunitySparse(DocId d, bool concurrent, Rng* rng);
+
+  /// Sparse mode: rebuilds the stale alias proposal tables from the current
+  /// counts (no-op work but cheap in dense mode — tables are simply unused).
+  /// Serial callers may rely on SweepDocuments doing this; the parallel
+  /// trainer calls it explicitly (optionally sharded over its pool) once per
+  /// sweep before submitting segments.
+  void RebuildSparseTables(ThreadPool* pool = nullptr);
+
+  /// Snapshot / reset of the MH acceptance counters (sparse mode only).
+  MhStats mh_stats() const;
+  void ResetMhStats();
 
   /// w_ij of Eq. 5 (or the Eq. 3 energy under the no-heterogeneity
   /// ablation) for diffusion link index e under the current state.
@@ -75,11 +157,51 @@ class GibbsSampler {
   double LinkEnergyParts(UserId u, UserId v, int z, int32_t time, size_t e,
                          double community_score) const;
 
+  /// Shared counter bookkeeping: removes/adds one document's contribution to
+  /// the topic-side (n_cz, n_c, n_zw, n_z) or community-side (n_uc, n_u,
+  /// n_cz, n_c) counters.
+  void RemoveDocTopicCounts(const Document& doc, int32_t c, int32_t z,
+                            bool concurrent);
+  void AddDocTopicCounts(const Document& doc, int32_t c, int32_t z,
+                         bool concurrent);
+  void RemoveDocCommunityCounts(UserId u, int32_t c, int32_t z,
+                                bool concurrent);
+  void AddDocCommunityCounts(UserId u, int32_t c, int32_t z, bool concurrent);
+
+  /// Exact (current-counts) unnormalized log conditional of topic z for
+  /// document d in community c — the MH target of the sparse topic kernel.
+  double TopicLogWeight(DocId d, const Document& doc, int32_t c, int z) const;
+
+  /// Shared candidate-vector math of the community conditional (Eq. 14),
+  /// used identically by the dense scan and the sparse MH evaluator so the
+  /// two backends cannot diverge. Both fill out[0..|C|) with the
+  /// candidate-indexed term of one link and return base = sum_c q[c]*out[c],
+  /// the candidate-independent part of the shifted-membership dot.
+  ///
+  /// Membership-dot links (friendship, or diffusion under the
+  /// no-heterogeneity ablation): out[c] = pihat_{other,c}.
+  double FillMembershipVector(UserId other, const double* q,
+                              double* out) const;
+  /// Heterogeneous diffusion links: out[] is the eta endpoint collapse
+  ///   source side: out[c]  = th[c]  sum_c' eta[c][c'][z_e] th[c'] pio[c']
+  ///   target side: out[c'] = th[c'] sum_c  eta[c][c'][z_e] th[c]  pio[c]
+  /// where th must hold ThetaHat(., z_e).
+  double FillEtaCollapseVector(UserId other, int z_e, bool is_source,
+                               const double* q, const double* th,
+                               double* out) const;
+
   const SocialGraph& graph_;
   const CpdConfig& config_;
   const LinkCaches& caches_;
   ModelState* state_;
   PolyaGammaSampler pg_;
+
+  SparseSamplerTables tables_;
+
+  std::atomic<int64_t> topic_proposals_{0};
+  std::atomic<int64_t> topic_accepts_{0};
+  std::atomic<int64_t> community_proposals_{0};
+  std::atomic<int64_t> community_accepts_{0};
 
   bool freeze_communities_ = false;
   bool community_uses_content_ = true;

@@ -22,6 +22,19 @@ enum class PopularityMode {
   kLog1p,     ///< log(1 + count).
 };
 
+/// E-step sampling backend (§4.3 performance work). Both target the same
+/// posterior; they must agree statistically.
+enum class SamplerMode {
+  /// Exact conditional scan: O(|Z|) per topic draw, O(|C|) per community
+  /// draw with full log-space evaluation. Reference implementation.
+  kDense,
+  /// Sparse decomposition + stale Walker alias proposals with a
+  /// Metropolis-Hastings correction (LightLDA-style cycle proposals).
+  /// Amortized cost per document is proportional to the document length and
+  /// the nonzero counts touched, not |Z| or |C|.
+  kSparse,
+};
+
 /// Ablation / variant switches. Default = full CPD.
 struct CpdAblation {
   /// false reproduces the "no joint modeling" baseline: detect communities
@@ -70,6 +83,17 @@ struct CpdConfig {
 
   PopularityMode popularity_mode = PopularityMode::kFraction;
 
+  /// E-step backend. kDense is the exact reference path; kSparse is the
+  /// alias-table + Metropolis-Hastings path (equivalent stationary
+  /// distribution, much faster at large |Z|/|C|).
+  SamplerMode sampler_mode = SamplerMode::kDense;
+
+  /// Metropolis-Hastings proposals per conditional draw in kSparse mode.
+  /// More steps track the exact conditional more closely per sweep; 2 (one
+  /// prior-proposal plus one word-proposal for topics) matches LightLDA's
+  /// cycle default.
+  int mh_steps = 2;
+
   CpdAblation ablation;
 
   uint64_t seed = 42;
@@ -96,6 +120,7 @@ struct CpdConfig {
       return Status::InvalidArgument("gibbs_sweeps_per_em < 1");
     }
     if (nu_iterations < 0) return Status::InvalidArgument("nu_iterations < 0");
+    if (mh_steps < 1) return Status::InvalidArgument("mh_steps < 1");
     if (nu_learning_rate <= 0.0) {
       return Status::InvalidArgument("nu_learning_rate <= 0");
     }

@@ -40,6 +40,34 @@ ModelState::ModelState(const SocialGraph& graph, const CpdConfig& config)
   weights.assign(kNumDiffusionWeights, 0.0);
   weights[kWeightEta] = 1.0;
   weights[kWeightPopularity] = config.ablation.topic_factor ? 1.0 : 0.0;
+
+  // Per-document word histograms (run-length encode the sorted token list).
+  doc_words.offsets.reserve(num_documents + 1);
+  doc_words.offsets.push_back(0);
+  std::vector<WordId> sorted;
+  for (size_t d = 0; d < num_documents; ++d) {
+    const Document& doc = graph.document(static_cast<DocId>(d));
+    sorted.assign(doc.words.begin(), doc.words.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t k = 0; k < sorted.size();) {
+      size_t run = k + 1;
+      while (run < sorted.size() && sorted[run] == sorted[k]) ++run;
+      doc_words.entries.push_back(
+          {static_cast<int32_t>(sorted[k]), static_cast<int32_t>(run - k)});
+      k = run;
+    }
+    doc_words.offsets.push_back(doc_words.entries.size());
+  }
+}
+
+void ModelState::NonzeroUserCommunities(UserId u,
+                                        std::vector<SparseCount>* out) const {
+  out->clear();
+  const size_t base = static_cast<size_t>(u) * static_cast<size_t>(num_communities);
+  for (int c = 0; c < num_communities; ++c) {
+    const int32_t count = n_uc[base + static_cast<size_t>(c)];
+    if (count != 0) out->push_back({c, count});
+  }
 }
 
 void ModelState::InitializeRandom(const SocialGraph& graph, Rng* rng,

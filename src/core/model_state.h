@@ -28,8 +28,30 @@ inline constexpr int kWeightFeature0 = 2;  // .. kWeightFeature0+3
 inline constexpr int kWeightBias = kWeightFeature0 + kNumUserFeatures;
 inline constexpr int kNumDiffusionWeights = kWeightBias + 1;
 
+/// One nonzero entry of a count row (index into the row + its count).
+struct SparseCount {
+  int32_t index = 0;
+  int32_t count = 0;
+  friend bool operator==(const SparseCount&, const SparseCount&) = default;
+};
+
 struct ModelState {
   ModelState(const SocialGraph& graph, const CpdConfig& config);
+
+  /// CSR word-histogram view of every document, built once at construction.
+  /// The sparse sampler evaluates the Dirichlet-multinomial word term over
+  /// unique words (O(distinct) instead of the dense path's O(len^2)
+  /// repeated-word rescans).
+  struct DocWordView {
+    std::vector<size_t> offsets;       ///< num_documents + 1.
+    std::vector<SparseCount> entries;  ///< (word, multiplicity) runs.
+    std::span<const SparseCount> Row(DocId d) const {
+      return std::span<const SparseCount>(entries)
+          .subspan(offsets[static_cast<size_t>(d)],
+                   offsets[static_cast<size_t>(d) + 1] -
+                       offsets[static_cast<size_t>(d)]);
+    }
+  };
 
   /// Random initial assignments; topics are drawn per document. Communities
   /// are drawn per document by default; with per_user_communities all of a
@@ -61,6 +83,16 @@ struct ModelState {
   // ----- assignments (per document) -----
   std::vector<int32_t> doc_topic;      ///< z_ui
   std::vector<int32_t> doc_community;  ///< c_ui
+
+  // ----- sparse count views (sparse E-step, §4.3 perf work) -----
+  /// Per-document word histograms (immutable once built).
+  DocWordView doc_words;
+
+  /// Appends the nonzero entries of user u's community row n_uc[u][.] to
+  /// *out* (cleared first). A plain row scan: the point is to hand the
+  /// sparse sampler the k_u << |C| support of the prior proposal without any
+  /// log/exp work, not to beat O(|C|) memory traffic.
+  void NonzeroUserCommunities(UserId u, std::vector<SparseCount>* out) const;
 
   // ----- collapsed counters (Table 2 / §4.1) -----
   std::vector<int32_t> n_uc;  ///< |U|x|C|: docs of u assigned to community c.

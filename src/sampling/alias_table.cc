@@ -4,7 +4,7 @@
 
 namespace cpd {
 
-AliasTable::AliasTable(std::span<const double> weights) {
+void AliasTable::Rebuild(std::span<const double> weights) {
   CPD_CHECK(!weights.empty());
   const size_t n = weights.size();
   double total = 0.0;
@@ -20,9 +20,15 @@ AliasTable::AliasTable(std::span<const double> weights) {
   probability_.assign(n, 0.0);
   alias_.assign(n, 0);
 
-  // Vose's stable partition into small/large buckets.
-  std::vector<double> scaled(n);
-  std::vector<size_t> small, large;
+  // Vose's stable partition into small/large buckets. The scratch is
+  // thread_local rather than per-instance: with one AliasTable per
+  // vocabulary word, instance scratch would roughly double the resident
+  // size of the proposal tables for data that is never read after Rebuild.
+  static thread_local std::vector<double> scaled;
+  static thread_local std::vector<size_t> small, large;
+  scaled.resize(n);
+  small.clear();
+  large.clear();
   small.reserve(n);
   large.reserve(n);
   for (size_t i = 0; i < n; ++i) {

@@ -3,8 +3,11 @@
 
 /// \file alias_table.h
 /// Walker/Vose alias method: O(n) construction, O(1) categorical sampling.
-/// The synthetic-data generator draws millions of words from fixed topic-word
-/// distributions, where the alias table is the right tool.
+/// Used by the synthetic-data generator (millions of draws from fixed
+/// topic-word distributions) and by the sparse Gibbs E-step, where tables are
+/// rebuilt once per sweep and then serve as *stale* Metropolis-Hastings
+/// proposals: Probability() reports the build-time distribution so callers
+/// can compute exact proposal ratios even after the underlying counts move.
 
 #include <cstddef>
 #include <span>
@@ -14,25 +17,36 @@
 
 namespace cpd {
 
-/// Immutable sampler over a fixed discrete distribution.
+/// Sampler over a discrete distribution frozen at build/rebuild time.
 class AliasTable {
  public:
+  /// An empty table; Rebuild() before sampling.
+  AliasTable() = default;
+
   /// Builds the table from non-negative weights (not necessarily normalized).
   /// Requires at least one strictly positive weight.
-  explicit AliasTable(std::span<const double> weights);
+  explicit AliasTable(std::span<const double> weights) { Rebuild(weights); }
 
-  /// Draws one index with probability proportional to its weight.
+  /// Rebuilds in place from new weights, reusing internal buffers. This is
+  /// the bulk-rebuild entry point for the sparse sampler: one call per
+  /// community/word per sweep, no per-call allocation once warmed up.
+  void Rebuild(std::span<const double> weights);
+
+  /// Draws one index with probability proportional to the build-time weight.
   size_t Sample(Rng* rng) const;
 
   size_t size() const { return probability_.size(); }
+  bool empty() const { return probability_.empty(); }
 
-  /// Normalized probability of index i (for testing).
+  /// Normalized build-time probability of index i. Deliberately *stale*: it
+  /// reflects the weights passed to the last Rebuild(), which is exactly what
+  /// a Metropolis-Hastings correction against this proposal must use.
   double Probability(size_t i) const { return normalized_[i]; }
 
  private:
   std::vector<double> probability_;  // Acceptance threshold per bucket.
   std::vector<size_t> alias_;        // Fallback index per bucket.
-  std::vector<double> normalized_;   // Kept for introspection/testing.
+  std::vector<double> normalized_;   // Build-time probabilities (stale API).
 };
 
 }  // namespace cpd

@@ -56,6 +56,66 @@ TEST(AliasTableTest, HighlySkewedDistribution) {
   EXPECT_GT(static_cast<double>(hits) / n, 0.99);
 }
 
+TEST(AliasTableTest, RebuildReplacesDistribution) {
+  AliasTable table;
+  EXPECT_TRUE(table.empty());
+  const std::vector<double> first = {1.0, 1.0};
+  table.Rebuild(first);
+  EXPECT_EQ(table.size(), 2u);
+  // Rebuild with a different size and skew; the table must fully forget the
+  // old distribution.
+  const std::vector<double> second = {1.0, 2.0, 3.0, 4.0};
+  table.Rebuild(second);
+  EXPECT_EQ(table.size(), 4u);
+  Rng rng(60);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, second[k] / 10.0, 0.01)
+        << "bucket " << k;
+  }
+}
+
+TEST(AliasTableTest, StaleProposalKeepsBuildTimeProbabilities) {
+  // The sparse sampler's MH correction relies on Probability() reporting the
+  // distribution frozen at (re)build time, even while the source weights
+  // move on. Simulate that: build from a snapshot, mutate the snapshot,
+  // verify both Probability() and Sample() still follow the frozen build.
+  std::vector<double> weights = {3.0, 1.0};
+  AliasTable table(weights);
+  weights[0] = 1.0;
+  weights[1] = 99.0;  // "Counts" changed after the build.
+  EXPECT_NEAR(table.Probability(0), 0.75, 1e-12);
+  EXPECT_NEAR(table.Probability(1), 0.25, 1e-12);
+  Rng rng(61);
+  int zero_hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) zero_hits += table.Sample(&rng) == 0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(zero_hits) / n, 0.75, 0.01);
+  // A rebuild then adopts the new weights.
+  table.Rebuild(weights);
+  EXPECT_NEAR(table.Probability(1), 0.99, 1e-12);
+}
+
+TEST(AliasTableTest, RepeatedRebuildIsStable) {
+  // Bulk-rebuild path of the sparse sampler: many rebuilds on one instance
+  // must not accumulate state in the scratch buffers.
+  AliasTable table;
+  Rng rng(62);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<double> weights(16);
+    for (double& w : weights) w = rng.NextDoubleOpen();
+    table.Rebuild(weights);
+    double total = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) total += weights[i];
+    for (size_t i = 0; i < weights.size(); ++i) {
+      EXPECT_NEAR(table.Probability(i), weights[i] / total, 1e-12);
+    }
+    EXPECT_LT(table.Sample(&rng), weights.size());
+  }
+}
+
 TEST(AliasTableDeathTest, RejectsAllZeroWeights) {
   const std::vector<double> weights = {0.0, 0.0};
   EXPECT_DEATH({ AliasTable table(weights); }, "Check failed");

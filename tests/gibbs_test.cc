@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "core/cpd_model.h"
 #include "core/gibbs_sampler.h"
+#include "eval/metrics.h"
 #include "test_util.h"
 
 namespace cpd {
@@ -147,6 +149,181 @@ TEST(GibbsSamplerTest, ConcurrentSweepKeepsCountsConsistent) {
   fresh.RebuildCounts(h.result.graph);
   EXPECT_EQ(fresh.n_cz, h.state.n_cz);
   EXPECT_EQ(fresh.n_zw, h.state.n_zw);
+}
+
+// ---------- sparse (alias + Metropolis-Hastings) backend ----------
+
+CpdConfig SparseConfig() {
+  CpdConfig cfg;
+  cfg.sampler_mode = SamplerMode::kSparse;
+  return cfg;
+}
+
+// The sparse kernels share the dense bookkeeping; counter invariants must
+// survive sparse sweeps identically.
+TEST(SparseGibbsTest, CountsRemainConsistentAfterSweeps) {
+  Harness h(5, SparseConfig());
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    h.sampler.SweepDocuments(&h.rng);
+  }
+  ModelState fresh(h.result.graph, h.config);
+  fresh.doc_topic = h.state.doc_topic;
+  fresh.doc_community = h.state.doc_community;
+  fresh.RebuildCounts(h.result.graph);
+  EXPECT_EQ(fresh.n_uc, h.state.n_uc);
+  EXPECT_EQ(fresh.n_cz, h.state.n_cz);
+  EXPECT_EQ(fresh.n_zw, h.state.n_zw);
+  EXPECT_EQ(fresh.n_z, h.state.n_z);
+  EXPECT_EQ(fresh.n_c, h.state.n_c);
+  EXPECT_EQ(fresh.n_u, h.state.n_u);
+}
+
+TEST(SparseGibbsTest, AssignmentsStayInRange) {
+  Harness h(6, SparseConfig());
+  for (int sweep = 0; sweep < 2; ++sweep) h.sampler.SweepDocuments(&h.rng);
+  for (size_t d = 0; d < h.state.num_documents; ++d) {
+    EXPECT_GE(h.state.doc_topic[d], 0);
+    EXPECT_LT(h.state.doc_topic[d], h.config.num_topics);
+    EXPECT_GE(h.state.doc_community[d], 0);
+    EXPECT_LT(h.state.doc_community[d], h.config.num_communities);
+  }
+}
+
+TEST(SparseGibbsTest, FreezeCommunitiesHoldsAssignments) {
+  Harness h(9, SparseConfig());
+  h.sampler.set_freeze_communities(true);
+  const std::vector<int32_t> before = h.state.doc_community;
+  h.sampler.SweepDocuments(&h.rng);
+  EXPECT_EQ(h.state.doc_community, before);
+}
+
+TEST(SparseGibbsTest, ConcurrentSweepKeepsCountsConsistent) {
+  Harness h(10, SparseConfig());
+  h.sampler.RebuildSparseTables();  // Concurrent callers rebuild up front.
+  std::vector<UserId> all_users(h.result.graph.num_users());
+  for (size_t u = 0; u < all_users.size(); ++u) {
+    all_users[u] = static_cast<UserId>(u);
+  }
+  h.sampler.SweepUsers(all_users, /*concurrent=*/true, &h.rng);
+  ModelState fresh(h.result.graph, h.config);
+  fresh.doc_topic = h.state.doc_topic;
+  fresh.doc_community = h.state.doc_community;
+  fresh.RebuildCounts(h.result.graph);
+  EXPECT_EQ(fresh.n_cz, h.state.n_cz);
+  EXPECT_EQ(fresh.n_zw, h.state.n_zw);
+}
+
+// Acceptance-rate sanity: with per-sweep table rebuilds the stale proposals
+// track the target closely, so acceptance must be well away from 0 (dead
+// chain) and proposals must actually be counted. Self-proposals count as
+// accepts, so rates are bounded by 1 from above trivially.
+TEST(SparseGibbsTest, MhAcceptanceRatesAreSane) {
+  Harness h(11, SparseConfig());
+  for (int sweep = 0; sweep < 5; ++sweep) h.sampler.SweepDocuments(&h.rng);
+  const MhStats stats = h.sampler.mh_stats();
+  const int64_t docs = static_cast<int64_t>(h.state.num_documents);
+  EXPECT_EQ(stats.topic_proposals, 5 * docs * h.config.mh_steps);
+  EXPECT_EQ(stats.community_proposals, 5 * docs * h.config.mh_steps);
+  EXPECT_GE(stats.topic_accepts, 0);
+  EXPECT_LE(stats.topic_accepts, stats.topic_proposals);
+  EXPECT_GT(stats.TopicAcceptRate(), 0.10);
+  EXPECT_LE(stats.TopicAcceptRate(), 1.0);
+  EXPECT_GT(stats.CommunityAcceptRate(), 0.10);
+  EXPECT_LE(stats.CommunityAcceptRate(), 1.0);
+
+  h.sampler.ResetMhStats();
+  const MhStats cleared = h.sampler.mh_stats();
+  EXPECT_EQ(cleared.topic_proposals, 0);
+  EXPECT_EQ(cleared.community_accepts, 0);
+}
+
+// Dense kernels must not touch the MH counters.
+TEST(GibbsSamplerTest, DenseModeLeavesMhCountersAtZero) {
+  Harness h;
+  h.sampler.SweepDocuments(&h.rng);
+  const MhStats stats = h.sampler.mh_stats();
+  EXPECT_EQ(stats.topic_proposals, 0);
+  EXPECT_EQ(stats.community_proposals, 0);
+}
+
+// ---------- dense vs sparse statistical equivalence ----------
+
+struct ModeMetrics {
+  double per_link_ll = 0.0;    ///< Final link log-likelihood / #links.
+  double perplexity = 0.0;     ///< Content perplexity under the profiles.
+};
+
+ModeMetrics TrainAndMeasure(const SocialGraph& graph, SamplerMode mode,
+                            uint64_t seed) {
+  CpdConfig config;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.em_iterations = 8;
+  config.seed = seed;
+  config.sampler_mode = mode;
+  config.mh_steps = 4;
+  auto model = CpdModel::Train(graph, config);
+  CPD_CHECK(model.ok());
+
+  ModeMetrics out;
+  const size_t num_links =
+      graph.num_friendship_links() + graph.num_diffusion_links();
+  out.per_link_ll = model->stats().link_log_likelihood.back() /
+                    static_cast<double>(num_links);
+
+  std::vector<std::vector<double>> pi, theta, phi;
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    pi.push_back(model->Membership(static_cast<UserId>(u)));
+  }
+  for (int c = 0; c < config.num_communities; ++c) {
+    theta.push_back(model->ContentProfile(c));
+  }
+  for (int z = 0; z < config.num_topics; ++z) {
+    phi.push_back(model->TopicWords(z));
+  }
+  std::vector<DocId> docs(graph.num_documents());
+  for (size_t d = 0; d < docs.size(); ++d) docs[d] = static_cast<DocId>(d);
+  out.perplexity = ContentPerplexity(graph, docs, pi, theta, phi);
+  return out;
+}
+
+// The two backends target the same posterior, so trained-model quality must
+// agree within MCMC noise: compare seed-averaged content perplexity and
+// per-link log-likelihood. (Exact per-draw agreement is impossible — the
+// backends consume randomness differently.)
+TEST(SparseGibbsTest, DenseAndSparseModesAgreeStatistically) {
+  const SynthResult synth = testing::MakeTinyGraph(33);
+  const std::vector<uint64_t> seeds = {1, 2, 3};
+  double dense_ll = 0.0, sparse_ll = 0.0;
+  double dense_ppl = 0.0, sparse_ppl = 0.0;
+  for (uint64_t seed : seeds) {
+    const ModeMetrics dense =
+        TrainAndMeasure(synth.graph, SamplerMode::kDense, seed);
+    const ModeMetrics sparse =
+        TrainAndMeasure(synth.graph, SamplerMode::kSparse, seed);
+    dense_ll += dense.per_link_ll;
+    sparse_ll += sparse.per_link_ll;
+    dense_ppl += dense.perplexity;
+    sparse_ppl += sparse.perplexity;
+  }
+  const double n = static_cast<double>(seeds.size());
+  dense_ll /= n;
+  sparse_ll /= n;
+  dense_ppl /= n;
+  sparse_ppl /= n;
+
+  // Both must actually fit: perplexity far below the uniform-vocabulary
+  // baseline, link log-likelihood above log(0.5) (random-guess energy 0).
+  const double uniform_ppl =
+      static_cast<double>(synth.graph.vocabulary_size());
+  EXPECT_LT(dense_ppl, 0.75 * uniform_ppl);
+  EXPECT_LT(sparse_ppl, 0.75 * uniform_ppl);
+
+  // Agreement within noise.
+  EXPECT_NEAR(sparse_ppl / dense_ppl, 1.0, 0.15)
+      << "dense ppl " << dense_ppl << " sparse ppl " << sparse_ppl;
+  EXPECT_NEAR(sparse_ll / dense_ll, 1.0, 0.15)
+      << "dense ll/link " << dense_ll << " sparse ll/link " << sparse_ll;
 }
 
 // With strongly separated planted content, topic sampling should settle:

@@ -140,6 +140,50 @@ TEST(PopularityTableTest, FractionModeSumsToOnePerBin) {
   }
 }
 
+TEST(ModelStateTest, DocWordViewMatchesDocuments) {
+  const SocialGraph graph = testing::MakeTinyGraph().graph;
+  ModelState state(graph, SmallConfig());
+  ASSERT_EQ(state.doc_words.offsets.size(), graph.num_documents() + 1);
+  for (size_t d = 0; d < graph.num_documents(); ++d) {
+    const Document& doc = graph.document(static_cast<DocId>(d));
+    const auto row = state.doc_words.Row(static_cast<DocId>(d));
+    // Multiplicities must sum to the document length, and every (word,
+    // count) pair must match a brute-force recount.
+    int64_t total = 0;
+    for (const SparseCount& entry : row) {
+      EXPECT_GT(entry.count, 0);
+      int64_t expected = 0;
+      for (WordId w : doc.words) {
+        if (static_cast<int32_t>(w) == entry.index) ++expected;
+      }
+      EXPECT_EQ(entry.count, expected) << "doc " << d << " word " << entry.index;
+      total += entry.count;
+    }
+    EXPECT_EQ(total, static_cast<int64_t>(doc.words.size()));
+  }
+}
+
+TEST(ModelStateTest, NonzeroUserCommunitiesMatchesDenseRow) {
+  const SocialGraph graph = testing::MakeTinyGraph().graph;
+  ModelState state(graph, SmallConfig());
+  Rng rng(3);
+  state.InitializeRandom(graph, &rng);
+  state.RebuildCounts(graph);
+  std::vector<SparseCount> nonzero;
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    state.NonzeroUserCommunities(static_cast<UserId>(u), &nonzero);
+    int64_t total = 0;
+    for (const SparseCount& entry : nonzero) {
+      EXPECT_EQ(entry.count,
+                state.n_uc[u * static_cast<size_t>(state.num_communities) +
+                           static_cast<size_t>(entry.index)]);
+      EXPECT_NE(entry.count, 0);
+      total += entry.count;
+    }
+    EXPECT_EQ(total, state.n_u[u]);
+  }
+}
+
 TEST(LinkCachesTest, FriendLinkIncidence) {
   const SocialGraph graph = testing::MakeHandGraph();
   LinkCaches caches(graph);

@@ -8,6 +8,7 @@
 //   cpd_train --users N --docs docs.tsv --friends friends.tsv
 //             --diffusion diffusion.tsv [--communities 20] [--topics 20]
 //             [--iterations 15] [--threads 1] [--seed 42]
+//             [--sampler dense|sparse] [--mh_steps 2]
 //             [--model out.cpd] [--dot diffusion.dot] [--json profiles.json]
 //
 // Prints dataset statistics, training progress, community labels and the
@@ -33,8 +34,9 @@ void Usage(const char* argv0) {
                "usage: %s --users N --docs docs.tsv --friends friends.tsv "
                "--diffusion diffusion.tsv\n"
                "          [--communities 20] [--topics 20] [--iterations 15]\n"
-               "          [--threads 1] [--seed 42] [--model out.cpd]\n"
-               "          [--dot out.dot] [--json out.json]\n",
+               "          [--threads 1] [--seed 42] [--sampler dense|sparse]\n"
+               "          [--mh_steps 2] [--model out.cpd] [--dot out.dot]\n"
+               "          [--json out.json]\n",
                argv0);
 }
 
@@ -75,6 +77,15 @@ int main(int argc, char** argv) {
   config.em_iterations = std::atoi(get("iterations", "15").c_str());
   config.num_threads = std::atoi(get("threads", "1").c_str());
   config.seed = std::strtoull(get("seed", "42").c_str(), nullptr, 10);
+  const std::string sampler = get("sampler", "dense");
+  if (sampler == "sparse") {
+    config.sampler_mode = cpd::SamplerMode::kSparse;
+  } else if (sampler != "dense") {
+    std::fprintf(stderr, "unknown --sampler '%s' (dense|sparse)\n",
+                 sampler.c_str());
+    return 2;
+  }
+  config.mh_steps = std::atoi(get("mh_steps", "2").c_str());
   config.verbose = true;
 
   std::printf("training CPD: |C|=%d |Z|=%d T1=%d threads=%d...\n",
