@@ -28,87 +28,85 @@ Status EmTrainer::Initialize() {
   return Status::OK();
 }
 
-Status EmTrainer::EnsureThreadPlan() {
-  if (plan_ != nullptr) return Status::OK();
+Status EmTrainer::EnsureExecutor() {
+  if (executor_ != nullptr) return Status::OK();
   WorkloadCostModel cost;
-  // Segment count = |Z| as in §4.3 (at least one segment per thread).
-  const int num_segments =
-      std::max(config_.num_topics, config_.num_threads);
-  auto plan = PlanThreads(graph_, num_segments, config_.num_threads, cost,
-                          /*lda_iterations=*/15, config_.seed + 101);
-  if (!plan.ok()) return plan.status();
-  plan_ = std::make_unique<ThreadPlan>(std::move(*plan));
-  pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(config_.num_threads));
-  thread_rngs_.clear();
-  for (int t = 0; t < config_.num_threads; ++t) thread_rngs_.push_back(rng_.Split());
-  stats_.num_segments = plan_->num_segments;
-  stats_.thread_estimated_workload = plan_->allocation.thread_workload;
+  const int num_shards = config_.ResolvedNumShards();
+  ThreadPlan plan;
+  if (num_shards == 1) {
+    // One shard reproduces sequential collapsed Gibbs (exactly, when the
+    // collapse memo is off or the backend is dense); skip the LDA
+    // segmentation pre-pass entirely.
+    plan = TrivialThreadPlan(graph_, cost);
+  } else {
+    // Segment count = |Z| as in §4.3 (at least one segment per shard).
+    const int num_segments = std::max(config_.num_topics, num_shards);
+    auto planned = PlanThreads(graph_, num_segments, num_shards, cost,
+                               /*lda_iterations=*/15, config_.seed + 101);
+    if (!planned.ok()) return planned.status();
+    plan = std::move(*planned);
+  }
+  stats_.num_segments = plan.num_segments;
+  stats_.thread_estimated_workload = plan.allocation.thread_workload;
+  executor_ = MakeShardExecutor(graph_, config_, *caches_, std::move(plan));
   return Status::OK();
 }
 
 Status EmTrainer::EStep() {
   CPD_CHECK(initialized_);
   WallTimer timer;
-  const size_t num_flinks = graph_.num_friendship_links();
-  const size_t num_elinks = graph_.num_diffusion_links();
+  CPD_RETURN_IF_ERROR(EnsureExecutor());
 
-  if (config_.num_threads <= 1) {
-    for (int sweep = 0; sweep < config_.gibbs_sweeps_per_em; ++sweep) {
-      sampler_->SweepDocuments(&rng_);
-      sampler_->SweepFriendshipAugmentation(&rng_);
-      sampler_->SweepDiffusionAugmentation(&rng_);
-    }
-    stats_.e_step_seconds += timer.ElapsedSeconds();
-    return Status::OK();
-  }
+  // Mirror the master sampler's two-phase-schedule switches into the shard
+  // kernels for this E-step.
+  KernelFlags flags;
+  flags.freeze_communities = sampler_->freeze_communities();
+  flags.community_uses_content = sampler_->community_uses_content();
+  flags.community_uses_diffusion = sampler_->community_uses_diffusion();
 
-  CPD_RETURN_IF_ERROR(EnsureThreadPlan());
-  const int num_threads = config_.num_threads;
-  stats_.thread_actual_seconds.assign(static_cast<size_t>(num_threads), 0.0);
-
+  executor_->ResetTimings();
+  // The M-step-owned parameters (eta, weights, popularity) cannot change
+  // inside an E-step: capture them once and let executor slots skip the
+  // re-restore via the snapshot's parameter version.
+  WallTimer params_timer;
+  snapshot_.CaptureParameters(*state_);
+  stats_.snapshot_seconds += params_timer.ElapsedSeconds();
   for (int sweep = 0; sweep < config_.gibbs_sweeps_per_em; ++sweep) {
-    // Sparse mode: refresh the stale alias proposal tables once per sweep,
-    // sharded over the pool, before the segment fan-out (the tables are
-    // shared and read-only during the sweep; MH corrects the staleness).
-    if (config_.sampler_mode == SamplerMode::kSparse) {
-      sampler_->RebuildSparseTables(pool_.get());
-    }
+    // Plan -> snapshot -> shard-local sample -> delta-merge -> swap: the
+    // master state is frozen while shards sample against the snapshot, then
+    // advanced only by the merged deltas. Single-shard runs pay the same
+    // two sweep-state copies per sweep (capture + restore) to keep every
+    // execution mode on one protocol — memcpy cost, amortized against the
+    // O(tokens) sweep, and reported as snapshot_seconds.
+    WallTimer snapshot_timer;
+    snapshot_.CaptureSweepState(*state_);
+    stats_.snapshot_seconds += snapshot_timer.ElapsedSeconds();
 
-    // Phase 1: document sweeps on disjoint user segments.
-    for (int t = 0; t < num_threads; ++t) {
-      pool_->Submit([this, t] {
-        WallTimer thread_timer;
-        sampler_->SweepUsers(plan_->users_per_thread[static_cast<size_t>(t)],
-                             /*concurrent=*/true, &thread_rngs_[static_cast<size_t>(t)]);
-        stats_.thread_actual_seconds[static_cast<size_t>(t)] +=
-            thread_timer.ElapsedSeconds();
-      });
-    }
-    pool_->WaitAll();
+    CPD_RETURN_IF_ERROR(executor_->SampleShards(snapshot_, flags, &deltas_));
 
-    // Phase 2: Polya-Gamma sweeps on contiguous link ranges (embarrassingly
-    // parallel given the assignments).
-    for (int t = 0; t < num_threads; ++t) {
-      const size_t f_begin = num_flinks * static_cast<size_t>(t) /
-                             static_cast<size_t>(num_threads);
-      const size_t f_end = num_flinks * (static_cast<size_t>(t) + 1) /
-                           static_cast<size_t>(num_threads);
-      const size_t e_begin = num_elinks * static_cast<size_t>(t) /
-                             static_cast<size_t>(num_threads);
-      const size_t e_end = num_elinks * (static_cast<size_t>(t) + 1) /
-                           static_cast<size_t>(num_threads);
-      pool_->Submit([this, t, f_begin, f_end, e_begin, e_end] {
-        WallTimer thread_timer;
-        sampler_->SweepFriendshipAugmentation(f_begin, f_end,
-                                              &thread_rngs_[static_cast<size_t>(t)]);
-        sampler_->SweepDiffusionAugmentation(e_begin, e_end,
-                                             &thread_rngs_[static_cast<size_t>(t)]);
-        stats_.thread_actual_seconds[static_cast<size_t>(t)] +=
-            thread_timer.ElapsedSeconds();
-      });
+    // Applying the per-shard deltas in shard order IS the fold — ApplyTo is
+    // the same commutative integer addition Merge() performs, without
+    // materializing an intermediate merged delta (which would double the
+    // merge cost in the default single-shard path).
+    WallTimer merge_timer;
+    for (const CounterDelta& delta : deltas_) {
+      delta.ApplyTo(state_.get());
+      stats_.delta_doc_moves += delta.NumDocMoves();
+      stats_.delta_entries += delta.NonzeroEntries();
     }
-    pool_->WaitAll();
+    stats_.merge_seconds += merge_timer.ElapsedSeconds();
+
+    // Phase 2: Polya-Gamma augmentation against the merged state.
+    CPD_RETURN_IF_ERROR(executor_->SweepAugmentation(sampler_.get()));
   }
+
+  const CollapseCacheStats collapse = executor_->ConsumeCollapseCacheStats();
+  stats_.eta_collapse_hits += collapse.hits;
+  stats_.eta_collapse_misses += collapse.misses;
+  // Fold shard-sampler MH counters into the master so mh_stats() keeps
+  // reporting sparse-backend acceptance health for the whole run.
+  sampler_->AccumulateMhStats(executor_->ConsumeMhStats());
+  stats_.thread_actual_seconds = executor_->shard_seconds();
   stats_.e_step_seconds += timer.ElapsedSeconds();
   return Status::OK();
 }

@@ -2,22 +2,25 @@
 #define CPD_CORE_EM_TRAINER_H_
 
 /// \file em_trainer.h
-/// Variational EM for CPD (paper Alg. 1): the E-step runs collapsed Gibbs
-/// sweeps over documents plus the Polya-Gamma augmentation variables; the
-/// M-step re-estimates eta by aggregating the sampled assignments and fits
-/// the factor weights (nu and the per-factor coefficients) by logistic
-/// regression with negative sampling. With config.num_threads > 1 the
-/// E-step is parallelized per §4.3 (LDA segmentation + knapsack allocation).
+/// Variational EM for CPD (paper Alg. 1). The E-step is pure orchestration
+/// of the snapshot/delta protocol (§4.3 refactored): per sweep it freezes
+/// the master ModelState into a StateSnapshot, dispatches the shard plan
+/// (LDA segmentation + knapsack allocation) through a ShardExecutor, folds
+/// the returned CounterDeltas together, applies them to the master, and
+/// runs the Polya-Gamma augmentation over disjoint link ranges. The M-step
+/// re-estimates eta from the merged assignments and fits the factor weights
+/// by logistic regression with negative sampling.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/gibbs_sampler.h"
 #include "core/model_config.h"
 #include "core/model_state.h"
+#include "core/state_snapshot.h"
 #include "graph/social_graph.h"
-#include "parallel/segmenter.h"
-#include "parallel/thread_pool.h"
+#include "parallel/shard_executor.h"
 
 namespace cpd {
 
@@ -27,8 +30,18 @@ struct TrainStats {
   double e_step_seconds = 0.0;
   double m_step_seconds = 0.0;
   double total_seconds = 0.0;
-  /// Parallel E-step only: per-thread estimated workload and measured time
-  /// of the last E-step (Fig. 11 data).
+  /// Snapshot/delta E-step diagnostics: seconds capturing snapshots,
+  /// seconds applying CounterDeltas, and the delta volume (documents that
+  /// moved, nonzero sparse counter diffs — summed per shard) merged so far.
+  double snapshot_seconds = 0.0;
+  double merge_seconds = 0.0;
+  size_t delta_doc_moves = 0;
+  size_t delta_entries = 0;
+  /// Eta/theta endpoint-collapse memo counters (cache_eta_collapse).
+  int64_t eta_collapse_hits = 0;
+  int64_t eta_collapse_misses = 0;
+  /// Per-shard estimated workload and measured time of the last E-step
+  /// (Fig. 11 data). One entry per shard (== per thread by default).
   std::vector<double> thread_estimated_workload;
   std::vector<double> thread_actual_seconds;
   size_t num_segments = 0;
@@ -54,11 +67,13 @@ class EmTrainer {
   const TrainStats& stats() const { return stats_; }
   const LinkCaches& caches() const { return *caches_; }
   GibbsSampler* sampler() { return sampler_.get(); }
+  /// The shard executor (null until the first EStep builds it).
+  ShardExecutor* executor() { return executor_.get(); }
 
  private:
   void UpdateEta();
   void TrainDiffusionWeights(Rng* rng);
-  Status EnsureThreadPlan();
+  Status EnsureExecutor();
 
   const SocialGraph& graph_;
   CpdConfig config_;
@@ -69,10 +84,11 @@ class EmTrainer {
   TrainStats stats_;
   bool initialized_ = false;
 
-  // Parallel E-step plumbing (lazily built).
-  std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<ThreadPlan> plan_;
-  std::vector<Rng> thread_rngs_;
+  // Snapshot/delta E-step plumbing (executor lazily built on first EStep;
+  // snapshot and delta buffers reused across sweeps).
+  std::unique_ptr<ShardExecutor> executor_;
+  StateSnapshot snapshot_;
+  std::vector<CounterDelta> deltas_;
 };
 
 }  // namespace cpd

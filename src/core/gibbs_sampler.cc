@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "core/state_snapshot.h"
 #include "parallel/thread_pool.h"
 #include "sampling/distributions.h"
 #include "util/logging.h"
@@ -32,33 +33,34 @@ inline void Add64(int64_t* x, int64_t d, bool concurrent) {
 
 }  // namespace
 
-void SparseSamplerTables::Rebuild(const ModelState& state, ThreadPool* pool) {
-  const int kc = state.num_communities;
-  const int kz = state.num_topics;
-  const size_t vocab = state.vocab_size;
-  community_topic.resize(static_cast<size_t>(kc));
-  word_topic.resize(vocab);
+namespace {
 
-  const auto build_community = [this, &state, kz](size_t c) {
+// Shared body of the two Rebuild overloads: (re)builds the per-community
+// and per-word alias tables from raw count arrays.
+void RebuildTablesFromCounts(SparseSamplerTables* tables, const int32_t* n_cz,
+                             const int32_t* n_zw, int kc, int kz, size_t vocab,
+                             double alpha, double beta, ThreadPool* pool) {
+  tables->community_topic.resize(static_cast<size_t>(kc));
+  tables->word_topic.resize(vocab);
+
+  const auto build_community = [tables, n_cz, kz, alpha](size_t c) {
     static thread_local std::vector<double> weights;
     weights.resize(static_cast<size_t>(kz));
     const size_t base = c * static_cast<size_t>(kz);
     for (int z = 0; z < kz; ++z) {
       weights[static_cast<size_t>(z)] =
-          static_cast<double>(state.n_cz[base + static_cast<size_t>(z)]) +
-          state.alpha;
+          static_cast<double>(n_cz[base + static_cast<size_t>(z)]) + alpha;
     }
-    community_topic[c].Rebuild(weights);
+    tables->community_topic[c].Rebuild(weights);
   };
-  const auto build_word = [this, &state, kz, vocab](size_t w) {
+  const auto build_word = [tables, n_zw, kz, vocab, beta](size_t w) {
     static thread_local std::vector<double> weights;
     weights.resize(static_cast<size_t>(kz));
     for (int z = 0; z < kz; ++z) {
       weights[static_cast<size_t>(z)] =
-          static_cast<double>(state.n_zw[static_cast<size_t>(z) * vocab + w]) +
-          state.beta;
+          static_cast<double>(n_zw[static_cast<size_t>(z) * vocab + w]) + beta;
     }
-    word_topic[w].Rebuild(weights);
+    tables->word_topic[w].Rebuild(weights);
   };
 
   if (pool != nullptr && pool->num_threads() > 1) {
@@ -70,6 +72,22 @@ void SparseSamplerTables::Rebuild(const ModelState& state, ThreadPool* pool) {
     for (size_t c = 0; c < static_cast<size_t>(kc); ++c) build_community(c);
     for (size_t w = 0; w < vocab; ++w) build_word(w);
   }
+}
+
+}  // namespace
+
+void SparseSamplerTables::Rebuild(const ModelState& state, ThreadPool* pool) {
+  RebuildTablesFromCounts(this, state.n_cz.data(), state.n_zw.data(),
+                          state.num_communities, state.num_topics,
+                          state.vocab_size, state.alpha, state.beta, pool);
+}
+
+void SparseSamplerTables::Rebuild(const StateSnapshot& snapshot,
+                                  ThreadPool* pool) {
+  RebuildTablesFromCounts(this, snapshot.n_cz().data(), snapshot.n_zw().data(),
+                          snapshot.num_communities(), snapshot.num_topics(),
+                          snapshot.vocab_size(), snapshot.alpha(),
+                          snapshot.beta(), pool);
 }
 
 GibbsSampler::GibbsSampler(const SocialGraph& graph, const CpdConfig& config,
@@ -311,13 +329,15 @@ double GibbsSampler::TopicLogWeight(DocId d, const Document& doc, int32_t c,
 }
 
 void GibbsSampler::ResampleTopicSparse(DocId d, bool concurrent, Rng* rng) {
-  if (!tables_.ready()) {
+  if (!active_tables().ready()) {
     // Lazy init is inherently serial; a concurrent caller that skipped
-    // RebuildSparseTables() would race the table construction, so fail
-    // loudly instead of corrupting memory.
-    CPD_CHECK(!concurrent);
+    // RebuildSparseTables() would race the table construction, and an
+    // executor sharing external tables must rebuild them before the sweep —
+    // fail loudly instead of corrupting memory.
+    CPD_CHECK(!concurrent && external_tables_ == nullptr);
     RebuildSparseTables();
   }
+  const SparseSamplerTables& tables = active_tables();
   ModelState& s = *state_;
   const Document& doc = graph_.document(d);
   const int32_t c = s.doc_community[static_cast<size_t>(d)];
@@ -339,9 +359,9 @@ void GibbsSampler::ResampleTopicSparse(DocId d, bool concurrent, Rng* rng) {
     const bool word_proposal = (step % 2 == 1) && len > 0;
     const AliasTable& table =
         word_proposal
-            ? tables_.word_topic[static_cast<size_t>(
+            ? tables.word_topic[static_cast<size_t>(
                   doc.words[static_cast<size_t>(rng->NextUint64(len))])]
-            : tables_.community_topic[static_cast<size_t>(c)];
+            : tables.community_topic[static_cast<size_t>(c)];
     const int32_t z_prop = static_cast<int32_t>(table.Sample(rng));
     ++proposals;
     if (z_prop == z_cur) {
@@ -383,14 +403,13 @@ double GibbsSampler::FillMembershipVector(UserId other, const double* q,
   return base;
 }
 
-double GibbsSampler::FillEtaCollapseVector(UserId other, int z_e,
-                                           bool is_source, const double* q,
-                                           const double* th,
-                                           double* out) const {
+void GibbsSampler::ComputeEtaCollapse(UserId other, int z_e, bool is_source,
+                                      double* out) const {
   const ModelState& s = *state_;
   const int kc = s.num_communities;
-  static thread_local std::vector<double> pio;
+  static thread_local std::vector<double> pio, th;
   pio.resize(static_cast<size_t>(kc));
+  th.resize(static_cast<size_t>(kc));
   const double other_denom =
       static_cast<double>(s.n_u[static_cast<size_t>(other)]) +
       static_cast<double>(kc) * s.rho;
@@ -399,6 +418,7 @@ double GibbsSampler::FillEtaCollapseVector(UserId other, int z_e,
         (static_cast<double>(s.n_uc[static_cast<size_t>(other) * kc + c]) +
          s.rho) /
         other_denom;
+    th[static_cast<size_t>(c)] = s.ThetaHat(c, z_e);
   }
   // a[c] collapses the fixed endpoint so each candidate costs O(1):
   //   source side: a[c]  = th[c]  sum_c' eta[c][c'][z_e] th[c'] pio[c']
@@ -407,24 +427,64 @@ double GibbsSampler::FillEtaCollapseVector(UserId other, int z_e,
     for (int c = 0; c < kc; ++c) {
       double inner = 0.0;
       for (int c2 = 0; c2 < kc; ++c2) {
-        inner += s.EtaAt(c, c2, z_e) * th[c2] * pio[static_cast<size_t>(c2)];
+        inner += s.EtaAt(c, c2, z_e) * th[static_cast<size_t>(c2)] *
+                 pio[static_cast<size_t>(c2)];
       }
-      out[c] = th[c] * inner;
+      out[c] = th[static_cast<size_t>(c)] * inner;
     }
   } else {
     for (int c2 = 0; c2 < kc; ++c2) {
       double inner = 0.0;
       for (int c = 0; c < kc; ++c) {
-        inner += s.EtaAt(c, c2, z_e) * th[c] * pio[static_cast<size_t>(c)];
+        inner += s.EtaAt(c, c2, z_e) * th[static_cast<size_t>(c)] *
+                 pio[static_cast<size_t>(c)];
       }
-      out[c2] = th[c2] * inner;
+      out[c2] = th[static_cast<size_t>(c2)] * inner;
     }
   }
-  double base = 0.0;
-  for (int c = 0; c < kc; ++c) {
-    base += q[c] * out[c];
+}
+
+namespace {
+
+// Upper bound on memoized collapse keys per sampler per sweep: bounds the
+// memo at kCollapseMemoMaxEntries * |C| doubles (e.g. ~10 MB at |C| = 20)
+// on graphs with very many distinct (endpoint, topic, side) keys. Overflow
+// keys fall back to the uncached exact computation.
+constexpr size_t kCollapseMemoMaxEntries = 1 << 16;
+
+}  // namespace
+
+const double* GibbsSampler::CollapsedEtaVector(UserId other, int z_e,
+                                               bool is_source) {
+  const size_t kc = static_cast<size_t>(state_->num_communities);
+  if (!collapse_cache_active_) {
+    static thread_local std::vector<double> scratch;
+    scratch.resize(kc);
+    ComputeEtaCollapse(other, z_e, is_source, scratch.data());
+    return scratch.data();
   }
-  return base;
+  const uint64_t key = (static_cast<uint64_t>(other) *
+                            static_cast<uint64_t>(state_->num_topics) +
+                        static_cast<uint64_t>(z_e)) *
+                           2ULL +
+                       (is_source ? 1ULL : 0ULL);
+  const auto it = collapse_index_.find(key);
+  if (it != collapse_index_.end()) {
+    ++collapse_hits_;
+    return collapse_vectors_.data() + it->second;
+  }
+  ++collapse_misses_;
+  if (collapse_index_.size() >= kCollapseMemoMaxEntries) {
+    static thread_local std::vector<double> scratch;
+    scratch.resize(kc);
+    ComputeEtaCollapse(other, z_e, is_source, scratch.data());
+    return scratch.data();
+  }
+  const size_t offset = collapse_vectors_.size();
+  collapse_vectors_.resize(offset + kc);
+  ComputeEtaCollapse(other, z_e, is_source, collapse_vectors_.data() + offset);
+  collapse_index_.emplace(key, offset);
+  return collapse_vectors_.data() + offset;
 }
 
 void GibbsSampler::ResampleCommunityDense(DocId d, bool concurrent, Rng* rng) {
@@ -440,7 +500,7 @@ void GibbsSampler::ResampleCommunityDense(DocId d, bool concurrent, Rng* rng) {
   // Exclude the document: community-side counters.
   RemoveDocCommunityCounts(u, c_old, z, concurrent);
 
-  static thread_local std::vector<double> logw, q, pio, th, a;
+  static thread_local std::vector<double> logw, q, pio;
   logw.assign(static_cast<size_t>(kc), 0.0);
   q.resize(static_cast<size_t>(kc));
 
@@ -480,8 +540,6 @@ void GibbsSampler::ResampleCommunityDense(DocId d, bool concurrent, Rng* rng) {
 
   // Diffusion psi terms over Lambda_i (Eq. 14).
   if (config_.ablation.model_diffusion && community_uses_diffusion_) {
-    th.resize(static_cast<size_t>(kc));
-    a.resize(static_cast<size_t>(kc));
     pio.resize(static_cast<size_t>(kc));
     for (int32_t e_idx : graph_.DiffusionNeighbors(d)) {
       const DiffusionLink& link = graph_.diffusion_links()[static_cast<size_t>(e_idx)];
@@ -503,11 +561,11 @@ void GibbsSampler::ResampleCommunityDense(DocId d, bool concurrent, Rng* rng) {
       // Link topic: the diffusing document's topic.
       const int z_e =
           is_source ? z : s.doc_topic[static_cast<size_t>(link.i)];
+      const double* a = CollapsedEtaVector(other, z_e, is_source);
+      double base = 0.0;
       for (int c = 0; c < kc; ++c) {
-        th[static_cast<size_t>(c)] = s.ThetaHat(c, z_e);
+        base += q[static_cast<size_t>(c)] * a[c];
       }
-      const double base = FillEtaCollapseVector(other, z_e, is_source,
-                                                q.data(), th.data(), a.data());
       const UserId src_user = is_source ? u : other;
       const UserId dst_user = is_source ? other : u;
       const double const_part =
@@ -515,7 +573,7 @@ void GibbsSampler::ResampleCommunityDense(DocId d, bool concurrent, Rng* rng) {
                           static_cast<size_t>(e_idx), 0.0);
       const double w_eta = s.weights[kWeightEta];
       for (int cand = 0; cand < kc; ++cand) {
-        const double score = (base + a[static_cast<size_t>(cand)]) / denom_pi;
+        const double score = (base + a[cand]) / denom_pi;
         const double w = const_part + w_eta * score;
         logw[static_cast<size_t>(cand)] += LogPsi(w, de);
       }
@@ -572,7 +630,7 @@ void GibbsSampler::ResampleCommunitySparse(DocId d, bool concurrent, Rng* rng) {
     bool heterogeneous = false;
   };
   static thread_local std::vector<LinkEval> links;
-  static thread_local std::vector<double> vecs, th;
+  static thread_local std::vector<double> vecs;
   links.clear();
   vecs.clear();
 
@@ -595,7 +653,6 @@ void GibbsSampler::ResampleCommunitySparse(DocId d, bool concurrent, Rng* rng) {
   }
 
   if (config_.ablation.model_diffusion && community_uses_diffusion_) {
-    th.resize(static_cast<size_t>(kc));
     for (int32_t e_idx : graph_.DiffusionNeighbors(d)) {
       const DiffusionLink& link =
           graph_.diffusion_links()[static_cast<size_t>(e_idx)];
@@ -609,17 +666,22 @@ void GibbsSampler::ResampleCommunitySparse(DocId d, bool concurrent, Rng* rng) {
       }
 
       const int z_e = is_source ? z : s.doc_topic[static_cast<size_t>(link.i)];
-      for (int c = 0; c < kc; ++c) {
-        th[static_cast<size_t>(c)] = s.ThetaHat(c, z_e);
-      }
 
       LinkEval ev;
       ev.heterogeneous = true;
       ev.aug = de;
       ev.vec_offset = vecs.size();
       vecs.resize(vecs.size() + static_cast<size_t>(kc));
-      ev.base = FillEtaCollapseVector(other, z_e, is_source, q.data(),
-                                      th.data(), vecs.data() + ev.vec_offset);
+      // Copy the (possibly memoized) collapse into the flat buffer — the
+      // cache may grow while later links are evaluated, so the pointer must
+      // not be retained.
+      const double* a = CollapsedEtaVector(other, z_e, is_source);
+      double base = 0.0;
+      for (int c = 0; c < kc; ++c) {
+        vecs[ev.vec_offset + static_cast<size_t>(c)] = a[c];
+        base += q[static_cast<size_t>(c)] * a[c];
+      }
+      ev.base = base;
       const UserId src_user = is_source ? u : other;
       const UserId dst_user = is_source ? other : u;
       ev.const_part = LinkEnergyParts(src_user, dst_user, z_e, link.time,
@@ -711,26 +773,54 @@ void GibbsSampler::ResetMhStats() {
   community_accepts_.store(0, std::memory_order_relaxed);
 }
 
+void GibbsSampler::AccumulateMhStats(const MhStats& stats) {
+  topic_proposals_.fetch_add(stats.topic_proposals, std::memory_order_relaxed);
+  topic_accepts_.fetch_add(stats.topic_accepts, std::memory_order_relaxed);
+  community_proposals_.fetch_add(stats.community_proposals,
+                                 std::memory_order_relaxed);
+  community_accepts_.fetch_add(stats.community_accepts,
+                               std::memory_order_relaxed);
+}
+
+// The collapse memo requires (a) a sampler driven by a single thread for
+// the whole sweep — shard-local or serial sweeps; legacy concurrent callers
+// share the sampler across threads, so the memo members must not even be
+// touched there — and (b) tolerance for within-sweep staleness: the memo
+// feeds the community kernel's MH target, so the staleness is an
+// uncorrected AD-LDA-class approximation, acceptable for the sparse
+// backend but not for the dense exact-reference path.
+void GibbsSampler::BeginCollapseMemoSweep() {
+  collapse_cache_active_ = config_.cache_eta_collapse &&
+                           config_.sampler_mode == SamplerMode::kSparse;
+  collapse_index_.clear();
+  collapse_vectors_.clear();
+}
+
 void GibbsSampler::SweepDocuments(Rng* rng) {
-  if (config_.sampler_mode == SamplerMode::kSparse) {
+  if (config_.sampler_mode == SamplerMode::kSparse &&
+      external_tables_ == nullptr) {
     RebuildSparseTables();
   }
+  BeginCollapseMemoSweep();
   for (size_t u = 0; u < graph_.num_users(); ++u) {
     for (DocId d : graph_.DocumentsOf(static_cast<UserId>(u))) {
       ResampleTopic(d, /*concurrent=*/false, rng);
       ResampleCommunity(d, /*concurrent=*/false, rng);
     }
   }
+  collapse_cache_active_ = false;
 }
 
 void GibbsSampler::SweepUsers(std::span<const UserId> users, bool concurrent,
                               Rng* rng) {
+  if (!concurrent) BeginCollapseMemoSweep();
   for (UserId u : users) {
     for (DocId d : graph_.DocumentsOf(u)) {
       ResampleTopic(d, concurrent, rng);
       ResampleCommunity(d, concurrent, rng);
     }
   }
+  if (!concurrent) collapse_cache_active_ = false;
 }
 
 void GibbsSampler::SweepFriendshipAugmentation(Rng* rng) {

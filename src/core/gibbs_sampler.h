@@ -4,9 +4,11 @@
 /// \file gibbs_sampler.h
 /// Collapsed Gibbs sampler with Polya-Gamma augmentation for CPD
 /// (paper §4.1, Eqs. 13-16). The same kernels serve the serial E-step and
-/// the multithreaded E-step of §4.3 (`concurrent = true` switches counter
-/// updates to relaxed atomics; reads may then be slightly stale, which is the
-/// standard AD-LDA-style approximation).
+/// the shard-local snapshot/delta E-step of §4.3: each shard executor binds
+/// one sampler to a private working ModelState and sweeps it single-threaded
+/// (`concurrent = false`), so the trainer path needs no atomics. The
+/// `concurrent = true` mode (relaxed-atomic counter updates over one shared
+/// state, AD-LDA style) remains for direct embedders of the sampler.
 ///
 /// Two interchangeable E-step backends (CpdConfig::sampler_mode):
 ///  - kDense: exact conditional scan over every candidate topic/community in
@@ -23,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/diffusion_features.h"
@@ -35,6 +38,7 @@
 
 namespace cpd {
 
+class StateSnapshot;
 class ThreadPool;
 
 /// Stale alias proposal tables for the sparse E-step. Rebuilt once per sweep
@@ -53,11 +57,16 @@ struct SparseSamplerTables {
 
   bool ready() const { return !community_topic.empty(); }
 
-  /// Rebuilds every table from the state's current counts. With a pool the
-  /// per-community / per-word rebuilds are sharded across the workers (the
-  /// trainer schedules this once per sweep inside the §4.3 segment plan);
-  /// with nullptr the rebuild runs serially.
+  /// Rebuilds every table from the state's current counts; with a pool the
+  /// per-community / per-word rebuilds are sharded across the workers, with
+  /// nullptr the rebuild runs serially. Used by serial SweepDocuments
+  /// callers and direct embedders of the sampler.
   void Rebuild(const ModelState& state, ThreadPool* pool);
+
+  /// Same rebuild, reading the frozen counts of a StateSnapshot directly —
+  /// the shard executors use this once per sweep so no working state has to
+  /// be materialized just to source the tables.
+  void Rebuild(const StateSnapshot& snapshot, ThreadPool* pool);
 };
 
 /// Metropolis-Hastings diagnostics of the sparse sampler. Self-proposals
@@ -80,6 +89,18 @@ struct MhStats {
                ? static_cast<double>(community_accepts) /
                      static_cast<double>(community_proposals)
                : 0.0;
+  }
+};
+
+/// Hit/miss counters of the per-sweep eta/theta endpoint-collapse memo (the
+/// diffusion-link community term; see CpdConfig::cache_eta_collapse).
+struct CollapseCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  double HitRate() const {
+    const int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
   }
 };
 
@@ -126,9 +147,33 @@ class GibbsSampler {
   /// sweep before submitting segments.
   void RebuildSparseTables(ThreadPool* pool = nullptr);
 
+  /// Points the sparse kernels at an externally owned, already-rebuilt table
+  /// set. The shard executors rebuild one table set per sweep from the
+  /// snapshot counts and share it read-only across every shard sampler
+  /// (staleness is MH-corrected, exactly like the single-sampler case).
+  /// Pass nullptr to fall back to the internally owned tables.
+  void UseExternalSparseTables(const SparseSamplerTables* tables) {
+    external_tables_ = tables;
+  }
+
+  /// Per-sweep collapse-memo counters (aggregated into TrainStats).
+  CollapseCacheStats collapse_cache_stats() const {
+    return {collapse_hits_, collapse_misses_};
+  }
+  void ResetCollapseCacheStats() {
+    collapse_hits_ = 0;
+    collapse_misses_ = 0;
+  }
+
   /// Snapshot / reset of the MH acceptance counters (sparse mode only).
   MhStats mh_stats() const;
   void ResetMhStats();
+
+  /// Adds externally accumulated counters into this sampler's totals. The
+  /// trainer folds its shard samplers' MH stats into the master sampler
+  /// after every E-step, so mh_stats() on the master keeps reporting
+  /// acceptance health for the whole training run.
+  void AccumulateMhStats(const MhStats& stats);
 
   /// w_ij of Eq. 5 (or the Eq. 3 energy under the no-heterogeneity
   /// ablation) for diffusion link index e under the current state.
@@ -147,6 +192,9 @@ class GibbsSampler {
   void set_freeze_communities(bool freeze) { freeze_communities_ = freeze; }
   void set_community_uses_content(bool use) { community_uses_content_ = use; }
   void set_community_uses_diffusion(bool use) { community_uses_diffusion_ = use; }
+  bool freeze_communities() const { return freeze_communities_; }
+  bool community_uses_content() const { return community_uses_content_; }
+  bool community_uses_diffusion() const { return community_uses_diffusion_; }
 
  private:
   /// log psi(w, x) = w/2 - x w^2 / 2 (the PG mixture kernel, Eq. 7).
@@ -182,13 +230,36 @@ class GibbsSampler {
   /// no-heterogeneity ablation): out[c] = pihat_{other,c}.
   double FillMembershipVector(UserId other, const double* q,
                               double* out) const;
-  /// Heterogeneous diffusion links: out[] is the eta endpoint collapse
+
+  /// Heterogeneous diffusion links: computes the eta endpoint collapse
   ///   source side: out[c]  = th[c]  sum_c' eta[c][c'][z_e] th[c'] pio[c']
   ///   target side: out[c'] = th[c'] sum_c  eta[c][c'][z_e] th[c]  pio[c]
-  /// where th must hold ThetaHat(., z_e).
-  double FillEtaCollapseVector(UserId other, int z_e, bool is_source,
-                               const double* q, const double* th,
-                               double* out) const;
+  /// where th[.] = ThetaHat(., z_e) and pio is the fixed endpoint's
+  /// membership — O(|C|^2) per call.
+  void ComputeEtaCollapse(UserId other, int z_e, bool is_source,
+                          double* out) const;
+
+  /// Cached front end of ComputeEtaCollapse: within a sweep the collapse is
+  /// keyed by (other, z_e, is_source), so repeated links sharing the key
+  /// cost an O(|C|) lookup instead of the O(|C|^2) recompute. The returned
+  /// pointer (|C| doubles) is valid until the next call. Cached values go
+  /// stale as the sweep moves counts and the staleness is NOT MH-corrected
+  /// (it enters the MH target) — an AD-LDA-class approximation, so the
+  /// memo is only active inside non-concurrent *sparse* sweeps with
+  /// config.cache_eta_collapse set; dense kernels and direct calls always
+  /// get a fresh exact computation.
+  const double* CollapsedEtaVector(UserId other, int z_e, bool is_source);
+
+  /// The table set the sparse kernels read (external when shared by an
+  /// executor, internal otherwise).
+  const SparseSamplerTables& active_tables() const {
+    return external_tables_ != nullptr ? *external_tables_ : tables_;
+  }
+
+  /// Activates (sparse mode + config flag) and clears the collapse memo for
+  /// one single-threaded sweep; callers reset collapse_cache_active_ when
+  /// the sweep ends.
+  void BeginCollapseMemoSweep();
 
   const SocialGraph& graph_;
   const CpdConfig& config_;
@@ -197,6 +268,16 @@ class GibbsSampler {
   PolyaGammaSampler pg_;
 
   SparseSamplerTables tables_;
+  const SparseSamplerTables* external_tables_ = nullptr;
+
+  // Per-sweep eta/theta collapse memo (key -> offset of a |C|-vector in
+  // collapse_vectors_). Cleared at sweep start; the owning sweep is
+  // single-threaded (shard-local), so plain counters suffice.
+  std::unordered_map<uint64_t, size_t> collapse_index_;
+  std::vector<double> collapse_vectors_;
+  bool collapse_cache_active_ = false;
+  int64_t collapse_hits_ = 0;
+  int64_t collapse_misses_ = 0;
 
   std::atomic<int64_t> topic_proposals_{0};
   std::atomic<int64_t> topic_accepts_{0};

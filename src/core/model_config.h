@@ -35,6 +35,20 @@ enum class SamplerMode {
   kSparse,
 };
 
+/// How the E-step dispatches its snapshot/delta shards (§4.3 refactored as
+/// plan -> snapshot -> shard-local sample -> delta-merge). Every mode samples
+/// against an immutable StateSnapshot and emits CounterDeltas; only the
+/// dispatch differs, so serial and pooled runs with the same seed and shard
+/// count are bit-identical.
+enum class ExecutorMode {
+  /// num_threads == 1 -> kSerial, otherwise kPooled.
+  kAuto,
+  /// Shards run in shard order on the calling thread.
+  kSerial,
+  /// Shards fan out over a persistent thread pool.
+  kPooled,
+};
+
 /// Ablation / variant switches. Default = full CPD.
 struct CpdAblation {
   /// false reproduces the "no joint modeling" baseline: detect communities
@@ -83,16 +97,40 @@ struct CpdConfig {
 
   PopularityMode popularity_mode = PopularityMode::kFraction;
 
-  /// E-step backend. kDense is the exact reference path; kSparse is the
-  /// alias-table + Metropolis-Hastings path (equivalent stationary
-  /// distribution, much faster at large |Z|/|C|).
-  SamplerMode sampler_mode = SamplerMode::kDense;
+  /// E-step backend. kSparse (the alias-table + Metropolis-Hastings path) is
+  /// the default now that it has soaked across the bench suite; kDense stays
+  /// as the exact reference path (`--sampler dense` in cpd_train).
+  SamplerMode sampler_mode = SamplerMode::kSparse;
 
   /// Metropolis-Hastings proposals per conditional draw in kSparse mode.
-  /// More steps track the exact conditional more closely per sweep; 2 (one
-  /// prior-proposal plus one word-proposal for topics) matches LightLDA's
-  /// cycle default.
-  int mh_steps = 2;
+  /// More steps track the exact conditional more closely per sweep;
+  /// LightLDA's cycle default is 2 (one prior proposal plus one word
+  /// proposal for topics), but 4 buys noticeably better per-sweep mixing on
+  /// small/medium graphs for a still-sublinear cost, so it is the default
+  /// now that kSparse is the default backend.
+  int mh_steps = 4;
+
+  /// E-step shard dispatch (see ExecutorMode). kAuto follows num_threads.
+  ExecutorMode executor_mode = ExecutorMode::kAuto;
+
+  /// Number of snapshot/delta shards per sweep. 0 follows num_threads. More
+  /// shards than threads is legal (they queue on the pool); a single shard
+  /// reproduces sequential collapsed Gibbs exactly — modulo the collapse
+  /// memo below, so also clear cache_eta_collapse (or use kDense) when an
+  /// exact chain is the point.
+  int num_shards = 0;
+
+  /// Memoize the eta/theta endpoint collapse of the diffusion-link community
+  /// term per (other endpoint, link topic, side) within a sweep, cutting the
+  /// O(|C|^2) collapse per link to an O(|C|) lookup after the first link that
+  /// shares the key. The memo enters the community kernel's MH *target*, so
+  /// its within-sweep staleness is NOT corrected by the MH step — it is an
+  /// uncorrected stale-read approximation of the same class as AD-LDA /
+  /// multi-shard sweeps (bounded by one sweep; tables refresh at every
+  /// sweep start). It therefore only applies to kSparse sweeps, keeping the
+  /// dense path an exact reference; disable it for exact single-shard
+  /// sparse chains. Hits/misses are reported in TrainStats.
+  bool cache_eta_collapse = true;
 
   CpdAblation ablation;
 
@@ -110,6 +148,15 @@ struct CpdConfig {
     return std::min(0.1, 50.0 / static_cast<double>(num_communities));
   }
 
+  /// Resolved E-step sharding.
+  int ResolvedNumShards() const {
+    return num_shards > 0 ? num_shards : std::max(1, num_threads);
+  }
+  ExecutorMode ResolvedExecutorMode() const {
+    if (executor_mode != ExecutorMode::kAuto) return executor_mode;
+    return num_threads > 1 ? ExecutorMode::kPooled : ExecutorMode::kSerial;
+  }
+
   /// Validates field ranges.
   Status Validate() const {
     if (num_communities < 1) return Status::InvalidArgument("|C| < 1");
@@ -121,6 +168,7 @@ struct CpdConfig {
     }
     if (nu_iterations < 0) return Status::InvalidArgument("nu_iterations < 0");
     if (mh_steps < 1) return Status::InvalidArgument("mh_steps < 1");
+    if (num_shards < 0) return Status::InvalidArgument("num_shards < 0");
     if (nu_learning_rate <= 0.0) {
       return Status::InvalidArgument("nu_learning_rate <= 0");
     }

@@ -7,6 +7,12 @@
 /// augmentation variables, and the model parameters eta / nu / factor
 /// weights. Data members are public by design — the Gibbs sampler and the
 /// M-step are performance-critical and operate on the raw arrays.
+///
+/// In the snapshot/delta E-step (§4.3, state_snapshot.h) there is one
+/// master ModelState owned by the trainer plus one private working copy per
+/// executor slot; StateSnapshot freezes the master's mutable arrays per
+/// sweep and restores them into the working copies, and the master advances
+/// only by merged CounterDeltas.
 
 #include <cstdint>
 #include <span>

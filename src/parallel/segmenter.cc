@@ -77,4 +77,21 @@ StatusOr<ThreadPlan> PlanThreads(const SocialGraph& graph, int num_segments,
   return plan;
 }
 
+ThreadPlan TrivialThreadPlan(const SocialGraph& graph,
+                             const WorkloadCostModel& cost) {
+  ThreadPlan plan;
+  plan.num_segments = 1;
+  plan.users_per_thread.assign(1, {});
+  auto& users = plan.users_per_thread[0];
+  users.reserve(graph.num_users());
+  double workload = 0.0;
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    users.push_back(static_cast<UserId>(u));
+    workload += EstimateUserWorkload(graph, static_cast<UserId>(u), cost);
+  }
+  plan.allocation.thread_of_segment = {0};
+  plan.allocation.thread_workload = {workload};
+  return plan;
+}
+
 }  // namespace cpd

@@ -54,6 +54,12 @@ StatusOr<ThreadPlan> PlanThreads(const SocialGraph& graph, int num_segments,
                                  int num_threads, const WorkloadCostModel& cost,
                                  int lda_iterations = 20, uint64_t seed = 11);
 
+/// Degenerate one-shard plan: every user in graph order, no LDA pre-pass.
+/// Used for single-shard (serial-equivalent) E-steps, which reproduce
+/// sequential collapsed Gibbs exactly and should not pay segmentation cost.
+ThreadPlan TrivialThreadPlan(const SocialGraph& graph,
+                             const WorkloadCostModel& cost);
+
 }  // namespace cpd
 
 #endif  // CPD_PARALLEL_SEGMENTER_H_

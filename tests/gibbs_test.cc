@@ -10,8 +10,17 @@
 namespace cpd {
 namespace {
 
+// The GibbsSamplerTest suite drives the exact dense reference kernels
+// regardless of the library default (now kSparse); SparseConfig() below opts
+// back into the sparse backend explicitly.
+CpdConfig DenseConfig() {
+  CpdConfig cfg;
+  cfg.sampler_mode = SamplerMode::kDense;
+  return cfg;
+}
+
 struct Harness {
-  explicit Harness(uint64_t seed = 5, CpdConfig cfg = {})
+  explicit Harness(uint64_t seed = 5, CpdConfig cfg = DenseConfig())
       : result(testing::MakeTinyGraph(seed)),
         config(PrepareConfig(std::move(cfg))),
         caches(result.graph),
@@ -103,7 +112,7 @@ TEST(GibbsSamplerTest, FreezeCommunitiesHoldsAssignments) {
 }
 
 TEST(GibbsSamplerTest, NoHeterogeneityEnergyIsMembershipDot) {
-  CpdConfig cfg;
+  CpdConfig cfg = DenseConfig();
   cfg.ablation.heterogeneous_links = false;
   Harness h(7, cfg);
   const DiffusionLink& link = h.result.graph.diffusion_links()[0];
@@ -113,7 +122,7 @@ TEST(GibbsSamplerTest, NoHeterogeneityEnergyIsMembershipDot) {
 }
 
 TEST(GibbsSamplerTest, ModelFriendshipOffSkipsLambda) {
-  CpdConfig cfg;
+  CpdConfig cfg = DenseConfig();
   cfg.ablation.model_friendship = false;
   Harness h(8, cfg);
   const std::vector<double> before = h.state.lambda;

@@ -35,7 +35,10 @@ TEST(IntegrationTest, FullPipelineCpdBeatsRestrictedModel) {
   CpdConfig config;
   config.num_communities = 4;
   config.num_topics = 6;
-  config.em_iterations = 12;
+  // The default sparse (MH) backend trades per-sweep mixing for throughput;
+  // on this tiny fold it needs a few more EM iterations than the dense
+  // reference did to crystallize communities.
+  config.em_iterations = 18;
   config.seed = 205;
   auto cpd = CpdModel::Train(fold->train_graph, config);
   ASSERT_TRUE(cpd.ok());

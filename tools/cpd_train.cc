@@ -8,7 +8,8 @@
 //   cpd_train --users N --docs docs.tsv --friends friends.tsv
 //             --diffusion diffusion.tsv [--communities 20] [--topics 20]
 //             [--iterations 15] [--threads 1] [--seed 42]
-//             [--sampler dense|sparse] [--mh_steps 2]
+//             [--sampler sparse|dense] [--mh_steps 4]
+//             [--executor auto|serial|pooled] [--shards 0]
 //             [--model out.cpd] [--dot diffusion.dot] [--json profiles.json]
 //
 // Prints dataset statistics, training progress, community labels and the
@@ -34,8 +35,9 @@ void Usage(const char* argv0) {
                "usage: %s --users N --docs docs.tsv --friends friends.tsv "
                "--diffusion diffusion.tsv\n"
                "          [--communities 20] [--topics 20] [--iterations 15]\n"
-               "          [--threads 1] [--seed 42] [--sampler dense|sparse]\n"
-               "          [--mh_steps 2] [--model out.cpd] [--dot out.dot]\n"
+               "          [--threads 1] [--seed 42] [--sampler sparse|dense]\n"
+               "          [--mh_steps 4] [--executor auto|serial|pooled]\n"
+               "          [--shards 0] [--model out.cpd] [--dot out.dot]\n"
                "          [--json out.json]\n",
                argv0);
 }
@@ -77,15 +79,27 @@ int main(int argc, char** argv) {
   config.em_iterations = std::atoi(get("iterations", "15").c_str());
   config.num_threads = std::atoi(get("threads", "1").c_str());
   config.seed = std::strtoull(get("seed", "42").c_str(), nullptr, 10);
-  const std::string sampler = get("sampler", "dense");
-  if (sampler == "sparse") {
-    config.sampler_mode = cpd::SamplerMode::kSparse;
-  } else if (sampler != "dense") {
-    std::fprintf(stderr, "unknown --sampler '%s' (dense|sparse)\n",
+  const std::string sampler = get("sampler", "sparse");
+  if (sampler == "dense") {
+    config.sampler_mode = cpd::SamplerMode::kDense;
+  } else if (sampler != "sparse") {
+    std::fprintf(stderr, "unknown --sampler '%s' (sparse|dense)\n",
                  sampler.c_str());
     return 2;
   }
-  config.mh_steps = std::atoi(get("mh_steps", "2").c_str());
+  config.mh_steps = std::atoi(
+      get("mh_steps", std::to_string(cpd::CpdConfig().mh_steps)).c_str());
+  const std::string executor = get("executor", "auto");
+  if (executor == "serial") {
+    config.executor_mode = cpd::ExecutorMode::kSerial;
+  } else if (executor == "pooled") {
+    config.executor_mode = cpd::ExecutorMode::kPooled;
+  } else if (executor != "auto") {
+    std::fprintf(stderr, "unknown --executor '%s' (auto|serial|pooled)\n",
+                 executor.c_str());
+    return 2;
+  }
+  config.num_shards = std::atoi(get("shards", "0").c_str());
   config.verbose = true;
 
   std::printf("training CPD: |C|=%d |Z|=%d T1=%d threads=%d...\n",
@@ -98,9 +112,22 @@ int main(int argc, char** argv) {
                  model.status().ToString().c_str());
     return 1;
   }
-  std::printf("trained in %.1fs (E-step %.1fs, M-step %.1fs)\n\n",
-              timer.ElapsedSeconds(), model->stats().e_step_seconds,
-              model->stats().m_step_seconds);
+  const cpd::TrainStats& stats = model->stats();
+  std::printf("trained in %.1fs (E-step %.1fs [snapshot %.2fs, merge %.2fs], "
+              "M-step %.1fs)\n",
+              timer.ElapsedSeconds(), stats.e_step_seconds,
+              stats.snapshot_seconds, stats.merge_seconds,
+              stats.m_step_seconds);
+  const int64_t collapse_total =
+      stats.eta_collapse_hits + stats.eta_collapse_misses;
+  std::printf("delta E-step: %zu doc moves merged; eta-collapse cache hit "
+              "rate %.2f (%lld lookups)\n\n",
+              stats.delta_doc_moves,
+              collapse_total > 0
+                  ? static_cast<double>(stats.eta_collapse_hits) /
+                        static_cast<double>(collapse_total)
+                  : 0.0,
+              static_cast<long long>(collapse_total));
 
   const cpd::Vocabulary& vocab = graph->corpus().vocabulary();
   std::printf("communities:\n");
