@@ -33,7 +33,8 @@ double FullGraphConductance(const SocialGraph& graph, const CpdConfig& config) {
   CPD_CHECK(model.ok());
   std::vector<std::vector<double>> memberships(graph.num_users());
   for (size_t u = 0; u < graph.num_users(); ++u) {
-    memberships[u] = model->Membership(static_cast<UserId>(u));
+    const auto row = model->Membership(static_cast<UserId>(u));
+    memberships[u].assign(row.begin(), row.end());
   }
   // The paper assigns each user to her top-5 communities with |C| >= 20;
   // at scaled-down |C| keep the same *fraction* (5/20 = |C|/4).

@@ -30,16 +30,19 @@ double CpdPerplexity(const SocialGraph& graph, const CpdConfig& config,
   CPD_CHECK(model.ok());
   std::vector<std::vector<double>> pi(graph.num_users());
   for (size_t u = 0; u < graph.num_users(); ++u) {
-    pi[u] = model->Membership(static_cast<UserId>(u));
+    const auto row = model->Membership(static_cast<UserId>(u));
+    pi[u].assign(row.begin(), row.end());
   }
   std::vector<std::vector<double>> theta(
       static_cast<size_t>(model->num_communities()));
   for (int c = 0; c < model->num_communities(); ++c) {
-    theta[static_cast<size_t>(c)] = model->ContentProfile(c);
+    const auto row = model->ContentProfile(c);
+    theta[static_cast<size_t>(c)].assign(row.begin(), row.end());
   }
   std::vector<std::vector<double>> phi(static_cast<size_t>(model->num_topics()));
   for (int z = 0; z < model->num_topics(); ++z) {
-    phi[static_cast<size_t>(z)] = model->TopicWords(z);
+    const auto row = model->TopicWords(z);
+    phi[static_cast<size_t>(z)].assign(row.begin(), row.end());
   }
   return ContentPerplexity(graph, docs, pi, theta, phi);
 }

@@ -115,7 +115,8 @@ void RunDataset(const BenchDataset& dataset, const BenchScale& scale) {
         CPD_CHECK(model.ok());
         std::vector<std::vector<double>> memberships(g.num_users());
         for (size_t u = 0; u < g.num_users(); ++u) {
-          memberships[u] = model->Membership(static_cast<UserId>(u));
+          const auto row = model->Membership(static_cast<UserId>(u));
+          memberships[u].assign(row.begin(), row.end());
         }
         return memberships;
       },

@@ -65,10 +65,12 @@ double TimeEStep(const SocialGraph& graph, const BenchScale& scale,
 }
 
 void PanelA(const BenchDataset& dataset, const BenchScale& scale) {
+  // The per-fraction dense column was retired with the kSparse default:
+  // dense is the exact-reference mode and is timed once per dataset in
+  // PanelSamplerMode, not re-run at every subsample fraction.
   TableWriter table("Fig 10(a): E-step seconds vs dataset fraction - " +
                     dataset.name);
-  table.SetHeader(
-      {"fraction", "serial (s)", "parallel (s)", "serial dense (s)"});
+  table.SetHeader({"fraction", "serial (s)", "parallel (s)"});
   std::vector<double> fractions, serial_times;
   const int cores =
       std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
@@ -76,8 +78,7 @@ void PanelA(const BenchDataset& dataset, const BenchScale& scale) {
     const SocialGraph sub = Subsample(dataset.data.graph, p, 1010);
     const double serial = TimeEStep(sub, scale, 1);
     const double parallel = TimeEStep(sub, scale, cores);
-    const double dense = TimeEStep(sub, scale, 1, SamplerMode::kDense);
-    table.AddRow(FormatDouble(p, 1), {serial, parallel, dense}, 4);
+    table.AddRow(FormatDouble(p, 1), {serial, parallel}, 4);
     fractions.push_back(p);
     serial_times.push_back(serial);
   }

@@ -1,0 +1,235 @@
+// Query-serving benchmark -> BENCH_query.json.
+//
+// Trains one model on the Twitter-like preset, builds a ProfileIndex +
+// QueryEngine, and measures the read side the way a serving front end sees
+// it:
+//   - single-thread: per-request latency (p50/p99 microseconds per query
+//     type) and sequential-loop throughput over a mixed workload;
+//   - batched: the same workload through QueryEngine::QueryBatch on a
+//     4-thread pool (the CI acceptance bar: batched >= 2x the sequential
+//     loop on a multicore runner; a 1-core container cannot show >1x, so
+//     hardware_concurrency is recorded alongside).
+//
+// Follows the BENCH_sampler.json conventions: runs argument-free at a
+// laptop-friendly scale, honors CPD_BENCH_JSON_DIR, appends nothing.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "parallel/thread_pool.h"
+#include "util/file_util.h"
+#include "serve/profile_index.h"
+#include "serve/query_engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace cpd::bench {
+namespace {
+
+constexpr int kBatchThreads = 4;
+constexpr size_t kWorkloadSize = 4000;
+
+struct LatencySummary {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  size_t count = 0;
+};
+
+LatencySummary Summarize(std::vector<double>* latencies_us) {
+  LatencySummary summary;
+  summary.count = latencies_us->size();
+  if (latencies_us->empty()) return summary;
+  std::sort(latencies_us->begin(), latencies_us->end());
+  summary.p50_us = (*latencies_us)[latencies_us->size() / 2];
+  summary.p99_us = (*latencies_us)[latencies_us->size() * 99 / 100];
+  return summary;
+}
+
+const char* RequestKind(const serve::QueryRequest& request) {
+  switch (request.index()) {
+    case 0: return "membership";
+    case 1: return "rank";
+    case 2: return "diffusion";
+    default: return "top_users";
+  }
+}
+
+/// Mixed serving workload: mostly cheap membership lookups with a steady
+/// stream of ranking / diffusion / roster queries, request parameters drawn
+/// from the trained graph.
+std::vector<serve::QueryRequest> BuildWorkload(const SocialGraph& graph,
+                                               const serve::ProfileIndex& index,
+                                               size_t count, Rng* rng) {
+  std::vector<serve::QueryRequest> requests;
+  requests.reserve(count);
+  const auto& links = graph.diffusion_links();
+  for (size_t i = 0; i < count; ++i) {
+    const double pick = rng->NextDouble();
+    if (pick < 0.55) {
+      serve::MembershipRequest request;
+      request.user = static_cast<UserId>(rng->NextUint64(graph.num_users()));
+      request.top_k = 5;
+      requests.push_back(request);
+    } else if (pick < 0.80) {
+      serve::RankCommunitiesRequest request;
+      const size_t terms = 1 + rng->NextUint64(2);
+      for (size_t t = 0; t < terms; ++t) {
+        request.words.push_back(
+            static_cast<WordId>(rng->NextUint64(index.vocab_size())));
+      }
+      request.top_k = 5;
+      requests.push_back(request);
+    } else if (pick < 0.90 && !links.empty()) {
+      const DiffusionLink& link =
+          links[rng->NextUint64(links.size())];
+      serve::DiffusionRequest request;
+      request.source = graph.document(link.i).user;
+      request.target = graph.document(link.j).user;
+      request.document = link.j;
+      request.time_bin = link.time;
+      requests.push_back(request);
+    } else {
+      serve::TopUsersRequest request;
+      request.community =
+          static_cast<int>(rng->NextUint64(
+              static_cast<uint64_t>(index.num_communities())));
+      request.top_k = 10;
+      requests.push_back(request);
+    }
+  }
+  return requests;
+}
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  const BenchDataset& dataset = TwitterDataset(scale);
+  PrintBenchHeader("Query serving (ProfileIndex + QueryEngine)", scale,
+                   dataset);
+
+  CpdConfig config = BaseCpdConfig(scale);
+  config.num_communities = 12;
+  std::printf("training |C|=%d |Z|=%d T1=%d...\n", config.num_communities,
+              config.num_topics, config.em_iterations);
+  auto model = CpdModel::Train(dataset.data.graph, config);
+  CPD_CHECK(model.ok());
+
+  WallTimer build_timer;
+  const serve::ProfileIndex index = serve::ProfileIndex::FromModel(*model);
+  const double build_seconds = build_timer.ElapsedSeconds();
+  const serve::QueryEngine engine(index, &dataset.data.graph);
+
+  Rng rng(20260731);
+  const std::vector<serve::QueryRequest> workload =
+      BuildWorkload(dataset.data.graph, index, kWorkloadSize, &rng);
+
+  // Warm-up: touch every matrix page once.
+  for (size_t i = 0; i < std::min<size_t>(200, workload.size()); ++i) {
+    CPD_CHECK(engine.Query(workload[i]).ok());
+  }
+
+  // Sequential-throughput pass: one timer around the plain loop, no
+  // per-request instrumentation — this is the number the batched speedup
+  // is judged against, so it must not carry clock/push_back overhead the
+  // batch loop does not pay.
+  WallTimer single_timer;
+  for (const serve::QueryRequest& request : workload) {
+    CPD_CHECK(engine.Query(request).ok());
+  }
+  const double single_seconds = single_timer.ElapsedSeconds();
+  const double single_qps =
+      static_cast<double>(workload.size()) / single_seconds;
+
+  // Separate latency-sampling pass (per-request timers are fine here: the
+  // percentiles describe single-query service time, not throughput).
+  std::vector<double> all_us;
+  std::vector<std::vector<double>> per_kind_us(4);
+  all_us.reserve(workload.size());
+  for (const serve::QueryRequest& request : workload) {
+    WallTimer timer;
+    const auto response = engine.Query(request);
+    const double us = timer.ElapsedSeconds() * 1e6;
+    CPD_CHECK(response.ok());
+    all_us.push_back(us);
+    per_kind_us[request.index()].push_back(us);
+  }
+
+  // Batched pass at a fixed pool width (the serving fan-out seam).
+  ThreadPool pool(kBatchThreads);
+  engine.QueryBatch(std::span(workload).subspan(0, 200), &pool);  // Warm-up.
+  WallTimer batch_timer;
+  const auto responses = engine.QueryBatch(workload, &pool);
+  const double batch_seconds = batch_timer.ElapsedSeconds();
+  for (const auto& response : responses) CPD_CHECK(response.ok());
+  const double batch_qps =
+      static_cast<double>(workload.size()) / batch_seconds;
+
+  const LatencySummary overall = Summarize(&all_us);
+  std::printf("single-thread: %.0f queries/sec  p50 %.1fus  p99 %.1fus\n",
+              single_qps, overall.p50_us, overall.p99_us);
+  std::printf("batched x%d:    %.0f queries/sec  (%.2fx single-thread; "
+              "hardware_concurrency=%u)\n",
+              kBatchThreads, batch_qps, batch_qps / single_qps,
+              std::thread::hardware_concurrency());
+
+  std::string json = "{\n  \"bench\": \"query_serving\",\n";
+  json += StrFormat(
+      "  \"dataset\": {\"users\": %zu, \"documents\": %zu, "
+      "\"communities\": %d, \"topics\": %d, \"vocab\": %zu},\n",
+      dataset.data.graph.num_users(), dataset.data.graph.num_documents(),
+      index.num_communities(), index.num_topics(), index.vocab_size());
+  json += StrFormat("  \"hardware_concurrency\": %u,\n",
+                    std::thread::hardware_concurrency());
+  json += StrFormat("  \"index_build_seconds\": %.4f,\n", build_seconds);
+  json += StrFormat("  \"workload_size\": %zu,\n", workload.size());
+  json += "  \"per_type_single_thread\": [\n";
+  for (size_t kind = 0; kind < per_kind_us.size(); ++kind) {
+    serve::QueryRequest probe;  // Only for the kind name table.
+    switch (kind) {
+      case 0: probe = serve::MembershipRequest{}; break;
+      case 1: probe = serve::RankCommunitiesRequest{}; break;
+      case 2: probe = serve::DiffusionRequest{}; break;
+      default: probe = serve::TopUsersRequest{}; break;
+    }
+    const LatencySummary summary = Summarize(&per_kind_us[kind]);
+    json += StrFormat(
+        "    {\"type\": \"%s\", \"count\": %zu, \"p50_us\": %.2f, "
+        "\"p99_us\": %.2f}%s\n",
+        RequestKind(probe), summary.count, summary.p50_us, summary.p99_us,
+        kind + 1 < per_kind_us.size() ? "," : "");
+  }
+  json += "  ],\n";
+  json += StrFormat(
+      "  \"single_thread\": {\"queries_per_sec\": %.1f, \"p50_us\": %.2f, "
+      "\"p99_us\": %.2f},\n",
+      single_qps, overall.p50_us, overall.p99_us);
+  json += StrFormat(
+      "  \"batched\": {\"threads\": %d, \"queries_per_sec\": %.1f, "
+      "\"speedup_vs_single_thread\": %.3f}\n",
+      kBatchThreads, batch_qps, batch_qps / single_qps);
+  json += "}\n";
+
+  const char* dir = std::getenv("CPD_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_query.json";
+  const Status status = WriteStringToFile(path, json);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 status.message().c_str());
+  } else {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace cpd::bench
+
+int main() {
+  cpd::bench::Run();
+  return 0;
+}

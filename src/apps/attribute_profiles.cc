@@ -9,10 +9,19 @@ namespace cpd {
 
 StatusOr<AttributeProfiles> AttributeProfiles::Build(
     const CpdModel& model, const UserAttribute& attribute) {
+  // The aggregation only reads pi rows and eta_agg; skip the top-k and
+  // postings build.
+  serve::ProfileIndexOptions options;
+  options.build_membership_index = false;
+  return Build(serve::ProfileIndex::FromModel(model, options), attribute);
+}
+
+StatusOr<AttributeProfiles> AttributeProfiles::Build(
+    const serve::ProfileIndex& index, const UserAttribute& attribute) {
   if (attribute.values.empty()) {
     return Status::InvalidArgument("attribute has no values");
   }
-  if (attribute.value_of_user.size() != model.num_users()) {
+  if (attribute.value_of_user.size() != index.num_users()) {
     return Status::InvalidArgument("attribute/user count mismatch");
   }
   for (int32_t v : attribute.value_of_user) {
@@ -23,14 +32,14 @@ StatusOr<AttributeProfiles> AttributeProfiles::Build(
 
   AttributeProfiles profiles;
   profiles.name_ = attribute.name;
-  profiles.num_communities_ = model.num_communities();
+  profiles.num_communities_ = index.num_communities();
   profiles.num_values_ = static_cast<int>(attribute.values.size());
 
   const size_t kc = static_cast<size_t>(profiles.num_communities_);
   const size_t ka = static_cast<size_t>(profiles.num_values_);
   profiles.internal_.assign(kc * ka, 1e-9);
-  for (size_t u = 0; u < model.num_users(); ++u) {
-    const auto& pi = model.Membership(static_cast<UserId>(u));
+  for (size_t u = 0; u < index.num_users(); ++u) {
+    const auto pi = index.Membership(static_cast<UserId>(u));
     const size_t a = static_cast<size_t>(attribute.value_of_user[u]);
     for (size_t c = 0; c < kc; ++c) {
       profiles.internal_[c * ka + a] += pi[c];
@@ -46,7 +55,7 @@ StatusOr<AttributeProfiles> AttributeProfiles::Build(
   for (int c = 0; c < profiles.num_communities_; ++c) {
     double total = 0.0;
     for (int c2 = 0; c2 < profiles.num_communities_; ++c2) {
-      const double strength = model.EtaAggregated(c, c2);
+      const double strength = index.EtaAggregated(c, c2);
       profiles.eta_agg_[static_cast<size_t>(c) * kc + static_cast<size_t>(c2)] =
           strength;
       total += strength;

@@ -17,6 +17,7 @@
 
 #include "core/cpd_model.h"
 #include "graph/social_graph.h"
+#include "serve/profile_index.h"
 #include "util/status.h"
 
 namespace cpd {
@@ -36,6 +37,11 @@ class AttributeProfiles {
   /// diffusion strength:
   ///   p(a, a' | c, c') ∝ eta_agg(c, c') p(a | c) p(a' | c').
   static StatusOr<AttributeProfiles> Build(const CpdModel& model,
+                                           const UserAttribute& attribute);
+
+  /// Same aggregation against a serving index (the adapter above builds a
+  /// temporary index and forwards here).
+  static StatusOr<AttributeProfiles> Build(const serve::ProfileIndex& index,
                                            const UserAttribute& attribute);
 
   int num_communities() const { return num_communities_; }

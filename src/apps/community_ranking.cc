@@ -1,63 +1,44 @@
 #include "apps/community_ranking.h"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "text/tokenizer.h"
 #include "util/logging.h"
-#include "util/math_util.h"
 
 namespace cpd {
 
-CommunityRanker::CommunityRanker(const CpdModel& model) : model_(model) {}
+namespace {
+// Ranking only reads theta/phi/eta; skip the O(U·|C| log k) top-k and
+// postings build when adapting a model.
+serve::ProfileIndexOptions RankerIndexOptions() {
+  serve::ProfileIndexOptions options;
+  options.build_membership_index = false;
+  return options;
+}
+}  // namespace
+
+CommunityRanker::CommunityRanker(const CpdModel& model)
+    : owned_index_(serve::ProfileIndex::FromModel(model, RankerIndexOptions())),
+      index_(&*owned_index_),
+      engine_(*index_) {}
+
+CommunityRanker::CommunityRanker(const serve::ProfileIndex& index)
+    : index_(&index), engine_(*index_) {}
 
 std::vector<RankedCommunity> CommunityRanker::Rank(
     std::span<const WordId> query) const {
-  const int kc = model_.num_communities();
-  const int kz = model_.num_topics();
-
-  // g_z = prod_{w in q} phi_{z,w}, computed in log space and rescaled by the
-  // max to avoid underflow (a global per-z factor cancels in the ranking).
-  std::vector<double> log_g(static_cast<size_t>(kz), 0.0);
-  for (int z = 0; z < kz; ++z) {
-    const auto& phi = model_.TopicWords(z);
-    double lg = 0.0;
-    for (WordId w : query) {
-      CPD_CHECK(w >= 0 && static_cast<size_t>(w) < phi.size());
-      lg += std::log(std::max(phi[static_cast<size_t>(w)], 1e-300));
-    }
-    log_g[static_cast<size_t>(z)] = lg;
+  serve::RankCommunitiesRequest request;
+  request.words.assign(query.begin(), query.end());
+  auto response = engine_.RankCommunities(request);
+  // The historical contract: word ids must be in-vocabulary (ParseQuery
+  // filters), so a failure here is a caller bug.
+  CPD_CHECK(response.ok());
+  std::vector<RankedCommunity> ranked;
+  ranked.reserve(response->ranked.size());
+  for (serve::RankedCommunityEntry& entry : response->ranked) {
+    ranked.push_back({entry.community, entry.score,
+                      std::move(entry.topic_distribution)});
   }
-  const double max_log = *std::max_element(log_g.begin(), log_g.end());
-  std::vector<double> g(static_cast<size_t>(kz));
-  for (int z = 0; z < kz; ++z) {
-    g[static_cast<size_t>(z)] = std::exp(log_g[static_cast<size_t>(z)] - max_log);
-  }
-
-  std::vector<RankedCommunity> ranked(static_cast<size_t>(kc));
-  for (int c = 0; c < kc; ++c) {
-    RankedCommunity& entry = ranked[static_cast<size_t>(c)];
-    entry.community = c;
-    entry.topic_distribution.assign(static_cast<size_t>(kz), 0.0);
-    double score = 0.0;
-    for (int z = 0; z < kz; ++z) {
-      double inner = 0.0;
-      for (int c2 = 0; c2 < kc; ++c2) {
-        inner += model_.Eta(c, c2, z) *
-                 model_.ContentProfile(c2)[static_cast<size_t>(z)];
-      }
-      const double term = inner * g[static_cast<size_t>(z)];
-      entry.topic_distribution[static_cast<size_t>(z)] = term;
-      score += term;
-    }
-    entry.score = score;
-    NormalizeInPlace(&entry.topic_distribution);
-  }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const RankedCommunity& a, const RankedCommunity& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.community < b.community;
-            });
   return ranked;
 }
 

@@ -7,11 +7,20 @@
 ///   p(s=1 | c, q) ∝ sum_z sum_c' eta_{c,c',z} theta_{c',z} prod_{w in q}
 ///   phi_{z,w},
 /// e.g. "which communities should a campaign target for query iPhone".
+///
+/// Thin adapter over serve::QueryEngine — the ranking math lives in
+/// QueryEngine::RankCommunities so the offline app and the serving path
+/// cannot diverge; this class keeps the historical convenience surface
+/// (free-text query parsing, per-community user sets).
 
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/cpd_model.h"
+#include "serve/profile_index.h"
+#include "serve/query_engine.h"
 #include "text/vocabulary.h"
 
 namespace cpd {
@@ -26,7 +35,17 @@ struct RankedCommunity {
 
 class CommunityRanker {
  public:
+  /// Builds a private ProfileIndex from the model (the model may be
+  /// discarded afterwards).
   explicit CommunityRanker(const CpdModel& model);
+
+  /// Serves from an existing index; it must outlive the ranker.
+  explicit CommunityRanker(const serve::ProfileIndex& index);
+
+  /// Non-copyable/movable: engine_ references the (possibly owned) index,
+  /// so an implicit copy would dangle into the source object.
+  CommunityRanker(const CommunityRanker&) = delete;
+  CommunityRanker& operator=(const CommunityRanker&) = delete;
 
   /// Ranks all communities for a query of word ids (Eq. 19). Unknown words
   /// must be filtered by the caller (see ParseQuery).
@@ -43,7 +62,9 @@ class CommunityRanker {
                                                             int top_k = 5);
 
  private:
-  const CpdModel& model_;
+  std::optional<serve::ProfileIndex> owned_index_;
+  const serve::ProfileIndex* index_;
+  serve::QueryEngine engine_;
 };
 
 }  // namespace cpd

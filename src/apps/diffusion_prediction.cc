@@ -1,92 +1,56 @@
 #include "apps/diffusion_prediction.h"
 
-#include <cmath>
-
-#include "core/diffusion_features.h"
-#include "core/model_state.h"
 #include "util/logging.h"
-#include "util/math_util.h"
 
 namespace cpd {
 
+namespace {
+// Eq. 18 scoring only reads pi rows, theta/phi/eta, weights and
+// popularity; skip the top-k/postings build when adapting a model.
+serve::ProfileIndexOptions PredictorIndexOptions() {
+  serve::ProfileIndexOptions options;
+  options.build_membership_index = false;
+  return options;
+}
+}  // namespace
+
 DiffusionPredictor::DiffusionPredictor(const CpdModel& model,
                                        const SocialGraph& graph)
-    : model_(model), graph_(graph) {}
+    : owned_index_(
+          serve::ProfileIndex::FromModel(model, PredictorIndexOptions())),
+      index_(&*owned_index_),
+      engine_(*index_, &graph),
+      graph_(graph) {}
+
+DiffusionPredictor::DiffusionPredictor(const serve::ProfileIndex& index,
+                                       const SocialGraph& graph)
+    : index_(&index), engine_(*index_, &graph), graph_(graph) {}
 
 double DiffusionPredictor::CommunityScore(UserId u, UserId v, int z) const {
-  const auto& pi_u = model_.Membership(u);
-  const auto& pi_v = model_.Membership(v);
-  const int kc = model_.num_communities();
-  double score = 0.0;
-  for (int c = 0; c < kc; ++c) {
-    const double left = pi_u[static_cast<size_t>(c)] *
-                        model_.ContentProfile(c)[static_cast<size_t>(z)];
-    if (left == 0.0) continue;
-    double inner = 0.0;
-    for (int c2 = 0; c2 < kc; ++c2) {
-      inner += model_.Eta(c, c2, z) *
-               model_.ContentProfile(c2)[static_cast<size_t>(z)] *
-               pi_v[static_cast<size_t>(c2)];
-    }
-    score += left * inner;
-  }
-  return score;
+  return engine_.CommunityScore(u, v, z);
 }
 
 std::vector<double> DiffusionPredictor::DocumentTopicPosterior(DocId j) const {
-  const Document& doc = graph_.document(j);
-  const int kz = model_.num_topics();
-  const int kc = model_.num_communities();
-  const auto& pi_v = model_.Membership(doc.user);
-
-  std::vector<double> log_post(static_cast<size_t>(kz), 0.0);
-  for (int z = 0; z < kz; ++z) {
-    double prior = 0.0;
-    for (int c = 0; c < kc; ++c) {
-      prior += pi_v[static_cast<size_t>(c)] *
-               model_.ContentProfile(c)[static_cast<size_t>(z)];
-    }
-    double lp = std::log(std::max(prior, 1e-300));
-    const auto& phi = model_.TopicWords(z);
-    for (WordId w : doc.words) {
-      lp += std::log(std::max(phi[static_cast<size_t>(w)], 1e-300));
-    }
-    log_post[static_cast<size_t>(z)] = lp;
-  }
-  SoftmaxInPlace(&log_post);
-  return log_post;
+  auto posterior = engine_.DocumentTopicPosterior(j);
+  CPD_CHECK(posterior.ok());
+  return std::move(*posterior);
 }
 
 double DiffusionPredictor::Score(UserId u, UserId v, DocId j, int32_t t) const {
-  if (!model_.config().ablation.heterogeneous_links) {
-    // The "no heterogeneity" ablation models diffusion links exactly like
-    // friendship links (Eq. 3), so it must predict with that model too.
-    return FriendshipScore(u, v);
-  }
-  const std::vector<double> posterior = DocumentTopicPosterior(j);
-  const auto& weights = model_.DiffusionWeights();
-  double features[kNumUserFeatures];
-  LinkCaches::ComputePairFeatures(graph_, u, v, features);
-  double feature_part = weights[kWeightBias];
-  for (int k = 0; k < kNumUserFeatures; ++k) {
-    feature_part += weights[kWeightFeature0 + k] * features[k];
-  }
-  double probability = 0.0;
-  for (int z = 0; z < model_.num_topics(); ++z) {
-    const double w = weights[kWeightEta] * CommunityScore(u, v, z) +
-                     weights[kWeightPopularity] * model_.TopicPopularity(t, z) +
-                     feature_part;
-    probability += Sigmoid(w) * posterior[static_cast<size_t>(z)];
-  }
-  return probability;
+  serve::DiffusionRequest request;
+  request.source = u;
+  request.target = v;
+  request.document = j;
+  request.time_bin = t;
+  auto response = engine_.Diffusion(request);
+  // The historical contract: callers pass in-range users/documents (the
+  // evaluation harness iterates graph links), so a failure is a caller bug.
+  CPD_CHECK(response.ok());
+  return response->probability;
 }
 
 double DiffusionPredictor::FriendshipScore(UserId u, UserId v) const {
-  const auto& pi_u = model_.Membership(u);
-  const auto& pi_v = model_.Membership(v);
-  double dot = 0.0;
-  for (size_t c = 0; c < pi_u.size(); ++c) dot += pi_u[c] * pi_v[c];
-  return Sigmoid(dot);
+  return engine_.FriendshipScore(u, v);
 }
 
 DiffusionScorer DiffusionPredictor::AsDiffusionScorer() const {

@@ -6,17 +6,36 @@
 /// that user u will publish a document diffusing user v's document d_vj at
 /// time t, marginalized over d_vj's topics:
 ///   p = sum_z sigmoid(w_eta S(u,v,z) + w_pop n_tz + nu f_uv + b) p(z | d_vj).
+///
+/// Thin adapter over serve::QueryEngine — the Eq. 18 scoring lives in
+/// QueryEngine::Diffusion so the offline evaluation harness and the serving
+/// path share one implementation.
+
+#include <optional>
+#include <vector>
 
 #include "core/cpd_model.h"
 #include "eval/evaluator.h"
 #include "graph/social_graph.h"
+#include "serve/profile_index.h"
+#include "serve/query_engine.h"
 
 namespace cpd {
 
 class DiffusionPredictor {
  public:
-  /// Both references must outlive the predictor.
+  /// Builds a private ProfileIndex from the model; the graph reference must
+  /// outlive the predictor.
   DiffusionPredictor(const CpdModel& model, const SocialGraph& graph);
+
+  /// Serves from an existing index; index and graph must outlive the
+  /// predictor.
+  DiffusionPredictor(const serve::ProfileIndex& index, const SocialGraph& graph);
+
+  /// Non-copyable/movable: engine_ references the (possibly owned) index,
+  /// so an implicit copy would dangle into the source object.
+  DiffusionPredictor(const DiffusionPredictor&) = delete;
+  DiffusionPredictor& operator=(const DiffusionPredictor&) = delete;
 
   /// Eq. 18: probability of u diffusing v's document j at time t.
   double Score(UserId u, UserId v, DocId j, int32_t t) const;
@@ -36,7 +55,9 @@ class DiffusionPredictor {
   FriendshipScorer AsFriendshipScorer() const;
 
  private:
-  const CpdModel& model_;
+  std::optional<serve::ProfileIndex> owned_index_;
+  const serve::ProfileIndex* index_;
+  serve::QueryEngine engine_;
   const SocialGraph& graph_;
 };
 

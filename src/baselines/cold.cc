@@ -30,7 +30,8 @@ StatusOr<ColdModel> ColdModel::Train(const SocialGraph& graph,
 std::vector<std::vector<double>> ColdModel::Memberships() const {
   std::vector<std::vector<double>> memberships(model_.num_users());
   for (size_t u = 0; u < model_.num_users(); ++u) {
-    memberships[u] = model_.Membership(static_cast<UserId>(u));
+    const auto pi = model_.Membership(static_cast<UserId>(u));
+    memberships[u].assign(pi.begin(), pi.end());
   }
   return memberships;
 }

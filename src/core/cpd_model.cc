@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/model_artifact.h"
 #include "util/file_util.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -29,58 +30,57 @@ CpdModel CpdModel::FromState(const SocialGraph& graph, const CpdConfig& config,
   model.num_time_bins_ = graph.num_time_bins();
   model.stats_ = std::move(stats);
 
-  model.pi_.resize(state.num_users);
+  const size_t kc = static_cast<size_t>(state.num_communities);
+  const size_t kz = static_cast<size_t>(state.num_topics);
+  model.pi_.resize(state.num_users * kc);
   for (size_t u = 0; u < state.num_users; ++u) {
-    auto& pi = model.pi_[u];
-    pi.resize(static_cast<size_t>(state.num_communities));
     for (int c = 0; c < state.num_communities; ++c) {
-      pi[static_cast<size_t>(c)] = state.PiHat(static_cast<UserId>(u), c);
+      model.pi_[u * kc + static_cast<size_t>(c)] =
+          state.PiHat(static_cast<UserId>(u), c);
     }
   }
-  model.theta_.resize(static_cast<size_t>(state.num_communities));
+  model.theta_.resize(kc * kz);
   for (int c = 0; c < state.num_communities; ++c) {
-    auto& theta = model.theta_[static_cast<size_t>(c)];
-    theta.resize(static_cast<size_t>(state.num_topics));
     for (int z = 0; z < state.num_topics; ++z) {
-      theta[static_cast<size_t>(z)] = state.ThetaHat(c, z);
+      model.theta_[static_cast<size_t>(c) * kz + static_cast<size_t>(z)] =
+          state.ThetaHat(c, z);
     }
   }
-  model.phi_.resize(static_cast<size_t>(state.num_topics));
+  model.phi_.resize(kz * state.vocab_size);
   for (int z = 0; z < state.num_topics; ++z) {
-    auto& phi = model.phi_[static_cast<size_t>(z)];
-    phi.resize(state.vocab_size);
     for (size_t w = 0; w < state.vocab_size; ++w) {
-      phi[w] = state.PhiHat(z, static_cast<WordId>(w));
+      model.phi_[static_cast<size_t>(z) * state.vocab_size + w] =
+          state.PhiHat(z, static_cast<WordId>(w));
     }
   }
   model.eta_ = state.eta;
   model.weights_ = state.weights;
 
-  model.popularity_.resize(static_cast<size_t>(graph.num_time_bins()) *
-                           static_cast<size_t>(state.num_topics));
+  model.popularity_.resize(static_cast<size_t>(graph.num_time_bins()) * kz);
   for (int32_t t = 0; t < graph.num_time_bins(); ++t) {
     for (int z = 0; z < state.num_topics; ++z) {
-      model.popularity_[static_cast<size_t>(t) *
-                            static_cast<size_t>(state.num_topics) +
-                        static_cast<size_t>(z)] = state.popularity.Value(t, z);
+      model.popularity_[static_cast<size_t>(t) * kz + static_cast<size_t>(z)] =
+          state.popularity.Value(t, z);
     }
   }
   return model;
 }
 
-const std::vector<double>& CpdModel::Membership(UserId u) const {
+std::span<const double> CpdModel::Membership(UserId u) const {
   CPD_CHECK(u >= 0 && static_cast<size_t>(u) < num_users_);
-  return pi_[static_cast<size_t>(u)];
+  const size_t kc = static_cast<size_t>(num_communities_);
+  return {pi_.data() + static_cast<size_t>(u) * kc, kc};
 }
 
-const std::vector<double>& CpdModel::ContentProfile(int c) const {
+std::span<const double> CpdModel::ContentProfile(int c) const {
   CPD_CHECK(c >= 0 && c < num_communities_);
-  return theta_[static_cast<size_t>(c)];
+  const size_t kz = static_cast<size_t>(num_topics_);
+  return {theta_.data() + static_cast<size_t>(c) * kz, kz};
 }
 
-const std::vector<double>& CpdModel::TopicWords(int z) const {
+std::span<const double> CpdModel::TopicWords(int z) const {
   CPD_CHECK(z >= 0 && z < num_topics_);
-  return phi_[static_cast<size_t>(z)];
+  return {phi_.data() + static_cast<size_t>(z) * vocab_size_, vocab_size_};
 }
 
 double CpdModel::Eta(int c, int c2, int z) const {
@@ -109,7 +109,7 @@ double CpdModel::TopicPopularity(int32_t t, int z) const {
 }
 
 std::vector<int> CpdModel::TopCommunities(UserId u, int k) const {
-  const auto& pi = Membership(u);
+  const auto pi = Membership(u);
   std::vector<int> result;
   for (size_t idx : TopKIndices(pi, static_cast<size_t>(k))) {
     result.push_back(static_cast<int>(idx));
@@ -120,12 +120,25 @@ std::vector<int> CpdModel::TopCommunities(UserId u, int k) const {
 namespace {
 constexpr char kMagic[] = "CPDMODEL v1";
 
-void WriteVector(std::ostringstream& out, const std::vector<double>& v) {
+void WriteVector(std::ostringstream& out, std::span<const double> v) {
   out << v.size();
   for (double x : v) out << ' ' << x;
   out << '\n';
 }
 
+/// Reads one "n v1 .. vn" row into out[offset, offset + expected); the row
+/// length must match the header-implied dimension.
+bool ReadRow(std::istringstream& in, size_t expected, std::vector<double>* out,
+             size_t offset) {
+  size_t n = 0;
+  if (!(in >> n) || n != expected) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (!(in >> (*out)[offset + i])) return false;
+  }
+  return true;
+}
+
+/// Variable-length vector (weights: the count is the source of truth).
 bool ReadVector(std::istringstream& in, std::vector<double>* v) {
   size_t n = 0;
   if (!(in >> n)) return false;
@@ -143,9 +156,11 @@ Status CpdModel::SaveToFile(const std::string& path) const {
   out << kMagic << '\n';
   out << num_communities_ << ' ' << num_topics_ << ' ' << num_users_ << ' '
       << vocab_size_ << ' ' << num_time_bins_ << '\n';
-  for (const auto& pi : pi_) WriteVector(out, pi);
-  for (const auto& theta : theta_) WriteVector(out, theta);
-  for (const auto& phi : phi_) WriteVector(out, phi);
+  for (size_t u = 0; u < num_users_; ++u) {
+    WriteVector(out, Membership(static_cast<UserId>(u)));
+  }
+  for (int c = 0; c < num_communities_; ++c) WriteVector(out, ContentProfile(c));
+  for (int z = 0; z < num_topics_; ++z) WriteVector(out, TopicWords(z));
   WriteVector(out, eta_);
   WriteVector(out, weights_);
   WriteVector(out, popularity_);
@@ -162,32 +177,106 @@ StatusOr<CpdModel> CpdModel::LoadFromFile(const std::string& path) {
   }
   CpdModel model;
   if (!(in >> model.num_communities_ >> model.num_topics_ >> model.num_users_ >>
-        model.vocab_size_ >> model.num_time_bins_)) {
+        model.vocab_size_ >> model.num_time_bins_) ||
+      model.num_communities_ < 1 || model.num_topics_ < 1 ||
+      model.num_time_bins_ < 1) {
     return Status::InvalidArgument("corrupt CPD model header: " + path);
   }
   auto fail = [&path] {
     return Status::InvalidArgument("corrupt CPD model body: " + path);
   };
-  // Re-wrap the remaining stream as an istringstream for ReadVector.
+  // Re-wrap the remaining stream as an istringstream for the row readers.
   std::string rest;
   std::getline(in, rest, '\0');
   std::istringstream body(rest);
-  model.pi_.resize(model.num_users_);
-  for (auto& pi : model.pi_) {
-    if (!ReadVector(body, &pi)) return fail();
+  const size_t kc = static_cast<size_t>(model.num_communities_);
+  const size_t kz = static_cast<size_t>(model.num_topics_);
+  // Size sanity before any resize: every serialized value occupies at least
+  // two characters ("0 "), so the header-implied value count can never
+  // exceed the remaining byte count — and the 128-bit accumulation keeps a
+  // crafted header from wrapping the products used for the resizes below.
+  {
+    using uint128 = unsigned __int128;
+    const uint128 total_values =
+        static_cast<uint128>(model.num_users_) * kc +
+        static_cast<uint128>(kc) * kz +
+        static_cast<uint128>(kz) * model.vocab_size_ +
+        static_cast<uint128>(kc) * kc * kz +
+        static_cast<uint128>(model.num_time_bins_) * kz;
+    if (total_values > rest.size()) {
+      return Status::InvalidArgument("corrupt CPD model header: " + path);
+    }
   }
-  model.theta_.resize(static_cast<size_t>(model.num_communities_));
-  for (auto& theta : model.theta_) {
-    if (!ReadVector(body, &theta)) return fail();
+  model.pi_.resize(model.num_users_ * kc);
+  for (size_t u = 0; u < model.num_users_; ++u) {
+    if (!ReadRow(body, kc, &model.pi_, u * kc)) return fail();
   }
-  model.phi_.resize(static_cast<size_t>(model.num_topics_));
-  for (auto& phi : model.phi_) {
-    if (!ReadVector(body, &phi)) return fail();
+  model.theta_.resize(kc * kz);
+  for (size_t c = 0; c < kc; ++c) {
+    if (!ReadRow(body, kz, &model.theta_, c * kz)) return fail();
   }
-  if (!ReadVector(body, &model.eta_)) return fail();
-  if (!ReadVector(body, &model.weights_)) return fail();
-  if (!ReadVector(body, &model.popularity_)) return fail();
+  model.phi_.resize(kz * model.vocab_size_);
+  for (size_t z = 0; z < kz; ++z) {
+    if (!ReadRow(body, model.vocab_size_, &model.phi_, z * model.vocab_size_)) {
+      return fail();
+    }
+  }
+  if (!ReadVector(body, &model.eta_) || model.eta_.size() != kc * kc * kz) {
+    return fail();
+  }
+  if (!ReadVector(body, &model.weights_) ||
+      model.weights_.size() != static_cast<size_t>(kNumDiffusionWeights)) {
+    return fail();
+  }
+  if (!ReadVector(body, &model.popularity_) ||
+      model.popularity_.size() !=
+          static_cast<size_t>(model.num_time_bins_) * kz) {
+    return fail();
+  }
   return model;
+}
+
+ModelArtifact CpdModel::ToArtifact() const {
+  ModelArtifact artifact;
+  artifact.num_communities = num_communities_;
+  artifact.num_topics = num_topics_;
+  artifact.num_users = num_users_;
+  artifact.vocab_size = vocab_size_;
+  artifact.num_time_bins = num_time_bins_;
+  artifact.pi = pi_;
+  artifact.theta = theta_;
+  artifact.phi = phi_;
+  artifact.eta = eta_;
+  artifact.weights = weights_;
+  artifact.popularity = popularity_;
+  return artifact;
+}
+
+StatusOr<CpdModel> CpdModel::FromArtifact(ModelArtifact artifact) {
+  CPD_RETURN_IF_ERROR(artifact.Validate());
+  CpdModel model;
+  model.num_communities_ = artifact.num_communities;
+  model.num_topics_ = artifact.num_topics;
+  model.num_users_ = artifact.num_users;
+  model.vocab_size_ = artifact.vocab_size;
+  model.num_time_bins_ = artifact.num_time_bins;
+  model.pi_ = std::move(artifact.pi);
+  model.theta_ = std::move(artifact.theta);
+  model.phi_ = std::move(artifact.phi);
+  model.eta_ = std::move(artifact.eta);
+  model.weights_ = std::move(artifact.weights);
+  model.popularity_ = std::move(artifact.popularity);
+  return model;
+}
+
+Status CpdModel::SaveBinary(const std::string& path) const {
+  return WriteModelArtifact(path, ToArtifact());
+}
+
+StatusOr<CpdModel> CpdModel::LoadBinary(const std::string& path) {
+  auto artifact = ReadModelArtifact(path);
+  if (!artifact.ok()) return artifact.status();
+  return FromArtifact(std::move(*artifact));
 }
 
 }  // namespace cpd

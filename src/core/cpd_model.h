@@ -8,14 +8,21 @@
 /// eta_c, and the diffusion factor weights (nu and the per-factor
 /// coefficients).
 ///
+/// Storage is flat row-major (one contiguous allocation per matrix); the
+/// row accessors hand out std::span views into it. Serving workloads should
+/// build a serve::ProfileIndex (src/serve/profile_index.h) — it shares this
+/// layout, adds the precomputed read-side indexes, and loads straight from
+/// the binary artifact written by SaveBinary.
+///
 /// Quickstart:
 ///   CpdConfig config;
 ///   config.num_communities = 20;
 ///   config.num_topics = 20;
 ///   auto model = CpdModel::Train(graph, config);
 ///   if (!model.ok()) { ... }
-///   std::vector<double> pi = model->Membership(user);
+///   std::span<const double> pi = model->Membership(user);
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +32,8 @@
 #include "util/status.h"
 
 namespace cpd {
+
+struct ModelArtifact;
 
 /// Immutable trained CPD model.
 class CpdModel {
@@ -48,13 +57,13 @@ class CpdModel {
   int32_t num_time_bins() const { return num_time_bins_; }
 
   /// pi_u: membership distribution of user u over communities (Def. 3).
-  const std::vector<double>& Membership(UserId u) const;
+  std::span<const double> Membership(UserId u) const;
 
   /// theta_c: content profile of community c over topics (Def. 4).
-  const std::vector<double>& ContentProfile(int c) const;
+  std::span<const double> ContentProfile(int c) const;
 
   /// phi_z: word distribution of topic z (Def. 2).
-  const std::vector<double>& TopicWords(int z) const;
+  std::span<const double> TopicWords(int z) const;
 
   /// eta_{c,c',z}: diffusion profile entry (Def. 5).
   double Eta(int c, int c2, int z) const;
@@ -75,9 +84,20 @@ class CpdModel {
   const TrainStats& stats() const { return stats_; }
   const CpdConfig& config() const { return config_; }
 
-  /// Text serialization (versioned header + matrices).
+  /// Text serialization (versioned header + matrices). Human-readable and
+  /// kept for back-compat; prefer the binary artifact for serving.
   Status SaveToFile(const std::string& path) const;
   static StatusOr<CpdModel> LoadFromFile(const std::string& path);
+
+  /// Binary ".cpdb" artifact (core/model_artifact.h): bit-exact doubles, no
+  /// text parsing on load, and directly mappable by serve::ProfileIndex.
+  Status SaveBinary(const std::string& path) const;
+  static StatusOr<CpdModel> LoadBinary(const std::string& path);
+
+  /// Conversions to/from the artifact struct (used by the file APIs above
+  /// and by ProfileIndex to ingest a model without re-encoding).
+  ModelArtifact ToArtifact() const;
+  static StatusOr<CpdModel> FromArtifact(ModelArtifact artifact);
 
  private:
   CpdConfig config_;
@@ -87,12 +107,12 @@ class CpdModel {
   size_t vocab_size_ = 0;
   int32_t num_time_bins_ = 1;
 
-  std::vector<std::vector<double>> pi_;     // U x C
-  std::vector<std::vector<double>> theta_;  // C x Z
-  std::vector<std::vector<double>> phi_;    // Z x W
-  std::vector<double> eta_;                 // C x C x Z
-  std::vector<double> weights_;             // kNumDiffusionWeights
-  std::vector<double> popularity_;          // T x Z
+  std::vector<double> pi_;          // U x C, row-major.
+  std::vector<double> theta_;       // C x Z, row-major.
+  std::vector<double> phi_;         // Z x W, row-major.
+  std::vector<double> eta_;         // C x C x Z
+  std::vector<double> weights_;     // kNumDiffusionWeights
+  std::vector<double> popularity_;  // T x Z
   TrainStats stats_;
 };
 

@@ -187,7 +187,13 @@ void GibbsSampler::RemoveDocCommunityCounts(UserId u, int32_t c, int32_t z,
   ModelState& s = *state_;
   const int kz = s.num_topics;
   const int kc = s.num_communities;
-  Add32(&s.n_uc[static_cast<size_t>(u) * kc + c], -1, concurrent);
+  if (concurrent) {
+    // The n_uc row cache is not thread-safe; concurrent relaxed-atomic
+    // sweeps bypass it (and never consult it in the kernels).
+    Add32(&s.n_uc[static_cast<size_t>(u) * kc + c], -1, concurrent);
+  } else {
+    s.BumpUserCommunity(u, c, -1);
+  }
   Add32(&s.n_u[static_cast<size_t>(u)], -1, concurrent);
   Add32(&s.n_cz[static_cast<size_t>(c) * kz + z], -1, concurrent);
   Add32(&s.n_c[static_cast<size_t>(c)], -1, concurrent);
@@ -198,7 +204,11 @@ void GibbsSampler::AddDocCommunityCounts(UserId u, int32_t c, int32_t z,
   ModelState& s = *state_;
   const int kz = s.num_topics;
   const int kc = s.num_communities;
-  Add32(&s.n_uc[static_cast<size_t>(u) * kc + c], 1, concurrent);
+  if (concurrent) {
+    Add32(&s.n_uc[static_cast<size_t>(u) * kc + c], 1, concurrent);
+  } else {
+    s.BumpUserCommunity(u, c, 1);
+  }
   Add32(&s.n_u[static_cast<size_t>(u)], 1, concurrent);
   Add32(&s.n_cz[static_cast<size_t>(c) * kz + z], 1, concurrent);
   Add32(&s.n_c[static_cast<size_t>(c)], 1, concurrent);
@@ -603,8 +613,16 @@ void GibbsSampler::ResampleCommunitySparse(DocId d, bool concurrent, Rng* rng) {
   // from the *fresh* prior factor — its sparse part is the user's nonzero
   // community row, its dense part is the flat rho mass — so the MH ratio
   // reduces to R(c_prop) / R(c_cur): no O(|C|) log/exp scan anywhere.
-  static thread_local std::vector<SparseCount> nonzero;
-  s.NonzeroUserCommunities(u, &nonzero);
+  // Shard-local sweeps read the write-through row cache (O(k_u) after the
+  // user's first document); concurrent sweeps fall back to the fresh scan.
+  static thread_local std::vector<SparseCount> nonzero_scratch;
+  std::span<const SparseCount> nonzero;
+  if (concurrent) {
+    s.NonzeroUserCommunities(u, &nonzero_scratch);
+    nonzero = nonzero_scratch;
+  } else {
+    nonzero = s.UserCommunityRow(u);
+  }
   const double sparse_mass = static_cast<double>(s.n_u[static_cast<size_t>(u)]);
   const double rho_mass = static_cast<double>(kc) * s.rho;
   const double denom_pi = sparse_mass + 1.0 + rho_mass;
@@ -802,6 +820,9 @@ void GibbsSampler::SweepDocuments(Rng* rng) {
     RebuildSparseTables();
   }
   BeginCollapseMemoSweep();
+  // Counts may have been rewritten since the last sweep (delta merge,
+  // direct mutation); rebuild the n_uc row cache lazily from scratch.
+  state_->InvalidateUserCommunityRows();
   for (size_t u = 0; u < graph_.num_users(); ++u) {
     for (DocId d : graph_.DocumentsOf(static_cast<UserId>(u))) {
       ResampleTopic(d, /*concurrent=*/false, rng);
@@ -813,7 +834,10 @@ void GibbsSampler::SweepDocuments(Rng* rng) {
 
 void GibbsSampler::SweepUsers(std::span<const UserId> users, bool concurrent,
                               Rng* rng) {
-  if (!concurrent) BeginCollapseMemoSweep();
+  if (!concurrent) {
+    BeginCollapseMemoSweep();
+    state_->InvalidateUserCommunityRows(users);
+  }
   for (UserId u : users) {
     for (DocId d : graph_.DocumentsOf(u)) {
       ResampleTopic(d, concurrent, rng);

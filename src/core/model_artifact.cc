@@ -1,0 +1,210 @@
+#include "core/model_artifact.h"
+
+#include <cstring>
+
+#include "core/model_state.h"
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace cpd {
+
+namespace {
+
+// Little-endian fixed-width append/read helpers. The encoder always writes
+// host byte order and stamps kModelArtifactEndianTag; the decoder rejects a
+// foreign tag instead of byte-swapping (every deployment target of this
+// library is little-endian; a swap path would be untested dead code).
+template <typename T>
+void AppendRaw(std::string* out, const T& value) {
+  const char* bytes = reinterpret_cast<const char*>(&value);
+  out->append(bytes, sizeof(T));
+}
+
+void AppendDoubles(std::string* out, const std::vector<double>& values) {
+  const char* bytes = reinterpret_cast<const char*>(values.data());
+  out->append(bytes, values.size() * sizeof(double));
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    if (offset_ + sizeof(T) > bytes_.size()) return false;
+    std::memcpy(value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadDoubles(size_t count, std::vector<double>* out) {
+    const size_t bytes_needed = count * sizeof(double);
+    if (offset_ + bytes_needed > bytes_.size()) return false;
+    out->resize(count);
+    std::memcpy(out->data(), bytes_.data() + offset_, bytes_needed);
+    offset_ += bytes_needed;
+    return true;
+  }
+
+  size_t remaining() const { return bytes_.size() - offset_; }
+
+ private:
+  const std::string& bytes_;
+  size_t offset_ = 0;
+};
+
+}  // namespace
+
+Status ModelArtifact::Validate() const {
+  if (num_communities < 1 || num_topics < 1 || num_time_bins < 1) {
+    return Status::InvalidArgument("model artifact: non-positive dimensions");
+  }
+  if (weights.size() != static_cast<size_t>(kNumDiffusionWeights)) {
+    return Status::InvalidArgument(
+        StrFormat("model artifact: %zu diffusion weights, expected %d",
+                  weights.size(), kNumDiffusionWeights));
+  }
+  const size_t kc = static_cast<size_t>(num_communities);
+  const size_t kz = static_cast<size_t>(num_topics);
+  const size_t kt = static_cast<size_t>(num_time_bins);
+  const auto check = [](size_t actual, size_t expected, const char* name) {
+    if (actual != expected) {
+      return Status::InvalidArgument(
+          StrFormat("model artifact: %s has %zu entries, header implies %zu",
+                    name, actual, expected));
+    }
+    return Status::OK();
+  };
+  CPD_RETURN_IF_ERROR(check(pi.size(), num_users * kc, "pi"));
+  CPD_RETURN_IF_ERROR(check(theta.size(), kc * kz, "theta"));
+  CPD_RETURN_IF_ERROR(check(phi.size(), kz * vocab_size, "phi"));
+  CPD_RETURN_IF_ERROR(check(eta.size(), kc * kc * kz, "eta"));
+  CPD_RETURN_IF_ERROR(check(popularity.size(), kt * kz, "popularity"));
+  return Status::OK();
+}
+
+StatusOr<std::string> EncodeModelArtifact(const ModelArtifact& artifact) {
+  CPD_RETURN_IF_ERROR(artifact.Validate());
+  std::string out;
+  out.reserve(sizeof(kModelArtifactMagic) + 64 +
+              (artifact.pi.size() + artifact.theta.size() +
+               artifact.phi.size() + artifact.eta.size() +
+               artifact.weights.size() + artifact.popularity.size()) *
+                  sizeof(double));
+  out.append(kModelArtifactMagic, sizeof(kModelArtifactMagic));
+  AppendRaw(&out, kModelArtifactVersion);
+  AppendRaw(&out, kModelArtifactEndianTag);
+  AppendRaw(&out, artifact.num_communities);
+  AppendRaw(&out, artifact.num_topics);
+  AppendRaw(&out, artifact.num_users);
+  AppendRaw(&out, artifact.vocab_size);
+  AppendRaw(&out, artifact.num_time_bins);
+  AppendRaw(&out, static_cast<uint64_t>(artifact.weights.size()));
+  AppendDoubles(&out, artifact.pi);
+  AppendDoubles(&out, artifact.theta);
+  AppendDoubles(&out, artifact.phi);
+  AppendDoubles(&out, artifact.eta);
+  AppendDoubles(&out, artifact.weights);
+  AppendDoubles(&out, artifact.popularity);
+  return out;
+}
+
+StatusOr<ModelArtifact> DecodeModelArtifact(const std::string& bytes) {
+  if (!LooksLikeModelArtifact(bytes)) {
+    return Status::InvalidArgument("not a CPD binary model artifact");
+  }
+  ByteReader reader(bytes);
+  char magic[sizeof(kModelArtifactMagic)];
+  reader.Read(&magic);  // Cannot fail: LooksLikeModelArtifact checked length.
+
+  uint32_t version = 0;
+  uint32_t endian_tag = 0;
+  ModelArtifact artifact;
+  uint64_t num_weights = 0;
+  if (!reader.Read(&version) || !reader.Read(&endian_tag)) {
+    return Status::OutOfRange("model artifact: truncated header");
+  }
+  if (version != kModelArtifactVersion) {
+    return Status::Unimplemented(
+        StrFormat("model artifact: version %u not supported (reader "
+                  "understands version %u)",
+                  version, kModelArtifactVersion));
+  }
+  if (endian_tag != kModelArtifactEndianTag) {
+    return Status::InvalidArgument(
+        "model artifact: foreign byte order (written on an incompatible "
+        "host)");
+  }
+  if (!reader.Read(&artifact.num_communities) ||
+      !reader.Read(&artifact.num_topics) || !reader.Read(&artifact.num_users) ||
+      !reader.Read(&artifact.vocab_size) ||
+      !reader.Read(&artifact.num_time_bins) || !reader.Read(&num_weights)) {
+    return Status::OutOfRange("model artifact: truncated header");
+  }
+  if (artifact.num_communities < 1 || artifact.num_topics < 1 ||
+      artifact.num_time_bins < 1) {
+    return Status::InvalidArgument(
+        "model artifact: corrupt header (non-positive dimensions)");
+  }
+  // Reject absurd headers before sizing any allocation against them: every
+  // matrix must fit in the bytes that actually follow. The products are
+  // accumulated in 128 bits so a crafted header cannot wrap the check (each
+  // factor fits in 64 bits, so no term overflows 128).
+  const size_t kc = static_cast<size_t>(artifact.num_communities);
+  const size_t kz = static_cast<size_t>(artifact.num_topics);
+  const size_t kt = static_cast<size_t>(artifact.num_time_bins);
+  using uint128 = unsigned __int128;
+  const uint128 total_doubles =
+      static_cast<uint128>(artifact.num_users) * kc +
+      static_cast<uint128>(kc) * kz +
+      static_cast<uint128>(kz) * artifact.vocab_size +
+      static_cast<uint128>(kc) * kc * kz + static_cast<uint128>(num_weights) +
+      static_cast<uint128>(kt) * kz;
+  if (total_doubles > reader.remaining() / sizeof(double)) {
+    return Status::OutOfRange(StrFormat(
+        "model artifact: truncated body (%zu bytes left, header needs %llu "
+        "doubles)",
+        reader.remaining(),
+        static_cast<unsigned long long>(
+            total_doubles > ~0ull ? ~0ull : static_cast<uint64_t>(total_doubles))));
+  }
+  reader.ReadDoubles(artifact.num_users * kc, &artifact.pi);
+  reader.ReadDoubles(kc * kz, &artifact.theta);
+  reader.ReadDoubles(kz * artifact.vocab_size, &artifact.phi);
+  reader.ReadDoubles(kc * kc * kz, &artifact.eta);
+  reader.ReadDoubles(static_cast<size_t>(num_weights), &artifact.weights);
+  reader.ReadDoubles(kt * kz, &artifact.popularity);
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "model artifact: %zu trailing bytes after the last matrix",
+        reader.remaining()));
+  }
+  CPD_RETURN_IF_ERROR(artifact.Validate());
+  return artifact;
+}
+
+Status WriteModelArtifact(const std::string& path,
+                          const ModelArtifact& artifact) {
+  auto encoded = EncodeModelArtifact(artifact);
+  if (!encoded.ok()) return encoded.status();
+  return WriteStringToFile(path, *encoded);
+}
+
+StatusOr<ModelArtifact> ReadModelArtifact(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  auto decoded = DecodeModelArtifact(*contents);
+  if (!decoded.ok()) {
+    return Status(decoded.status().code(),
+                  decoded.status().message() + ": " + path);
+  }
+  return decoded;
+}
+
+bool LooksLikeModelArtifact(const std::string& bytes) {
+  return bytes.size() >= sizeof(kModelArtifactMagic) &&
+         std::memcmp(bytes.data(), kModelArtifactMagic,
+                     sizeof(kModelArtifactMagic)) == 0;
+}
+
+}  // namespace cpd

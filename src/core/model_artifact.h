@@ -1,0 +1,72 @@
+#ifndef CPD_CORE_MODEL_ARTIFACT_H_
+#define CPD_CORE_MODEL_ARTIFACT_H_
+
+/// \file model_artifact.h
+/// The versioned binary model artifact (".cpdb"): the serving-grade
+/// counterpart of CpdModel's readable text format. One artifact holds the
+/// trained estimates as raw little-endian doubles behind a fixed header
+///
+///   magic "CPDBMODL" | u32 version | u32 endian tag 0x01020304 |
+///   i32 |C| | i32 |Z| | u64 |U| | u64 |W| | i32 T | u64 #weights |
+///   pi (U*C) | theta (C*Z) | phi (Z*W) | eta (C*C*Z) | weights |
+///   popularity (T*Z)
+///
+/// so a ProfileIndex can be mapped straight into flat row-major arrays
+/// without parsing text. Readers reject wrong magic, unknown versions,
+/// foreign byte order, and truncated or oversized payloads with typed
+/// Status errors. Both CpdModel::{Save,Load}Binary and
+/// ProfileIndex::LoadFromFile speak this format through the functions here.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cpd {
+
+inline constexpr char kModelArtifactMagic[8] = {'C', 'P', 'D', 'B',
+                                                'M', 'O', 'D', 'L'};
+inline constexpr uint32_t kModelArtifactVersion = 1;
+inline constexpr uint32_t kModelArtifactEndianTag = 0x01020304u;
+
+/// Decoded (or to-be-encoded) contents of one .cpdb artifact. Plain data;
+/// dimension/consistency checks happen in the codec.
+struct ModelArtifact {
+  int32_t num_communities = 0;
+  int32_t num_topics = 0;
+  uint64_t num_users = 0;
+  uint64_t vocab_size = 0;
+  int32_t num_time_bins = 1;
+
+  std::vector<double> pi;          ///< U x C, row-major.
+  std::vector<double> theta;       ///< C x Z, row-major.
+  std::vector<double> phi;         ///< Z x W, row-major.
+  std::vector<double> eta;         ///< C x C x Z.
+  std::vector<double> weights;     ///< kNumDiffusionWeights.
+  std::vector<double> popularity;  ///< T x Z.
+
+  /// InvalidArgument when any matrix size disagrees with the header dims.
+  Status Validate() const;
+};
+
+/// Serializes the artifact (header + matrices) into a byte string.
+StatusOr<std::string> EncodeModelArtifact(const ModelArtifact& artifact);
+
+/// Parses a byte string produced by EncodeModelArtifact. Typed failures:
+/// InvalidArgument for bad magic/endianness/dims, Unimplemented for a newer
+/// version, OutOfRange for truncated or trailing bytes.
+StatusOr<ModelArtifact> DecodeModelArtifact(const std::string& bytes);
+
+/// Whole-file convenience wrappers around the codec.
+Status WriteModelArtifact(const std::string& path,
+                          const ModelArtifact& artifact);
+StatusOr<ModelArtifact> ReadModelArtifact(const std::string& path);
+
+/// True if the byte string begins with the .cpdb magic (used by loaders
+/// that sniff binary vs text model files).
+bool LooksLikeModelArtifact(const std::string& bytes);
+
+}  // namespace cpd
+
+#endif  // CPD_CORE_MODEL_ARTIFACT_H_

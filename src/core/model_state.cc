@@ -70,6 +70,50 @@ void ModelState::NonzeroUserCommunities(UserId u,
   }
 }
 
+std::span<const SparseCount> ModelState::UserCommunityRow(UserId u) {
+  if (uc_row_valid.empty()) {
+    uc_row_cache.resize(num_users);
+    uc_row_valid.assign(num_users, 0);
+  }
+  auto& row = uc_row_cache[static_cast<size_t>(u)];
+  if (!uc_row_valid[static_cast<size_t>(u)]) {
+    row.clear();
+    const size_t base =
+        static_cast<size_t>(u) * static_cast<size_t>(num_communities);
+    for (int c = 0; c < num_communities; ++c) {
+      const int32_t count = n_uc[base + static_cast<size_t>(c)];
+      if (count != 0) row.push_back({c, count});
+    }
+    uc_row_valid[static_cast<size_t>(u)] = 1;
+  }
+  return row;
+}
+
+void ModelState::BumpUserCommunity(UserId u, int32_t c, int32_t delta) {
+  const size_t slot =
+      static_cast<size_t>(u) * static_cast<size_t>(num_communities) +
+      static_cast<size_t>(c);
+  n_uc[slot] += delta;
+  if (uc_row_valid.empty() || !uc_row_valid[static_cast<size_t>(u)]) return;
+  auto& row = uc_row_cache[static_cast<size_t>(u)];
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].index != c) continue;
+    row[i].count += delta;
+    if (row[i].count == 0) row.erase(row.begin() + static_cast<long>(i));
+    return;
+  }
+  if (n_uc[slot] != 0) row.push_back({c, n_uc[slot]});
+}
+
+void ModelState::InvalidateUserCommunityRows() {
+  std::fill(uc_row_valid.begin(), uc_row_valid.end(), 0);
+}
+
+void ModelState::InvalidateUserCommunityRows(std::span<const UserId> users) {
+  if (uc_row_valid.empty()) return;
+  for (UserId u : users) uc_row_valid[static_cast<size_t>(u)] = 0;
+}
+
 void ModelState::InitializeRandom(const SocialGraph& graph, Rng* rng,
                                   bool per_user_communities) {
   for (size_t d = 0; d < num_documents; ++d) {
@@ -93,6 +137,7 @@ void ModelState::InitializeRandom(const SocialGraph& graph, Rng* rng,
 }
 
 void ModelState::RebuildCounts(const SocialGraph& graph) {
+  InvalidateUserCommunityRows();
   std::fill(n_uc.begin(), n_uc.end(), 0);
   std::fill(n_u.begin(), n_u.end(), 0);
   std::fill(n_cz.begin(), n_cz.end(), 0);

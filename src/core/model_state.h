@@ -100,6 +100,28 @@ struct ModelState {
   /// log/exp work, not to beat O(|C|) memory traffic.
   void NonzeroUserCommunities(UserId u, std::vector<SparseCount>* out) const;
 
+  /// Cached variant of NonzeroUserCommunities: the row is scanned once and
+  /// then patched incrementally by BumpUserCommunity, so a user's later
+  /// documents in the same sweep pay O(k_u) instead of O(|C|). The view is
+  /// valid until the next BumpUserCommunity/invalidation for this user; the
+  /// entry order is scan order plus appended re-entries (any order is a
+  /// correct categorical support, and the order is deterministic). Not
+  /// thread-safe: only single-threaded (shard-local) sweeps may use it —
+  /// concurrent relaxed-atomic sweeps must stay on the scan variant.
+  std::span<const SparseCount> UserCommunityRow(UserId u);
+
+  /// Write-through n_uc update: adjusts the counter and, if user u's cached
+  /// row is live, patches it in place (erasing emptied entries, appending
+  /// new ones). Every non-concurrent n_uc mutation must go through here;
+  /// bulk writers (RebuildCounts, snapshot restore, delta apply) instead
+  /// invalidate the affected rows.
+  void BumpUserCommunity(UserId u, int32_t c, int32_t delta);
+
+  /// Drops every cached row (bulk n_uc rewrite) or only the given users'
+  /// rows (sweep start for a shard's user span).
+  void InvalidateUserCommunityRows();
+  void InvalidateUserCommunityRows(std::span<const UserId> users);
+
   // ----- collapsed counters (Table 2 / §4.1) -----
   std::vector<int32_t> n_uc;  ///< |U|x|C|: docs of u assigned to community c.
   std::vector<int32_t> n_u;   ///< |U|: docs of u (constant once built).
@@ -164,6 +186,13 @@ struct ModelState {
 
   /// pihat_u . pihat_v (Eq. 3 energy).
   double MembershipDot(UserId u, UserId v) const;
+
+  // ----- n_uc row cache (see UserCommunityRow) -----
+  /// Lazily allocated on first UserCommunityRow call; rows[u] is live iff
+  /// row_valid[u]. Kept at the bottom: the sampler's hot arrays above keep
+  /// their layout.
+  std::vector<std::vector<SparseCount>> uc_row_cache;
+  std::vector<uint8_t> uc_row_valid;
 
   /// The community-factor score S_eta = c_bar_ij^T eta_bar (Eq. 4) for users
   /// u (diffusing) and v (diffused) on topic z, under current estimates.

@@ -58,6 +58,7 @@ void StateSnapshot::RestoreSweepStateTo(ModelState* working) const {
   CPD_CHECK(captured_);
   CPD_CHECK_EQ(working->doc_topic.size(), doc_topic_.size());
   CPD_CHECK_EQ(working->n_zw.size(), n_zw_.size());
+  working->InvalidateUserCommunityRows();
   working->doc_topic = doc_topic_;
   working->doc_community = doc_community_;
   working->n_uc = n_uc_;
@@ -136,6 +137,7 @@ void CounterDelta::Merge(const CounterDelta& other) {
 }
 
 void CounterDelta::ApplyTo(ModelState* state) const {
+  state->InvalidateUserCommunityRows();
   for (const DocMove& move : doc_moves_) {
     state->doc_topic[static_cast<size_t>(move.doc)] = move.topic;
     state->doc_community[static_cast<size_t>(move.doc)] = move.community;

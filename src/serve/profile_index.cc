@@ -1,0 +1,168 @@
+#include "serve/profile_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/cpd_model.h"
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpd::serve {
+
+ProfileIndex ProfileIndex::FromModel(const CpdModel& model,
+                                     const ProfileIndexOptions& options) {
+  // Reuse the artifact struct as the common ingestion path so the from-model
+  // and from-file constructions cannot diverge.
+  ProfileIndexOptions resolved = options;
+  resolved.heterogeneous_links =
+      options.heterogeneous_links &&
+      model.config().ablation.heterogeneous_links;
+  auto index = FromArtifact(model.ToArtifact(), resolved);
+  // A trained model always yields a valid artifact.
+  CPD_CHECK(index.ok());
+  return std::move(*index);
+}
+
+StatusOr<ProfileIndex> ProfileIndex::FromArtifact(
+    ModelArtifact artifact, const ProfileIndexOptions& options) {
+  CPD_RETURN_IF_ERROR(artifact.Validate());
+  if (options.membership_top_k < 1) {
+    return Status::InvalidArgument("membership_top_k < 1");
+  }
+  ProfileIndex index;
+  index.options_ = options;
+  index.num_communities_ = artifact.num_communities;
+  index.num_topics_ = artifact.num_topics;
+  index.num_users_ = artifact.num_users;
+  index.vocab_size_ = artifact.vocab_size;
+  index.num_time_bins_ = artifact.num_time_bins;
+  index.pi_ = std::move(artifact.pi);
+  index.theta_ = std::move(artifact.theta);
+  index.phi_ = std::move(artifact.phi);
+  index.eta_ = std::move(artifact.eta);
+  index.weights_ = std::move(artifact.weights);
+  index.popularity_ = std::move(artifact.popularity);
+  index.BuildDerived();
+  return index;
+}
+
+StatusOr<ProfileIndex> ProfileIndex::LoadFromFile(
+    const std::string& path, const ProfileIndexOptions& options) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  if (LooksLikeModelArtifact(*contents)) {
+    auto artifact = DecodeModelArtifact(*contents);
+    if (!artifact.ok()) {
+      return Status(artifact.status().code(),
+                    artifact.status().message() + ": " + path);
+    }
+    return FromArtifact(std::move(*artifact), options);
+  }
+  auto model = CpdModel::LoadFromFile(path);
+  if (!model.ok()) return model.status();
+  return FromArtifact(model->ToArtifact(), options);
+}
+
+void ProfileIndex::BuildDerived() {
+  const size_t c_count = kc();
+  const size_t z_count = kz();
+
+  eta_agg_.assign(c_count * c_count, 0.0);
+  for (size_t c = 0; c < c_count; ++c) {
+    for (size_t c2 = 0; c2 < c_count; ++c2) {
+      // Same accumulation order as CpdModel::EtaAggregated so the two read
+      // paths agree bitwise.
+      double total = 0.0;
+      const double* row = eta_.data() + (c * c_count + c2) * z_count;
+      for (size_t z = 0; z < z_count; ++z) total += row[z];
+      eta_agg_[c * c_count + c2] = total;
+    }
+  }
+
+  member_offsets_.assign(c_count + 1, 0);
+  if (!options_.build_membership_index) {
+    top_k_per_user_ = 0;
+    return;
+  }
+  top_k_per_user_ = std::min(options_.membership_top_k, num_communities_);
+  const size_t k = static_cast<size_t>(top_k_per_user_);
+  top_memberships_.assign(num_users_ * k, TopMembership{});
+  std::vector<int> order(c_count);
+  for (size_t u = 0; u < num_users_; ++u) {
+    const double* pi = pi_.data() + u * c_count;
+    for (size_t c = 0; c < c_count; ++c) order[c] = static_cast<int>(c);
+    // Descending weight, ties by ascending community id (matches
+    // TopKIndices' stable-sort convention used by CpdModel::TopCommunities).
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                      order.end(), [pi](int a, int b) {
+                        if (pi[a] != pi[b]) return pi[a] > pi[b];
+                        return a < b;
+                      });
+    for (size_t i = 0; i < k; ++i) {
+      top_memberships_[u * k + i] = {order[i], pi[static_cast<size_t>(order[i])]};
+    }
+  }
+
+  // Invert the top-k lists into per-community postings, weight-sorted.
+  std::vector<std::vector<UserId>> postings(c_count);
+  for (size_t u = 0; u < num_users_; ++u) {
+    for (size_t i = 0; i < k; ++i) {
+      postings[static_cast<size_t>(top_memberships_[u * k + i].community)]
+          .push_back(static_cast<UserId>(u));
+    }
+  }
+  member_offsets_.assign(c_count + 1, 0);
+  members_.clear();
+  members_.reserve(num_users_ * k);
+  for (size_t c = 0; c < c_count; ++c) {
+    auto& users = postings[c];
+    std::sort(users.begin(), users.end(), [this, c](UserId a, UserId b) {
+      const double wa = pi_[static_cast<size_t>(a) * kc() + c];
+      const double wb = pi_[static_cast<size_t>(b) * kc() + c];
+      if (wa != wb) return wa > wb;
+      return a < b;
+    });
+    members_.insert(members_.end(), users.begin(), users.end());
+    member_offsets_[c + 1] = members_.size();
+  }
+}
+
+double ProfileIndex::TopicPopularity(int32_t t, int z) const {
+  t = std::min(std::max(t, 0), num_time_bins_ - 1);
+  return popularity_[static_cast<size_t>(t) * kz() + static_cast<size_t>(z)];
+}
+
+Status ProfileIndex::CheckUser(UserId u) const {
+  if (u < 0 || static_cast<size_t>(u) >= num_users_) {
+    return Status::OutOfRange(
+        StrFormat("user %d outside [0, %zu)", u, num_users_));
+  }
+  return Status::OK();
+}
+
+Status ProfileIndex::CheckCommunity(int c) const {
+  if (c < 0 || c >= num_communities_) {
+    return Status::OutOfRange(
+        StrFormat("community %d outside [0, %d)", c, num_communities_));
+  }
+  return Status::OK();
+}
+
+Status ProfileIndex::CheckWord(WordId w) const {
+  if (w < 0 || static_cast<size_t>(w) >= vocab_size_) {
+    return Status::OutOfRange(
+        StrFormat("word %d outside [0, %zu)", w, vocab_size_));
+  }
+  return Status::OK();
+}
+
+Status ProfileIndex::CheckTopic(int z) const {
+  if (z < 0 || z >= num_topics_) {
+    return Status::OutOfRange(
+        StrFormat("topic %d outside [0, %d)", z, num_topics_));
+  }
+  return Status::OK();
+}
+
+}  // namespace cpd::serve

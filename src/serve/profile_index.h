@@ -1,0 +1,179 @@
+#ifndef CPD_SERVE_PROFILE_INDEX_H_
+#define CPD_SERVE_PROFILE_INDEX_H_
+
+/// \file profile_index.h
+/// Read-side index over a trained CPD model (the §5 applications are all
+/// read workloads over pi/theta/phi/eta). A ProfileIndex is immutable once
+/// built and safe to share across serving threads: flat row-major matrices
+/// handed out as std::span rows, plus the precomputed structures every
+/// query type needs —
+///   - per-user top-k membership lists (the paper's top-5 assignment
+///     convention, Table 6 / §6.3),
+///   - per-community member postings (users assigned by top-k membership,
+///     sorted by descending membership weight),
+///   - the topic-aggregated diffusion matrix sum_z eta_{c,c',z}.
+/// Build one from an in-memory CpdModel or load it straight from the
+/// binary ".cpdb" artifact (core/model_artifact.h); both construction
+/// paths produce bit-identical indexes for the same trained estimates.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/model_artifact.h"
+#include "graph/social_graph.h"
+#include "util/status.h"
+
+namespace cpd {
+
+class CpdModel;
+
+namespace serve {
+
+struct ProfileIndexOptions {
+  /// k of the per-user top-k membership lists and community postings. The
+  /// paper assigns users to their top-5 communities for ranking and
+  /// conductance evaluation.
+  int membership_top_k = 5;
+
+  /// Precompute the per-user top-k lists and per-community member postings
+  /// (O(U·|C| log k) + a weight sort). Serving front ends want this;
+  /// adapters that only score (ranking, diffusion, attribute aggregation)
+  /// skip it — Membership/TopUsers queries then fail with
+  /// FailedPrecondition instead of paying the build.
+  bool build_membership_index = true;
+
+  /// Mirrors CpdConfig::ablation.heterogeneous_links for diffusion queries;
+  /// artifacts do not carry the training config, so loaders default to the
+  /// full model.
+  bool heterogeneous_links = true;
+};
+
+/// One (community, weight) membership entry of a user's top-k list.
+struct TopMembership {
+  int community = -1;
+  double weight = 0.0;
+};
+
+class ProfileIndex {
+ public:
+  /// Copies the model's estimates and precomputes the read-side structures.
+  static ProfileIndex FromModel(const CpdModel& model,
+                                const ProfileIndexOptions& options = {});
+
+  /// Ingests a decoded artifact (moves the matrices; no re-encode).
+  static StatusOr<ProfileIndex> FromArtifact(ModelArtifact artifact,
+                                             const ProfileIndexOptions& options = {});
+
+  /// Loads a model file: the binary ".cpdb" artifact directly, or — for
+  /// back-compat — the readable text format via CpdModel::LoadFromFile
+  /// (sniffed by magic).
+  static StatusOr<ProfileIndex> LoadFromFile(const std::string& path,
+                                             const ProfileIndexOptions& options = {});
+
+  // ----- dimensions -----
+  int num_communities() const { return num_communities_; }
+  int num_topics() const { return num_topics_; }
+  size_t num_users() const { return num_users_; }
+  size_t vocab_size() const { return vocab_size_; }
+  int32_t num_time_bins() const { return num_time_bins_; }
+  int membership_top_k() const { return options_.membership_top_k; }
+  bool heterogeneous_links() const { return options_.heterogeneous_links; }
+
+  // ----- row views (valid for the life of the index) -----
+  /// pi_u over communities.
+  std::span<const double> Membership(UserId u) const {
+    return {pi_.data() + static_cast<size_t>(u) * kc(), kc()};
+  }
+  /// theta_c over topics.
+  std::span<const double> ContentProfile(int c) const {
+    return {theta_.data() + static_cast<size_t>(c) * kz(), kz()};
+  }
+  /// phi_z over words.
+  std::span<const double> TopicWords(int z) const {
+    return {phi_.data() + static_cast<size_t>(z) * vocab_size_, vocab_size_};
+  }
+  /// eta_{c,c',.} over topics.
+  std::span<const double> EtaRow(int c, int c2) const {
+    return {eta_.data() +
+                (static_cast<size_t>(c) * kc() + static_cast<size_t>(c2)) * kz(),
+            kz()};
+  }
+  double Eta(int c, int c2, int z) const {
+    return EtaRow(c, c2)[static_cast<size_t>(z)];
+  }
+  /// Precomputed sum_z eta_{c,c',z} (§5 aggregated diffusion strength).
+  double EtaAggregated(int c, int c2) const {
+    return eta_agg_[static_cast<size_t>(c) * kc() + static_cast<size_t>(c2)];
+  }
+  std::span<const double> EtaAggregatedRow(int c) const {
+    return {eta_agg_.data() + static_cast<size_t>(c) * kc(), kc()};
+  }
+  std::span<const double> DiffusionWeights() const { return weights_; }
+  /// n_tz with out-of-range time bins clamped (prediction-time timestamps
+  /// may fall outside the training range).
+  double TopicPopularity(int32_t t, int z) const;
+
+  // ----- precomputed read-side structures -----
+  /// False when built with build_membership_index = false; TopCommunities /
+  /// CommunityMembers are then empty and the membership/top-users queries
+  /// report FailedPrecondition.
+  bool has_membership_index() const { return top_k_per_user_ > 0; }
+
+  /// Top-k communities of u by membership weight, descending (k =
+  /// options.membership_top_k; exactly min(k, |C|) entries).
+  std::span<const TopMembership> TopCommunities(UserId u) const {
+    const size_t k = static_cast<size_t>(top_k_per_user_);
+    return {top_memberships_.data() + static_cast<size_t>(u) * k, k};
+  }
+
+  /// Users assigned to community c by the top-k convention, sorted by
+  /// descending pi_{u,c} (ties by ascending user id).
+  std::span<const UserId> CommunityMembers(int c) const {
+    return {members_.data() + member_offsets_[static_cast<size_t>(c)],
+            member_offsets_[static_cast<size_t>(c) + 1] -
+                member_offsets_[static_cast<size_t>(c)]};
+  }
+
+  /// Bounds checks as typed errors (serving front ends reply with these
+  /// instead of crashing).
+  Status CheckUser(UserId u) const;
+  Status CheckCommunity(int c) const;
+  Status CheckWord(WordId w) const;
+  Status CheckTopic(int z) const;
+
+ private:
+  ProfileIndex() = default;
+
+  size_t kc() const { return static_cast<size_t>(num_communities_); }
+  size_t kz() const { return static_cast<size_t>(num_topics_); }
+
+  /// Fills top_memberships_, members_ and eta_agg_ from the matrices.
+  void BuildDerived();
+
+  ProfileIndexOptions options_;
+  int num_communities_ = 0;
+  int num_topics_ = 0;
+  size_t num_users_ = 0;
+  size_t vocab_size_ = 0;
+  int32_t num_time_bins_ = 1;
+
+  std::vector<double> pi_;          // U x C
+  std::vector<double> theta_;       // C x Z
+  std::vector<double> phi_;         // Z x W
+  std::vector<double> eta_;         // C x C x Z
+  std::vector<double> eta_agg_;     // C x C
+  std::vector<double> weights_;     // kNumDiffusionWeights
+  std::vector<double> popularity_;  // T x Z
+
+  int top_k_per_user_ = 0;                      // min(top_k, |C|)
+  std::vector<TopMembership> top_memberships_;  // U x top_k_per_user_
+  std::vector<size_t> member_offsets_;          // |C| + 1
+  std::vector<UserId> members_;                 // postings, weight-sorted
+};
+
+}  // namespace serve
+}  // namespace cpd
+
+#endif  // CPD_SERVE_PROFILE_INDEX_H_

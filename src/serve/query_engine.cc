@@ -1,0 +1,286 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <type_traits>
+
+#include "core/diffusion_features.h"
+#include "core/model_state.h"
+#include "parallel/thread_pool.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace cpd::serve {
+
+QueryEngine::QueryEngine(const ProfileIndex& index, const SocialGraph* graph)
+    : index_(index), graph_(graph) {}
+
+StatusOr<MembershipResponse> QueryEngine::Membership(
+    const MembershipRequest& request) const {
+  CPD_RETURN_IF_ERROR(index_.CheckUser(request.user));
+  if (request.top_k < 0) {
+    return Status::InvalidArgument("membership top_k < 0");
+  }
+  if (!index_.has_membership_index()) {
+    return Status::FailedPrecondition(
+        "index built without the membership index "
+        "(ProfileIndexOptions::build_membership_index)");
+  }
+  const auto top = index_.TopCommunities(request.user);
+  MembershipResponse response;
+  const size_t k = request.top_k == 0
+                       ? top.size()
+                       : std::min(top.size(), static_cast<size_t>(request.top_k));
+  response.top.assign(top.begin(), top.begin() + static_cast<long>(k));
+  if (request.include_distribution) {
+    const auto pi = index_.Membership(request.user);
+    response.distribution.assign(pi.begin(), pi.end());
+  }
+  return response;
+}
+
+StatusOr<RankCommunitiesResponse> QueryEngine::RankCommunities(
+    const RankCommunitiesRequest& request) const {
+  if (request.top_k < 0) return Status::InvalidArgument("rank top_k < 0");
+  for (WordId w : request.words) CPD_RETURN_IF_ERROR(index_.CheckWord(w));
+  const int kc = index_.num_communities();
+  const int kz = index_.num_topics();
+
+  // g_z = prod_{w in q} phi_{z,w}, computed in log space and rescaled by the
+  // max to avoid underflow (a global per-z factor cancels in the ranking).
+  // An empty query leaves g uniform: Eq. 19 degrades to the prior ranking.
+  std::vector<double> log_g(static_cast<size_t>(kz), 0.0);
+  for (int z = 0; z < kz; ++z) {
+    const auto phi = index_.TopicWords(z);
+    double lg = 0.0;
+    for (WordId w : request.words) {
+      lg += std::log(std::max(phi[static_cast<size_t>(w)], 1e-300));
+    }
+    log_g[static_cast<size_t>(z)] = lg;
+  }
+  const double max_log = *std::max_element(log_g.begin(), log_g.end());
+  std::vector<double> g(static_cast<size_t>(kz));
+  for (int z = 0; z < kz; ++z) {
+    g[static_cast<size_t>(z)] =
+        std::exp(log_g[static_cast<size_t>(z)] - max_log);
+  }
+
+  RankCommunitiesResponse response;
+  response.ranked.resize(static_cast<size_t>(kc));
+  for (int c = 0; c < kc; ++c) {
+    RankedCommunityEntry& entry = response.ranked[static_cast<size_t>(c)];
+    entry.community = c;
+    entry.topic_distribution.assign(static_cast<size_t>(kz), 0.0);
+    double score = 0.0;
+    for (int z = 0; z < kz; ++z) {
+      double inner = 0.0;
+      for (int c2 = 0; c2 < kc; ++c2) {
+        inner += index_.Eta(c, c2, z) *
+                 index_.ContentProfile(c2)[static_cast<size_t>(z)];
+      }
+      const double term = inner * g[static_cast<size_t>(z)];
+      entry.topic_distribution[static_cast<size_t>(z)] = term;
+      score += term;
+    }
+    entry.score = score;
+    if (request.include_topic_distribution) {
+      NormalizeInPlace(&entry.topic_distribution);
+    } else {
+      entry.topic_distribution.clear();
+    }
+  }
+  std::sort(response.ranked.begin(), response.ranked.end(),
+            [](const RankedCommunityEntry& a, const RankedCommunityEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.community < b.community;
+            });
+  if (request.top_k > 0 &&
+      response.ranked.size() > static_cast<size_t>(request.top_k)) {
+    response.ranked.resize(static_cast<size_t>(request.top_k));
+  }
+  return response;
+}
+
+StatusOr<std::vector<double>> QueryEngine::DocumentTopicPosterior(
+    DocId document) const {
+  if (graph_ == nullptr) {
+    return Status::FailedPrecondition(
+        "document topic posterior needs a bound social graph");
+  }
+  if (document < 0 ||
+      static_cast<size_t>(document) >= graph_->num_documents()) {
+    return Status::OutOfRange(
+        StrFormat("document %d outside [0, %zu)", document,
+                  graph_->num_documents()));
+  }
+  const Document& doc = graph_->document(document);
+  // The graph is bound independently of the model, so the author id must be
+  // validated against the index (a mismatched --users load must surface as
+  // a typed error, not an out-of-bounds read).
+  CPD_RETURN_IF_ERROR(index_.CheckUser(doc.user));
+  const int kz = index_.num_topics();
+  const int kc = index_.num_communities();
+  const auto pi_v = index_.Membership(doc.user);
+
+  std::vector<double> log_post(static_cast<size_t>(kz), 0.0);
+  for (int z = 0; z < kz; ++z) {
+    double prior = 0.0;
+    for (int c = 0; c < kc; ++c) {
+      prior += pi_v[static_cast<size_t>(c)] *
+               index_.ContentProfile(c)[static_cast<size_t>(z)];
+    }
+    double lp = std::log(std::max(prior, 1e-300));
+    const auto phi = index_.TopicWords(z);
+    for (WordId w : doc.words) {
+      lp += std::log(std::max(phi[static_cast<size_t>(w)], 1e-300));
+    }
+    log_post[static_cast<size_t>(z)] = lp;
+  }
+  SoftmaxInPlace(&log_post);
+  return log_post;
+}
+
+double QueryEngine::CommunityScore(UserId u, UserId v, int z) const {
+  const auto pi_u = index_.Membership(u);
+  const auto pi_v = index_.Membership(v);
+  const int kc = index_.num_communities();
+  double score = 0.0;
+  for (int c = 0; c < kc; ++c) {
+    const double left = pi_u[static_cast<size_t>(c)] *
+                        index_.ContentProfile(c)[static_cast<size_t>(z)];
+    if (left == 0.0) continue;
+    double inner = 0.0;
+    for (int c2 = 0; c2 < kc; ++c2) {
+      inner += index_.Eta(c, c2, z) *
+               index_.ContentProfile(c2)[static_cast<size_t>(z)] *
+               pi_v[static_cast<size_t>(c2)];
+    }
+    score += left * inner;
+  }
+  return score;
+}
+
+double QueryEngine::FriendshipScore(UserId u, UserId v) const {
+  const auto pi_u = index_.Membership(u);
+  const auto pi_v = index_.Membership(v);
+  double dot = 0.0;
+  for (size_t c = 0; c < pi_u.size(); ++c) dot += pi_u[c] * pi_v[c];
+  return Sigmoid(dot);
+}
+
+StatusOr<DiffusionResponse> QueryEngine::Diffusion(
+    const DiffusionRequest& request) const {
+  CPD_RETURN_IF_ERROR(index_.CheckUser(request.source));
+  CPD_RETURN_IF_ERROR(index_.CheckUser(request.target));
+  if (graph_ == nullptr) {
+    return Status::FailedPrecondition(
+        "diffusion queries need a bound social graph (document words and "
+        "degree features)");
+  }
+  DiffusionResponse response;
+  response.friendship_score = FriendshipScore(request.source, request.target);
+  if (!index_.heterogeneous_links()) {
+    // The "no heterogeneity" ablation models diffusion links exactly like
+    // friendship links (Eq. 3), so it must predict with that model too.
+    response.probability = response.friendship_score;
+    return response;
+  }
+  auto posterior = DocumentTopicPosterior(request.document);
+  if (!posterior.ok()) return posterior.status();
+  const auto weights = index_.DiffusionWeights();
+  double features[kNumUserFeatures];
+  LinkCaches::ComputePairFeatures(*graph_, request.source, request.target,
+                                  features);
+  double feature_part = weights[kWeightBias];
+  for (int k = 0; k < kNumUserFeatures; ++k) {
+    feature_part += weights[kWeightFeature0 + k] * features[k];
+  }
+  double probability = 0.0;
+  for (int z = 0; z < index_.num_topics(); ++z) {
+    const double w =
+        weights[kWeightEta] * CommunityScore(request.source, request.target, z) +
+        weights[kWeightPopularity] * index_.TopicPopularity(request.time_bin, z) +
+        feature_part;
+    probability += Sigmoid(w) * (*posterior)[static_cast<size_t>(z)];
+  }
+  response.probability = probability;
+  return response;
+}
+
+StatusOr<TopUsersResponse> QueryEngine::TopUsers(
+    const TopUsersRequest& request) const {
+  CPD_RETURN_IF_ERROR(index_.CheckCommunity(request.community));
+  if (request.top_k < 0) return Status::InvalidArgument("top_users top_k < 0");
+  if (!index_.has_membership_index()) {
+    return Status::FailedPrecondition(
+        "index built without the membership index "
+        "(ProfileIndexOptions::build_membership_index)");
+  }
+  const auto members = index_.CommunityMembers(request.community);
+  const size_t k = request.top_k == 0
+                       ? members.size()
+                       : std::min(members.size(),
+                                  static_cast<size_t>(request.top_k));
+  TopUsersResponse response;
+  response.users.assign(members.begin(), members.begin() + static_cast<long>(k));
+  response.weights.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    response.weights.push_back(
+        index_.Membership(members[i])[static_cast<size_t>(request.community)]);
+  }
+  return response;
+}
+
+namespace {
+template <typename T>
+StatusOr<QueryResponse> ToQueryResponse(StatusOr<T> response) {
+  if (!response.ok()) return response.status();
+  return QueryResponse(std::move(*response));
+}
+}  // namespace
+
+StatusOr<QueryResponse> QueryEngine::Query(const QueryRequest& request) const {
+  return std::visit(
+      [this](const auto& typed) -> StatusOr<QueryResponse> {
+        using T = std::decay_t<decltype(typed)>;
+        if constexpr (std::is_same_v<T, MembershipRequest>) {
+          return ToQueryResponse(Membership(typed));
+        } else if constexpr (std::is_same_v<T, RankCommunitiesRequest>) {
+          return ToQueryResponse(RankCommunities(typed));
+        } else if constexpr (std::is_same_v<T, DiffusionRequest>) {
+          return ToQueryResponse(Diffusion(typed));
+        } else {
+          return ToQueryResponse(TopUsers(typed));
+        }
+      },
+      request);
+}
+
+std::vector<StatusOr<QueryResponse>> QueryEngine::QueryBatch(
+    std::span<const QueryRequest> requests, ThreadPool* pool) const {
+  std::vector<StatusOr<QueryResponse>> responses(
+      requests.size(),
+      StatusOr<QueryResponse>(Status::Internal("query not executed")));
+  if (pool == nullptr || requests.size() <= 1) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      responses[i] = Query(requests[i]);
+    }
+    return responses;
+  }
+  // Contiguous chunks, a few per worker: one pool task per *chunk* keeps the
+  // submit/dequeue overhead negligible against microsecond-scale queries
+  // while still load-balancing mixed-cost batches.
+  const size_t chunks =
+      std::min(requests.size(), pool->num_threads() * size_t{4});
+  const size_t per_chunk = (requests.size() + chunks - 1) / chunks;
+  ParallelFor(pool, chunks, [this, requests, &responses, per_chunk](size_t chunk) {
+    const size_t begin = chunk * per_chunk;
+    const size_t end = std::min(requests.size(), begin + per_chunk);
+    for (size_t i = begin; i < end; ++i) {
+      responses[i] = Query(requests[i]);
+    }
+  });
+  return responses;
+}
+
+}  // namespace cpd::serve

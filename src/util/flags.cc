@@ -1,0 +1,25 @@
+#include "util/flags.h"
+
+namespace cpd {
+
+StatusOr<FlagMap> ParseFlags(int argc, char** argv,
+                             const std::set<std::string>& known_flags) {
+  FlagMap flags;
+  for (int i = 1; i < argc; i += 2) {
+    const std::string arg = argv[i];
+    if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') {
+      return Status::InvalidArgument("expected a --flag, got '" + arg + "'");
+    }
+    const std::string flag = arg.substr(2);
+    if (!known_flags.count(flag)) {
+      return Status::InvalidArgument("unknown flag --" + flag);
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("missing value for --" + flag);
+    }
+    flags[flag] = argv[i + 1];
+  }
+  return flags;
+}
+
+}  // namespace cpd

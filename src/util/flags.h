@@ -1,0 +1,30 @@
+#ifndef CPD_UTIL_FLAGS_H_
+#define CPD_UTIL_FLAGS_H_
+
+/// \file flags.h
+/// Strict "--flag value" command-line parsing shared by the tools
+/// (cpd_train, cpd_query). Every argument must be a known --flag followed
+/// by a value; unknown flags, bare positional arguments, and a trailing
+/// flag with no value are typed errors so a mistyped invocation can never
+/// be silently half-applied.
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/status.h"
+
+namespace cpd {
+
+/// Parsed flag -> value map (later occurrences overwrite earlier ones).
+using FlagMap = std::map<std::string, std::string>;
+
+/// Parses argv[1..argc) against the known flag names (given without the
+/// leading "--"). On failure returns InvalidArgument naming the offending
+/// argument; the caller prints its usage text.
+StatusOr<FlagMap> ParseFlags(int argc, char** argv,
+                             const std::set<std::string>& known_flags);
+
+}  // namespace cpd
+
+#endif  // CPD_UTIL_FLAGS_H_

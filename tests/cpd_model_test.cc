@@ -122,5 +122,35 @@ TEST_F(CpdModelTest, LoadRejectsGarbage) {
   std::filesystem::remove(path);
 }
 
+TEST_F(CpdModelTest, BinarySaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cpd_model_test.cpdb";
+  ASSERT_TRUE(model_->SaveBinary(path).ok());
+  auto loaded = CpdModel::LoadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_communities(), model_->num_communities());
+  EXPECT_EQ(loaded->num_topics(), model_->num_topics());
+  EXPECT_EQ(loaded->num_users(), model_->num_users());
+  EXPECT_EQ(loaded->num_time_bins(), model_->num_time_bins());
+  // Binary round trips are bit-exact, not just close.
+  for (size_t u = 0; u < model_->num_users(); u += 5) {
+    const auto original = model_->Membership(static_cast<UserId>(u));
+    const auto reloaded = loaded->Membership(static_cast<UserId>(u));
+    for (size_t c = 0; c < original.size(); ++c) {
+      EXPECT_EQ(original[c], reloaded[c]);
+    }
+  }
+  EXPECT_EQ(loaded->Eta(1, 2, 3), model_->Eta(1, 2, 3));
+  std::filesystem::remove(path);
+}
+
+TEST_F(CpdModelTest, LoadBinaryRejectsTextModels) {
+  const std::string path = ::testing::TempDir() + "/cpd_model_text.cpd";
+  ASSERT_TRUE(model_->SaveToFile(path).ok());
+  EXPECT_FALSE(CpdModel::LoadBinary(path).ok());
+  // But the text loader still reads it (back-compat contract).
+  EXPECT_TRUE(CpdModel::LoadFromFile(path).ok());
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace cpd

@@ -282,13 +282,16 @@ ModeMetrics TrainAndMeasure(const SocialGraph& graph, SamplerMode mode,
 
   std::vector<std::vector<double>> pi, theta, phi;
   for (size_t u = 0; u < graph.num_users(); ++u) {
-    pi.push_back(model->Membership(static_cast<UserId>(u)));
+    const auto row = model->Membership(static_cast<UserId>(u));
+    pi.emplace_back(row.begin(), row.end());
   }
   for (int c = 0; c < config.num_communities; ++c) {
-    theta.push_back(model->ContentProfile(c));
+    const auto row = model->ContentProfile(c);
+    theta.emplace_back(row.begin(), row.end());
   }
   for (int z = 0; z < config.num_topics; ++z) {
-    phi.push_back(model->TopicWords(z));
+    const auto row = model->TopicWords(z);
+    phi.emplace_back(row.begin(), row.end());
   }
   std::vector<DocId> docs(graph.num_documents());
   for (size_t d = 0; d < docs.size(); ++d) docs[d] = static_cast<DocId>(d);

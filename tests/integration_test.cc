@@ -122,11 +122,18 @@ TEST(IntegrationTest, ProfilesExplainContentBetterThanUniform) {
 
   std::vector<std::vector<double>> pi(data.graph.num_users());
   for (size_t u = 0; u < pi.size(); ++u) {
-    pi[u] = model->Membership(static_cast<UserId>(u));
+    const auto row = model->Membership(static_cast<UserId>(u));
+    pi[u].assign(row.begin(), row.end());
   }
   std::vector<std::vector<double>> theta(4), phi(6);
-  for (int c = 0; c < 4; ++c) theta[static_cast<size_t>(c)] = model->ContentProfile(c);
-  for (int z = 0; z < 6; ++z) phi[static_cast<size_t>(z)] = model->TopicWords(z);
+  for (int c = 0; c < 4; ++c) {
+    const auto row = model->ContentProfile(c);
+    theta[static_cast<size_t>(c)].assign(row.begin(), row.end());
+  }
+  for (int z = 0; z < 6; ++z) {
+    const auto row = model->TopicWords(z);
+    phi[static_cast<size_t>(z)].assign(row.begin(), row.end());
+  }
 
   std::vector<DocId> docs;
   for (size_t d = 0; d < data.graph.num_documents(); d += 2) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/model_state.h"
 #include "test_util.h"
@@ -182,6 +184,85 @@ TEST(ModelStateTest, NonzeroUserCommunitiesMatchesDenseRow) {
     }
     EXPECT_EQ(total, state.n_u[u]);
   }
+}
+
+// The cached row view must agree with the fresh scan entry-for-entry
+// (modulo ordering) after any sequence of write-through updates.
+void ExpectRowMatchesScan(ModelState* state, UserId u) {
+  std::vector<SparseCount> scan;
+  state->NonzeroUserCommunities(u, &scan);
+  const auto cached = state->UserCommunityRow(u);
+  ASSERT_EQ(cached.size(), scan.size()) << "user " << u;
+  std::vector<SparseCount> sorted_cached(cached.begin(), cached.end());
+  std::sort(sorted_cached.begin(), sorted_cached.end(),
+            [](const SparseCount& a, const SparseCount& b) {
+              return a.index < b.index;
+            });
+  for (size_t i = 0; i < scan.size(); ++i) {
+    EXPECT_EQ(sorted_cached[i], scan[i]) << "user " << u << " entry " << i;
+  }
+}
+
+TEST(ModelStateTest, UserCommunityRowCacheTracksBumps) {
+  const SocialGraph graph = testing::MakeTinyGraph().graph;
+  ModelState state(graph, SmallConfig());
+  Rng rng(5);
+  state.InitializeRandom(graph, &rng);
+  state.RebuildCounts(graph);
+
+  // Build every row, then shuffle documents between communities through the
+  // write-through path and re-verify against fresh scans: entries must
+  // adjust in place, vanish at zero, and reappear on re-entry.
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    ExpectRowMatchesScan(&state, static_cast<UserId>(u));
+  }
+  Rng moves(7);
+  for (int step = 0; step < 200; ++step) {
+    const UserId u = static_cast<UserId>(moves.NextUint64(graph.num_users()));
+    if (state.n_u[static_cast<size_t>(u)] == 0) continue;
+    // Move one document of u from a currently occupied community to a
+    // random one (possibly re-entering an empty community).
+    const auto row = state.UserCommunityRow(u);
+    const SparseCount from = row[moves.NextUint64(row.size())];
+    const int to = static_cast<int>(
+        moves.NextUint64(static_cast<uint64_t>(state.num_communities)));
+    state.BumpUserCommunity(u, from.index, -1);
+    state.BumpUserCommunity(u, to, 1);
+    ExpectRowMatchesScan(&state, u);
+  }
+}
+
+TEST(ModelStateTest, UserCommunityRowCacheInvalidation) {
+  const SocialGraph graph = testing::MakeTinyGraph().graph;
+  ModelState state(graph, SmallConfig());
+  Rng rng(9);
+  state.InitializeRandom(graph, &rng);
+  state.RebuildCounts(graph);
+  const UserId u = 0;
+  ASSERT_GT(state.n_u[0], 0);
+  (void)state.UserCommunityRow(u);
+
+  // A bulk rewrite behind the cache's back followed by invalidation must
+  // rebuild the row from the new counters.
+  ModelState other(graph, SmallConfig());
+  Rng other_rng(11);
+  other.InitializeRandom(graph, &other_rng);
+  other.RebuildCounts(graph);
+  state.n_uc = other.n_uc;
+  state.n_u = other.n_u;
+  state.InvalidateUserCommunityRows();
+  ExpectRowMatchesScan(&state, u);
+
+  // Per-user invalidation only drops the named rows.
+  (void)state.UserCommunityRow(1);
+  const std::vector<UserId> users = {u};
+  state.InvalidateUserCommunityRows(users);
+  ExpectRowMatchesScan(&state, u);
+  ExpectRowMatchesScan(&state, 1);
+
+  // RebuildCounts invalidates implicitly.
+  state.RebuildCounts(graph);
+  ExpectRowMatchesScan(&state, u);
 }
 
 TEST(LinkCachesTest, FriendLinkIncidence) {

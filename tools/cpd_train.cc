@@ -10,15 +10,19 @@
 //             [--iterations 15] [--threads 1] [--seed 42]
 //             [--sampler sparse|dense] [--mh_steps 4]
 //             [--executor auto|serial|pooled] [--shards 0]
-//             [--model out.cpd] [--dot diffusion.dot] [--json profiles.json]
+//             [--model out.cpd] [--model_binary out.cpdb]
+//             [--vocab out.vocab] [--dot diffusion.dot]
+//             [--json profiles.json]
 //
 // Prints dataset statistics, training progress, community labels and the
-// topic-aggregated diffusion matrix; optionally saves the model and the
-// Fig. 7-style visualization exports.
+// topic-aggregated diffusion matrix; optionally saves the model (text
+// and/or binary .cpdb for cpd_query), the vocabulary, and the Fig. 7-style
+// visualization exports.
 
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
 
 #include "apps/visualization.h"
@@ -26,6 +30,7 @@
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "util/file_util.h"
+#include "util/flags.h"
 #include "util/timer.h"
 
 namespace {
@@ -37,22 +42,28 @@ void Usage(const char* argv0) {
                "          [--communities 20] [--topics 20] [--iterations 15]\n"
                "          [--threads 1] [--seed 42] [--sampler sparse|dense]\n"
                "          [--mh_steps 4] [--executor auto|serial|pooled]\n"
-               "          [--shards 0] [--model out.cpd] [--dot out.dot]\n"
-               "          [--json out.json]\n",
+               "          [--shards 0] [--model out.cpd]\n"
+               "          [--model_binary out.cpdb] [--vocab out.vocab]\n"
+               "          [--dot out.dot] [--json out.json]\n",
                argv0);
 }
+
+const std::set<std::string> kKnownFlags = {
+    "users",    "docs",     "friends",      "diffusion", "communities",
+    "topics",   "iterations", "threads",    "seed",      "sampler",
+    "mh_steps", "executor", "shards",       "model",     "model_binary",
+    "vocab",    "dot",      "json"};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::map<std::string, std::string> args;
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (argv[i][0] != '-' || argv[i][1] != '-') {
-      Usage(argv[0]);
-      return 2;
-    }
-    args[argv[i] + 2] = argv[i + 1];
+  auto parsed = cpd::ParseFlags(argc, argv, kKnownFlags);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().message().c_str());
+    Usage(argv[0]);
+    return 2;
   }
+  cpd::FlagMap args = std::move(*parsed);
   auto get = [&args](const std::string& key, const std::string& fallback) {
     auto it = args.find(key);
     return it == args.end() ? fallback : it->second;
@@ -151,6 +162,24 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\nmodel -> %s\n", args["model"].c_str());
+  }
+  if (args.count("model_binary")) {
+    const cpd::Status status = model->SaveBinary(args["model_binary"]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "binary model save failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("binary model -> %s (serve it with cpd_query)\n",
+                args["model_binary"].c_str());
+  }
+  if (args.count("vocab")) {
+    const cpd::Status status = vocab.SaveToFile(args["vocab"]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "vocab save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("vocabulary -> %s\n", args["vocab"].c_str());
   }
   cpd::VisualizationOptions viz;
   if (args.count("dot")) {
