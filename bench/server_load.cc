@@ -1,0 +1,276 @@
+// HTTP serving-layer benchmark -> BENCH_server.json.
+//
+// Trains one model on the Twitter-like preset, saves a v2 ".cpdb" artifact
+// (vocabulary bundled), serves it through the real stack (ModelRegistry +
+// HttpServer + JSON endpoints on loopback), and drives a closed-loop load
+// generator against POST /v1/query: at 1 / 4 / 16 concurrent keep-alive
+// connections, every connection issues its next request as soon as the
+// previous response lands. Reports per-level qps and p50/p99 request
+// latency, plus a single-connection GET /healthz baseline that isolates
+// transport cost (framing + JSON + loopback) from query cost.
+//
+// Follows the BENCH_query.json conventions: argument-free, laptop-friendly
+// scale, honors CPD_BENCH_JSON_DIR, records hardware_concurrency (a 1-core
+// container cannot show concurrency gains; CI's multicore runners do).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/profile_index.h"
+#include "serve/query_engine.h"
+#include "server/http_server.h"
+#include "server/json_api.h"
+#include "server/model_registry.h"
+#include "util/file_util.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace cpd::bench {
+namespace {
+
+// Comfortably above 2x the largest connection level: a finished client's
+// server-side connection lingers for a moment after close, so warm-up and
+// measured connections can briefly coexist without tripping the accept-edge
+// 429 shed.
+constexpr int kServerThreads = 40;
+constexpr size_t kRequestsPerLevel = 3000;
+const int kConnectionLevels[] = {1, 4, 16};
+
+struct LevelResult {
+  int connections = 0;
+  size_t requests = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double Percentile(std::vector<double>* sorted_in_place, double fraction) {
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const size_t index = static_cast<size_t>(
+      static_cast<double>(sorted_in_place->size()) * fraction);
+  return (*sorted_in_place)[std::min(index, sorted_in_place->size() - 1)];
+}
+
+/// Pre-serialized mixed workload (same mix as bench_query's BuildWorkload,
+/// already JSON so the generator measures the server, not the encoder).
+std::vector<std::string> BuildWireWorkload(const SocialGraph& graph,
+                                           const serve::ProfileIndex& index,
+                                           size_t count, Rng* rng) {
+  std::vector<std::string> bodies;
+  bodies.reserve(count);
+  const auto& links = graph.diffusion_links();
+  for (size_t i = 0; i < count; ++i) {
+    const double pick = rng->NextDouble();
+    serve::QueryRequest request;
+    if (pick < 0.55) {
+      serve::MembershipRequest membership;
+      membership.user = static_cast<UserId>(rng->NextUint64(graph.num_users()));
+      membership.top_k = 5;
+      request = membership;
+    } else if (pick < 0.80) {
+      serve::RankCommunitiesRequest rank;
+      const size_t terms = 1 + rng->NextUint64(2);
+      for (size_t t = 0; t < terms; ++t) {
+        rank.words.push_back(
+            static_cast<WordId>(rng->NextUint64(index.vocab_size())));
+      }
+      rank.top_k = 5;
+      request = rank;
+    } else if (pick < 0.90 && !links.empty()) {
+      const DiffusionLink& link = links[rng->NextUint64(links.size())];
+      serve::DiffusionRequest diffusion;
+      diffusion.source = graph.document(link.i).user;
+      diffusion.target = graph.document(link.j).user;
+      diffusion.document = link.j;
+      diffusion.time_bin = link.time;
+      request = diffusion;
+    } else {
+      serve::TopUsersRequest top_users;
+      top_users.community = static_cast<int>(
+          rng->NextUint64(static_cast<uint64_t>(index.num_communities())));
+      top_users.top_k = 10;
+      request = top_users;
+    }
+    bodies.push_back(server::QueryRequestToJson(request).Dump());
+  }
+  return bodies;
+}
+
+/// Closed loop at one concurrency level: `connections` client threads, each
+/// with its own keep-alive connection, splitting the workload evenly.
+LevelResult RunLevel(int port, const std::vector<std::string>& workload,
+                     int connections) {
+  LevelResult result;
+  result.connections = connections;
+  const size_t per_connection = workload.size() / static_cast<size_t>(connections);
+  result.requests = per_connection * static_cast<size_t>(connections);
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(connections));
+  std::atomic<size_t> failures{0};
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = server::HttpClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        failures.fetch_add(per_connection);
+        return;
+      }
+      auto& slot = latencies[static_cast<size_t>(c)];
+      slot.reserve(per_connection);
+      const size_t begin = static_cast<size_t>(c) * per_connection;
+      for (size_t i = 0; i < per_connection; ++i) {
+        WallTimer timer;
+        auto response =
+            client->RoundTrip("POST", "/v1/query", workload[begin + i]);
+        const double us = timer.ElapsedSeconds() * 1e6;
+        if (!response.ok() || response->status != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        slot.push_back(us);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  const double seconds = wall.ElapsedSeconds();
+  CPD_CHECK_EQ(failures.load(), 0u);
+
+  std::vector<double> all;
+  all.reserve(result.requests);
+  for (const auto& slot : latencies) {
+    all.insert(all.end(), slot.begin(), slot.end());
+  }
+  result.qps = static_cast<double>(result.requests) / seconds;
+  result.p99_us = Percentile(&all, 0.99);
+  result.p50_us = Percentile(&all, 0.50);
+  return result;
+}
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  const BenchDataset& dataset = TwitterDataset(scale);
+  PrintBenchHeader("HTTP serving layer (cpd_serve stack)", scale, dataset);
+
+  CpdConfig config = BaseCpdConfig(scale);
+  config.num_communities = 12;
+  std::printf("training |C|=%d |Z|=%d T1=%d...\n", config.num_communities,
+              config.num_topics, config.em_iterations);
+  auto model = CpdModel::Train(dataset.data.graph, config);
+  CPD_CHECK(model.ok());
+
+  const std::string artifact_path =
+      (std::filesystem::temp_directory_path() / "bench_server_load.cpdb")
+          .string();
+  CPD_CHECK(model
+                ->SaveBinary(artifact_path,
+                             &dataset.data.graph.corpus().vocabulary())
+                .ok());
+
+  server::ModelRegistry registry(serve::ProfileIndexOptions{},
+                                 &dataset.data.graph);
+  CPD_CHECK(registry.LoadFrom(artifact_path).ok());
+  server::HttpServerOptions options;
+  options.port = 0;
+  options.threads = kServerThreads;
+  options.max_inflight = 64;
+  options.log_requests = false;  // The request log would dominate the bench.
+  server::HttpServer http_server(options);
+  server::ServiceStats stats;
+  server::RegisterCpdRoutes(&http_server, &registry, &stats);
+  CPD_CHECK(http_server.Start().ok());
+  const int port = http_server.port();
+
+  Rng rng(20260731);
+  const std::vector<std::string> workload = BuildWireWorkload(
+      dataset.data.graph, registry.Snapshot()->index, kRequestsPerLevel, &rng);
+
+  // Transport-only baseline: /healthz round trips on one connection.
+  {
+    auto client = server::HttpClient::Connect("127.0.0.1", port);
+    CPD_CHECK(client.ok());
+    for (int i = 0; i < 50; ++i) {  // Warm-up.
+      CPD_CHECK(client->RoundTrip("GET", "/healthz").ok());
+    }
+  }
+  std::vector<double> health_us;
+  {
+    auto client = server::HttpClient::Connect("127.0.0.1", port);
+    CPD_CHECK(client.ok());
+    health_us.reserve(500);
+    for (int i = 0; i < 500; ++i) {
+      WallTimer timer;
+      CPD_CHECK(client->RoundTrip("GET", "/healthz").ok());
+      health_us.push_back(timer.ElapsedSeconds() * 1e6);
+    }
+  }
+  const double health_p50 = Percentile(&health_us, 0.50);
+  std::printf("transport baseline (GET /healthz): p50 %.1f us\n", health_p50);
+
+  std::vector<LevelResult> levels;
+  for (const int connections : kConnectionLevels) {
+    // Warm-up pass at this width, then the measured pass (with a breather
+    // so the warm-up's closed connections finish their server-side
+    // teardown and free worker slots).
+    RunLevel(port, workload, connections);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const LevelResult result = RunLevel(port, workload, connections);
+    std::printf(
+        "%2d connection%s: %7.0f req/sec   p50 %7.1f us   p99 %8.1f us\n",
+        result.connections, result.connections == 1 ? " " : "s", result.qps,
+        result.p50_us, result.p99_us);
+    levels.push_back(result);
+  }
+  http_server.Stop();
+  std::filesystem::remove(artifact_path);
+
+  std::string json = "{\n  \"bench\": \"server_load\",\n";
+  json += StrFormat(
+      "  \"dataset\": {\"users\": %zu, \"documents\": %zu, "
+      "\"communities\": %d, \"topics\": %d},\n",
+      dataset.data.graph.num_users(), dataset.data.graph.num_documents(),
+      config.num_communities, config.num_topics);
+  json += StrFormat("  \"hardware_concurrency\": %u,\n",
+                    std::thread::hardware_concurrency());
+  json += StrFormat("  \"server_threads\": %d,\n", kServerThreads);
+  json += StrFormat("  \"healthz_p50_us\": %.2f,\n", health_p50);
+  json += "  \"levels\": [\n";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    json += StrFormat(
+        "    {\"connections\": %d, \"requests\": %zu, "
+        "\"queries_per_sec\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
+        levels[i].connections, levels[i].requests, levels[i].qps,
+        levels[i].p50_us, levels[i].p99_us,
+        i + 1 < levels.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+
+  const char* dir = std::getenv("CPD_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+      "BENCH_server.json";
+  const Status status = WriteStringToFile(path, json);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 status.message().c_str());
+  } else {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace cpd::bench
+
+int main() {
+  cpd::bench::Run();
+  return 0;
+}

@@ -269,8 +269,24 @@ StatusOr<CpdModel> CpdModel::FromArtifact(ModelArtifact artifact) {
   return model;
 }
 
-Status CpdModel::SaveBinary(const std::string& path) const {
-  return WriteModelArtifact(path, ToArtifact());
+Status CpdModel::SaveBinary(const std::string& path,
+                            const Vocabulary* vocab) const {
+  ModelArtifact artifact = ToArtifact();
+  if (vocab != nullptr) {
+    if (vocab->size() != vocab_size_) {
+      return Status::InvalidArgument(
+          StrFormat("vocabulary has %zu words, model expects %zu",
+                    vocab->size(), vocab_size_));
+    }
+    artifact.vocab_words.reserve(vocab->size());
+    artifact.vocab_frequencies.reserve(vocab->size());
+    for (size_t w = 0; w < vocab->size(); ++w) {
+      artifact.vocab_words.push_back(vocab->WordOf(static_cast<WordId>(w)));
+      artifact.vocab_frequencies.push_back(
+          vocab->Frequency(static_cast<WordId>(w)));
+    }
+  }
+  return WriteModelArtifact(path, artifact);
 }
 
 StatusOr<CpdModel> CpdModel::LoadBinary(const std::string& path) {

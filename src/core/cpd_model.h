@@ -91,7 +91,10 @@ class CpdModel {
 
   /// Binary ".cpdb" artifact (core/model_artifact.h): bit-exact doubles, no
   /// text parsing on load, and directly mappable by serve::ProfileIndex.
-  Status SaveBinary(const std::string& path) const;
+  /// Pass the training vocabulary to bundle it into the artifact (v2
+  /// section) so cpd_query / cpd_serve need no side --vocab file.
+  Status SaveBinary(const std::string& path,
+                    const Vocabulary* vocab = nullptr) const;
   static StatusOr<CpdModel> LoadBinary(const std::string& path);
 
   /// Conversions to/from the artifact struct (used by the file APIs above

@@ -46,6 +46,13 @@ class ByteReader {
     return true;
   }
 
+  bool ReadString(size_t length, std::string* out) {
+    if (offset_ + length > bytes_.size()) return false;
+    out->assign(bytes_.data() + offset_, length);
+    offset_ += length;
+    return true;
+  }
+
   size_t remaining() const { return bytes_.size() - offset_; }
 
  private:
@@ -80,6 +87,33 @@ Status ModelArtifact::Validate() const {
   CPD_RETURN_IF_ERROR(check(phi.size(), kz * vocab_size, "phi"));
   CPD_RETURN_IF_ERROR(check(eta.size(), kc * kc * kz, "eta"));
   CPD_RETURN_IF_ERROR(check(popularity.size(), kt * kz, "popularity"));
+  if (!vocab_words.empty()) {
+    CPD_RETURN_IF_ERROR(check(vocab_words.size(), vocab_size, "vocabulary"));
+    CPD_RETURN_IF_ERROR(check(vocab_frequencies.size(), vocab_words.size(),
+                              "vocabulary frequencies"));
+  } else if (!vocab_frequencies.empty()) {
+    return Status::InvalidArgument(
+        "model artifact: vocabulary frequencies without words");
+  }
+  return Status::OK();
+}
+
+Status ModelArtifact::BuildVocabulary(Vocabulary* out) const {
+  if (!has_vocabulary()) {
+    return Status::FailedPrecondition(
+        "model artifact carries no bundled vocabulary (v1 file, or saved "
+        "without one)");
+  }
+  CPD_RETURN_IF_ERROR(Validate());
+  Vocabulary vocab;
+  for (size_t i = 0; i < vocab_words.size(); ++i) {
+    if (vocab.GetOrAdd(vocab_words[i]) != static_cast<WordId>(i)) {
+      return Status::InvalidArgument(
+          "model artifact: duplicate vocabulary word '" + vocab_words[i] + "'");
+    }
+    vocab.CountOccurrence(static_cast<WordId>(i), vocab_frequencies[i]);
+  }
+  *out = std::move(vocab);
   return Status::OK();
 }
 
@@ -106,6 +140,14 @@ StatusOr<std::string> EncodeModelArtifact(const ModelArtifact& artifact) {
   AppendDoubles(&out, artifact.eta);
   AppendDoubles(&out, artifact.weights);
   AppendDoubles(&out, artifact.popularity);
+  // v2 vocabulary section (count 0 when none is bundled).
+  AppendRaw(&out, static_cast<uint64_t>(artifact.vocab_words.size()));
+  for (size_t i = 0; i < artifact.vocab_words.size(); ++i) {
+    const std::string& word = artifact.vocab_words[i];
+    AppendRaw(&out, static_cast<uint32_t>(word.size()));
+    out.append(word);
+    AppendRaw(&out, artifact.vocab_frequencies[i]);
+  }
   return out;
 }
 
@@ -124,11 +166,11 @@ StatusOr<ModelArtifact> DecodeModelArtifact(const std::string& bytes) {
   if (!reader.Read(&version) || !reader.Read(&endian_tag)) {
     return Status::OutOfRange("model artifact: truncated header");
   }
-  if (version != kModelArtifactVersion) {
+  if (version < kModelArtifactMinVersion || version > kModelArtifactVersion) {
     return Status::Unimplemented(
         StrFormat("model artifact: version %u not supported (reader "
-                  "understands version %u)",
-                  version, kModelArtifactVersion));
+                  "understands versions %u..%u)",
+                  version, kModelArtifactMinVersion, kModelArtifactVersion));
   }
   if (endian_tag != kModelArtifactEndianTag) {
     return Status::InvalidArgument(
@@ -174,9 +216,36 @@ StatusOr<ModelArtifact> DecodeModelArtifact(const std::string& bytes) {
   reader.ReadDoubles(kc * kc * kz, &artifact.eta);
   reader.ReadDoubles(static_cast<size_t>(num_weights), &artifact.weights);
   reader.ReadDoubles(kt * kz, &artifact.popularity);
+  if (version >= 2) {
+    uint64_t vocab_count = 0;
+    if (!reader.Read(&vocab_count)) {
+      return Status::OutOfRange("model artifact: truncated vocabulary section");
+    }
+    if (vocab_count != 0 && vocab_count != artifact.vocab_size) {
+      return Status::InvalidArgument(StrFormat(
+          "model artifact: vocabulary section has %llu words, header says "
+          "|W|=%llu",
+          static_cast<unsigned long long>(vocab_count),
+          static_cast<unsigned long long>(artifact.vocab_size)));
+    }
+    artifact.vocab_words.reserve(static_cast<size_t>(vocab_count));
+    artifact.vocab_frequencies.reserve(static_cast<size_t>(vocab_count));
+    for (uint64_t i = 0; i < vocab_count; ++i) {
+      uint32_t length = 0;
+      std::string word;
+      int64_t frequency = 0;
+      if (!reader.Read(&length) || !reader.ReadString(length, &word) ||
+          !reader.Read(&frequency)) {
+        return Status::OutOfRange(
+            "model artifact: truncated vocabulary section");
+      }
+      artifact.vocab_words.push_back(std::move(word));
+      artifact.vocab_frequencies.push_back(frequency);
+    }
+  }
   if (reader.remaining() != 0) {
     return Status::InvalidArgument(StrFormat(
-        "model artifact: %zu trailing bytes after the last matrix",
+        "model artifact: %zu trailing bytes after the last section",
         reader.remaining()));
   }
   CPD_RETURN_IF_ERROR(artifact.Validate());

@@ -10,24 +10,31 @@
 ///   i32 |C| | i32 |Z| | u64 |U| | u64 |W| | i32 T | u64 #weights |
 ///   pi (U*C) | theta (C*Z) | phi (Z*W) | eta (C*C*Z) | weights |
 ///   popularity (T*Z)
+///   [v2+] u64 vocab_count | vocab_count x (u32 len | bytes | i64 freq)
 ///
 /// so a ProfileIndex can be mapped straight into flat row-major arrays
-/// without parsing text. Readers reject wrong magic, unknown versions,
-/// foreign byte order, and truncated or oversized payloads with typed
-/// Status errors. Both CpdModel::{Save,Load}Binary and
-/// ProfileIndex::LoadFromFile speak this format through the functions here.
+/// without parsing text. Version 2 appends an optional bundled vocabulary
+/// section (vocab_count is 0 or |W|) so serving front ends need no side
+/// --vocab file; version-1 artifacts still load (no vocabulary). Readers
+/// reject wrong magic, unknown versions, foreign byte order, and truncated
+/// or oversized payloads with typed Status errors. Both
+/// CpdModel::{Save,Load}Binary and ProfileIndex::LoadFromFile speak this
+/// format through the functions here.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "text/vocabulary.h"
 #include "util/status.h"
 
 namespace cpd {
 
 inline constexpr char kModelArtifactMagic[8] = {'C', 'P', 'D', 'B',
                                                 'M', 'O', 'D', 'L'};
-inline constexpr uint32_t kModelArtifactVersion = 1;
+inline constexpr uint32_t kModelArtifactVersion = 2;
+/// Oldest version the reader still accepts (v1 = no vocabulary section).
+inline constexpr uint32_t kModelArtifactMinVersion = 1;
 inline constexpr uint32_t kModelArtifactEndianTag = 0x01020304u;
 
 /// Decoded (or to-be-encoded) contents of one .cpdb artifact. Plain data;
@@ -45,6 +52,18 @@ struct ModelArtifact {
   std::vector<double> eta;         ///< C x C x Z.
   std::vector<double> weights;     ///< kNumDiffusionWeights.
   std::vector<double> popularity;  ///< T x Z.
+
+  /// Bundled vocabulary (v2 section): empty, or exactly vocab_size words
+  /// with parallel occurrence counts. Word id == position.
+  std::vector<std::string> vocab_words;
+  std::vector<int64_t> vocab_frequencies;
+
+  bool has_vocabulary() const { return !vocab_words.empty(); }
+
+  /// Reconstructs a Vocabulary from the bundled section into `out`.
+  /// FailedPrecondition when none is bundled; InvalidArgument on duplicate
+  /// words (ids would not be dense).
+  Status BuildVocabulary(Vocabulary* out) const;
 
   /// InvalidArgument when any matrix size disagrees with the header dims.
   Status Validate() const;

@@ -49,6 +49,13 @@ StatusOr<ProfileIndex> ProfileIndex::FromArtifact(
 
 StatusOr<ProfileIndex> ProfileIndex::LoadFromFile(
     const std::string& path, const ProfileIndexOptions& options) {
+  auto bundle = LoadModelBundle(path, options);
+  if (!bundle.ok()) return bundle.status();
+  return std::move(bundle->index);
+}
+
+StatusOr<ModelBundle> LoadModelBundle(const std::string& path,
+                                      const ProfileIndexOptions& options) {
   auto contents = ReadFileToString(path);
   if (!contents.ok()) return contents.status();
   if (LooksLikeModelArtifact(*contents)) {
@@ -57,11 +64,22 @@ StatusOr<ProfileIndex> ProfileIndex::LoadFromFile(
       return Status(artifact.status().code(),
                     artifact.status().message() + ": " + path);
     }
-    return FromArtifact(std::move(*artifact), options);
+    std::shared_ptr<const Vocabulary> vocabulary;
+    if (artifact->has_vocabulary()) {
+      // Extract before FromArtifact moves the matrices out.
+      auto vocab = std::make_shared<Vocabulary>();
+      CPD_RETURN_IF_ERROR(artifact->BuildVocabulary(vocab.get()));
+      vocabulary = std::move(vocab);
+    }
+    auto index = ProfileIndex::FromArtifact(std::move(*artifact), options);
+    if (!index.ok()) return index.status();
+    return ModelBundle{std::move(*index), std::move(vocabulary)};
   }
   auto model = CpdModel::LoadFromFile(path);
   if (!model.ok()) return model.status();
-  return FromArtifact(model->ToArtifact(), options);
+  auto index = ProfileIndex::FromArtifact(model->ToArtifact(), options);
+  if (!index.ok()) return index.status();
+  return ModelBundle{std::move(*index), nullptr};
 }
 
 void ProfileIndex::BuildDerived() {

@@ -17,6 +17,7 @@
 /// paths produce bit-identical indexes for the same trained estimates.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -172,6 +173,20 @@ class ProfileIndex {
   std::vector<size_t> member_offsets_;          // |C| + 1
   std::vector<UserId> members_;                 // postings, weight-sorted
 };
+
+/// A loaded index together with the vocabulary bundled in a v2 ".cpdb"
+/// artifact (null for v1 artifacts, text models, and artifacts saved
+/// without one). Serving front ends (cpd_query, cpd_serve) load through
+/// this so textual rank queries work without a side --vocab file.
+struct ModelBundle {
+  ProfileIndex index;
+  std::shared_ptr<const Vocabulary> vocabulary;
+};
+
+/// Loads a model file like ProfileIndex::LoadFromFile but also surfaces the
+/// bundled vocabulary when the artifact carries one.
+StatusOr<ModelBundle> LoadModelBundle(const std::string& path,
+                                      const ProfileIndexOptions& options = {});
 
 }  // namespace serve
 }  // namespace cpd

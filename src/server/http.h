@@ -1,0 +1,141 @@
+#ifndef CPD_SERVER_HTTP_H_
+#define CPD_SERVER_HTTP_H_
+
+/// \file http.h
+/// HTTP/1.1 message types, framing, and blocking socket I/O — the transport
+/// vocabulary of the embedded serving layer (no third-party dependency; the
+/// subset the serving endpoints need: one request line, headers, an
+/// optional Content-Length body, keep-alive connections).
+///
+/// Three layers live here:
+///   - HttpRequest / HttpResponse: plain structs plus serializers;
+///   - HttpStream: buffered blocking reader/writer over a connected socket
+///     fd, used by both the server's connection loop and the client
+///     (typed errors: InvalidArgument = malformed framing -> 400,
+///     OutOfRange = over a size cap -> 431/413, NotFound = peer closed
+///     cleanly between messages, IOError = socket error/timeout);
+///   - HttpClient: a blocking keep-alive loopback client for tests and the
+///     closed-loop load generator (bench/server_load.cc).
+///
+/// Chunked transfer encoding, TLS, and HTTP/2 are out of scope: the server
+/// fronts an in-process QueryEngine on a trusted network edge, and every
+/// payload it speaks is a small JSON document.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cpd::server {
+
+/// One parsed request. Header names are lowercased on parse; `path` is the
+/// target with the query string stripped, `query` holds the decoded
+/// key=value parameters, and `path_params` is filled by the router for
+/// patterns like "/v1/membership/{user}".
+struct HttpRequest {
+  std::string method;   ///< Uppercase ("GET", "POST").
+  std::string target;   ///< Raw request target ("/v1/query?k=5").
+  std::string path;     ///< Target without the query string.
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0".
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;
+  std::map<std::string, std::string> path_params;
+  std::string body;
+
+  /// Lowercased header lookup; empty string when absent.
+  const std::string& Header(const std::string& name) const;
+
+  /// Connection semantics the client asked for: HTTP/1.1 defaults to
+  /// keep-alive unless "Connection: close"; HTTP/1.0 defaults to close
+  /// unless "Connection: keep-alive". Header values compared
+  /// case-insensitively.
+  bool KeepAlive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::map<std::string, std::string> headers;  ///< Extra headers.
+  std::string body;
+};
+
+/// Canonical reason phrase ("OK", "Too Many Requests", ...).
+const char* HttpStatusReason(int status);
+
+/// Serializes a response (adds Content-Type, Content-Length and the
+/// Connection header implied by `keep_alive`).
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// Serializes a client request (adds Host, Content-Length).
+std::string SerializeRequest(const HttpRequest& request,
+                             const std::string& host);
+
+/// Parses a request head (request line + headers, no body); used by
+/// HttpStream and directly by the framing tests.
+StatusOr<HttpRequest> ParseRequestHead(std::string_view head);
+
+/// Buffered blocking reader/writer over a connected socket. Does not own
+/// the fd's lifetime policy (caller closes); Read* calls block until a full
+/// message, a size cap, or the peer closes.
+class HttpStream {
+ public:
+  explicit HttpStream(int fd) : fd_(fd) {}
+
+  /// Reads one full request (head + Content-Length body).
+  StatusOr<HttpRequest> ReadRequest(size_t max_head_bytes,
+                                    size_t max_body_bytes);
+
+  /// Reads one full response (client side).
+  StatusOr<HttpResponse> ReadResponse(size_t max_body_bytes);
+
+  /// Writes the whole buffer (MSG_NOSIGNAL; EPIPE is an IOError, never a
+  /// process signal).
+  Status WriteAll(std::string_view bytes);
+
+  int fd() const { return fd_; }
+
+ private:
+  /// Ensures buffer_ holds a full "\r\n\r\n"-terminated head; returns its
+  /// length including the terminator.
+  StatusOr<size_t> BufferHead(size_t max_head_bytes);
+  /// Ensures buffer_ holds >= `total` bytes.
+  Status BufferBody(size_t total);
+
+  int fd_;
+  std::string buffer_;
+};
+
+/// Blocking keep-alive HTTP client (tests + load generator). One in-flight
+/// request at a time; reconnects are the caller's job (connected() turns
+/// false once the server closes or errors).
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  static StatusOr<HttpClient> Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one request and blocks for the response. After an error or a
+  /// "Connection: close" response the socket is closed.
+  StatusOr<HttpResponse> RoundTrip(const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body = "");
+
+ private:
+  int fd_ = -1;
+  std::string host_;
+};
+
+}  // namespace cpd::server
+
+#endif  // CPD_SERVER_HTTP_H_

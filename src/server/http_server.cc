@@ -1,0 +1,334 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "parallel/thread_pool.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpd::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMicros(Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - since)
+      .count();
+}
+
+/// Splits "/a/{b}/c" into segments; the leading empty segment is dropped.
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> segments = Split(path, '/', /*skip_empty=*/false);
+  if (!segments.empty() && segments.front().empty()) {
+    segments.erase(segments.begin());
+  }
+  // A trailing slash yields a trailing empty segment; treat "/x/" like "/x".
+  if (!segments.empty() && segments.back().empty()) segments.pop_back();
+  return segments;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.threads < 1) options_.threads = 1;
+  if (options_.max_inflight < 1) options_.max_inflight = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& method, const std::string& pattern,
+                        Handler handler) {
+  CPD_CHECK(!running());
+  routes_.push_back(
+      Route{method, SplitPath(pattern), std::move(handler)});
+}
+
+Status HttpServer::Start() {
+  if (running()) return Status::FailedPrecondition("server already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(StrFormat("socket failed: %s", strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("not a numeric IPv4 host: " +
+                                   options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::IOError(
+        StrFormat("bind to %s:%d failed: %s", options_.host.c_str(),
+                  options_.port, strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, /*backlog=*/128) != 0) {
+    const Status status =
+        Status::IOError(StrFormat("listen failed: %s", strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(options_.threads));
+  listener_ = std::thread([this] { ListenerLoop(); });
+  CPD_LOG(Info) << "cpd_serve listening on " << options_.host << ":" << port_
+                << " (" << options_.threads << " workers, max_inflight "
+                << options_.max_inflight << ")";
+  return Status::OK();
+}
+
+void HttpServer::ListenerLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Poll with a timeout so Stop() is noticed without racing on the fd.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.idle_timeout_ms > 0) {
+      timeval timeout{};
+      timeout.tv_sec = options_.idle_timeout_ms / 1000;
+      timeout.tv_usec = (options_.idle_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    }
+
+    // Bounded accept: every worker runs one connection, so a full worker
+    // set means new connections would queue unboundedly behind the pool.
+    // Shed them here with the same 429 the request path uses.
+    bool accepted = false;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (connections_.size() <
+          static_cast<size_t>(options_.threads)) {
+        connections_.insert(fd);
+        accepted = true;
+      }
+    }
+    if (!accepted) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      HttpStream stream(fd);
+      stream.WriteAll(
+          SerializeResponse(Render429(), /*keep_alive=*/false));
+      ::close(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    pool_->Submit([this, fd] { ConnectionLoop(fd); });
+  }
+}
+
+void HttpServer::ConnectionLoop(int fd) {
+  HttpStream stream(fd);
+  while (true) {
+    auto request = stream.ReadRequest(options_.max_head_bytes,
+                                      options_.max_body_bytes);
+    const Clock::time_point received = Clock::now();
+    if (!request.ok()) {
+      // Clean close / idle timeout / shutdown end the connection silently;
+      // malformed framing gets a 400 before closing.
+      if (request.status().code() == StatusCode::kInvalidArgument ||
+          request.status().code() == StatusCode::kOutOfRange) {
+        HttpResponse response;
+        response.status =
+            request.status().code() == StatusCode::kOutOfRange ? 431 : 400;
+        response.body = "{\"error\":{\"code\":\"InvalidArgument\","
+                        "\"message\":\"malformed HTTP request\"}}";
+        CountResponse(response.status);
+        stream.WriteAll(SerializeResponse(response, /*keep_alive=*/false));
+      }
+      break;
+    }
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const HttpResponse response = Dispatch(&*request);
+    CountResponse(response.status);
+
+    // Drain the connection after this response when shutting down or the
+    // client's version/Connection header asks to close.
+    const bool keep_alive =
+        !stopping_.load(std::memory_order_acquire) && request->KeepAlive();
+    if (options_.log_requests) {
+      CPD_LOG(Info) << request->method << " " << request->target << " -> "
+                    << response.status << " ("
+                    << StrFormat("%.0f", ElapsedMicros(received)) << " us)";
+    }
+    if (!stream.WriteAll(SerializeResponse(response, keep_alive)).ok()) break;
+    if (!keep_alive) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.erase(fd);
+  }
+  connections_drained_.notify_all();
+  ::close(fd);
+}
+
+HttpResponse HttpServer::Render429() const {
+  HttpResponse response;
+  response.status = 429;
+  response.headers["Retry-After"] =
+      std::to_string(options_.retry_after_seconds);
+  response.body =
+      "{\"error\":{\"code\":\"ResourceExhausted\",\"message\":\"server "
+      "overloaded, retry later\"}}";
+  return response;
+}
+
+HttpResponse HttpServer::Dispatch(HttpRequest* request) {
+  // Request-level admission control: a bounded number of requests may
+  // execute concurrently; everything beyond it is shed immediately instead
+  // of queueing behind slow handlers.
+  int inflight = inflight_.load(std::memory_order_relaxed);
+  do {
+    if (inflight >= options_.max_inflight) {
+      rejected_429_.fetch_add(1, std::memory_order_relaxed);
+      return Render429();
+    }
+  } while (!inflight_.compare_exchange_weak(inflight, inflight + 1,
+                                            std::memory_order_acq_rel));
+
+  const Clock::time_point start = Clock::now();
+  HttpResponse response;
+  std::map<std::string, std::string> params;
+  const Route* route = MatchRoute(request->method, request->path, &params);
+  if (route == nullptr) {
+    response.status = 404;
+    response.body = "{\"error\":{\"code\":\"NotFound\",\"message\":\"no such "
+                    "endpoint\"}}";
+  } else {
+    // Attach the captures in place: the connection loop owns the request
+    // and a copy here would duplicate up to max_body_bytes on every hit.
+    request->path_params = std::move(params);
+    response = route->handler(*request);
+  }
+  if (options_.deadline_ms > 0) {
+    const double elapsed_ms = ElapsedMicros(start) / 1000.0;
+    if (elapsed_ms > options_.deadline_ms) {
+      deadline_504_.fetch_add(1, std::memory_order_relaxed);
+      response = HttpResponse{};
+      response.status = 504;
+      response.body = StrFormat(
+          "{\"error\":{\"code\":\"DeadlineExceeded\",\"message\":\"request "
+          "exceeded the %d ms deadline\"}}",
+          options_.deadline_ms);
+    }
+  }
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  return response;
+}
+
+const HttpServer::Route* HttpServer::MatchRoute(
+    const std::string& method, const std::string& path,
+    std::map<std::string, std::string>* params) const {
+  const std::vector<std::string> segments = SplitPath(path);
+  for (const Route& route : routes_) {
+    if (route.method != method) continue;
+    if (route.segments.size() != segments.size()) continue;
+    bool matched = true;
+    std::map<std::string, std::string> captured;
+    for (size_t i = 0; i < segments.size(); ++i) {
+      const std::string& pattern = route.segments[i];
+      if (pattern.size() >= 2 && pattern.front() == '{' &&
+          pattern.back() == '}') {
+        captured[pattern.substr(1, pattern.size() - 2)] = segments[i];
+      } else if (pattern != segments[i]) {
+        matched = false;
+        break;
+      }
+    }
+    if (matched) {
+      *params = std::move(captured);
+      return &route;
+    }
+  }
+  return nullptr;
+}
+
+void HttpServer::CountResponse(int status) {
+  if (status < 300) {
+    responses_2xx_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status < 500) {
+    responses_4xx_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    responses_5xx_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (listener_.joinable()) listener_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Nudge idle connections out of their blocking reads: SHUT_RD makes the
+  // pending recv return 0 (a clean end-of-stream) while in-flight handlers
+  // keep their write side to finish responding.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const int fd : connections_) ::shutdown(fd, SHUT_RD);
+  }
+  {
+    std::unique_lock<std::mutex> lock(connections_mutex_);
+    if (!connections_drained_.wait_for(lock, std::chrono::seconds(10), [this] {
+          return connections_.empty();
+        })) {
+      CPD_LOG(Warning) << "forcing " << connections_.size()
+                       << " connections closed after drain timeout";
+      for (const int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+      connections_drained_.wait(lock, [this] { return connections_.empty(); });
+    }
+  }
+  pool_.reset();  // Joins the workers; all connection loops have returned.
+  CPD_LOG(Info) << "server on port " << port_ << " stopped ("
+                << requests_.load() << " requests served)";
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.responses_2xx = responses_2xx_.load(std::memory_order_relaxed);
+  stats.responses_4xx = responses_4xx_.load(std::memory_order_relaxed);
+  stats.responses_5xx = responses_5xx_.load(std::memory_order_relaxed);
+  stats.rejected_429 = rejected_429_.load(std::memory_order_relaxed);
+  stats.deadline_504 = deadline_504_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace cpd::server

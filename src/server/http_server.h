@@ -1,0 +1,147 @@
+#ifndef CPD_SERVER_HTTP_SERVER_H_
+#define CPD_SERVER_HTTP_SERVER_H_
+
+/// \file http_server.h
+/// Embedded blocking HTTP/1.1 server: one listener thread accepting into a
+/// bounded connection set, worker threads (the existing ThreadPool) running
+/// one keep-alive connection loop each. Admission control is two-level and
+/// never blocks a client unboundedly:
+///   - connection level: when every worker slot is taken, the listener
+///     replies 429 + Retry-After inline and closes (the accept queue is
+///     bounded, nothing waits);
+///   - request level: at most `max_inflight` requests execute at once;
+///     excess requests on live connections get 429 + Retry-After without
+///     tying up the handler path.
+/// A per-request deadline (`deadline_ms`) turns over-budget handlers into
+/// 504s. Stop() is graceful: in-flight requests finish and their responses
+/// are written before the workers are joined (the hot-reload test drives
+/// traffic through a swap and a drain and expects zero failed requests).
+///
+/// Routing: exact segments or "{param}" captures ("/v1/membership/{user}"),
+/// matched per-method; handlers run on worker threads and must be
+/// thread-safe. This layer knows nothing about models — src/server/json_api
+/// registers the CPD endpoints on top.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http.h"
+#include "util/status.h"
+
+namespace cpd {
+class ThreadPool;
+}  // namespace cpd
+
+namespace cpd::server {
+
+struct HttpServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;             ///< 0 = ephemeral (tests/bench read port()).
+  int threads = 4;          ///< Worker pool = max concurrent connections.
+  int max_inflight = 64;    ///< Requests executing at once (excess -> 429).
+  int deadline_ms = 0;      ///< Per-request budget (0 = none; over -> 504).
+  int retry_after_seconds = 1;   ///< Advertised on every 429.
+  int idle_timeout_ms = 30000;   ///< Per-read socket timeout (0 = none).
+  size_t max_head_bytes = 64 * 1024;
+  size_t max_body_bytes = 4 * 1024 * 1024;
+  bool log_requests = true;  ///< One CPD_LOG(Info) line per request.
+};
+
+/// Monotonic counters, readable while serving (statsz).
+struct HttpServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;  ///< 429 at the accept edge.
+  uint64_t requests = 0;              ///< Requests parsed off a connection.
+  uint64_t responses_2xx = 0;
+  uint64_t responses_4xx = 0;         ///< Includes admission 429s.
+  uint64_t responses_5xx = 0;         ///< Includes deadline 504s.
+  uint64_t rejected_429 = 0;          ///< Request-level admission rejections.
+  uint64_t deadline_504 = 0;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(HttpServerOptions options);
+  ~HttpServer();  ///< Calls Stop().
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for `method` + `pattern`. Pattern segments are
+  /// literal or "{name}" captures bound into request.path_params. First
+  /// registered match wins; call before Start().
+  void Handle(const std::string& method, const std::string& pattern,
+              Handler handler);
+
+  /// Binds, listens, and spawns the listener + worker pool.
+  Status Start();
+
+  /// Port actually bound (after Start; useful with options.port = 0).
+  int port() const { return port_; }
+
+  /// Graceful shutdown: stops accepting, lets in-flight requests finish and
+  /// write their responses, then joins everything. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  HttpServerStats stats() const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  ///< "{name}" segments capture.
+    Handler handler;
+  };
+
+  void ListenerLoop();
+  void ConnectionLoop(int fd);
+  /// Routes + admission + deadline around one parsed request (mutated only
+  /// to attach path_params). Returns the response to write (always exactly
+  /// one response per request).
+  HttpResponse Dispatch(HttpRequest* request);
+  const Route* MatchRoute(const std::string& method, const std::string& path,
+                          std::map<std::string, std::string>* params) const;
+  HttpResponse Render429() const;
+  void CountResponse(int status);
+
+  HttpServerOptions options_;
+  std::vector<Route> routes_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread listener_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> inflight_{0};
+
+  mutable std::mutex connections_mutex_;
+  std::condition_variable connections_drained_;
+  std::set<int> connections_;  ///< Open connection fds (for Stop()).
+
+  // Counters (relaxed atomics; stats() snapshots them).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_2xx_{0};
+  std::atomic<uint64_t> responses_4xx_{0};
+  std::atomic<uint64_t> responses_5xx_{0};
+  std::atomic<uint64_t> rejected_429_{0};
+  std::atomic<uint64_t> deadline_504_{0};
+};
+
+}  // namespace cpd::server
+
+#endif  // CPD_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,523 @@
+#include "server/json_api.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "apps/community_ranking.h"
+#include "util/string_util.h"
+
+namespace cpd::server {
+
+namespace {
+
+/// Every integer the wire carries (ids, counts, time bins) fits int32; a
+/// JSON number outside this window is a client error, and bounding the
+/// double *before* the cast keeps hostile values (1e300) away from
+/// undefined float-to-int conversions and silent int64→int32 truncation
+/// (user 2^32+3 must be a 400, never user 3's profile).
+constexpr double kMinWireInt = -2147483648.0;
+constexpr double kMaxWireInt = 2147483647.0;
+
+/// Decodes a JSON number field into an integer id, rejecting fractions
+/// and out-of-range magnitudes.
+StatusOr<int64_t> GetIntField(const Json& json, std::string_view key,
+                              int64_t fallback, bool required = false) {
+  const Json* field = json.Find(key);
+  if (field == nullptr) {
+    if (required) {
+      return Status::InvalidArgument("missing field '" + std::string(key) +
+                                     "'");
+    }
+    return fallback;
+  }
+  if (!field->is_number() || field->number() != std::floor(field->number())) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be an integer");
+  }
+  if (field->number() < kMinWireInt || field->number() > kMaxWireInt) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' is outside the 32-bit integer range");
+  }
+  return static_cast<int64_t>(field->number());
+}
+
+Json DoubleArrayToJson(const std::vector<double>& values) {
+  Json array = Json::MakeArray();
+  for (const double v : values) array.Append(Json(v));
+  return array;
+}
+
+StatusOr<serve::MembershipRequest> MembershipFromJson(const Json& json) {
+  serve::MembershipRequest request;
+  auto user = GetIntField(json, "user", -1, /*required=*/true);
+  if (!user.ok()) return user.status();
+  request.user = static_cast<UserId>(*user);
+  auto top_k = GetIntField(json, "top_k", request.top_k);
+  if (!top_k.ok()) return top_k.status();
+  request.top_k = static_cast<int>(*top_k);
+  auto include = json.GetBool("include_distribution", false);
+  if (!include.ok()) return include.status();
+  request.include_distribution = *include;
+  return request;
+}
+
+StatusOr<serve::RankCommunitiesRequest> RankFromJson(const Json& json,
+                                                     const Vocabulary* vocab) {
+  serve::RankCommunitiesRequest request;
+  const Json* words = json.Find("words");
+  const Json* query = json.Find("query");
+  if (words != nullptr && query != nullptr) {
+    return Status::InvalidArgument(
+        "rank request takes 'words' or 'query', not both");
+  }
+  if (words != nullptr) {
+    if (!words->is_array()) {
+      return Status::InvalidArgument("field 'words' must be an array");
+    }
+    for (const Json& word : words->items()) {
+      if (!word.is_number() || word.number() != std::floor(word.number()) ||
+          word.number() < kMinWireInt || word.number() > kMaxWireInt) {
+        return Status::InvalidArgument("'words' entries must be integer ids");
+      }
+      request.words.push_back(static_cast<WordId>(word.number()));
+    }
+  } else if (query != nullptr) {
+    if (!query->is_string()) {
+      return Status::InvalidArgument("field 'query' must be a string");
+    }
+    if (vocab == nullptr) {
+      return Status::FailedPrecondition(
+          "textual 'query' needs a vocabulary (serve a v2 artifact with a "
+          "bundled vocabulary or pass --vocab); send word ids via 'words'");
+    }
+    request.words = CommunityRanker::ParseQuery(*vocab, query->string_value());
+    if (request.words.empty()) {
+      return Status::NotFound("no query term is in the vocabulary: " +
+                              query->string_value());
+    }
+  } else {
+    return Status::InvalidArgument("rank request needs 'words' or 'query'");
+  }
+  auto top_k = GetIntField(json, "top_k", request.top_k);
+  if (!top_k.ok()) return top_k.status();
+  request.top_k = static_cast<int>(*top_k);
+  auto include = json.GetBool("include_topic_distribution",
+                              request.include_topic_distribution);
+  if (!include.ok()) return include.status();
+  request.include_topic_distribution = *include;
+  return request;
+}
+
+StatusOr<serve::DiffusionRequest> DiffusionFromJson(const Json& json) {
+  serve::DiffusionRequest request;
+  auto source = GetIntField(json, "source", -1, /*required=*/true);
+  if (!source.ok()) return source.status();
+  auto target = GetIntField(json, "target", -1, /*required=*/true);
+  if (!target.ok()) return target.status();
+  auto document = GetIntField(json, "document", -1, /*required=*/true);
+  if (!document.ok()) return document.status();
+  auto time_bin = GetIntField(json, "time_bin", 0);
+  if (!time_bin.ok()) return time_bin.status();
+  request.source = static_cast<UserId>(*source);
+  request.target = static_cast<UserId>(*target);
+  request.document = static_cast<DocId>(*document);
+  request.time_bin = static_cast<int32_t>(*time_bin);
+  return request;
+}
+
+StatusOr<serve::TopUsersRequest> TopUsersFromJson(const Json& json) {
+  serve::TopUsersRequest request;
+  auto community = GetIntField(json, "community", -1, /*required=*/true);
+  if (!community.ok()) return community.status();
+  request.community = static_cast<int>(*community);
+  auto top_k = GetIntField(json, "top_k", request.top_k);
+  if (!top_k.ok()) return top_k.status();
+  request.top_k = static_cast<int>(*top_k);
+  return request;
+}
+
+}  // namespace
+
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+      return 404;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kIOError:
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+Json StatusToJson(const Status& status) {
+  Json error = Json::MakeObject();
+  error.Set("code", Json(StatusCodeToString(status.code())));
+  error.Set("message", Json(status.message()));
+  Json out = Json::MakeObject();
+  out.Set("error", std::move(error));
+  return out;
+}
+
+StatusOr<serve::QueryRequest> QueryRequestFromJson(const Json& json,
+                                                   const Vocabulary* vocab) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("query request must be a JSON object");
+  }
+  if (json.Find("type") == nullptr) {
+    // A missing selector is a malformed request (400), not a missing
+    // resource (the NotFound that GetString would report maps to 404).
+    return Status::InvalidArgument(
+        "missing field 'type' (membership|rank|diffusion|top_users)");
+  }
+  auto type = json.GetString("type", "");
+  if (!type.ok()) return type.status();
+  if (*type == "membership") {
+    auto request = MembershipFromJson(json);
+    if (!request.ok()) return request.status();
+    return serve::QueryRequest(std::move(*request));
+  }
+  if (*type == "rank") {
+    auto request = RankFromJson(json, vocab);
+    if (!request.ok()) return request.status();
+    return serve::QueryRequest(std::move(*request));
+  }
+  if (*type == "diffusion") {
+    auto request = DiffusionFromJson(json);
+    if (!request.ok()) return request.status();
+    return serve::QueryRequest(std::move(*request));
+  }
+  if (*type == "top_users") {
+    auto request = TopUsersFromJson(json);
+    if (!request.ok()) return request.status();
+    return serve::QueryRequest(std::move(*request));
+  }
+  return Status::InvalidArgument(
+      "unknown query type '" + *type +
+      "' (membership|rank|diffusion|top_users)");
+}
+
+Json QueryRequestToJson(const serve::QueryRequest& request) {
+  Json out = Json::MakeObject();
+  if (const auto* membership =
+          std::get_if<serve::MembershipRequest>(&request)) {
+    out.Set("type", Json("membership"));
+    out.Set("user", Json(static_cast<int64_t>(membership->user)));
+    out.Set("top_k", Json(membership->top_k));
+    out.Set("include_distribution", Json(membership->include_distribution));
+  } else if (const auto* rank =
+                 std::get_if<serve::RankCommunitiesRequest>(&request)) {
+    out.Set("type", Json("rank"));
+    Json words = Json::MakeArray();
+    for (const WordId w : rank->words) {
+      words.Append(Json(static_cast<int64_t>(w)));
+    }
+    out.Set("words", std::move(words));
+    out.Set("top_k", Json(rank->top_k));
+    out.Set("include_topic_distribution",
+            Json(rank->include_topic_distribution));
+  } else if (const auto* diffusion =
+                 std::get_if<serve::DiffusionRequest>(&request)) {
+    out.Set("type", Json("diffusion"));
+    out.Set("source", Json(static_cast<int64_t>(diffusion->source)));
+    out.Set("target", Json(static_cast<int64_t>(diffusion->target)));
+    out.Set("document", Json(static_cast<int64_t>(diffusion->document)));
+    out.Set("time_bin", Json(static_cast<int64_t>(diffusion->time_bin)));
+  } else {
+    const auto& top_users = std::get<serve::TopUsersRequest>(request);
+    out.Set("type", Json("top_users"));
+    out.Set("community", Json(top_users.community));
+    out.Set("top_k", Json(top_users.top_k));
+  }
+  return out;
+}
+
+Json QueryResponseToJson(const serve::QueryResponse& response) {
+  Json out = Json::MakeObject();
+  if (const auto* membership =
+          std::get_if<serve::MembershipResponse>(&response)) {
+    out.Set("type", Json("membership"));
+    Json top = Json::MakeArray();
+    for (const serve::TopMembership& entry : membership->top) {
+      Json item = Json::MakeObject();
+      item.Set("community", Json(entry.community));
+      item.Set("weight", Json(entry.weight));
+      top.Append(std::move(item));
+    }
+    out.Set("top", std::move(top));
+    if (!membership->distribution.empty()) {
+      out.Set("distribution", DoubleArrayToJson(membership->distribution));
+    }
+  } else if (const auto* ranked =
+                 std::get_if<serve::RankCommunitiesResponse>(&response)) {
+    out.Set("type", Json("rank"));
+    Json entries = Json::MakeArray();
+    for (const serve::RankedCommunityEntry& entry : ranked->ranked) {
+      Json item = Json::MakeObject();
+      item.Set("community", Json(entry.community));
+      item.Set("score", Json(entry.score));
+      if (!entry.topic_distribution.empty()) {
+        item.Set("topic_distribution",
+                 DoubleArrayToJson(entry.topic_distribution));
+      }
+      entries.Append(std::move(item));
+    }
+    out.Set("ranked", std::move(entries));
+  } else if (const auto* diffusion =
+                 std::get_if<serve::DiffusionResponse>(&response)) {
+    out.Set("type", Json("diffusion"));
+    out.Set("probability", Json(diffusion->probability));
+    out.Set("friendship_score", Json(diffusion->friendship_score));
+  } else {
+    const auto& top_users = std::get<serve::TopUsersResponse>(response);
+    out.Set("type", Json("top_users"));
+    Json users = Json::MakeArray();
+    for (const UserId u : top_users.users) {
+      users.Append(Json(static_cast<int64_t>(u)));
+    }
+    out.Set("users", std::move(users));
+    out.Set("weights", DoubleArrayToJson(top_users.weights));
+  }
+  return out;
+}
+
+namespace {
+
+HttpResponse JsonResponse(int status, const Json& json) {
+  HttpResponse response;
+  response.status = status;
+  response.body = json.Dump();
+  return response;
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  return JsonResponse(HttpStatusForCode(status.code()), StatusToJson(status));
+}
+
+HttpResponse NoModelResponse() {
+  HttpResponse response;
+  response.status = 503;
+  response.body =
+      "{\"error\":{\"code\":\"FailedPrecondition\",\"message\":\"no model "
+      "loaded\"}}";
+  return response;
+}
+
+/// POST /v1/query: one typed request, or {"batch":[...]}.
+HttpResponse HandleQuery(const HttpRequest& http_request,
+                         ModelRegistry* registry, ServiceStats* stats) {
+  const std::shared_ptr<const ServingModel> model = registry->Snapshot();
+  if (model == nullptr) return NoModelResponse();
+  auto json = Json::Parse(http_request.body);
+  if (!json.ok()) return ErrorResponse(json.status());
+  const Vocabulary* vocab = model->vocabulary.get();
+
+  const Json* batch = json->is_object() ? json->Find("batch") : nullptr;
+  if (batch != nullptr) {
+    if (!batch->is_array()) {
+      return ErrorResponse(
+          Status::InvalidArgument("field 'batch' must be an array"));
+    }
+    Json responses = Json::MakeArray();
+    for (const Json& entry : batch->items()) {
+      auto request = QueryRequestFromJson(entry, vocab);
+      if (!request.ok()) {
+        stats->query_errors.fetch_add(1, std::memory_order_relaxed);
+        responses.Append(StatusToJson(request.status()));
+        continue;
+      }
+      auto response = model->engine->Query(*request);
+      if (!response.ok()) {
+        stats->query_errors.fetch_add(1, std::memory_order_relaxed);
+        responses.Append(StatusToJson(response.status()));
+        continue;
+      }
+      stats->batch_queries.fetch_add(1, std::memory_order_relaxed);
+      responses.Append(QueryResponseToJson(*response));
+    }
+    Json out = Json::MakeObject();
+    out.Set("responses", std::move(responses));
+    return JsonResponse(200, out);
+  }
+
+  auto request = QueryRequestFromJson(*json, vocab);
+  if (!request.ok()) {
+    stats->query_errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(request.status());
+  }
+  auto response = model->engine->Query(*request);
+  if (!response.ok()) {
+    stats->query_errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(response.status());
+  }
+  stats->queries.fetch_add(1, std::memory_order_relaxed);
+  return JsonResponse(200, QueryResponseToJson(*response));
+}
+
+/// Strict base-10 int32 parse for path/query components; mirrors the POST
+/// body's validation so the GET shortcut cannot accept what the body
+/// rejects (trailing junk, overflow).
+StatusOr<int32_t> ParseWireInt(const std::string& text,
+                               std::string_view what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE ||
+      value < static_cast<long long>(kMinWireInt) ||
+      value > static_cast<long long>(kMaxWireInt)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be a 32-bit integer: " + text);
+  }
+  return static_cast<int32_t>(value);
+}
+
+/// GET /v1/membership/{user}?k=N&distribution=1.
+HttpResponse HandleMembershipGet(const HttpRequest& http_request,
+                                 ModelRegistry* registry,
+                                 ServiceStats* stats) {
+  const std::shared_ptr<const ServingModel> model = registry->Snapshot();
+  if (model == nullptr) return NoModelResponse();
+  serve::MembershipRequest request;
+  auto user = ParseWireInt(http_request.path_params.at("user"),
+                           "user path segment");
+  if (!user.ok()) return ErrorResponse(user.status());
+  request.user = *user;
+  const auto k = http_request.query.find("k");
+  if (k != http_request.query.end()) {
+    auto top_k = ParseWireInt(k->second, "query parameter 'k'");
+    if (!top_k.ok()) return ErrorResponse(top_k.status());
+    request.top_k = *top_k;
+  }
+  const auto distribution = http_request.query.find("distribution");
+  request.include_distribution = distribution != http_request.query.end() &&
+                                 distribution->second != "0";
+  auto response = model->engine->Membership(request);
+  if (!response.ok()) {
+    stats->query_errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(response.status());
+  }
+  stats->queries.fetch_add(1, std::memory_order_relaxed);
+  return JsonResponse(
+      200, QueryResponseToJson(serve::QueryResponse(std::move(*response))));
+}
+
+HttpResponse HandleHealthz(ModelRegistry* registry) {
+  const std::shared_ptr<const ServingModel> model = registry->Snapshot();
+  Json out = Json::MakeObject();
+  if (model == nullptr) {
+    out.Set("status", Json("no_model"));
+    return JsonResponse(503, out);
+  }
+  out.Set("status", Json("serving"));
+  out.Set("generation", Json(model->generation));
+  out.Set("model", Json(model->source_path));
+  return JsonResponse(200, out);
+}
+
+HttpResponse HandleStatsz(const HttpServer* server, ModelRegistry* registry,
+                          const ServiceStats* stats) {
+  const HttpServerStats transport = server->stats();
+  Json server_json = Json::MakeObject();
+  server_json.Set("connections_accepted", Json(transport.connections_accepted));
+  server_json.Set("connections_rejected", Json(transport.connections_rejected));
+  server_json.Set("requests", Json(transport.requests));
+  server_json.Set("responses_2xx", Json(transport.responses_2xx));
+  server_json.Set("responses_4xx", Json(transport.responses_4xx));
+  server_json.Set("responses_5xx", Json(transport.responses_5xx));
+  server_json.Set("rejected_429", Json(transport.rejected_429));
+  server_json.Set("deadline_504", Json(transport.deadline_504));
+
+  Json service_json = Json::MakeObject();
+  service_json.Set("queries",
+                   Json(stats->queries.load(std::memory_order_relaxed)));
+  service_json.Set("batch_queries",
+                   Json(stats->batch_queries.load(std::memory_order_relaxed)));
+  service_json.Set("query_errors",
+                   Json(stats->query_errors.load(std::memory_order_relaxed)));
+  service_json.Set("reloads", Json(registry->reload_count()));
+  service_json.Set("reload_failures", Json(registry->reload_failures()));
+
+  Json out = Json::MakeObject();
+  out.Set("server", std::move(server_json));
+  out.Set("service", std::move(service_json));
+  const std::shared_ptr<const ServingModel> model = registry->Snapshot();
+  if (model != nullptr) {
+    Json model_json = Json::MakeObject();
+    model_json.Set("generation", Json(model->generation));
+    model_json.Set("path", Json(model->source_path));
+    model_json.Set("communities", Json(model->index.num_communities()));
+    model_json.Set("topics", Json(model->index.num_topics()));
+    model_json.Set("users", Json(static_cast<uint64_t>(model->index.num_users())));
+    model_json.Set("vocab",
+                   Json(static_cast<uint64_t>(model->index.vocab_size())));
+    model_json.Set("vocabulary_bundled", Json(model->vocabulary != nullptr));
+    out.Set("model", std::move(model_json));
+  }
+  return JsonResponse(200, out);
+}
+
+/// POST /admin/reload: re-read the current artifact, or switch to the path
+/// in the body. In-flight requests keep their pre-swap snapshot.
+HttpResponse HandleReload(const HttpRequest& http_request,
+                          ModelRegistry* registry) {
+  std::string path;
+  if (!http_request.body.empty()) {
+    auto json = Json::Parse(http_request.body);
+    if (!json.ok()) return ErrorResponse(json.status());
+    auto parsed = json->GetString("path", "");
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+    path = *parsed;
+  }
+  const Status status =
+      path.empty() ? registry->Reload() : registry->LoadFrom(path);
+  if (!status.ok()) {
+    // A failed reload is a server-side problem and the old model keeps
+    // serving; surface it as 500 regardless of the typed code.
+    return JsonResponse(500, StatusToJson(status));
+  }
+  Json out = Json::MakeObject();
+  out.Set("status", Json("ok"));
+  out.Set("generation", Json(registry->generation()));
+  out.Set("model", Json(registry->path()));
+  return JsonResponse(200, out);
+}
+
+}  // namespace
+
+void RegisterCpdRoutes(HttpServer* server, ModelRegistry* registry,
+                       ServiceStats* stats) {
+  server->Handle("POST", "/v1/query",
+                 [registry, stats](const HttpRequest& request) {
+                   return HandleQuery(request, registry, stats);
+                 });
+  server->Handle("GET", "/v1/membership/{user}",
+                 [registry, stats](const HttpRequest& request) {
+                   return HandleMembershipGet(request, registry, stats);
+                 });
+  server->Handle("GET", "/healthz", [registry](const HttpRequest&) {
+    return HandleHealthz(registry);
+  });
+  server->Handle("GET", "/statsz",
+                 [server, registry, stats](const HttpRequest&) {
+                   return HandleStatsz(server, registry, stats);
+                 });
+  server->Handle("POST", "/admin/reload",
+                 [registry](const HttpRequest& request) {
+                   return HandleReload(request, registry);
+                 });
+}
+
+}  // namespace cpd::server

@@ -1,0 +1,77 @@
+#ifndef CPD_SERVER_JSON_API_H_
+#define CPD_SERVER_JSON_API_H_
+
+/// \file json_api.h
+/// The JSON wire format of the serving endpoints, and the route table that
+/// binds it to an HttpServer + ModelRegistry. The mapping is 1:1 with the
+/// in-process serve::QueryEngine API — the loopback tests assert that an
+/// HTTP response body is byte-identical to serializing the in-process
+/// response with these functions.
+///
+/// Requests (`"type"` selects the variant):
+///   {"type":"membership","user":3,"top_k":5,"include_distribution":false}
+///   {"type":"rank","words":[1,2],"top_k":5}            // ids, or
+///   {"type":"rank","query":"solar panels","top_k":5}   // vocab required
+///   {"type":"diffusion","source":1,"target":2,"document":7,"time_bin":3}
+///   {"type":"top_users","community":2,"top_k":10}
+/// A batch posts {"batch":[request,...]} and gets {"responses":[...]},
+/// positionally aligned, each slot a response or an {"error":...} object.
+///
+/// Errors anywhere render as
+///   {"error":{"code":"<StatusCodeToString>","message":"..."}}
+/// with the HTTP status from HttpStatusForCode.
+///
+/// Endpoints registered by RegisterCpdRoutes:
+///   POST /v1/query              single or batch query (above)
+///   GET  /v1/membership/{user}  ?k=N&distribution=1 shortcut
+///   GET  /healthz               serving generation + model liveness
+///   GET  /statsz                transport + service + model counters
+///   POST /admin/reload          hot-swap: re-read the artifact (optional
+///                               body {"path":"other.cpdb"} switches files)
+
+#include <atomic>
+#include <cstdint>
+
+#include "serve/query_engine.h"
+#include "server/http_server.h"
+#include "server/model_registry.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace cpd::server {
+
+/// Service-level counters (the transport ones live in HttpServerStats).
+struct ServiceStats {
+  std::atomic<uint64_t> queries{0};        ///< Single queries answered OK.
+  std::atomic<uint64_t> batch_queries{0};  ///< Requests inside batches.
+  std::atomic<uint64_t> query_errors{0};   ///< Typed per-query failures.
+};
+
+/// HTTP status for a typed error (InvalidArgument -> 400, NotFound /
+/// OutOfRange -> 404, FailedPrecondition -> 409, Unimplemented -> 501,
+/// everything else -> 500).
+int HttpStatusForCode(StatusCode code);
+
+/// {"error":{"code":...,"message":...}}.
+Json StatusToJson(const Status& status);
+
+/// Decodes one typed request. `vocab` may be null (textual "query" fields
+/// then fail with FailedPrecondition).
+StatusOr<serve::QueryRequest> QueryRequestFromJson(const Json& json,
+                                                   const Vocabulary* vocab);
+
+/// Encodes a typed request (load generator / client side of the wire).
+Json QueryRequestToJson(const serve::QueryRequest& request);
+
+/// Encodes a typed response exactly as the HTTP endpoints do.
+Json QueryResponseToJson(const serve::QueryResponse& response);
+
+/// Registers every CPD endpoint on `server`. The registry and stats must
+/// outlive the server; the registry must already hold a model (handlers
+/// answer 503 otherwise).
+void RegisterCpdRoutes(HttpServer* server, ModelRegistry* registry,
+                       ServiceStats* stats);
+
+}  // namespace cpd::server
+
+#endif  // CPD_SERVER_JSON_API_H_

@@ -1,0 +1,75 @@
+#include "server/model_registry.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace cpd::server {
+
+ModelRegistry::ModelRegistry(serve::ProfileIndexOptions options,
+                             const SocialGraph* graph)
+    : options_(options), graph_(graph) {}
+
+void ModelRegistry::SetVocabularyOverride(
+    std::shared_ptr<const Vocabulary> vocab) {
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  vocab_override_ = std::move(vocab);
+}
+
+std::string ModelRegistry::path() const {
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  return path_;
+}
+
+Status ModelRegistry::LoadFrom(const std::string& path) {
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  WallTimer timer;
+  auto bundle = serve::LoadModelBundle(path, options_);
+  if (!bundle.ok()) {
+    reload_failures_.fetch_add(1, std::memory_order_acq_rel);
+    CPD_LOG(Error) << "model load from " << path
+                   << " failed: " << bundle.status().ToString()
+                   << (Snapshot() != nullptr ? " (previous model keeps serving)"
+                                             : "");
+    return bundle.status();
+  }
+  auto model = std::make_shared<ServingModel>(std::move(bundle->index));
+  model->vocabulary =
+      vocab_override_ != nullptr ? vocab_override_ : bundle->vocabulary;
+  // The engine binds references into this very ServingModel, so it is
+  // created only after the index has reached its final address.
+  model->engine =
+      std::make_unique<const serve::QueryEngine>(model->index, graph_);
+  model->generation = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  model->source_path = path;
+  path_ = path;
+  {
+    std::lock_guard<std::mutex> swap_lock(current_mutex_);
+    current_ = std::move(model);
+  }
+  reload_count_.fetch_add(1, std::memory_order_acq_rel);
+  CPD_LOG(Info) << "serving model generation " << generation() << " from "
+                << path << " (" << StrFormat("%.0f", timer.ElapsedMillis())
+                << " ms: |C|=" << Snapshot()->index.num_communities()
+                << " |Z|=" << Snapshot()->index.num_topics()
+                << " users=" << Snapshot()->index.num_users() << " vocab "
+                << (Snapshot()->vocabulary != nullptr ? "bundled" : "absent")
+                << ")";
+  return Status::OK();
+}
+
+Status ModelRegistry::Reload() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(reload_mutex_);
+    path = path_;
+  }
+  if (path.empty()) {
+    return Status::FailedPrecondition("no model loaded yet");
+  }
+  return LoadFrom(path);
+}
+
+}  // namespace cpd::server

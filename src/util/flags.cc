@@ -1,5 +1,9 @@
 #include "util/flags.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
 namespace cpd {
 
 StatusOr<FlagMap> ParseFlags(int argc, char** argv,
@@ -20,6 +24,72 @@ StatusOr<FlagMap> ParseFlags(int argc, char** argv,
     flags[flag] = argv[i + 1];
   }
   return flags;
+}
+
+namespace {
+
+Status BadFlagValue(const std::string& name, const std::string& value) {
+  return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                 value + "'");
+}
+
+}  // namespace
+
+StatusOr<int64_t> GetInt64Flag(const FlagMap& flags, const std::string& name,
+                               int64_t fallback) {
+  const auto it = flags.find(name);
+  if (it == flags.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end != it->second.c_str() + it->second.size() ||
+      errno == ERANGE) {
+    return BadFlagValue(name, it->second);
+  }
+  return static_cast<int64_t>(value);
+}
+
+StatusOr<uint64_t> GetUint64Flag(const FlagMap& flags, const std::string& name,
+                                 uint64_t fallback) {
+  const auto it = flags.find(name);
+  if (it == flags.end()) return fallback;
+  // strtoull accepts a leading '-' (wrapping); reject it explicitly.
+  if (it->second.empty() || it->second[0] == '-') {
+    return BadFlagValue(name, it->second);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(it->second.c_str(), &end, 10);
+  if (end != it->second.c_str() + it->second.size() || errno == ERANGE) {
+    return BadFlagValue(name, it->second);
+  }
+  return static_cast<uint64_t>(value);
+}
+
+namespace {
+
+template <typename T>
+T FlagOrExit(StatusOr<T> value, const std::function<void()>& usage) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "%s\n", value.status().message().c_str());
+    if (usage) usage();
+    std::exit(2);
+  }
+  return *value;
+}
+
+}  // namespace
+
+int64_t GetInt64FlagOrExit(const FlagMap& flags, const std::string& name,
+                           int64_t fallback,
+                           const std::function<void()>& usage) {
+  return FlagOrExit(GetInt64Flag(flags, name, fallback), usage);
+}
+
+uint64_t GetUint64FlagOrExit(const FlagMap& flags, const std::string& name,
+                             uint64_t fallback,
+                             const std::function<void()>& usage) {
+  return FlagOrExit(GetUint64Flag(flags, name, fallback), usage);
 }
 
 }  // namespace cpd

@@ -8,6 +8,8 @@
 /// flag with no value are typed errors so a mistyped invocation can never
 /// be silently half-applied.
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -24,6 +26,24 @@ using FlagMap = std::map<std::string, std::string>;
 /// argument; the caller prints its usage text.
 StatusOr<FlagMap> ParseFlags(int argc, char** argv,
                              const std::set<std::string>& known_flags);
+
+/// Typed flag accessors shared by the tools so a non-numeric value is an
+/// InvalidArgument naming the flag — never a silently-zero atoi. Absent
+/// flags return `fallback`; the whole value must parse (no trailing junk).
+StatusOr<int64_t> GetInt64Flag(const FlagMap& flags, const std::string& name,
+                               int64_t fallback);
+StatusOr<uint64_t> GetUint64Flag(const FlagMap& flags, const std::string& name,
+                                 uint64_t fallback);
+
+/// Tool-main conveniences: the value, or print the error to stderr, run
+/// `usage` (when given), and exit 2 — the one usage-error behavior shared
+/// by cpd_train / cpd_query / cpd_serve.
+int64_t GetInt64FlagOrExit(const FlagMap& flags, const std::string& name,
+                           int64_t fallback,
+                           const std::function<void()>& usage = nullptr);
+uint64_t GetUint64FlagOrExit(const FlagMap& flags, const std::string& name,
+                             uint64_t fallback,
+                             const std::function<void()>& usage = nullptr);
 
 }  // namespace cpd
 

@@ -1,0 +1,471 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpd {
+
+void Json::Set(std::string key, Json value) {
+  for (auto& field : fields_) {
+    if (field.first == key) {
+      field.second = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(std::move(key), std::move(value));
+}
+
+const Json* Json::Find(std::string_view key) const {
+  for (const auto& field : fields_) {
+    if (field.first == key) return &field.second;
+  }
+  return nullptr;
+}
+
+StatusOr<double> Json::GetNumber(std::string_view key, double fallback) const {
+  const Json* field = Find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_number()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a number");
+  }
+  return field->number();
+}
+
+StatusOr<bool> Json::GetBool(std::string_view key, bool fallback) const {
+  const Json* field = Find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_bool()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a boolean");
+  }
+  return field->bool_value();
+}
+
+StatusOr<std::string> Json::GetString(std::string_view key,
+                                      std::string_view fallback) const {
+  const Json* field = Find(key);
+  if (field == nullptr) return std::string(fallback);
+  if (!field->is_string()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a string");
+  }
+  return field->string_value();
+}
+
+StatusOr<double> Json::GetNumber(std::string_view key) const {
+  if (Find(key) == nullptr) {
+    return Status::NotFound("missing field '" + std::string(key) + "'");
+  }
+  return GetNumber(key, 0.0);
+}
+
+StatusOr<std::string> Json::GetString(std::string_view key) const {
+  if (Find(key) == nullptr) {
+    return Status::NotFound("missing field '" + std::string(key) + "'");
+  }
+  return GetString(key, "");
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return items_ == other.items_;
+    case Type::kObject:
+      return fields_ == other.fields_;
+  }
+  return false;
+}
+
+// ----- writer -----
+
+void AppendJsonString(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);  // UTF-8 bytes pass through untouched.
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  // Integral values inside the exactly-representable range print as plain
+  // integers so ids and counts look like ids and counts on the wire.
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    out->append(buf);
+    return;
+  }
+  // Shortest representation that round-trips: most values need far fewer
+  // than the 17 significant digits that always suffice.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  out->append(buf);
+}
+
+void Json::DumpTo(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      return;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Type::kNumber:
+      AppendJsonNumber(out, number_);
+      return;
+    case Type::kString:
+      AppendJsonString(out, string_);
+      return;
+    case Type::kArray:
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        items_[i].DumpTo(out);
+      }
+      out->push_back(']');
+      return;
+    case Type::kObject:
+      out->push_back('{');
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendJsonString(out, fields_[i].first);
+        out->push_back(':');
+        fields_[i].second.DumpTo(out);
+      }
+      out->push_back('}');
+      return;
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+// ----- reader -----
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<Json> ParseDocument() {
+    auto value = ParseValue(0);
+    if (!value.ok()) return value.status();
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at byte %zu: %s", pos_, message.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  StatusOr<Json> ParseValue(int depth) {
+    if (depth > Json::kMaxDepth) return Error("document nested too deeply");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      auto text = ParseString();
+      if (!text.ok()) return text.status();
+      return Json(std::move(*text));
+    }
+    if (ConsumeLiteral("true")) return Json(true);
+    if (ConsumeLiteral("false")) return Json(false);
+    if (ConsumeLiteral("null")) return Json();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Error(StrFormat("unexpected character '%c'", c));
+  }
+
+  StatusOr<Json> ParseObject(int depth) {
+    ++pos_;  // '{'
+    Json object = Json::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected a quoted object key");
+      }
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      object.Set(std::move(*key), std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<Json> ParseArray(int depth) {
+    ++pos_;  // '['
+    Json array = Json::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    while (true) {
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      array.Append(std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  /// Parses the 4 hex digits after "\u"; -1 on malformed input.
+  int ParseHex4() {
+    if (pos_ + 4 > text_.size()) return -1;
+    int value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = c - 'A' + 10;
+      } else {
+        return -1;
+      }
+      value = value * 16 + digit;
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t code_point) {
+    if (code_point < 0x80) {
+      out->push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\'
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          const int unit = ParseHex4();
+          if (unit < 0) return Error("malformed \\u escape");
+          uint32_t code_point = static_cast<uint32_t>(unit);
+          if (unit >= 0xD800 && unit <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!ConsumeLiteral("\\u")) {
+              return Error("high surrogate without a following \\u escape");
+            }
+            const int low = ParseHex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("high surrogate not followed by a low surrogate");
+            }
+            code_point = 0x10000 + ((static_cast<uint32_t>(unit) - 0xD800) << 10) +
+                         (static_cast<uint32_t>(low) - 0xDC00);
+          } else if (unit >= 0xDC00 && unit <= 0xDFFF) {
+            return Error("lone low surrogate");
+          }
+          AppendUtf8(&out, code_point);
+          break;
+        }
+        default:
+          return Error(StrFormat("invalid escape '\\%c'", escape));
+      }
+    }
+  }
+
+  StatusOr<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // Sign consumed; digits must follow.
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Error("malformed number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // A leading zero must not be followed by more digits.
+      if (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        return Error("number has a leading zero");
+      }
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("number has a bare decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("number has a malformed exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) {
+      return Error("number overflows double: " + token);
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Json> Json::Parse(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+}  // namespace cpd

@@ -1,0 +1,124 @@
+#ifndef CPD_UTIL_JSON_H_
+#define CPD_UTIL_JSON_H_
+
+/// \file json.h
+/// Minimal dependency-free JSON value type with a strict reader and a
+/// canonical writer — the wire codec of the HTTP serving layer
+/// (src/server) and of anything else that needs structured text I/O.
+///
+/// Reader guarantees (json_test.cc pins them):
+///   - full escape handling incl. \uXXXX and UTF-16 surrogate pairs
+///     (decoded to UTF-8), raw UTF-8 passed through untouched;
+///   - typed errors (InvalidArgument with byte offset) for malformed
+///     input, unescaped control characters, non-finite numbers, trailing
+///     garbage, and documents nested deeper than kMaxDepth;
+///   - numbers parsed as double (the only JSON number type).
+/// Writer guarantees:
+///   - canonical, deterministic bytes: object fields keep insertion order,
+///     integral doubles print without an exponent or decimal point, other
+///     numbers use the shortest %g form that round-trips — so two
+///     serializations of equal values are byte-identical (the HTTP parity
+///     tests rely on this);
+///   - NaN/Inf serialize as null (they are unrepresentable in JSON).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cpd {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Nesting depth the parser accepts (arrays/objects combined).
+  static constexpr int kMaxDepth = 100;
+
+  Json() = default;  ///< null
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Json(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  Json(int value) : Json(static_cast<double>(value)) {}  // NOLINT
+  Json(int64_t value) : Json(static_cast<double>(value)) {}  // NOLINT
+  Json(uint64_t value) : Json(static_cast<double>(value)) {}  // NOLINT
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}  // NOLINT
+  Json(const char* value) : Json(std::string(value)) {}  // NOLINT
+
+  static Json MakeArray() { return Json(Type::kArray); }
+  static Json MakeObject() { return Json(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors; the type must match (checked in debug builds).
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string_value() const { return string_; }
+
+  // ----- arrays -----
+  size_t size() const {
+    return type_ == Type::kObject ? fields_.size() : items_.size();
+  }
+  const Json& operator[](size_t i) const { return items_[i]; }
+  const std::vector<Json>& items() const { return items_; }
+  void Append(Json value) { items_.push_back(std::move(value)); }
+
+  // ----- objects (insertion-ordered) -----
+  const std::vector<std::pair<std::string, Json>>& fields() const {
+    return fields_;
+  }
+  /// Inserts or overwrites (overwriting keeps the original position).
+  void Set(std::string key, Json value);
+  /// Field pointer, or nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  // ----- typed object-field helpers (the wire-decoding idiom) -----
+  /// Field value as a number; `fallback` when absent; InvalidArgument when
+  /// present with a different type.
+  StatusOr<double> GetNumber(std::string_view key, double fallback) const;
+  StatusOr<bool> GetBool(std::string_view key, bool fallback) const;
+  StatusOr<std::string> GetString(std::string_view key,
+                                  std::string_view fallback) const;
+  /// Required-field variants: NotFound when absent.
+  StatusOr<double> GetNumber(std::string_view key) const;
+  StatusOr<std::string> GetString(std::string_view key) const;
+
+  /// Serializes to canonical compact JSON (see the file comment).
+  std::string Dump() const;
+
+  /// Parses one JSON document; rejects trailing non-whitespace.
+  static StatusOr<Json> Parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  explicit Json(Type type) : type_(type) {}
+
+  void DumpTo(std::string* out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> fields_;
+};
+
+/// Appends `value` to `out` with JSON string escaping (quotes included).
+void AppendJsonString(std::string* out, std::string_view value);
+
+/// Appends a canonical JSON number (integral doubles without a decimal
+/// point, otherwise the shortest round-tripping %g; NaN/Inf become null).
+void AppendJsonNumber(std::string* out, double value);
+
+}  // namespace cpd
+
+#endif  // CPD_UTIL_JSON_H_

@@ -12,6 +12,31 @@ namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 std::mutex g_log_mutex;
 
+/// Small dense per-thread id for log prefixes (std::thread::id is opaque and
+/// wide; serving logs want a stable short tag per worker).
+int CurrentThreadTag() {
+  static std::atomic<int> next_tag{0};
+  thread_local const int tag = next_tag.fetch_add(1);
+  return tag;
+}
+
+/// "MMDD HH:MM:SS.uuuuuu" wall-clock stamp (glog style).
+void AppendTimestamp(std::ostream& out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000000;
+  std::tm parts{};
+  localtime_r(&seconds, &parts);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02d%02d %02d:%02d:%02d.%06d",
+                parts.tm_mon + 1, parts.tm_mday, parts.tm_hour, parts.tm_min,
+                parts.tm_sec, static_cast<int>(micros));
+  out << buf;
+}
+
 const char* LevelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -39,7 +64,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+  stream_ << "[" << LevelTag(level) << " ";
+  AppendTimestamp(stream_);
+  stream_ << " t" << CurrentThreadTag() << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -1,0 +1,581 @@
+// Loopback end-to-end tests of the embedded HTTP serving layer: endpoint
+// parity with the in-process QueryEngine (byte-identical JSON), malformed
+// input -> 400, admission control -> 429, deadlines -> 504, zero-downtime
+// hot reload, and graceful shutdown draining in-flight requests.
+
+#include "server/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cpd_model.h"
+#include "serve/query_engine.h"
+#include "server/json_api.h"
+#include "server/model_registry.h"
+#include "test_util.h"
+#include "util/json.h"
+
+namespace cpd {
+namespace {
+
+using server::HttpClient;
+using server::HttpRequest;
+using server::HttpResponse;
+using server::HttpServer;
+using server::HttpServerOptions;
+
+constexpr const char* kHost = "127.0.0.1";
+
+/// Trains one tiny model per seed (cached across tests).
+class HttpServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new SynthResult(testing::MakeTinyGraph(131));
+    model_a_ = new CpdModel(Train(17));
+    model_b_ = new CpdModel(Train(23));
+  }
+  static void TearDownTestSuite() {
+    delete model_a_;
+    delete model_b_;
+    delete data_;
+    model_a_ = nullptr;
+    model_b_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static CpdModel Train(uint64_t seed) {
+    CpdConfig config;
+    config.num_communities = 4;
+    config.num_topics = 6;
+    config.em_iterations = 4;
+    config.seed = seed;
+    auto model = CpdModel::Train(data_->graph, config);
+    CPD_CHECK(model.ok());
+    return std::move(*model);
+  }
+
+  static std::string TempPath(const char* name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  /// Saves `model` (with the training vocabulary bundled) to a temp .cpdb.
+  static std::string SaveArtifact(const CpdModel& model, const char* name) {
+    const std::string path = TempPath(name);
+    const Status saved =
+        model.SaveBinary(path, &data_->graph.corpus().vocabulary());
+    CPD_CHECK(saved.ok());
+    return path;
+  }
+
+  static HttpResponse Fetch(int port, const std::string& method,
+                            const std::string& target,
+                            const std::string& body = "") {
+    auto client = HttpClient::Connect(kHost, port);
+    CPD_CHECK(client.ok());
+    auto response = client->RoundTrip(method, target, body);
+    CPD_CHECK(response.ok());
+    return *response;
+  }
+
+  static SynthResult* data_;
+  static CpdModel* model_a_;
+  static CpdModel* model_b_;
+};
+
+SynthResult* HttpServerTest::data_ = nullptr;
+CpdModel* HttpServerTest::model_a_ = nullptr;
+CpdModel* HttpServerTest::model_b_ = nullptr;
+
+/// Server + registry + routes around one artifact, torn down in order.
+struct ServingFixture {
+  explicit ServingFixture(const std::string& artifact_path,
+                          const SocialGraph* graph = nullptr,
+                          HttpServerOptions options = {})
+      : registry(serve::ProfileIndexOptions{}, graph), server(MakeOptions(options)) {
+    CPD_CHECK(registry.LoadFrom(artifact_path).ok());
+    server::RegisterCpdRoutes(&server, &registry, &stats);
+  }
+
+  static HttpServerOptions MakeOptions(HttpServerOptions options) {
+    options.port = 0;
+    options.log_requests = false;  // Keep test output readable.
+    // Headroom over the tests' live connections: a closed client's
+    // server-side teardown can lag the next one-shot fetch on a busy
+    // runner, and the lingering connection still holds a worker slot.
+    options.threads = std::max(options.threads, 8);
+    return options;
+  }
+
+  Status Start() { return server.Start(); }
+
+  server::ModelRegistry registry;
+  server::ServiceStats stats;
+  HttpServer server;
+};
+
+// ----- endpoint parity: HTTP response bytes == in-process response -----
+
+TEST_F(HttpServerTest, AllQueryTypesAreByteIdenticalToInProcessEngine) {
+  const std::string path = SaveArtifact(*model_a_, "parity.cpdb");
+  ServingFixture fixture(path, &data_->graph);
+  ASSERT_TRUE(fixture.Start().ok());
+  const int port = fixture.server.port();
+
+  // The in-process reference: same artifact, same engine the server uses.
+  const auto snapshot = fixture.registry.Snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_NE(snapshot->vocabulary, nullptr);  // v2 artifact bundles it.
+  const serve::QueryEngine& engine = *snapshot->engine;
+
+  serve::MembershipRequest membership;
+  membership.user = 3;
+  membership.top_k = 3;
+  membership.include_distribution = true;
+  serve::RankCommunitiesRequest rank;
+  rank.words = {1, 2};
+  rank.top_k = 3;
+  serve::DiffusionRequest diffusion;
+  diffusion.source = data_->graph.document(0).user;
+  diffusion.target = data_->graph.document(1).user;
+  diffusion.document = 1;
+  diffusion.time_bin = 2;
+  serve::TopUsersRequest top_users;
+  top_users.community = 1;
+  top_users.top_k = 5;
+
+  for (const serve::QueryRequest& request :
+       {serve::QueryRequest(membership), serve::QueryRequest(rank),
+        serve::QueryRequest(diffusion), serve::QueryRequest(top_users)}) {
+    const std::string body = server::QueryRequestToJson(request).Dump();
+    const HttpResponse response = Fetch(port, "POST", "/v1/query", body);
+    ASSERT_EQ(response.status, 200) << body << " -> " << response.body;
+    auto expected = engine.Query(request);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(response.body, server::QueryResponseToJson(*expected).Dump())
+        << body;
+  }
+}
+
+TEST_F(HttpServerTest, MembershipGetMatchesPostAndTextualRankResolves) {
+  const std::string path = SaveArtifact(*model_a_, "get_parity.cpdb");
+  ServingFixture fixture(path);
+  ASSERT_TRUE(fixture.Start().ok());
+  const int port = fixture.server.port();
+
+  const HttpResponse get =
+      Fetch(port, "GET", "/v1/membership/3?k=3&distribution=1");
+  const HttpResponse post = Fetch(
+      port, "POST", "/v1/query",
+      R"({"type":"membership","user":3,"top_k":3,"include_distribution":true})");
+  ASSERT_EQ(get.status, 200) << get.body;
+  EXPECT_EQ(get.body, post.body);
+
+  // Textual rank goes through the bundled vocabulary server-side.
+  const auto& vocab = data_->graph.corpus().vocabulary();
+  ASSERT_GT(vocab.size(), 0u);
+  const std::string term = vocab.WordOf(0);
+  Json rank = Json::MakeObject();
+  rank.Set("type", Json("rank"));
+  rank.Set("query", Json(term));
+  rank.Set("top_k", Json(2));
+  const HttpResponse response =
+      Fetch(port, "POST", "/v1/query", rank.Dump());
+  EXPECT_EQ(response.status, 200) << response.body;
+  EXPECT_NE(response.body.find("\"ranked\""), std::string::npos);
+}
+
+TEST_F(HttpServerTest, BatchIsPositionallyAlignedWithPerSlotErrors) {
+  const std::string path = SaveArtifact(*model_a_, "batch.cpdb");
+  ServingFixture fixture(path);
+  ASSERT_TRUE(fixture.Start().ok());
+
+  const std::string body =
+      R"({"batch":[)"
+      R"({"type":"membership","user":0},)"
+      R"({"type":"membership","user":999999},)"
+      R"({"type":"top_users","community":0,"top_k":2}]})";
+  const HttpResponse response =
+      Fetch(fixture.server.port(), "POST", "/v1/query", body);
+  ASSERT_EQ(response.status, 200);
+  auto json = Json::Parse(response.body);
+  ASSERT_TRUE(json.ok());
+  const Json* responses = json->Find("responses");
+  ASSERT_NE(responses, nullptr);
+  ASSERT_EQ(responses->size(), 3u);
+  EXPECT_NE((*responses)[0].Find("top"), nullptr);
+  ASSERT_NE((*responses)[1].Find("error"), nullptr);  // Bad slot isolated.
+  EXPECT_EQ((*responses)[1].Find("error")->Find("code")->string_value(),
+            "OutOfRange");
+  EXPECT_NE((*responses)[2].Find("users"), nullptr);
+}
+
+// ----- health, stats, errors -----
+
+TEST_F(HttpServerTest, HealthzStatszAndTypedErrors) {
+  const std::string path = SaveArtifact(*model_a_, "health.cpdb");
+  ServingFixture fixture(path);
+  ASSERT_TRUE(fixture.Start().ok());
+  const int port = fixture.server.port();
+
+  const HttpResponse health = Fetch(port, "GET", "/healthz");
+  EXPECT_EQ(health.status, 200);
+  auto health_json = Json::Parse(health.body);
+  ASSERT_TRUE(health_json.ok());
+  EXPECT_EQ(health_json->Find("status")->string_value(), "serving");
+  EXPECT_EQ(health_json->Find("generation")->number(), 1.0);
+
+  // Drive one query, then statsz must reflect it.
+  ASSERT_EQ(
+      Fetch(port, "POST", "/v1/query", R"({"type":"membership","user":0})")
+          .status,
+      200);
+  const HttpResponse stats = Fetch(port, "GET", "/statsz");
+  EXPECT_EQ(stats.status, 200);
+  auto stats_json = Json::Parse(stats.body);
+  ASSERT_TRUE(stats_json.ok());
+  EXPECT_GE(stats_json->Find("service")->Find("queries")->number(), 1.0);
+  EXPECT_GE(stats_json->Find("server")->Find("requests")->number(), 2.0);
+  EXPECT_EQ(stats_json->Find("model")->Find("generation")->number(), 1.0);
+
+  // Typed errors surface with mapped status codes.
+  EXPECT_EQ(Fetch(port, "POST", "/v1/query", "this is not json").status, 400);
+  EXPECT_EQ(Fetch(port, "POST", "/v1/query", R"({"type":"bogus"})").status,
+            400);
+  EXPECT_EQ(Fetch(port, "POST", "/v1/query", R"({"user":3})").status,
+            400);  // Missing selector is malformed, not a missing resource.
+  EXPECT_EQ(Fetch(port, "POST", "/v1/query",
+                  R"({"type":"membership","user":999999})")
+                .status,
+            404);
+  EXPECT_EQ(Fetch(port, "POST", "/v1/query",
+                  R"({"type":"membership","user":4294967299})")
+                .status,
+            400);  // Out of int32 range: rejected, never truncated to u=3.
+  EXPECT_EQ(Fetch(port, "GET", "/no/such/endpoint").status, 404);
+  EXPECT_EQ(Fetch(port, "GET", "/v1/membership/notanumber").status, 400);
+  EXPECT_EQ(Fetch(port, "GET", "/v1/membership/3?k=abc").status,
+            400);  // The GET shortcut validates as strictly as the POST body.
+  EXPECT_EQ(Fetch(port, "GET", "/v1/membership/99999999999999999999").status,
+            400);
+  // Diffusion without a bound graph is a typed FailedPrecondition (409).
+  EXPECT_EQ(Fetch(port, "POST", "/v1/query",
+                  R"({"type":"diffusion","source":0,"target":1,"document":0})")
+                .status,
+            409);
+}
+
+TEST_F(HttpServerTest, MalformedHttpFramingGets400AndClose) {
+  const std::string path = SaveArtifact(*model_a_, "framing.cpdb");
+  ServingFixture fixture(path);
+  ASSERT_TRUE(fixture.Start().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(fixture.server.port()));
+  ASSERT_EQ(::inet_pton(AF_INET, kHost, &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string garbage = "THIS IS NOT HTTP\r\n\r\n";
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+
+  // An HTTP/1.0 request gets its answer and a close (1.0 semantics), so a
+  // read-to-EOF client is not parked until the idle timeout.
+  const int fd10 = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd10, 0);
+  ASSERT_EQ(
+      ::connect(fd10, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string legacy = "GET /healthz HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd10, legacy.data(), legacy.size(), 0),
+            static_cast<ssize_t>(legacy.size()));
+  response.clear();
+  while ((n = ::recv(fd10, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd10);
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+}
+
+// ----- admission control -----
+
+TEST_F(HttpServerTest, OverloadedRequestsGet429WithRetryAfter) {
+  // No model needed: admission control lives below the routes.
+  HttpServerOptions options;
+  options.port = 0;
+  options.threads = 3;       // Room for blocker + prober connections.
+  options.max_inflight = 1;  // But only one request may execute.
+  options.log_requests = false;
+  HttpServer server(options);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool handler_entered = false;
+  bool release_handler = false;
+  server.Handle("GET", "/block", [&](const HttpRequest&) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      handler_entered = true;
+    }
+    cv.notify_all();
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release_handler; });
+    HttpResponse response;
+    response.body = "{\"blocked\":false}";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  std::thread blocker([&] {
+    const HttpResponse response = Fetch(server.port(), "GET", "/block");
+    EXPECT_EQ(response.status, 200);
+  });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return handler_entered; });
+  }
+
+  // The slot is held: any further request is shed immediately, not queued.
+  const auto before = std::chrono::steady_clock::now();
+  auto client = HttpClient::Connect(kHost, server.port());
+  ASSERT_TRUE(client.ok());
+  auto rejected = client->RoundTrip("GET", "/block");
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, 429);
+  EXPECT_EQ(rejected->headers.at("retry-after"), "1");
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          before)
+                .count(),
+            5.0);  // Bounded: the 429 came back without waiting on the slot.
+
+  // The same keep-alive connection works again once the slot frees up.
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release_handler = true;
+  }
+  cv.notify_all();
+  blocker.join();
+  auto after = client->RoundTrip("GET", "/block");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status, 200);
+
+  EXPECT_GE(server.stats().rejected_429, 1u);
+  server.Stop();
+}
+
+TEST_F(HttpServerTest, ConnectionFloodShedsAtTheAcceptEdge) {
+  HttpServerOptions options;
+  options.port = 0;
+  options.threads = 2;  // Two live connections; the third is shed.
+  options.log_requests = false;
+  HttpServer server(options);
+  server.Handle("GET", "/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "{}";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  auto first = HttpClient::Connect(kHost, server.port());
+  auto second = HttpClient::Connect(kHost, server.port());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Prove both connections are live (their workers are occupied).
+  ASSERT_EQ(first->RoundTrip("GET", "/ping")->status, 200);
+  ASSERT_EQ(second->RoundTrip("GET", "/ping")->status, 200);
+
+  auto third = HttpClient::Connect(kHost, server.port());
+  ASSERT_TRUE(third.ok());
+  auto shed = third->RoundTrip("GET", "/ping");
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed->status, 429);
+  EXPECT_FALSE(third->connected());  // 429-and-close at the accept edge.
+  EXPECT_GE(server.stats().connections_rejected, 1u);
+  server.Stop();
+}
+
+// ----- deadlines -----
+
+TEST_F(HttpServerTest, SlowHandlerGets504) {
+  HttpServerOptions options;
+  options.port = 0;
+  options.threads = 2;
+  options.deadline_ms = 40;
+  options.log_requests = false;
+  HttpServer server(options);
+  server.Handle("GET", "/slow", [](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    HttpResponse response;
+    response.body = "{\"late\":true}";
+    return response;
+  });
+  server.Handle("GET", "/fast", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "{\"late\":false}";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  const HttpResponse slow = Fetch(server.port(), "GET", "/slow");
+  EXPECT_EQ(slow.status, 504);
+  EXPECT_NE(slow.body.find("DeadlineExceeded"), std::string::npos);
+  const HttpResponse fast = Fetch(server.port(), "GET", "/fast");
+  EXPECT_EQ(fast.status, 200);  // The deadline only fails over-budget work.
+  EXPECT_EQ(server.stats().deadline_504, 1u);
+  server.Stop();
+}
+
+// ----- hot reload -----
+
+TEST_F(HttpServerTest, ReloadSwapsModelsWithZeroFailedInFlightRequests) {
+  const std::string path_a = SaveArtifact(*model_a_, "reload_a.cpdb");
+  const std::string path_b = SaveArtifact(*model_b_, "reload_b.cpdb");
+  HttpServerOptions options;
+  // Headroom for the 2 keep-alive traffic connections plus the test's
+  // transient one-shot fetches (a closing client's server-side cleanup can
+  // lag a connect by a few microseconds).
+  options.threads = 6;
+  ServingFixture fixture(path_a, nullptr, options);
+  ASSERT_TRUE(fixture.Start().ok());
+  const int port = fixture.server.port();
+
+  // Expected membership bytes under each generation.
+  serve::MembershipRequest probe;
+  probe.user = 2;
+  probe.top_k = 4;
+  const std::string body = server::QueryRequestToJson(
+      serve::QueryRequest(probe)).Dump();
+  const auto expect_for = [&](const CpdModel& model) {
+    const serve::ProfileIndex index = serve::ProfileIndex::FromModel(model);
+    const serve::QueryEngine engine(index);
+    auto response = engine.Membership(probe);
+    CPD_CHECK(response.ok());
+    return server::QueryResponseToJson(
+               serve::QueryResponse(std::move(*response)))
+        .Dump();
+  };
+  const std::string expected_a = expect_for(*model_a_);
+  const std::string expected_b = expect_for(*model_b_);
+  ASSERT_NE(expected_a, expected_b);  // Different seeds, different profiles.
+
+  ASSERT_EQ(Fetch(port, "POST", "/v1/query", body).body, expected_a);
+
+  // Hammer the endpoint from two threads while swapping to model B: every
+  // response must be 200 and must equal one generation's bytes exactly
+  // (never a torn mix).
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> traffic_count{0};
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 2; ++t) {
+    traffic.emplace_back([&] {
+      auto client = HttpClient::Connect(kHost, port);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      while (!stop.load()) {
+        auto response = client->RoundTrip("POST", "/v1/query", body);
+        if (!response.ok() || response->status != 200 ||
+            (response->body != expected_a && response->body != expected_b)) {
+          failures.fetch_add(1);
+          return;
+        }
+        traffic_count.fetch_add(1);
+      }
+    });
+  }
+  // Let traffic flow, then swap mid-stream.
+  while (traffic_count.load() < 20 && failures.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const HttpResponse reload = Fetch(port, "POST", "/admin/reload",
+                                    "{\"path\":\"" + path_b + "\"}");
+  ASSERT_EQ(reload.status, 200) << reload.body;
+  auto reload_json = Json::Parse(reload.body);
+  ASSERT_TRUE(reload_json.ok());
+  EXPECT_EQ(reload_json->Find("generation")->number(), 2.0);
+  const int after_swap = traffic_count.load();
+  while (traffic_count.load() < after_swap + 20 && failures.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (std::thread& thread : traffic) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Steady state after the swap: generation 2 serves model B's bytes.
+  EXPECT_EQ(Fetch(port, "POST", "/v1/query", body).body, expected_b);
+  auto health = Json::Parse(Fetch(port, "GET", "/healthz").body);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->Find("generation")->number(), 2.0);
+
+  // A failed reload keeps the current model serving.
+  EXPECT_EQ(Fetch(port, "POST", "/admin/reload",
+                  R"({"path":"/no/such/file.cpdb"})")
+                .status,
+            500);
+  EXPECT_EQ(Fetch(port, "POST", "/v1/query", body).body, expected_b);
+}
+
+// ----- graceful shutdown -----
+
+TEST_F(HttpServerTest, StopDrainsInFlightRequests) {
+  HttpServerOptions options;
+  options.port = 0;
+  options.threads = 2;
+  options.log_requests = false;
+  HttpServer server(options);
+  std::atomic<bool> handler_entered{false};
+  server.Handle("GET", "/slow", [&](const HttpRequest&) {
+    handler_entered.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    HttpResponse response;
+    response.body = "{\"drained\":true}";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  std::thread in_flight([&] {
+    const HttpResponse response = Fetch(port, "GET", "/slow");
+    // The in-flight request finishes with its real response, and the
+    // server closes the connection afterwards.
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, "{\"drained\":true}");
+  });
+  while (!handler_entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();  // Must block until the in-flight response is written.
+  in_flight.join();
+  EXPECT_FALSE(server.running());
+  EXPECT_FALSE(HttpClient::Connect(kHost, port).ok());
+}
+
+}  // namespace
+}  // namespace cpd

@@ -1,0 +1,274 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <variant>
+
+#include "server/json_api.h"
+#include "serve/query_engine.h"
+
+namespace cpd {
+namespace {
+
+// ----- writer -----
+
+TEST(JsonWriter, Primitives) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(0).Dump(), "0");
+  EXPECT_EQ(Json(-17).Dump(), "-17");
+  EXPECT_EQ(Json(3.5).Dump(), "3.5");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonWriter, IntegralDoublesPrintAsIntegers) {
+  EXPECT_EQ(Json(5.0).Dump(), "5");
+  EXPECT_EQ(Json(-2.0).Dump(), "-2");
+  EXPECT_EQ(Json(int64_t{1} << 52).Dump(), "4503599627370496");
+  // Outside the exact-integer range %.17g takes over.
+  EXPECT_EQ(Json(1e16).Dump(), "1e+16");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json(std::nan("")).Dump(), "null");
+  EXPECT_EQ(Json(INFINITY).Dump(), "null");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(Json("a\"b\\c").Dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Json("line\nbreak\ttab").Dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(Json(std::string("\x01", 1)).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonWriter, Utf8PassesThrough) {
+  const std::string snowman = "\xE2\x98\x83";
+  EXPECT_EQ(Json(snowman).Dump(), "\"" + snowman + "\"");
+}
+
+TEST(JsonWriter, ObjectKeepsInsertionOrder) {
+  Json object = Json::MakeObject();
+  object.Set("z", Json(1));
+  object.Set("a", Json(2));
+  object.Set("z", Json(3));  // Overwrite keeps position.
+  EXPECT_EQ(object.Dump(), "{\"z\":3,\"a\":2}");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  Json array = Json::MakeArray();
+  array.Append(Json(1));
+  array.Append(Json("two"));
+  Json object = Json::MakeObject();
+  object.Set("items", std::move(array));
+  object.Set("ok", Json(true));
+  EXPECT_EQ(object.Dump(), "{\"items\":[1,\"two\"],\"ok\":true}");
+}
+
+// ----- reader -----
+
+TEST(JsonReader, ParsesPrimitives) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->bool_value(), true);
+  EXPECT_EQ(Json::Parse("-3.25")->number(), -3.25);
+  EXPECT_EQ(Json::Parse("\"text\"")->string_value(), "text");
+  EXPECT_EQ(Json::Parse("  42  ")->number(), 42.0);
+}
+
+TEST(JsonReader, ParsesNestedDocument) {
+  auto parsed = Json::Parse(
+      R"({"a":[1,2,{"b":null}],"c":{"d":"e"},"f":-1.5e2})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("a")->size(), 3u);
+  EXPECT_TRUE((*parsed->Find("a"))[2].Find("b")->is_null());
+  EXPECT_EQ(parsed->Find("c")->Find("d")->string_value(), "e");
+  EXPECT_EQ(parsed->Find("f")->number(), -150.0);
+}
+
+TEST(JsonReader, DecodesEscapes) {
+  auto parsed = Json::Parse(R"("a\n\t\"\\\/\u0041")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), "a\n\t\"\\/A");
+}
+
+TEST(JsonReader, DecodesSurrogatePairsToUtf8) {
+  // U+1F600 GRINNING FACE as a surrogate pair.
+  auto parsed = Json::Parse(R"("\uD83D\uDE00")");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->string_value(), "\xF0\x9F\x98\x80");
+  // BMP escape and raw UTF-8 agree.
+  EXPECT_EQ(Json::Parse(R"("\u2603")")->string_value(),
+            Json::Parse("\"\xE2\x98\x83\"")->string_value());
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "tru", "[1,", "{\"a\":}", "{a:1}", "\"unterminated", "01", "1.",
+        "1e", "-", "[1]]", "{} {}", "\"\\q\"", "\"\\uD83D\"", "\"\\uDC00\"",
+        "\"\x01\"", "nan", "+1"}) {
+    const auto parsed = Json::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(JsonReader, RejectsOverflowingNumbers) {
+  EXPECT_FALSE(Json::Parse("1e999").ok());
+  EXPECT_TRUE(Json::Parse("1e308").ok());
+}
+
+TEST(JsonReader, RejectsDeepNesting) {
+  std::string bomb;
+  for (int i = 0; i < 200; ++i) bomb += "[";
+  EXPECT_FALSE(Json::Parse(bomb).ok());
+  // kMaxDepth itself is fine.
+  std::string deep;
+  for (int i = 0; i < 90; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 90; ++i) deep += "]";
+  EXPECT_TRUE(Json::Parse(deep).ok());
+}
+
+TEST(JsonReader, RoundTripsDoublesExactly) {
+  for (const double value :
+       {0.1, 1.0 / 3.0, 1e-17, 123456.789012345678, 2.2250738585072014e-308}) {
+    const auto parsed = Json::Parse(Json(value).Dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->number(), value) << value;
+  }
+}
+
+TEST(JsonReader, DumpParseDumpIsStable) {
+  const char* doc = R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null}})";
+  auto first = Json::Parse(doc);
+  ASSERT_TRUE(first.ok());
+  auto second = Json::Parse(first->Dump());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->Dump(), second->Dump());
+  EXPECT_TRUE(*first == *second);
+}
+
+// ----- typed field helpers -----
+
+TEST(JsonHelpers, TypedGettersEnforceTypes) {
+  auto json = Json::Parse(R"({"n":3,"s":"x","b":true})");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(*json->GetNumber("n", 0), 3.0);
+  EXPECT_EQ(*json->GetString("s", ""), "x");
+  EXPECT_EQ(*json->GetBool("b", false), true);
+  EXPECT_EQ(*json->GetNumber("missing", 7.0), 7.0);
+  EXPECT_FALSE(json->GetNumber("s", 0).ok());
+  EXPECT_FALSE(json->GetBool("n", false).ok());
+  EXPECT_FALSE(json->GetNumber("missing").ok());
+  EXPECT_EQ(json->GetNumber("missing").status().code(), StatusCode::kNotFound);
+}
+
+// ----- wire parity with the in-process request/response structs -----
+
+TEST(JsonWire, RequestRoundTripsThroughJson) {
+  serve::MembershipRequest membership;
+  membership.user = 7;
+  membership.top_k = 3;
+  membership.include_distribution = true;
+  serve::RankCommunitiesRequest rank;
+  rank.words = {1, 4, 2};
+  rank.top_k = 5;
+  rank.include_topic_distribution = false;
+  serve::DiffusionRequest diffusion;
+  diffusion.source = 1;
+  diffusion.target = 2;
+  diffusion.document = 9;
+  diffusion.time_bin = 4;
+  serve::TopUsersRequest top_users;
+  top_users.community = 3;
+  top_users.top_k = 12;
+
+  for (const serve::QueryRequest& request :
+       {serve::QueryRequest(membership), serve::QueryRequest(rank),
+        serve::QueryRequest(diffusion), serve::QueryRequest(top_users)}) {
+    const Json encoded = server::QueryRequestToJson(request);
+    auto reparsed = Json::Parse(encoded.Dump());
+    ASSERT_TRUE(reparsed.ok());
+    auto decoded = server::QueryRequestFromJson(*reparsed, nullptr);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_EQ(decoded->index(), request.index());
+    // Re-encoding the decoded request must reproduce the bytes: the wire
+    // format loses nothing the engine looks at.
+    EXPECT_EQ(server::QueryRequestToJson(*decoded).Dump(), encoded.Dump());
+  }
+}
+
+TEST(JsonWire, ResponseEncodingMatchesInProcessStructs) {
+  serve::MembershipResponse membership;
+  membership.top = {{2, 0.5}, {0, 0.25}};
+  membership.distribution = {0.25, 0.1, 0.5, 0.15};
+  const Json encoded = server::QueryResponseToJson(
+      serve::QueryResponse(membership));
+  EXPECT_EQ(encoded.Dump(),
+            "{\"type\":\"membership\",\"top\":[{\"community\":2,\"weight\":0.5"
+            "},{\"community\":0,\"weight\":0.25}],\"distribution\":[0.25,0.1,"
+            "0.5,0.15]}");
+
+  serve::DiffusionResponse diffusion;
+  diffusion.probability = 0.125;
+  diffusion.friendship_score = 0.75;
+  EXPECT_EQ(
+      server::QueryResponseToJson(serve::QueryResponse(diffusion)).Dump(),
+      "{\"type\":\"diffusion\",\"probability\":0.125,\"friendship_score\":0.75"
+      "}");
+
+  serve::TopUsersResponse top_users;
+  top_users.users = {5, 1};
+  top_users.weights = {0.9, 0.8};
+  EXPECT_EQ(
+      server::QueryResponseToJson(serve::QueryResponse(top_users)).Dump(),
+      "{\"type\":\"top_users\",\"users\":[5,1],\"weights\":[0.9,0.8]}");
+}
+
+TEST(JsonWire, MalformedRequestsAreTypedErrors) {
+  const Vocabulary* no_vocab = nullptr;
+  for (const char* bad : {
+           R"({"user":1})",                                // missing type
+           R"({"type":"nope","user":1})",                  // unknown type
+           R"({"type":"membership"})",                     // missing user
+           R"({"type":"membership","user":1.5})",          // fractional id
+           R"({"type":"membership","user":4294967299})",   // > int32: must be
+                                                           // 400, never a
+                                                           // truncated id
+           R"({"type":"membership","user":1e300})",        // cast would be UB
+           R"({"type":"rank","words":[4294967299]})",      // > int32 word id
+           R"({"type":"rank"})",                           // no words/query
+           R"({"type":"rank","words":[1],"query":"x"})",   // both
+           R"({"type":"rank","words":"x"})",               // wrong type
+           R"({"type":"diffusion","source":1})",           // missing fields
+           R"({"type":"top_users"})",                      // missing community
+           R"([1,2])",                                     // not an object
+       }) {
+    auto json = Json::Parse(bad);
+    ASSERT_TRUE(json.ok()) << bad;
+    const auto decoded = server::QueryRequestFromJson(*json, no_vocab);
+    EXPECT_FALSE(decoded.ok()) << "accepted: " << bad;
+  }
+  // Textual query without a vocabulary is FailedPrecondition, not a parse
+  // error (the client can fall back to ids).
+  auto textual = Json::Parse(R"({"type":"rank","query":"solar"})");
+  ASSERT_TRUE(textual.ok());
+  const auto decoded = server::QueryRequestFromJson(*textual, no_vocab);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JsonWire, StatusMapping) {
+  EXPECT_EQ(server::HttpStatusForCode(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(server::HttpStatusForCode(StatusCode::kNotFound), 404);
+  EXPECT_EQ(server::HttpStatusForCode(StatusCode::kOutOfRange), 404);
+  EXPECT_EQ(server::HttpStatusForCode(StatusCode::kFailedPrecondition), 409);
+  EXPECT_EQ(server::HttpStatusForCode(StatusCode::kUnimplemented), 501);
+  EXPECT_EQ(server::HttpStatusForCode(StatusCode::kInternal), 500);
+  EXPECT_EQ(
+      server::StatusToJson(Status::NotFound("no user")).Dump(),
+      "{\"error\":{\"code\":\"NotFound\",\"message\":\"no user\"}}");
+}
+
+}  // namespace
+}  // namespace cpd

@@ -433,5 +433,72 @@ TEST_F(ProfileIndexTest, BatchMatchesSequentialAndIsolatesErrors) {
   EXPECT_TRUE(pooled[8].ok());
 }
 
+// ----- artifact v2: bundled vocabulary -----
+
+TEST_F(ProfileIndexTest, BundledVocabularyRoundTrips) {
+  const Vocabulary& vocab = data_->graph.corpus().vocabulary();
+  ASSERT_EQ(vocab.size(), model_->vocab_size());
+  const std::string path = TempPath("vocab_bundle.cpdb");
+  ASSERT_TRUE(model_->SaveBinary(path, &vocab).ok());
+
+  auto bundle = serve::LoadModelBundle(path);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  ASSERT_NE(bundle->vocabulary, nullptr);
+  ASSERT_EQ(bundle->vocabulary->size(), vocab.size());
+  for (size_t w = 0; w < vocab.size(); ++w) {
+    const auto id = static_cast<WordId>(w);
+    EXPECT_EQ(bundle->vocabulary->WordOf(id), vocab.WordOf(id));
+    EXPECT_EQ(bundle->vocabulary->Frequency(id), vocab.Frequency(id));
+  }
+  // The matrices are untouched by the extra section.
+  EXPECT_EQ(bundle->index.num_users(), model_->num_users());
+  EXPECT_EQ(bundle->index.Membership(0)[0], model_->Membership(0)[0]);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ProfileIndexTest, SaveBinaryRejectsMismatchedVocabulary) {
+  Vocabulary wrong;
+  wrong.GetOrAdd("one_word_only");
+  const std::string path = TempPath("vocab_mismatch.cpdb");
+  const Status saved = model_->SaveBinary(path, &wrong);
+  EXPECT_FALSE(saved.ok());
+  EXPECT_EQ(saved.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProfileIndexTest, ArtifactWithoutVocabularyLoadsWithNullVocab) {
+  const std::string path = TempPath("no_vocab.cpdb");
+  ASSERT_TRUE(model_->SaveBinary(path).ok());
+  auto bundle = serve::LoadModelBundle(path);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ(bundle->vocabulary, nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ProfileIndexTest, Version1ArtifactsStillLoad) {
+  const std::string path = TempPath("v1_compat.cpdb");
+  ASSERT_TRUE(model_->SaveBinary(path).ok());
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  // Rewrite as a v1 artifact: version byte back to 1, drop the trailing
+  // empty vocabulary section (one u64 count).
+  std::string v1 = *bytes;
+  ASSERT_EQ(v1[8], 2);
+  v1[8] = 1;
+  v1.resize(v1.size() - sizeof(uint64_t));
+  ASSERT_TRUE(WriteStringToFile(path, v1).ok());
+
+  auto bundle = serve::LoadModelBundle(path);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle->vocabulary, nullptr);
+  EXPECT_EQ(bundle->index.num_users(), model_->num_users());
+  EXPECT_EQ(bundle->index.Membership(1)[0], model_->Membership(1)[0]);
+  // A v1 reader would see trailing bytes if we forgot to truncate; prove
+  // the v2 reader equally rejects a v1 body with vocab leftovers.
+  std::string corrupt = *bytes;
+  corrupt[8] = 1;
+  EXPECT_FALSE(DecodeModelArtifact(corrupt).ok());
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace cpd

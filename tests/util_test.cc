@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "util/file_util.h"
+#include "util/flags.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
@@ -138,6 +139,27 @@ TEST(TableWriterTest, CsvEscapesSpecials) {
   table.SetHeader({"a"});
   table.AddRow({"x,y\"z"});
   EXPECT_NE(table.ToCsv().find("\"x,y\"\"z\""), std::string::npos);
+}
+
+TEST(FlagsTest, TypedGettersParseAndReject) {
+  FlagMap flags{{"port", "8080"},  {"seed", "18446744073709551615"},
+                {"bad", "12x"},    {"neg", "-3"},
+                {"empty", ""},     {"huge", "99999999999999999999999"}};
+  EXPECT_EQ(*GetInt64Flag(flags, "port", 0), 8080);
+  EXPECT_EQ(*GetInt64Flag(flags, "absent", -7), -7);
+  EXPECT_EQ(*GetInt64Flag(flags, "neg", 0), -3);
+  EXPECT_EQ(*GetUint64Flag(flags, "seed", 0), 18446744073709551615ull);
+  EXPECT_EQ(*GetUint64Flag(flags, "absent", 42), 42u);
+  // Trailing junk, empty values, overflow, and negatives-for-unsigned are
+  // typed errors naming the flag, never a silent zero.
+  for (const char* bad : {"bad", "empty", "huge"}) {
+    const auto value = GetInt64Flag(flags, bad, 0);
+    EXPECT_FALSE(value.ok()) << bad;
+    EXPECT_EQ(value.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(value.status().message().find(bad), std::string::npos);
+  }
+  EXPECT_FALSE(GetUint64Flag(flags, "neg", 0).ok());
+  EXPECT_FALSE(GetUint64Flag(flags, "bad", 0).ok());
 }
 
 TEST(TableWriterTest, FormatDoublePrecision) {

@@ -1,7 +1,9 @@
 // Serving front end for trained models: load a binary ".cpdb" artifact (or
 // a legacy text model) into a ProfileIndex and answer the four §5 query
 // types through the QueryEngine — interactively (REPL on stdin) or as a
-// batch file fanned out over a thread pool.
+// batch file fanned out over a thread pool. v2 artifacts bundle the
+// vocabulary, so textual `rank` queries work without --vocab (the flag
+// remains as an override).
 //
 // Usage:
 //   cpd_query --model model.cpdb [--vocab vocab.tsv] [--top_k 5]
@@ -22,6 +24,7 @@
 // runs them through QueryEngine::QueryBatch (--threads workers), and prints
 // the responses in input order.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -189,21 +192,33 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
+  // Typed flag parsing: a mistyped numeric flag is a usage error (exit 2),
+  // identically to cpd_train / cpd_serve.
+  const auto usage = [argv] { Usage(argv[0]); };
+  const auto int_flag = [&args, &usage](const std::string& name,
+                                        int64_t fallback) {
+    return cpd::GetInt64FlagOrExit(args, name, fallback, usage);
+  };
 
   cpd::serve::ProfileIndexOptions options;
-  if (args.count("top_k")) options.membership_top_k = std::atoi(args["top_k"].c_str());
+  options.membership_top_k =
+      static_cast<int>(int_flag("top_k", options.membership_top_k));
   cpd::WallTimer load_timer;
-  auto index = ProfileIndex::LoadFromFile(args["model"], options);
-  if (!index.ok()) {
+  auto bundle = cpd::serve::LoadModelBundle(args["model"], options);
+  if (!bundle.ok()) {
     std::fprintf(stderr, "model load failed: %s\n",
-                 index.status().ToString().c_str());
+                 bundle.status().ToString().c_str());
     return 1;
   }
-  std::printf("loaded %s in %.0f ms: |C|=%d |Z|=%d users=%zu vocab=%zu\n",
+  const ProfileIndex* index = &bundle->index;
+  std::printf("loaded %s in %.0f ms: |C|=%d |Z|=%d users=%zu vocab=%zu%s\n",
               args["model"].c_str(), load_timer.ElapsedMillis(),
               index->num_communities(), index->num_topics(),
-              index->num_users(), index->vocab_size());
+              index->num_users(), index->vocab_size(),
+              bundle->vocabulary != nullptr ? " (vocabulary bundled)" : "");
 
+  // --vocab overrides the artifact's bundled vocabulary; without either,
+  // rank queries take numeric word ids.
   std::optional<cpd::Vocabulary> vocab;
   if (args.count("vocab")) {
     auto loaded = cpd::Vocabulary::LoadFromFile(args["vocab"]);
@@ -229,9 +244,9 @@ int main(int argc, char** argv) {
                    "--diffusion together\n");
       return 2;
     }
-    auto loaded = cpd::LoadSocialGraph(
-        std::strtoull(args["users"].c_str(), nullptr, 10), args["docs"],
-        args["friends"], args["diffusion"]);
+    const uint64_t users = cpd::GetUint64FlagOrExit(args, "users", 0, usage);
+    auto loaded = cpd::LoadSocialGraph(users, args["docs"], args["friends"],
+                                       args["diffusion"]);
     if (!loaded.ok()) {
       std::fprintf(stderr, "graph load failed: %s\n",
                    loaded.status().ToString().c_str());
@@ -241,7 +256,8 @@ int main(int argc, char** argv) {
   }
 
   const QueryEngine engine(*index, graph ? &*graph : nullptr);
-  const cpd::Vocabulary* vocab_ptr = vocab ? &*vocab : nullptr;
+  const cpd::Vocabulary* vocab_ptr =
+      vocab ? &*vocab : bundle->vocabulary.get();
 
   if (args.count("batch")) {
     auto lines = cpd::ReadLines(args["batch"]);
@@ -263,9 +279,8 @@ int main(int argc, char** argv) {
       commands.push_back(line);
       requests.push_back(std::move(*request));
     }
-    const int threads = std::max(1, std::atoi(args.count("threads")
-                                                  ? args["threads"].c_str()
-                                                  : "1"));
+    const int threads =
+        std::max(1, static_cast<int>(int_flag("threads", 1)));
     std::optional<cpd::ThreadPool> pool;
     if (threads > 1) pool.emplace(static_cast<size_t>(threads));
     cpd::WallTimer timer;

@@ -1,0 +1,167 @@
+// HTTP serving front end: load a ".cpdb" artifact (vocabulary bundled in
+// v2 artifacts; --vocab overrides) into a hot-swappable ModelRegistry and
+// serve the four query types as JSON endpoints until SIGINT/SIGTERM.
+//
+// Usage:
+//   cpd_serve --model model.cpdb [--vocab vocab.tsv] [--top_k 5]
+//             [--port 8080] [--host 127.0.0.1] [--threads 4]
+//             [--max_inflight 64] [--deadline_ms 0]
+//             [--users N --docs docs.tsv --friends friends.tsv
+//              --diffusion diffusion.tsv]        (enables diffusion queries)
+//
+// Endpoints (see src/server/json_api.h for the wire format):
+//   POST /v1/query              single {"type":...} or {"batch":[...]}
+//   GET  /v1/membership/{user}  ?k=N&distribution=1
+//   GET  /healthz | /statsz
+//   POST /admin/reload          re-reads --model (or {"path":...} switch)
+//
+// Overload returns 429 + Retry-After; requests over --deadline_ms return
+// 504; SIGINT drains in-flight requests before exiting.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "graph/graph_io.h"
+#include "server/http_server.h"
+#include "server/json_api.h"
+#include "server/model_registry.h"
+#include "text/vocabulary.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --model model.cpdb [--vocab vocab.tsv] [--top_k 5]\n"
+               "          [--port 8080] [--host 127.0.0.1] [--threads 4]\n"
+               "          [--max_inflight 64] [--deadline_ms 0]\n"
+               "          [--users N --docs docs.tsv --friends friends.tsv "
+               "--diffusion diffusion.tsv]\n",
+               argv0);
+}
+
+const std::set<std::string> kKnownFlags = {
+    "model", "vocab",   "top_k",        "port",        "host",
+    "threads", "users", "docs",         "friends",     "diffusion",
+    "max_inflight",     "deadline_ms"};
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int) { g_shutdown.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = cpd::ParseFlags(argc, argv, kKnownFlags);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().message().c_str());
+    Usage(argv[0]);
+    return 2;
+  }
+  cpd::FlagMap args = std::move(*parsed);
+  if (!args.count("model")) {
+    Usage(argv[0]);
+    return 2;
+  }
+  // Typed flag parsing: a mistyped numeric flag is a usage error (exit 2),
+  // identically to cpd_train / cpd_query.
+  const auto usage = [argv] { Usage(argv[0]); };
+  const auto int_flag = [&args, &usage](const std::string& name,
+                                        int64_t fallback) {
+    return cpd::GetInt64FlagOrExit(args, name, fallback, usage);
+  };
+
+  cpd::serve::ProfileIndexOptions index_options;
+  index_options.membership_top_k =
+      static_cast<int>(int_flag("top_k", index_options.membership_top_k));
+
+  std::optional<cpd::SocialGraph> graph;
+  if (args.count("docs")) {
+    if (!args.count("users") || !args.count("friends") ||
+        !args.count("diffusion")) {
+      std::fprintf(stderr,
+                   "diffusion queries need --users, --docs, --friends and "
+                   "--diffusion together\n");
+      return 2;
+    }
+    const uint64_t users = cpd::GetUint64FlagOrExit(args, "users", 0, usage);
+    auto loaded = cpd::LoadSocialGraph(users, args["docs"], args["friends"],
+                                       args["diffusion"]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "graph load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(*loaded);
+  }
+
+  cpd::server::ModelRegistry registry(index_options,
+                                      graph ? &*graph : nullptr);
+  if (args.count("vocab")) {
+    auto vocab = cpd::Vocabulary::LoadFromFile(args["vocab"]);
+    if (!vocab.ok()) {
+      std::fprintf(stderr, "vocab load failed: %s\n",
+                   vocab.status().ToString().c_str());
+      return 1;
+    }
+    registry.SetVocabularyOverride(
+        std::make_shared<const cpd::Vocabulary>(std::move(*vocab)));
+  }
+  const cpd::Status loaded = registry.LoadFrom(args["model"]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 loaded.ToString().c_str());
+    return 1;
+  }
+  {
+    // Scoped: holding this snapshot for the process lifetime would pin
+    // generation 1 in memory across every future hot reload.
+    const auto model = registry.Snapshot();
+    if (model->vocabulary == nullptr) {
+      CPD_LOG(Warning)
+          << "no vocabulary (v1 artifact without --vocab): textual rank "
+             "queries disabled, send word ids";
+    }
+  }
+
+  cpd::server::HttpServerOptions options;
+  options.host = args.count("host") ? args["host"] : options.host;
+  options.port = static_cast<int>(int_flag("port", 8080));
+  options.threads = static_cast<int>(int_flag("threads", options.threads));
+  options.max_inflight =
+      static_cast<int>(int_flag("max_inflight", options.max_inflight));
+  options.deadline_ms =
+      static_cast<int>(int_flag("deadline_ms", options.deadline_ms));
+
+  cpd::server::HttpServer server(options);
+  cpd::server::ServiceStats stats;
+  cpd::server::RegisterCpdRoutes(&server, &registry, &stats);
+  const cpd::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %s on http://%s:%d/ (Ctrl-C drains and exits)\n",
+              args["model"].c_str(), options.host.c_str(), server.port());
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down...\n");
+  server.Stop();
+  return 0;
+}

@@ -68,13 +68,20 @@ int main(int argc, char** argv) {
     auto it = args.find(key);
     return it == args.end() ? fallback : it->second;
   };
+  // Typed flag parsing: a mistyped numeric flag is a usage error (exit 2),
+  // identically to cpd_query / cpd_serve.
+  const auto usage = [argv] { Usage(argv[0]); };
+  const auto int_flag = [&args, &usage](const std::string& name,
+                                        int64_t fallback) {
+    return cpd::GetInt64FlagOrExit(args, name, fallback, usage);
+  };
   if (!args.count("users") || !args.count("docs") || !args.count("friends") ||
       !args.count("diffusion")) {
     Usage(argv[0]);
     return 2;
   }
 
-  const size_t num_users = std::strtoull(args["users"].c_str(), nullptr, 10);
+  const size_t num_users = cpd::GetUint64FlagOrExit(args, "users", 0, usage);
   std::printf("loading graph (%zu users)...\n", num_users);
   auto graph = cpd::LoadSocialGraph(num_users, args["docs"], args["friends"],
                                     args["diffusion"]);
@@ -85,11 +92,11 @@ int main(int argc, char** argv) {
   std::printf("%s\n", cpd::GraphStatsToString(cpd::ComputeGraphStats(*graph)).c_str());
 
   cpd::CpdConfig config;
-  config.num_communities = std::atoi(get("communities", "20").c_str());
-  config.num_topics = std::atoi(get("topics", "20").c_str());
-  config.em_iterations = std::atoi(get("iterations", "15").c_str());
-  config.num_threads = std::atoi(get("threads", "1").c_str());
-  config.seed = std::strtoull(get("seed", "42").c_str(), nullptr, 10);
+  config.num_communities = static_cast<int>(int_flag("communities", 20));
+  config.num_topics = static_cast<int>(int_flag("topics", 20));
+  config.em_iterations = static_cast<int>(int_flag("iterations", 15));
+  config.num_threads = static_cast<int>(int_flag("threads", 1));
+  config.seed = cpd::GetUint64FlagOrExit(args, "seed", 42, usage);
   const std::string sampler = get("sampler", "sparse");
   if (sampler == "dense") {
     config.sampler_mode = cpd::SamplerMode::kDense;
@@ -98,8 +105,8 @@ int main(int argc, char** argv) {
                  sampler.c_str());
     return 2;
   }
-  config.mh_steps = std::atoi(
-      get("mh_steps", std::to_string(cpd::CpdConfig().mh_steps)).c_str());
+  config.mh_steps =
+      static_cast<int>(int_flag("mh_steps", cpd::CpdConfig().mh_steps));
   const std::string executor = get("executor", "auto");
   if (executor == "serial") {
     config.executor_mode = cpd::ExecutorMode::kSerial;
@@ -110,7 +117,7 @@ int main(int argc, char** argv) {
                  executor.c_str());
     return 2;
   }
-  config.num_shards = std::atoi(get("shards", "0").c_str());
+  config.num_shards = static_cast<int>(int_flag("shards", 0));
   config.verbose = true;
 
   std::printf("training CPD: |C|=%d |Z|=%d T1=%d threads=%d...\n",
@@ -164,13 +171,16 @@ int main(int argc, char** argv) {
     std::printf("\nmodel -> %s\n", args["model"].c_str());
   }
   if (args.count("model_binary")) {
-    const cpd::Status status = model->SaveBinary(args["model_binary"]);
+    // The vocabulary is bundled into the v2 artifact so cpd_query and
+    // cpd_serve need no side --vocab file.
+    const cpd::Status status = model->SaveBinary(args["model_binary"], &vocab);
     if (!status.ok()) {
       std::fprintf(stderr, "binary model save failed: %s\n",
                    status.ToString().c_str());
       return 1;
     }
-    std::printf("binary model -> %s (serve it with cpd_query)\n",
+    std::printf("binary model -> %s (vocabulary bundled; serve it with "
+                "cpd_query or cpd_serve)\n",
                 args["model_binary"].c_str());
   }
   if (args.count("vocab")) {
