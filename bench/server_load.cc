@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -176,8 +177,11 @@ void Run() {
                              &dataset.data.graph.corpus().vocabulary())
                 .ok());
 
-  server::ModelRegistry registry(serve::ProfileIndexOptions{},
-                                 &dataset.data.graph);
+  // Non-owning alias: the cached dataset outlives the bench body.
+  server::ModelRegistry registry(
+      serve::ProfileIndexOptions{},
+      std::shared_ptr<const SocialGraph>(&dataset.data.graph,
+                                         [](const SocialGraph*) {}));
   CPD_CHECK(registry.LoadFrom(artifact_path).ok());
   server::HttpServerOptions options;
   options.port = 0;

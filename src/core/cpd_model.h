@@ -71,6 +71,9 @@ class CpdModel {
   /// sum_z eta_{c,c',z}: topic-aggregated diffusion strength (§5).
   double EtaAggregated(int c, int c2) const;
 
+  /// The raw |C|x|C|x|Z| row-major eta tensor (warm-start seeding path).
+  std::span<const double> EtaTensor() const { return eta_; }
+
   /// Learned factor weights, indexed by kWeight* (model_state.h).
   const std::vector<double>& DiffusionWeights() const { return weights_; }
 

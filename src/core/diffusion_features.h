@@ -67,8 +67,12 @@ class PopularityTable {
   /// bin (t, doc_topic[i]).
   void Refresh(const SocialGraph& graph, std::span<const int32_t> doc_topics);
 
-  /// n_tz under the configured representation.
+  /// n_tz under the configured representation. Bins are derived from
+  /// observed diffusion-link times, but callers also pass *document* times
+  /// (the M-step's negative sampling); a document published outside every
+  /// observed bin has no diffusion signal there — zero, never a wild read.
   double Value(int32_t t, int z) const {
+    if (t < 0 || t >= num_time_bins_) return 0.0;
     return values_[static_cast<size_t>(t) * static_cast<size_t>(num_topics_) +
                    static_cast<size_t>(z)];
   }

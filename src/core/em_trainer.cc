@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
+#include "sampling/distributions.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/timer.h"
@@ -28,27 +30,172 @@ Status EmTrainer::Initialize() {
   return Status::OK();
 }
 
-Status EmTrainer::EnsureExecutor() {
-  if (executor_ != nullptr) return Status::OK();
+StatusOr<ThreadPlan> EmTrainer::BuildPlan() {
   WorkloadCostModel cost;
   const int num_shards = config_.ResolvedNumShards();
-  ThreadPlan plan;
   if (num_shards == 1) {
     // One shard reproduces sequential collapsed Gibbs (exactly, when the
     // collapse memo is off or the backend is dense); skip the LDA
     // segmentation pre-pass entirely.
-    plan = TrivialThreadPlan(graph_, cost);
-  } else {
-    // Segment count = |Z| as in §4.3 (at least one segment per shard).
-    const int num_segments = std::max(config_.num_topics, num_shards);
-    auto planned = PlanThreads(graph_, num_segments, num_shards, cost,
-                               /*lda_iterations=*/15, config_.seed + 101);
-    if (!planned.ok()) return planned.status();
-    plan = std::move(*planned);
+    return TrivialThreadPlan(graph_, cost);
   }
-  stats_.num_segments = plan.num_segments;
-  stats_.thread_estimated_workload = plan.allocation.thread_workload;
-  executor_ = MakeShardExecutor(graph_, config_, *caches_, std::move(plan));
+  // Segment count = |Z| as in §4.3 (at least one segment per shard).
+  const int num_segments = std::max(config_.num_topics, num_shards);
+  return PlanThreads(graph_, num_segments, num_shards, cost,
+                     /*lda_iterations=*/15, config_.seed + 101);
+}
+
+Status EmTrainer::EnsureExecutor() {
+  if (executor_ != nullptr) return Status::OK();
+  auto plan = BuildPlan();
+  if (!plan.ok()) return plan.status();
+  stats_.num_segments = plan->num_segments;
+  stats_.thread_estimated_workload = plan->allocation.thread_workload;
+  executor_ = MakeShardExecutor(graph_, config_, *caches_, std::move(*plan));
+  return Status::OK();
+}
+
+Status EmTrainer::WarmStart(const WarmStartOptions& options) {
+  WallTimer total_timer;
+  CPD_RETURN_IF_ERROR(config_.Validate());
+  if (graph_.num_documents() == 0) {
+    return Status::FailedPrecondition("CPD: graph has no documents");
+  }
+  const size_t num_docs = graph_.num_documents();
+  const size_t num_prev = options.prev_doc_topic.size();
+  if (options.prev_doc_community.size() != num_prev) {
+    return Status::InvalidArgument(
+        "warm start: prev_doc_topic and prev_doc_community sizes differ");
+  }
+  if (num_prev > num_docs) {
+    return Status::InvalidArgument(
+        "warm start: more previous assignments than documents (base DocIds "
+        "must be append-stable)");
+  }
+  if (options.warm_iterations < 1) {
+    return Status::InvalidArgument("warm start: warm_iterations < 1");
+  }
+  for (size_t d = 0; d < num_prev; ++d) {
+    if (options.prev_doc_topic[d] < 0 ||
+        options.prev_doc_topic[d] >= config_.num_topics ||
+        options.prev_doc_community[d] < 0 ||
+        options.prev_doc_community[d] >= config_.num_communities) {
+      return Status::InvalidArgument(
+          "warm start: previous assignment out of range (did |C| or |Z| "
+          "change between runs?)");
+    }
+  }
+  for (const UserId u : options.touched_users) {
+    if (u < 0 || static_cast<size_t>(u) >= graph_.num_users()) {
+      return Status::OutOfRange("warm start: touched user out of range");
+    }
+  }
+
+  caches_ = std::make_unique<LinkCaches>(graph_);
+  state_ = std::make_unique<ModelState>(graph_, config_);
+  ModelState& s = *state_;
+  if (!options.prev_eta.empty()) {
+    if (options.prev_eta.size() != s.eta.size()) {
+      return Status::InvalidArgument("warm start: prev_eta shape mismatch");
+    }
+    std::copy(options.prev_eta.begin(), options.prev_eta.end(),
+              s.eta.begin());
+  }
+  if (!options.prev_weights.empty()) {
+    if (options.prev_weights.size() != s.weights.size()) {
+      return Status::InvalidArgument(
+          "warm start: prev_weights shape mismatch");
+    }
+    std::copy(options.prev_weights.begin(), options.prev_weights.end(),
+              s.weights.begin());
+  }
+
+  // Restore previous assignments and their counter contributions; the
+  // counters advance document by document so the prior-proposal draws for
+  // new rows below condition on everything already placed.
+  const auto add_doc_counts = [&](size_t d) {
+    const Document& doc = graph_.document(static_cast<DocId>(d));
+    const auto z = static_cast<size_t>(s.doc_topic[d]);
+    const auto c = static_cast<size_t>(s.doc_community[d]);
+    ++s.n_uc[static_cast<size_t>(doc.user) *
+                 static_cast<size_t>(s.num_communities) +
+             c];
+    ++s.n_u[static_cast<size_t>(doc.user)];
+    ++s.n_cz[c * static_cast<size_t>(s.num_topics) + z];
+    ++s.n_c[c];
+    for (const WordId w : doc.words) {
+      ++s.n_zw[z * s.vocab_size + static_cast<size_t>(w)];
+    }
+    s.n_z[z] += static_cast<int64_t>(doc.words.size());
+  };
+  for (size_t d = 0; d < num_prev; ++d) {
+    s.doc_topic[d] = options.prev_doc_topic[d];
+    s.doc_community[d] = options.prev_doc_community[d];
+    add_doc_counts(d);
+  }
+
+  // Sparse-sampler initialization for the new rows: draw the community from
+  // the user's prior proposal (n_uc row + rho — the same distribution the
+  // sparse kernel's prior proposal uses), then the topic from that
+  // community's proposal (n_cz row + alpha). A brand-new user has an
+  // all-zero row, so the +rho/+alpha mass makes the draw uniform.
+  std::vector<double> community_weights(static_cast<size_t>(s.num_communities));
+  std::vector<double> topic_weights(static_cast<size_t>(s.num_topics));
+  for (size_t d = num_prev; d < num_docs; ++d) {
+    const Document& doc = graph_.document(static_cast<DocId>(d));
+    const size_t row = static_cast<size_t>(doc.user) *
+                       static_cast<size_t>(s.num_communities);
+    for (int c = 0; c < s.num_communities; ++c) {
+      community_weights[static_cast<size_t>(c)] =
+          static_cast<double>(s.n_uc[row + static_cast<size_t>(c)]) + s.rho;
+    }
+    const auto c = static_cast<int32_t>(
+        SampleCategorical(community_weights, &rng_));
+    for (int z = 0; z < s.num_topics; ++z) {
+      topic_weights[static_cast<size_t>(z)] =
+          static_cast<double>(
+              s.n_cz[static_cast<size_t>(c) * static_cast<size_t>(s.num_topics) +
+                     static_cast<size_t>(z)]) +
+          s.alpha;
+    }
+    s.doc_community[d] = c;
+    s.doc_topic[d] = static_cast<int32_t>(SampleCategorical(topic_weights, &rng_));
+    add_doc_counts(d);
+  }
+
+  state_->popularity.Refresh(graph_, state_->doc_topic);
+  sampler_ = std::make_unique<GibbsSampler>(graph_, config_, *caches_,
+                                            state_.get());
+  initialized_ = true;
+
+  // Touched-shard plan: the regular plan (same segmentation, same per-shard
+  // RNG stream mapping, so serial and pooled dispatch stay bit-identical)
+  // with every untouched user filtered out of its shard. Shards left empty
+  // are dispatched but sample nothing; an empty touched set empties every
+  // shard (the sweeps then only refresh augmentation + the M-step).
+  auto plan = BuildPlan();
+  if (!plan.ok()) return plan.status();
+  const std::unordered_set<UserId> touched(options.touched_users.begin(),
+                                           options.touched_users.end());
+  for (std::vector<UserId>& users : plan->users_per_thread) {
+    std::erase_if(users,
+                  [&](UserId u) { return touched.find(u) == touched.end(); });
+  }
+  stats_.num_segments = plan->num_segments;
+  stats_.thread_estimated_workload = plan->allocation.thread_workload;
+  executor_ = MakeShardExecutor(graph_, config_, *caches_, std::move(*plan));
+
+  for (int iter = 0; iter < options.warm_iterations; ++iter) {
+    CPD_RETURN_IF_ERROR(EStep());
+    MStep();
+    const double loglik = sampler_->LinkLogLikelihood();
+    stats_.link_log_likelihood.push_back(loglik);
+    if (config_.verbose) {
+      CPD_LOG(Info) << "warm EM iter " << iter << " link log-likelihood "
+                    << loglik;
+    }
+  }
+  stats_.total_seconds += total_timer.ElapsedSeconds();
   return Status::OK();
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/gibbs_sampler.h"
@@ -47,6 +48,35 @@ struct TrainStats {
   size_t num_segments = 0;
 };
 
+/// Inputs of a warm-started (incremental) training run over a graph that
+/// grew from a previously trained one: the first prev_doc_topic.size()
+/// documents of the trainer's graph carry their previous assignments, new
+/// documents are initialized from the sparse sampler's prior proposal
+/// distributions, and only `touched_users` are resampled in the bounded
+/// warm sweeps (streaming ingest, see src/ingest).
+struct WarmStartOptions {
+  /// Previous assignments, indexed by DocId; both spans must have the same
+  /// size <= the graph's document count (base DocIds are append-stable).
+  std::span<const int32_t> prev_doc_topic;
+  std::span<const int32_t> prev_doc_community;
+
+  /// Users whose evidence changed; only the shards' intersection with this
+  /// set is resampled in warm sweeps. Empty = resample nobody (a degenerate
+  /// batch — say, only a user-count bump — must stay cheap and must never
+  /// rewrite untouched assignments; list every user explicitly for a warm
+  /// full sweep). Polya-Gamma augmentation always refreshes every link.
+  std::span<const UserId> touched_users;
+
+  /// Previous M-step parameters to seed the first warm E-step (empty spans
+  /// keep the cold defaults). Shapes must match the config (|C|^2 |Z| and
+  /// kNumDiffusionWeights).
+  std::span<const double> prev_eta;
+  std::span<const double> prev_weights;
+
+  /// Bounded EM iterations (each = gibbs_sweeps_per_em sweeps + one M-step).
+  int warm_iterations = 2;
+};
+
 class EmTrainer {
  public:
   /// Graph must outlive the trainer.
@@ -55,6 +85,17 @@ class EmTrainer {
   /// Runs Alg. 1 end to end (handles the "no joint modeling" two-phase
   /// schedule when config.ablation.joint_profiling is false).
   Status Train();
+
+  /// Warm-started incremental run (streaming ingest): restores previous
+  /// assignments, initializes new rows by sampling the sparse prior
+  /// proposals (c ~ n_uc[u][.] + rho, then z ~ n_cz[c][.] + alpha, counters
+  /// advancing as rows land so later rows see earlier ones), then runs
+  /// `warm_iterations` bounded EM iterations whose E-step sweeps only the
+  /// shards' touched users through the regular ShardExecutor protocol —
+  /// serial and pooled dispatch stay bit-identical for the same seed and
+  /// shard count. Replaces Initialize()+Train(); always joint (no two-phase
+  /// schedule: communities are already detected, this is maintenance).
+  Status WarmStart(const WarmStartOptions& options);
 
   /// Pieces exposed for the scalability benchmarks (Fig. 10): one E-step /
   /// M-step at a time. Initialize() must be called first.
@@ -74,6 +115,9 @@ class EmTrainer {
   void UpdateEta();
   void TrainDiffusionWeights(Rng* rng);
   Status EnsureExecutor();
+  /// The shard plan EnsureExecutor/WarmStart build their executor over
+  /// (TrivialThreadPlan for one shard, LDA segmentation + knapsack else).
+  StatusOr<ThreadPlan> BuildPlan();
 
   const SocialGraph& graph_;
   CpdConfig config_;

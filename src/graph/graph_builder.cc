@@ -27,6 +27,17 @@ DocId GraphBuilder::AddTokenizedDocument(UserId user, int32_t time,
   return corpus_.AddTokenizedDocument(user, time, words);
 }
 
+DocId GraphBuilder::AddTermDocument(UserId user, int32_t time,
+                                    std::span<const std::string> terms) {
+  CPD_CHECK(user >= 0 && static_cast<size_t>(user) < num_users_);
+  std::vector<WordId> words;
+  words.reserve(terms.size());
+  for (const std::string& term : terms) {
+    words.push_back(corpus_.vocabulary().GetOrAdd(term));
+  }
+  return corpus_.AddTokenizedDocument(user, time, words);
+}
+
 void GraphBuilder::AddFriendship(UserId u, UserId v) {
   CPD_CHECK(u >= 0 && static_cast<size_t>(u) < num_users_);
   CPD_CHECK(v >= 0 && static_cast<size_t>(v) < num_users_);

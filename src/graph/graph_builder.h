@@ -6,6 +6,8 @@
 /// links, optionally drops users left without documents (paper §6.1),
 /// computes CSR adjacency and the per-user activity counts.
 
+#include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -36,6 +38,12 @@ class GraphBuilder {
   /// Adds an already-tokenized document (synthetic generator path).
   DocId AddTokenizedDocument(UserId user, int32_t time,
                              std::span<const WordId> words);
+
+  /// Adds a document given as verbatim vocabulary terms: each term is
+  /// GetOrAdd'ed (growing the vocabulary), bypassing the tokenizer's
+  /// filters. Used by the ingest path for pre-tokenized update batches.
+  DocId AddTermDocument(UserId user, int32_t time,
+                        std::span<const std::string> terms);
 
   /// Adds a directed friendship link u -> v. Self-loops and duplicates are
   /// silently ignored.

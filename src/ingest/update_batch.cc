@@ -1,0 +1,376 @@
+#include "ingest/update_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "graph/graph_builder.h"
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpd::ingest {
+
+namespace {
+
+/// Wire integers are bounded like the HTTP layer's (json_api): a fraction or
+/// an out-of-range magnitude is a client error, never a truncation.
+constexpr double kMinWireInt = -2147483648.0;
+constexpr double kMaxWireInt = 2147483647.0;
+
+StatusOr<int64_t> IntField(const Json& json, std::string_view key,
+                           int64_t fallback, bool required) {
+  const Json* field = json.Find(key);
+  if (field == nullptr) {
+    if (required) {
+      return Status::InvalidArgument("missing field '" + std::string(key) +
+                                     "'");
+    }
+    return fallback;
+  }
+  if (!field->is_number() || field->number() != std::floor(field->number())) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be an integer");
+  }
+  if (field->number() < kMinWireInt || field->number() > kMaxWireInt) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' is outside the 32-bit integer range");
+  }
+  return static_cast<int64_t>(field->number());
+}
+
+StatusOr<NewDocument> DocumentFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("'documents' entries must be objects");
+  }
+  NewDocument doc;
+  auto user = IntField(json, "user", -1, /*required=*/true);
+  if (!user.ok()) return user.status();
+  doc.user = static_cast<UserId>(*user);
+  auto time = IntField(json, "time", 0, /*required=*/false);
+  if (!time.ok()) return time.status();
+  doc.time = static_cast<int32_t>(*time);
+  const Json* text = json.Find("text");
+  const Json* tokens = json.Find("tokens");
+  if ((text != nullptr) == (tokens != nullptr)) {
+    return Status::InvalidArgument(
+        "document needs exactly one of 'text' or 'tokens'");
+  }
+  if (text != nullptr) {
+    if (!text->is_string()) {
+      return Status::InvalidArgument("field 'text' must be a string");
+    }
+    doc.text = text->string_value();
+  } else {
+    if (!tokens->is_array()) {
+      return Status::InvalidArgument("field 'tokens' must be an array");
+    }
+    for (const Json& token : tokens->items()) {
+      if (!token.is_string() || token.string_value().empty()) {
+        return Status::InvalidArgument(
+            "'tokens' entries must be non-empty strings");
+      }
+      doc.tokens.push_back(token.string_value());
+    }
+  }
+  return doc;
+}
+
+}  // namespace
+
+StatusOr<UpdateBatch> UpdateBatchFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("update batch must be a JSON object");
+  }
+  UpdateBatch batch;
+  auto num_users = IntField(json, "num_users", 0, /*required=*/false);
+  if (!num_users.ok()) return num_users.status();
+  if (*num_users < 0) {
+    return Status::InvalidArgument("'num_users' must be non-negative");
+  }
+  batch.num_users = static_cast<size_t>(*num_users);
+
+  if (const Json* documents = json.Find("documents")) {
+    if (!documents->is_array()) {
+      return Status::InvalidArgument("field 'documents' must be an array");
+    }
+    for (const Json& entry : documents->items()) {
+      auto doc = DocumentFromJson(entry);
+      if (!doc.ok()) return doc.status();
+      batch.documents.push_back(std::move(*doc));
+    }
+  }
+  if (const Json* friendships = json.Find("friendships")) {
+    if (!friendships->is_array()) {
+      return Status::InvalidArgument("field 'friendships' must be an array");
+    }
+    for (const Json& entry : friendships->items()) {
+      if (!entry.is_object()) {
+        return Status::InvalidArgument("'friendships' entries must be objects");
+      }
+      auto u = IntField(entry, "u", -1, /*required=*/true);
+      if (!u.ok()) return u.status();
+      auto v = IntField(entry, "v", -1, /*required=*/true);
+      if (!v.ok()) return v.status();
+      batch.friendships.push_back(
+          {static_cast<UserId>(*u), static_cast<UserId>(*v)});
+    }
+  }
+  if (const Json* diffusions = json.Find("diffusions")) {
+    if (!diffusions->is_array()) {
+      return Status::InvalidArgument("field 'diffusions' must be an array");
+    }
+    for (const Json& entry : diffusions->items()) {
+      if (!entry.is_object()) {
+        return Status::InvalidArgument("'diffusions' entries must be objects");
+      }
+      auto i = IntField(entry, "i", -1, /*required=*/true);
+      if (!i.ok()) return i.status();
+      auto j = IntField(entry, "j", -1, /*required=*/true);
+      if (!j.ok()) return j.status();
+      auto time = IntField(entry, "time", 0, /*required=*/false);
+      if (!time.ok()) return time.status();
+      batch.diffusions.push_back({*i, *j, static_cast<int32_t>(*time)});
+    }
+  }
+  return batch;
+}
+
+Json UpdateBatchToJson(const UpdateBatch& batch) {
+  Json out = Json::MakeObject();
+  if (batch.num_users > 0) {
+    out.Set("num_users", Json(static_cast<uint64_t>(batch.num_users)));
+  }
+  Json documents = Json::MakeArray();
+  for (const NewDocument& doc : batch.documents) {
+    Json entry = Json::MakeObject();
+    entry.Set("user", Json(static_cast<int64_t>(doc.user)));
+    entry.Set("time", Json(static_cast<int64_t>(doc.time)));
+    if (!doc.tokens.empty()) {
+      Json tokens = Json::MakeArray();
+      for (const std::string& token : doc.tokens) tokens.Append(Json(token));
+      entry.Set("tokens", std::move(tokens));
+    } else {
+      entry.Set("text", Json(doc.text));
+    }
+    documents.Append(std::move(entry));
+  }
+  out.Set("documents", std::move(documents));
+  Json friendships = Json::MakeArray();
+  for (const FriendshipLink& link : batch.friendships) {
+    Json entry = Json::MakeObject();
+    entry.Set("u", Json(static_cast<int64_t>(link.u)));
+    entry.Set("v", Json(static_cast<int64_t>(link.v)));
+    friendships.Append(std::move(entry));
+  }
+  out.Set("friendships", std::move(friendships));
+  Json diffusions = Json::MakeArray();
+  for (const NewDiffusion& link : batch.diffusions) {
+    Json entry = Json::MakeObject();
+    entry.Set("i", Json(link.i));
+    entry.Set("j", Json(link.j));
+    entry.Set("time", Json(static_cast<int64_t>(link.time)));
+    diffusions.Append(std::move(entry));
+  }
+  out.Set("diffusions", std::move(diffusions));
+  return out;
+}
+
+StatusOr<UpdateBatch> LoadUpdateBatch(const std::string& path) {
+  auto content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  auto json = Json::Parse(*content);
+  if (!json.ok()) {
+    return Status::InvalidArgument("update file " + path + ": " +
+                                   json.status().message());
+  }
+  return UpdateBatchFromJson(*json);
+}
+
+StatusOr<AppliedUpdate> ApplyUpdate(const SocialGraph& base,
+                                    const UpdateBatch& batch,
+                                    const TokenizerOptions& tokenizer) {
+  const size_t base_users = base.num_users();
+  const size_t base_docs = base.num_documents();
+  const size_t merged_users =
+      batch.num_users == 0 ? base_users : batch.num_users;
+  if (merged_users < base_users) {
+    return Status::InvalidArgument(StrFormat(
+        "'num_users' (%zu) shrinks the base graph's %zu users; ids are "
+        "append-only",
+        merged_users, base_users));
+  }
+
+  // ----- validation against the merged id space -----
+  for (size_t k = 0; k < batch.documents.size(); ++k) {
+    const NewDocument& doc = batch.documents[k];
+    if (doc.user < 0 || static_cast<size_t>(doc.user) >= merged_users) {
+      return Status::OutOfRange(
+          StrFormat("document row %zu: user %d out of range [0, %zu)", k,
+                    doc.user, merged_users));
+    }
+    if (doc.text.empty() == doc.tokens.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "document row %zu needs exactly one of 'text' or 'tokens'", k));
+    }
+    if (doc.time < 0) {
+      return Status::OutOfRange(
+          StrFormat("document row %zu: time must be non-negative", k));
+    }
+  }
+  for (const FriendshipLink& link : batch.friendships) {
+    if (link.u < 0 || static_cast<size_t>(link.u) >= merged_users ||
+        link.v < 0 || static_cast<size_t>(link.v) >= merged_users) {
+      return Status::OutOfRange(StrFormat(
+          "friendship (%d, %d): user out of range [0, %zu)", link.u, link.v,
+          merged_users));
+    }
+  }
+  const int64_t max_doc_ref =
+      static_cast<int64_t>(base_docs + batch.documents.size());
+  for (const NewDiffusion& link : batch.diffusions) {
+    if (link.i < 0 || link.i >= max_doc_ref || link.j < 0 ||
+        link.j >= max_doc_ref) {
+      return Status::OutOfRange(StrFormat(
+          "diffusion (%lld, %lld): endpoint out of range [0, %lld)",
+          static_cast<long long>(link.i), static_cast<long long>(link.j),
+          static_cast<long long>(max_doc_ref)));
+    }
+    if (link.time < 0) {
+      return Status::OutOfRange("diffusion time must be non-negative");
+    }
+  }
+
+  // ----- merged rebuild: base ids stay stable -----
+  GraphBuilder builder;
+  builder.SetNumUsers(merged_users);
+  builder.SetVocabulary(base.corpus().vocabulary());
+  const size_t base_words = base.corpus().vocabulary().size();
+  for (size_t d = 0; d < base_docs; ++d) {
+    const Document& doc = base.document(static_cast<DocId>(d));
+    // Already past the min-length filter, so re-adding cannot drop or
+    // renumber: merged DocId == base DocId.
+    const DocId id = builder.AddTokenizedDocument(doc.user, doc.time, doc.words);
+    CPD_CHECK_EQ(id, static_cast<DocId>(d));
+  }
+  for (const FriendshipLink& link : base.friendship_links()) {
+    builder.AddFriendship(link.u, link.v);
+  }
+  for (const DiffusionLink& link : base.diffusion_links()) {
+    builder.AddDiffusion(link.i, link.j, link.time);
+  }
+
+  AppliedUpdate applied;
+  applied.batch_doc_ids.reserve(batch.documents.size());
+  std::unordered_set<UserId> touched;
+  for (const NewDocument& doc : batch.documents) {
+    const DocId id =
+        doc.tokens.empty()
+            ? builder.AddDocument(doc.user, doc.time, doc.text, tokenizer)
+            : builder.AddTermDocument(doc.user, doc.time, doc.tokens);
+    applied.batch_doc_ids.push_back(id);
+    if (id == Corpus::kInvalidDoc) {
+      ++applied.counts.dropped_documents;
+    } else {
+      ++applied.counts.new_documents;
+      touched.insert(doc.user);
+    }
+  }
+  const size_t base_friendships = base.num_friendship_links();
+  for (const FriendshipLink& link : batch.friendships) {
+    builder.AddFriendship(link.u, link.v);
+    touched.insert(link.u);
+    touched.insert(link.v);
+  }
+
+  // Translate batch-row diffusion references to merged DocIds; links to
+  // dropped rows are skipped, like graph_io's dropped-document rows.
+  const size_t base_diffusions = base.num_diffusion_links();
+  auto resolve_doc = [&](int64_t ref) -> DocId {
+    if (ref < static_cast<int64_t>(base_docs)) return static_cast<DocId>(ref);
+    return applied.batch_doc_ids[static_cast<size_t>(
+        ref - static_cast<int64_t>(base_docs))];
+  };
+  std::vector<std::pair<DocId, DocId>> added_diffusions;
+  for (const NewDiffusion& link : batch.diffusions) {
+    const DocId i = resolve_doc(link.i);
+    const DocId j = resolve_doc(link.j);
+    if (i == Corpus::kInvalidDoc || j == Corpus::kInvalidDoc) continue;
+    builder.AddDiffusion(i, j, link.time);
+    added_diffusions.emplace_back(i, j);
+  }
+
+  // Keep every declared user: a new user may arrive with links before its
+  // first document, and base user ids must never be renumbered.
+  auto graph = builder.Build(/*drop_isolated_users=*/false);
+  if (!graph.ok()) return graph.status();
+  applied.graph = std::move(*graph);
+
+  applied.counts.new_users = merged_users - base_users;
+  applied.counts.new_friendships =
+      applied.graph.num_friendship_links() - base_friendships;
+  applied.counts.new_diffusions =
+      applied.graph.num_diffusion_links() - base_diffusions;
+  applied.counts.new_words =
+      applied.graph.corpus().vocabulary().size() - base_words;
+  for (const auto& [i, j] : added_diffusions) {
+    touched.insert(applied.graph.document(i).user);
+    touched.insert(applied.graph.document(j).user);
+  }
+  applied.touched_users.assign(touched.begin(), touched.end());
+  std::sort(applied.touched_users.begin(), applied.touched_users.end());
+  return applied;
+}
+
+UpdateBatch SampleUpdateBatch(const SocialGraph& base,
+                              const SampleUpdateOptions& options, Rng* rng) {
+  UpdateBatch batch;
+  const size_t base_users = base.num_users();
+  const size_t base_docs = base.num_documents();
+  batch.num_users = base_users + options.new_users;
+  const Vocabulary& vocab = base.corpus().vocabulary();
+  size_t novel_serial = 0;
+  for (size_t n = 0; n < options.new_users; ++n) {
+    const UserId user = static_cast<UserId>(base_users + n);
+    for (int k = 0; k < options.docs_per_user; ++k) {
+      NewDocument doc;
+      doc.user = user;
+      doc.time = options.time;
+      // Replay a random base document's tokens so the planted topical
+      // structure carries into the batch.
+      const DocId source =
+          base_docs > 0 ? static_cast<DocId>(rng->NextUint64(base_docs)) : -1;
+      if (source >= 0) {
+        for (const WordId w : base.document(source).words) {
+          doc.tokens.push_back(vocab.WordOf(w));
+        }
+      }
+      for (int w = 0; w < options.novel_words_per_doc; ++w) {
+        doc.tokens.push_back("ingestw" + std::to_string(novel_serial++));
+      }
+      if (doc.tokens.size() < Corpus::kMinWordsPerDocument) {
+        doc.tokens.push_back("ingestpad");
+      }
+      batch.documents.push_back(std::move(doc));
+    }
+    for (int f = 0; f < options.friends_per_user && base_users > 0; ++f) {
+      const UserId peer = static_cast<UserId>(rng->NextUint64(base_users));
+      batch.friendships.push_back({user, peer});
+      batch.friendships.push_back({peer, user});
+    }
+  }
+  for (size_t e = 0; e < options.diffusions && !batch.documents.empty() &&
+                     base_docs > 0;
+       ++e) {
+    NewDiffusion link;
+    link.i = static_cast<int64_t>(base_docs +
+                                  rng->NextUint64(batch.documents.size()));
+    link.j = static_cast<int64_t>(rng->NextUint64(base_docs));
+    link.time = options.time;
+    batch.diffusions.push_back(link);
+  }
+  return batch;
+}
+
+}  // namespace cpd::ingest

@@ -1,0 +1,131 @@
+#ifndef CPD_INGEST_UPDATE_BATCH_H_
+#define CPD_INGEST_UPDATE_BATCH_H_
+
+/// \file update_batch.h
+/// The write side of streaming ingest: an UpdateBatch is one atomic unit of
+/// graph growth — new users, new documents (raw text or explicit tokens,
+/// growing the vocabulary), new friendship links, and new diffusion links —
+/// expressed against an existing immutable SocialGraph.
+///
+/// Id conventions (docs/HTTP_API.md pins the wire form):
+///  - user ids < base num_users reference existing users; the batch may
+///    raise `num_users` to mint new dense ids [base, num_users);
+///  - diffusion endpoints < base num_documents reference existing documents;
+///    endpoints >= base num_documents reference batch *rows* by
+///    `base_num_documents + row_index`. Rows dropped by the min-length
+///    filter skip their diffusion links (same semantics as graph_io).
+///
+/// ApplyUpdate() rebuilds a merged SocialGraph with every base id stable:
+/// documents are re-added in order (already-tokenized, so none can be
+/// re-dropped), the vocabulary is pre-seeded so word ids stay aligned, and
+/// isolated users are NOT re-dropped (new users may start with links only).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/social_graph.h"
+#include "text/tokenizer.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cpd::ingest {
+
+/// One new document. Exactly one of `text` (tokenized on apply, vocabulary
+/// grows through the tokenizer) or `tokens` (verbatim vocabulary terms, no
+/// tokenizer filtering) must be non-empty.
+struct NewDocument {
+  UserId user = -1;
+  int32_t time = 0;
+  std::string text;
+  std::vector<std::string> tokens;
+};
+
+/// One new diffusion link; endpoints follow the id convention above.
+struct NewDiffusion {
+  int64_t i = -1;  ///< Diffusing (new) side.
+  int64_t j = -1;  ///< Diffused (old) side.
+  int32_t time = 0;
+};
+
+struct UpdateBatch {
+  /// Total user count after the batch; 0 keeps the base count. Must be
+  /// >= the base graph's num_users when set.
+  size_t num_users = 0;
+  std::vector<NewDocument> documents;
+  std::vector<FriendshipLink> friendships;
+  std::vector<NewDiffusion> diffusions;
+
+  bool Empty() const {
+    return documents.empty() && friendships.empty() && diffusions.empty() &&
+           num_users == 0;
+  }
+};
+
+/// Wire codec. The JSON form (also accepted by POST /admin/ingest):
+///   {"num_users": 70,
+///    "documents":   [{"user":65,"time":9,"text":"solar panels ..."},
+///                    {"user":66,"time":9,"tokens":["solar","roof"]}],
+///    "friendships": [{"u":65,"v":3}],
+///    "diffusions":  [{"i":412,"j":7,"time":9}]}
+/// Every section is optional; unknown fields are rejected nowhere (forward
+/// compatibility), malformed fields are typed InvalidArgument errors.
+StatusOr<UpdateBatch> UpdateBatchFromJson(const Json& json);
+Json UpdateBatchToJson(const UpdateBatch& batch);
+
+/// Reads and parses one JSON update file (offline cpd_ingest path).
+StatusOr<UpdateBatch> LoadUpdateBatch(const std::string& path);
+
+/// Volume record of one applied batch (reported by the pipeline, the tool,
+/// and /statsz).
+struct IngestCounts {
+  size_t new_users = 0;
+  size_t new_documents = 0;
+  size_t dropped_documents = 0;  ///< Batch rows under the min-length filter.
+  size_t new_friendships = 0;    ///< Post-dedup.
+  size_t new_diffusions = 0;     ///< Post-dedup, post-dropped-row skip.
+  size_t new_words = 0;          ///< Vocabulary growth.
+};
+
+/// A merged graph plus everything the warm start needs to know about what
+/// changed.
+struct AppliedUpdate {
+  SocialGraph graph;
+  IngestCounts counts;
+  /// Per batch document row: its merged DocId, or Corpus::kInvalidDoc for
+  /// rows dropped by the min-length filter.
+  std::vector<DocId> batch_doc_ids;
+  /// Sorted, deduplicated users whose evidence changed (authors of new
+  /// documents, endpoints of new friendships, authors of both endpoint
+  /// documents of new diffusions). The warm start resamples only these.
+  std::vector<UserId> touched_users;
+};
+
+/// Validates `batch` against `base` and rebuilds the merged graph. Base ids
+/// (users, documents, words) are stable in the result.
+StatusOr<AppliedUpdate> ApplyUpdate(const SocialGraph& base,
+                                    const UpdateBatch& batch,
+                                    const TokenizerOptions& tokenizer = {});
+
+/// Deterministic synthetic batch against an existing graph (tests/bench):
+/// mints `new_users` users, each publishing `docs_per_user` documents whose
+/// tokens replay a random base document (so planted topic structure carries
+/// over) plus `novel_words_per_doc` previously-unseen words (vocabulary
+/// growth), wires each new user to `friends_per_user` random base users
+/// (both directions), and adds `diffusions` links from new documents to
+/// random base documents.
+struct SampleUpdateOptions {
+  size_t new_users = 4;
+  int docs_per_user = 3;
+  int novel_words_per_doc = 1;
+  int friends_per_user = 3;
+  size_t diffusions = 4;
+  int32_t time = 0;  ///< Time bin stamped on new documents/links.
+};
+UpdateBatch SampleUpdateBatch(const SocialGraph& base,
+                              const SampleUpdateOptions& options, Rng* rng);
+
+}  // namespace cpd::ingest
+
+#endif  // CPD_INGEST_UPDATE_BATCH_H_

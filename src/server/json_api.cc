@@ -3,12 +3,15 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <variant>
 #include <vector>
 
 #include "apps/community_ranking.h"
+#include "ingest/ingest_pipeline.h"
+#include "ingest/update_batch.h"
 #include "util/string_util.h"
 
 namespace cpd::server {
@@ -450,6 +453,21 @@ HttpResponse HandleStatsz(const HttpServer* server, ModelRegistry* registry,
   service_json.Set("reloads", Json(registry->reload_count()));
   service_json.Set("reload_failures", Json(registry->reload_failures()));
 
+  service_json.Set("ingests",
+                   Json(stats->ingests.load(std::memory_order_relaxed)));
+  service_json.Set(
+      "ingest_failures",
+      Json(stats->ingest_failures.load(std::memory_order_relaxed)));
+  service_json.Set(
+      "ingested_documents",
+      Json(stats->ingested_documents.load(std::memory_order_relaxed)));
+  service_json.Set(
+      "ingested_users",
+      Json(stats->ingested_users.load(std::memory_order_relaxed)));
+  service_json.Set(
+      "ingested_links",
+      Json(stats->ingested_links.load(std::memory_order_relaxed)));
+
   Json out = Json::MakeObject();
   out.Set("server", std::move(server_json));
   out.Set("service", std::move(service_json));
@@ -458,6 +476,7 @@ HttpResponse HandleStatsz(const HttpServer* server, ModelRegistry* registry,
     Json model_json = Json::MakeObject();
     model_json.Set("generation", Json(model->generation));
     model_json.Set("path", Json(model->source_path));
+    model_json.Set("loaded_unix_ms", Json(model->loaded_unix_ms));
     model_json.Set("communities", Json(model->index.num_communities()));
     model_json.Set("topics", Json(model->index.num_topics()));
     model_json.Set("users", Json(static_cast<uint64_t>(model->index.num_users())));
@@ -495,10 +514,88 @@ HttpResponse HandleReload(const HttpRequest& http_request,
   return JsonResponse(200, out);
 }
 
+/// POST /admin/ingest: apply an UpdateBatch to the live training state,
+/// warm-start, write a fresh artifact, and swap it in. The merged graph is
+/// published to the registry *before* the artifact load so the new
+/// generation binds it (in-flight requests keep the old generation's graph).
+HttpResponse HandleIngest(const HttpRequest& http_request,
+                          ModelRegistry* registry, ServiceStats* stats,
+                          ingest::IngestPipeline* pipeline) {
+  if (pipeline == nullptr) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "ingest disabled: cpd_serve was started without the training graph "
+        "(--users/--docs/--friends/--diffusion)"));
+  }
+  // The pipeline serializes Ingest() itself, but the SetGraph + LoadFrom
+  // publication below must not interleave between two concurrent batches
+  // (a stale generation could land last); one lock covers the whole
+  // apply-train-publish sequence.
+  static std::mutex ingest_mutex;
+  std::lock_guard<std::mutex> ingest_lock(ingest_mutex);
+  auto json = Json::Parse(http_request.body);
+  if (!json.ok()) {
+    stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(json.status());
+  }
+  auto batch = ingest::UpdateBatchFromJson(*json);
+  if (!batch.ok()) {
+    stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(batch.status());
+  }
+  auto result = pipeline->Ingest(*batch);
+  if (!result.ok()) {
+    stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
+    // Client-caused failures (bad ids, malformed rows) keep their typed
+    // status; pipeline-internal ones surface as the mapped 5xx/4xx code.
+    return ErrorResponse(result.status());
+  }
+  const std::shared_ptr<const SocialGraph> previous_graph = registry->graph();
+  registry->SetGraph(pipeline->graph());
+  const Status swapped = registry->LoadFrom(result->artifact_path);
+  if (!swapped.ok()) {
+    // The artifact was produced but could not be served; the previous
+    // generation keeps serving (same contract as a failed /admin/reload),
+    // and the merged graph must not leak into a later reload of the old
+    // artifact (old index + bigger graph would mismatch).
+    registry->SetGraph(previous_graph);
+    stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
+    return JsonResponse(500, StatusToJson(swapped));
+  }
+  stats->ingests.fetch_add(1, std::memory_order_relaxed);
+  stats->ingested_documents.fetch_add(result->counts.new_documents,
+                                      std::memory_order_relaxed);
+  stats->ingested_users.fetch_add(result->counts.new_users,
+                                  std::memory_order_relaxed);
+  stats->ingested_links.fetch_add(
+      result->counts.new_friendships + result->counts.new_diffusions,
+      std::memory_order_relaxed);
+
+  Json ingested = Json::MakeObject();
+  ingested.Set("documents",
+               Json(static_cast<uint64_t>(result->counts.new_documents)));
+  ingested.Set("dropped_documents",
+               Json(static_cast<uint64_t>(result->counts.dropped_documents)));
+  ingested.Set("users", Json(static_cast<uint64_t>(result->counts.new_users)));
+  ingested.Set("friendships",
+               Json(static_cast<uint64_t>(result->counts.new_friendships)));
+  ingested.Set("diffusions",
+               Json(static_cast<uint64_t>(result->counts.new_diffusions)));
+  ingested.Set("words", Json(static_cast<uint64_t>(result->counts.new_words)));
+  Json out = Json::MakeObject();
+  out.Set("status", Json("ok"));
+  out.Set("generation", Json(registry->generation()));
+  out.Set("model", Json(result->artifact_path));
+  out.Set("sequence", Json(result->sequence));
+  out.Set("ingested", std::move(ingested));
+  out.Set("warm_seconds", Json(result->warm_seconds));
+  out.Set("total_seconds", Json(result->total_seconds));
+  return JsonResponse(200, out);
+}
+
 }  // namespace
 
 void RegisterCpdRoutes(HttpServer* server, ModelRegistry* registry,
-                       ServiceStats* stats) {
+                       ServiceStats* stats, ingest::IngestPipeline* pipeline) {
   server->Handle("POST", "/v1/query",
                  [registry, stats](const HttpRequest& request) {
                    return HandleQuery(request, registry, stats);
@@ -517,6 +614,10 @@ void RegisterCpdRoutes(HttpServer* server, ModelRegistry* registry,
   server->Handle("POST", "/admin/reload",
                  [registry](const HttpRequest& request) {
                    return HandleReload(request, registry);
+                 });
+  server->Handle("POST", "/admin/ingest",
+                 [registry, stats, pipeline](const HttpRequest& request) {
+                   return HandleIngest(request, registry, stats, pipeline);
                  });
 }
 

@@ -28,6 +28,11 @@
 ///   GET  /statsz                transport + service + model counters
 ///   POST /admin/reload          hot-swap: re-read the artifact (optional
 ///                               body {"path":"other.cpdb"} switches files)
+///   POST /admin/ingest          streaming ingest: body = UpdateBatch JSON
+///                               (src/ingest/update_batch.h); warm-starts
+///                               the model, writes a fresh artifact, and
+///                               swaps it in with zero downtime. 409 when
+///                               the server runs without an ingest pipeline.
 
 #include <atomic>
 #include <cstdint>
@@ -38,6 +43,10 @@
 #include "util/json.h"
 #include "util/status.h"
 
+namespace cpd::ingest {
+class IngestPipeline;
+}  // namespace cpd::ingest
+
 namespace cpd::server {
 
 /// Service-level counters (the transport ones live in HttpServerStats).
@@ -45,6 +54,12 @@ struct ServiceStats {
   std::atomic<uint64_t> queries{0};        ///< Single queries answered OK.
   std::atomic<uint64_t> batch_queries{0};  ///< Requests inside batches.
   std::atomic<uint64_t> query_errors{0};   ///< Typed per-query failures.
+  // Streaming-ingest counters (POST /admin/ingest).
+  std::atomic<uint64_t> ingests{0};            ///< Batches applied + swapped.
+  std::atomic<uint64_t> ingest_failures{0};    ///< Rejected or failed batches.
+  std::atomic<uint64_t> ingested_documents{0};
+  std::atomic<uint64_t> ingested_users{0};
+  std::atomic<uint64_t> ingested_links{0};     ///< Friendships + diffusions.
 };
 
 /// HTTP status for a typed error (InvalidArgument -> 400, NotFound /
@@ -66,11 +81,14 @@ Json QueryRequestToJson(const serve::QueryRequest& request);
 /// Encodes a typed response exactly as the HTTP endpoints do.
 Json QueryResponseToJson(const serve::QueryResponse& response);
 
-/// Registers every CPD endpoint on `server`. The registry and stats must
-/// outlive the server; the registry must already hold a model (handlers
-/// answer 503 otherwise).
+/// Registers every CPD endpoint on `server`. The registry, stats, and (when
+/// given) pipeline must outlive the server; the registry must already hold
+/// a model (handlers answer 503 otherwise). `pipeline` enables POST
+/// /admin/ingest — null keeps the route registered but answering 409 (the
+/// server was started without the training graph).
 void RegisterCpdRoutes(HttpServer* server, ModelRegistry* registry,
-                       ServiceStats* stats);
+                       ServiceStats* stats,
+                       ingest::IngestPipeline* pipeline = nullptr);
 
 }  // namespace cpd::server
 

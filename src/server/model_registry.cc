@@ -1,5 +1,6 @@
 #include "server/model_registry.h"
 
+#include <chrono>
 #include <utility>
 
 #include "util/logging.h"
@@ -8,14 +9,37 @@
 
 namespace cpd::server {
 
+namespace {
+int64_t SystemClockMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
 ModelRegistry::ModelRegistry(serve::ProfileIndexOptions options,
-                             const SocialGraph* graph)
-    : options_(options), graph_(graph) {}
+                             std::shared_ptr<const SocialGraph> graph)
+    : options_(options), graph_(std::move(graph)), clock_(SystemClockMillis) {}
 
 void ModelRegistry::SetVocabularyOverride(
     std::shared_ptr<const Vocabulary> vocab) {
   std::lock_guard<std::mutex> lock(reload_mutex_);
   vocab_override_ = std::move(vocab);
+}
+
+void ModelRegistry::SetGraph(std::shared_ptr<const SocialGraph> graph) {
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  graph_ = std::move(graph);
+}
+
+std::shared_ptr<const SocialGraph> ModelRegistry::graph() const {
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  return graph_;
+}
+
+void ModelRegistry::SetClock(Clock clock) {
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  clock_ = std::move(clock);
 }
 
 std::string ModelRegistry::path() const {
@@ -38,12 +62,14 @@ Status ModelRegistry::LoadFrom(const std::string& path) {
   auto model = std::make_shared<ServingModel>(std::move(bundle->index));
   model->vocabulary =
       vocab_override_ != nullptr ? vocab_override_ : bundle->vocabulary;
+  model->graph = graph_;  // Pinned: this generation owns a reference.
   // The engine binds references into this very ServingModel, so it is
   // created only after the index has reached its final address.
-  model->engine =
-      std::make_unique<const serve::QueryEngine>(model->index, graph_);
+  model->engine = std::make_unique<const serve::QueryEngine>(
+      model->index, model->graph.get());
   model->generation = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
   model->source_path = path;
+  model->loaded_unix_ms = clock_();
   path_ = path;
   {
     std::lock_guard<std::mutex> swap_lock(current_mutex_);

@@ -23,10 +23,13 @@
 /// race-free. The critical section is a refcount bump — tens of ns against
 /// microsecond-scale queries. Reloads are serialized by a separate mutex
 /// that readers never touch. The optional SocialGraph (diffusion queries)
-/// is process-lifetime state shared by every generation.
+/// is shared_ptr state pinned per generation: streaming ingest replaces the
+/// graph for *future* generations via SetGraph(), while every in-flight
+/// generation keeps the graph it was built over alive.
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,7 +45,8 @@ namespace cpd::server {
 
 /// One immutable generation of everything a request handler needs. The
 /// engine references the index and (optionally) the graph; both outlive it
-/// (the index lives in this struct, the graph in the process).
+/// (the index lives in this struct, the graph is pinned by this struct's
+/// shared_ptr).
 struct ServingModel {
   /// ProfileIndex has no public default constructor, so a ServingModel is
   /// born around a fully-built index (the engine is attached afterwards,
@@ -52,17 +56,23 @@ struct ServingModel {
 
   serve::ProfileIndex index;
   std::shared_ptr<const Vocabulary> vocabulary;  ///< Null when not bundled.
+  std::shared_ptr<const SocialGraph> graph;      ///< Null = no diffusion.
   std::unique_ptr<const serve::QueryEngine> engine;
   uint64_t generation = 0;
   std::string source_path;
+  int64_t loaded_unix_ms = 0;  ///< Registry clock at load time (statsz).
 };
 
 class ModelRegistry {
  public:
-  /// `graph` may be null (diffusion queries then FailedPrecondition) and
-  /// must outlive the registry when given.
+  /// Milliseconds since the Unix epoch; injectable so tests (and replays)
+  /// control the loaded_unix_ms stamped on each generation.
+  using Clock = std::function<int64_t()>;
+
+  /// `graph` may be null (diffusion queries then FailedPrecondition); each
+  /// generation pins the graph it was loaded with.
   explicit ModelRegistry(serve::ProfileIndexOptions options,
-                         const SocialGraph* graph = nullptr);
+                         std::shared_ptr<const SocialGraph> graph = nullptr);
 
   /// Loads `path` and makes it the serving model (initial load, or an
   /// admin-driven switch to a different artifact). On failure the previous
@@ -83,6 +93,18 @@ class ModelRegistry {
   /// and retroactively applies to the current model on LoadFrom.
   void SetVocabularyOverride(std::shared_ptr<const Vocabulary> vocab);
 
+  /// Replaces the graph bound into *future* generations (streaming ingest
+  /// publishes the merged graph before swapping in the fresh artifact).
+  /// Generations already serving keep their original graph alive.
+  void SetGraph(std::shared_ptr<const SocialGraph> graph);
+
+  /// The graph future generations will bind (rollback support: a caller
+  /// that publishes a new graph and then fails its LoadFrom restores this).
+  std::shared_ptr<const SocialGraph> graph() const;
+
+  /// Replaces the wall clock used for loaded_unix_ms (tests).
+  void SetClock(Clock clock);
+
   uint64_t generation() const {
     return generation_.load(std::memory_order_acquire);
   }
@@ -96,11 +118,12 @@ class ModelRegistry {
 
  private:
   serve::ProfileIndexOptions options_;
-  const SocialGraph* graph_;
 
   mutable std::mutex reload_mutex_;  ///< Serializes loads; readers skip it.
   std::string path_;                 ///< Guarded by reload_mutex_.
   std::shared_ptr<const Vocabulary> vocab_override_;  ///< Guarded too.
+  std::shared_ptr<const SocialGraph> graph_;          ///< Guarded too.
+  Clock clock_;                                       ///< Guarded too.
 
   std::atomic<uint64_t> generation_{0};
   std::atomic<uint64_t> reload_count_{0};

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "core/cpd_model.h"
+#include "ingest/ingest_pipeline.h"
+#include "ingest/update_batch.h"
 #include "serve/query_engine.h"
 #include "server/json_api.h"
 #include "server/model_registry.h"
@@ -72,6 +74,11 @@ class HttpServerTest : public ::testing::Test {
     return ::testing::TempDir() + "/" + name;
   }
 
+  /// Non-owning alias of the suite-cached graph (it outlives every test).
+  static std::shared_ptr<const SocialGraph> SharedGraph() {
+    return {&data_->graph, [](const SocialGraph*) {}};
+  }
+
   /// Saves `model` (with the training vocabulary bundled) to a temp .cpdb.
   static std::string SaveArtifact(const CpdModel& model, const char* name) {
     const std::string path = TempPath(name);
@@ -103,9 +110,10 @@ CpdModel* HttpServerTest::model_b_ = nullptr;
 /// Server + registry + routes around one artifact, torn down in order.
 struct ServingFixture {
   explicit ServingFixture(const std::string& artifact_path,
-                          const SocialGraph* graph = nullptr,
+                          std::shared_ptr<const SocialGraph> graph = nullptr,
                           HttpServerOptions options = {})
-      : registry(serve::ProfileIndexOptions{}, graph), server(MakeOptions(options)) {
+      : registry(serve::ProfileIndexOptions{}, std::move(graph)),
+        server(MakeOptions(options)) {
     CPD_CHECK(registry.LoadFrom(artifact_path).ok());
     server::RegisterCpdRoutes(&server, &registry, &stats);
   }
@@ -131,7 +139,7 @@ struct ServingFixture {
 
 TEST_F(HttpServerTest, AllQueryTypesAreByteIdenticalToInProcessEngine) {
   const std::string path = SaveArtifact(*model_a_, "parity.cpdb");
-  ServingFixture fixture(path, &data_->graph);
+  ServingFixture fixture(path, SharedGraph());
   ASSERT_TRUE(fixture.Start().ok());
   const int port = fixture.server.port();
 
@@ -540,6 +548,151 @@ TEST_F(HttpServerTest, ReloadSwapsModelsWithZeroFailedInFlightRequests) {
                 .status,
             500);
   EXPECT_EQ(Fetch(port, "POST", "/v1/query", body).body, expected_b);
+}
+
+// ----- streaming ingest -----
+
+TEST_F(HttpServerTest, IngestWithoutAPipelineIsATyped409) {
+  const std::string path = SaveArtifact(*model_a_, "ingest_off.cpdb");
+  ServingFixture fixture(path);  // No pipeline registered.
+  ASSERT_TRUE(fixture.Start().ok());
+  const HttpResponse response =
+      Fetch(fixture.server.port(), "POST", "/admin/ingest", "{}");
+  EXPECT_EQ(response.status, 409);
+  EXPECT_NE(response.body.find("ingest disabled"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, IngestUnderLoadSwapsWithZeroFailedRequests) {
+  const std::string artifact = SaveArtifact(*model_a_, "ingest_live.cpdb");
+
+  // Pipeline over the suite graph + the artifact's model.
+  ingest::IngestOptions ingest_options;
+  ingest_options.config.num_communities = model_a_->num_communities();
+  ingest_options.config.num_topics = model_a_->num_topics();
+  ingest_options.config.seed = 71;
+  ingest_options.warm_iterations = 1;
+  ingest_options.artifact_base = TempPath("ingest_live");
+  auto pipeline = ingest::IngestPipeline::Create(SharedGraph(), *model_a_,
+                                                 ingest_options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+  // Registry wired by hand: injected clock, graph, pipeline-enabled routes.
+  constexpr int64_t kFrozenClockMs = 1753948800123;
+  server::ModelRegistry registry(serve::ProfileIndexOptions{}, SharedGraph());
+  registry.SetClock([] { return kFrozenClockMs; });
+  ASSERT_TRUE(registry.LoadFrom(artifact).ok());
+  HttpServerOptions options;
+  options.port = 0;
+  options.threads = 8;
+  options.log_requests = false;
+  HttpServer server(options);
+  server::ServiceStats stats;
+  server::RegisterCpdRoutes(&server, &registry, &stats, pipeline->get());
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  // The injected clock is what /statsz reports for the load timestamp.
+  {
+    auto statsz = Json::Parse(Fetch(port, "GET", "/statsz").body);
+    ASSERT_TRUE(statsz.ok());
+    EXPECT_EQ(statsz->Find("model")->Find("loaded_unix_ms")->number(),
+              static_cast<double>(kFrozenClockMs));
+    EXPECT_EQ(statsz->Find("service")->Find("ingests")->number(), 0.0);
+  }
+
+  // The soon-to-be-ingested user does not exist yet: 404.
+  const size_t base_users = data_->graph.num_users();
+  const std::string new_user_target =
+      "/v1/membership/" + std::to_string(base_users);
+  EXPECT_EQ(Fetch(port, "GET", new_user_target).status, 404);
+
+  // Hammer an existing user's membership from two keep-alive connections
+  // while the ingest (graph merge + warm sweeps + artifact swap) runs:
+  // every response must be a 200 (zero failed requests across the swap).
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> traffic_count{0};
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 2; ++t) {
+    traffic.emplace_back([&] {
+      auto client = HttpClient::Connect(kHost, port);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      while (!stop.load()) {
+        auto response = client->RoundTrip("GET", "/v1/membership/2?k=3");
+        if (!response.ok() || response->status != 200 ||
+            response->body.empty()) {
+          failures.fetch_add(1);
+          return;
+        }
+        traffic_count.fetch_add(1);
+      }
+    });
+  }
+  while (traffic_count.load() < 20 && failures.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // One batch: 2 new users with replayed-token documents + friendships.
+  Rng rng(97);
+  ingest::SampleUpdateOptions batch_options;
+  batch_options.new_users = 2;
+  batch_options.docs_per_user = 2;
+  batch_options.friends_per_user = 2;
+  batch_options.diffusions = 2;
+  batch_options.time = data_->graph.num_time_bins() - 1;
+  const std::string batch_body =
+      ingest::UpdateBatchToJson(
+          ingest::SampleUpdateBatch(data_->graph, batch_options, &rng))
+          .Dump();
+  const HttpResponse ingest_response =
+      Fetch(port, "POST", "/admin/ingest", batch_body);
+  ASSERT_EQ(ingest_response.status, 200) << ingest_response.body;
+  auto ingest_json = Json::Parse(ingest_response.body);
+  ASSERT_TRUE(ingest_json.ok());
+  EXPECT_EQ(ingest_json->Find("generation")->number(), 2.0);
+  EXPECT_EQ(ingest_json->Find("ingested")->Find("users")->number(), 2.0);
+
+  // Keep traffic flowing past the swap, then stop: zero failures.
+  const int after_swap = traffic_count.load();
+  while (traffic_count.load() < after_swap + 20 && failures.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (std::thread& thread : traffic) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The previously-unknown user now answers from the new generation.
+  const HttpResponse membership = Fetch(port, "GET", new_user_target);
+  EXPECT_EQ(membership.status, 200) << membership.body;
+  EXPECT_NE(membership.body.find("\"top\""), std::string::npos);
+
+  // statsz reflects the landed swap: generation 2, ingest counters, and the
+  // new artifact path.
+  auto statsz = Json::Parse(Fetch(port, "GET", "/statsz").body);
+  ASSERT_TRUE(statsz.ok());
+  const Json* model_json = statsz->Find("model");
+  ASSERT_NE(model_json, nullptr);
+  EXPECT_EQ(model_json->Find("generation")->number(), 2.0);
+  EXPECT_EQ(model_json->Find("users")->number(),
+            static_cast<double>(base_users + 2));
+  EXPECT_NE(model_json->Find("path")->string_value().find(".g1.cpdb"),
+            std::string::npos);
+  const Json* service = statsz->Find("service");
+  EXPECT_EQ(service->Find("ingests")->number(), 1.0);
+  EXPECT_EQ(service->Find("ingested_users")->number(), 2.0);
+  EXPECT_GE(service->Find("ingested_documents")->number(), 1.0);
+
+  // A malformed batch is a typed client error and counts as a failure.
+  EXPECT_EQ(Fetch(port, "POST", "/admin/ingest", "{\"num_users\":-1}").status,
+            400);
+  statsz = Json::Parse(Fetch(port, "GET", "/statsz").body);
+  ASSERT_TRUE(statsz.ok());
+  EXPECT_EQ(statsz->Find("service")->Find("ingest_failures")->number(), 1.0);
+  server.Stop();
+  std::filesystem::remove(TempPath("ingest_live.g1.cpdb"));
 }
 
 // ----- graceful shutdown -----

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Docs gate (run from anywhere; CI's docs job runs it on every push):
+#   1. every relative markdown link in README.md and docs/*.md must resolve
+#      to an existing file (anchors are stripped; http(s) links skipped);
+#   2. every HTTP route registered in src/server/json_api.cc must appear in
+#      docs/HTTP_API.md, so new endpoints cannot ship undocumented.
+# Exits non-zero listing every violation.
+
+set -u
+cd "$(dirname "$0")/.."
+
+failures=0
+
+# ----- 1. intra-repo markdown links -----
+while IFS= read -r file; do
+  dir=$(dirname "$file")
+  # Extract (target) of [text](target), tolerating several links per line.
+  grep -oE '\]\([^)]+\)' "$file" | sed -e 's/^](//' -e 's/)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}"            # Strip the anchor.
+    [ -z "$path" ] && continue      # Pure same-file anchor.
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $file -> $target"
+      exit 1                        # Subshell: flag via exit status.
+    fi
+  done || failures=1
+done < <(ls README.md docs/*.md 2>/dev/null)
+
+# ----- 2. route coverage in docs/HTTP_API.md -----
+api_doc=docs/HTTP_API.md
+if [ ! -f "$api_doc" ]; then
+  echo "MISSING: $api_doc"
+  failures=1
+else
+  # Route patterns are the second string literal of server->Handle(...).
+  routes=$(grep -A1 -E 'server->Handle\(' src/server/json_api.cc |
+           grep -oE '"/[^"]*"' | tr -d '"' | sort -u)
+  if [ -z "$routes" ]; then
+    echo "ERROR: no routes extracted from src/server/json_api.cc" \
+         "(did the registration idiom change?)"
+    failures=1
+  fi
+  for route in $routes; do
+    if ! grep -qF "$route" "$api_doc"; then
+      echo "UNDOCUMENTED ROUTE: $route (registered in" \
+           "src/server/json_api.cc, absent from $api_doc)"
+      failures=1
+    fi
+  done
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK (links resolve, every route documented)"

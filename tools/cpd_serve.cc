@@ -7,13 +7,20 @@
 //             [--port 8080] [--host 127.0.0.1] [--threads 4]
 //             [--max_inflight 64] [--deadline_ms 0]
 //             [--users N --docs docs.tsv --friends friends.tsv
-//              --diffusion diffusion.tsv]        (enables diffusion queries)
+//              --diffusion diffusion.tsv]   (enables diffusion queries AND
+//                                            streaming ingest)
+//             [--warm_iters 2] [--ingest_threads 1] [--ingest_out base]
 //
-// Endpoints (see src/server/json_api.h for the wire format):
+// Endpoints (see docs/HTTP_API.md for the wire format):
 //   POST /v1/query              single {"type":...} or {"batch":[...]}
 //   GET  /v1/membership/{user}  ?k=N&distribution=1
 //   GET  /healthz | /statsz
 //   POST /admin/reload          re-reads --model (or {"path":...} switch)
+//   POST /admin/ingest          UpdateBatch JSON -> warm-started model ->
+//                               fresh artifact -> zero-downtime swap
+//                               (needs the training-graph quartet above;
+//                                artifacts land at <--ingest_out>.gN.cpdb,
+//                                default <--model>)
 //
 // Overload returns 429 + Retry-After; requests over --deadline_ms return
 // 504; SIGINT drains in-flight requests before exiting.
@@ -25,12 +32,13 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <optional>
 #include <set>
 #include <string>
 #include <thread>
 
+#include "core/cpd_model.h"
 #include "graph/graph_io.h"
+#include "ingest/ingest_pipeline.h"
 #include "server/http_server.h"
 #include "server/json_api.h"
 #include "server/model_registry.h"
@@ -47,14 +55,17 @@ void Usage(const char* argv0) {
                "          [--port 8080] [--host 127.0.0.1] [--threads 4]\n"
                "          [--max_inflight 64] [--deadline_ms 0]\n"
                "          [--users N --docs docs.tsv --friends friends.tsv "
-               "--diffusion diffusion.tsv]\n",
+               "--diffusion diffusion.tsv]\n"
+               "          [--warm_iters 2] [--ingest_threads 1] "
+               "[--ingest_out base]\n",
                argv0);
 }
 
 const std::set<std::string> kKnownFlags = {
     "model", "vocab",   "top_k",        "port",        "host",
     "threads", "users", "docs",         "friends",     "diffusion",
-    "max_inflight",     "deadline_ms"};
+    "max_inflight",     "deadline_ms",  "warm_iters",  "ingest_threads",
+    "ingest_out"};
 
 std::atomic<bool> g_shutdown{false};
 
@@ -86,7 +97,7 @@ int main(int argc, char** argv) {
   index_options.membership_top_k =
       static_cast<int>(int_flag("top_k", index_options.membership_top_k));
 
-  std::optional<cpd::SocialGraph> graph;
+  std::shared_ptr<const cpd::SocialGraph> graph;
   if (args.count("docs")) {
     if (!args.count("users") || !args.count("friends") ||
         !args.count("diffusion")) {
@@ -103,11 +114,10 @@ int main(int argc, char** argv) {
                    loaded.status().ToString().c_str());
       return 1;
     }
-    graph = std::move(*loaded);
+    graph = std::make_shared<const cpd::SocialGraph>(std::move(*loaded));
   }
 
-  cpd::server::ModelRegistry registry(index_options,
-                                      graph ? &*graph : nullptr);
+  cpd::server::ModelRegistry registry(index_options, graph);
   if (args.count("vocab")) {
     auto vocab = cpd::Vocabulary::LoadFromFile(args["vocab"]);
     if (!vocab.ok()) {
@@ -135,6 +145,43 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Streaming ingest: with the training graph loaded, POST /admin/ingest
+  // warm-starts the model and swaps fresh artifacts through the registry.
+  std::unique_ptr<cpd::ingest::IngestPipeline> pipeline;
+  if (graph != nullptr) {
+    // Pipeline-setup failures only disable the ingest route (it answers
+    // 409); read traffic keeps serving — e.g. a text-format artifact (the
+    // registry sniffs it, but warm starts need the binary form) or a
+    // graph/model mismatch.
+    auto trained = cpd::CpdModel::LoadBinary(args["model"]);
+    if (!trained.ok()) {
+      CPD_LOG(Warning) << "ingest disabled (model not loadable as .cpdb): "
+                       << trained.status().ToString();
+    } else {
+      cpd::ingest::IngestOptions ingest_options;
+      ingest_options.config = trained->config();
+      ingest_options.config.num_communities = trained->num_communities();
+      ingest_options.config.num_topics = trained->num_topics();
+      ingest_options.config.num_threads =
+          static_cast<int>(int_flag("ingest_threads", 1));
+      ingest_options.warm_iterations =
+          static_cast<int>(int_flag("warm_iters", 2));
+      ingest_options.artifact_base =
+          args.count("ingest_out") ? args["ingest_out"] : args["model"];
+      auto created = cpd::ingest::IngestPipeline::Create(graph, *trained,
+                                                         ingest_options);
+      if (!created.ok()) {
+        CPD_LOG(Warning) << "ingest disabled: "
+                         << created.status().ToString();
+      } else {
+        pipeline = std::move(*created);
+        std::printf("streaming ingest enabled (POST /admin/ingest, "
+                    "artifacts at %s.gN.cpdb)\n",
+                    ingest_options.artifact_base.c_str());
+      }
+    }
+  }
+
   cpd::server::HttpServerOptions options;
   options.host = args.count("host") ? args["host"] : options.host;
   options.port = static_cast<int>(int_flag("port", 8080));
@@ -146,7 +193,7 @@ int main(int argc, char** argv) {
 
   cpd::server::HttpServer server(options);
   cpd::server::ServiceStats stats;
-  cpd::server::RegisterCpdRoutes(&server, &registry, &stats);
+  cpd::server::RegisterCpdRoutes(&server, &registry, &stats, pipeline.get());
   const cpd::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
