@@ -3,21 +3,35 @@
 // Trains one model on the Twitter-like preset, saves a v2 ".cpdb" artifact
 // (vocabulary bundled), serves it through the real stack (ModelRegistry +
 // HttpServer + JSON endpoints on loopback), and drives a closed-loop load
-// generator against POST /v1/query: at 1 / 4 / 16 concurrent keep-alive
-// connections, every connection issues its next request as soon as the
-// previous response lands. Reports per-level qps and p50/p99 request
-// latency, plus a single-connection GET /healthz baseline that isolates
-// transport cost (framing + JSON + loopback) from query cost.
+// generator against POST /v1/query over an io_mode x coalescing matrix:
 //
-// Follows the BENCH_query.json conventions: argument-free, laptop-friendly
-// scale, honors CPD_BENCH_JSON_DIR, records hardware_concurrency (a 1-core
-// container cannot show concurrency gains; CI's multicore runners do).
+//   blocking          1 / 4 / 16 connections (the thread-per-connection
+//                     path; its accept edge caps connections at the worker
+//                     count, so wider sweeps are meaningless here)
+//   epoll             1 / 16 / 256 / 1024 connections
+//   epoll+coalesce    16 / 256 / 1024 connections (micro-batch window on)
+//
+// Levels whose fd appetite (client + server side) would cross the process
+// RLIMIT_NOFILE are skipped with a note rather than failing half-connected.
+//
+// Every connection issues its next request as soon as the previous response
+// lands. Reports per-level qps and p50/p99 request latency, plus a
+// single-connection GET /healthz baseline that isolates transport cost
+// (framing + JSON + loopback) from query cost. `--connections N` overrides
+// the sweep with one custom level (e.g. 1024) on the epoll configs.
+//
+// Follows the BENCH_query.json conventions: laptop-friendly scale, honors
+// CPD_BENCH_JSON_DIR, records hardware_concurrency (a 1-core container
+// cannot show concurrency gains; CI's multicore runners do).
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -27,6 +41,7 @@
 #include "bench_common.h"
 #include "serve/profile_index.h"
 #include "serve/query_engine.h"
+#include "server/coalescer.h"
 #include "server/http_server.h"
 #include "server/json_api.h"
 #include "server/model_registry.h"
@@ -37,15 +52,24 @@
 namespace cpd::bench {
 namespace {
 
-// Comfortably above 2x the largest connection level: a finished client's
-// server-side connection lingers for a moment after close, so warm-up and
-// measured connections can briefly coexist without tripping the accept-edge
-// 429 shed.
+// Comfortably above 2x the largest blocking-mode connection level: a
+// finished client's server-side connection lingers for a moment after
+// close, so warm-up and measured connections can briefly coexist without
+// tripping the accept-edge 429 shed.
 constexpr int kServerThreads = 40;
 constexpr size_t kRequestsPerLevel = 3000;
-const int kConnectionLevels[] = {1, 4, 16};
+
+struct BenchConfig {
+  const char* label;
+  server::IoMode io_mode;
+  bool coalesce;
+  std::vector<int> levels;
+};
 
 struct LevelResult {
+  const char* config_label = "";
+  server::IoMode io_mode = server::IoMode::kBlocking;
+  bool coalesce = false;
   int connections = 0;
   size_t requests = 0;
   double qps = 0.0;
@@ -111,7 +135,10 @@ LevelResult RunLevel(int port, const std::vector<std::string>& workload,
                      int connections) {
   LevelResult result;
   result.connections = connections;
-  const size_t per_connection = workload.size() / static_cast<size_t>(connections);
+  // At least 8 requests per connection (cycling the workload) so the wide
+  // levels measure steady-state serving, not just connection setup.
+  const size_t per_connection = std::max<size_t>(
+      workload.size() / static_cast<size_t>(connections), 8);
   result.requests = per_connection * static_cast<size_t>(connections);
 
   std::vector<std::vector<double>> latencies(
@@ -131,8 +158,8 @@ LevelResult RunLevel(int port, const std::vector<std::string>& workload,
       const size_t begin = static_cast<size_t>(c) * per_connection;
       for (size_t i = 0; i < per_connection; ++i) {
         WallTimer timer;
-        auto response =
-            client->RoundTrip("POST", "/v1/query", workload[begin + i]);
+        auto response = client->RoundTrip(
+            "POST", "/v1/query", workload[(begin + i) % workload.size()]);
         const double us = timer.ElapsedSeconds() * 1e6;
         if (!response.ok() || response->status != 200) {
           failures.fetch_add(1);
@@ -157,7 +184,7 @@ LevelResult RunLevel(int port, const std::vector<std::string>& workload,
   return result;
 }
 
-void Run() {
+void Run(int override_connections) {
   BenchScale scale = BenchScale::FromEnv();
   const BenchDataset& dataset = TwitterDataset(scale);
   PrintBenchHeader("HTTP serving layer (cpd_serve stack)", scale, dataset);
@@ -183,58 +210,127 @@ void Run() {
       std::shared_ptr<const SocialGraph>(&dataset.data.graph,
                                          [](const SocialGraph*) {}));
   CPD_CHECK(registry.LoadFrom(artifact_path).ok());
-  server::HttpServerOptions options;
-  options.port = 0;
-  options.threads = kServerThreads;
-  options.max_inflight = 64;
-  options.log_requests = false;  // The request log would dominate the bench.
-  server::HttpServer http_server(options);
-  server::ServiceStats stats;
-  server::RegisterCpdRoutes(&http_server, &registry, &stats);
-  CPD_CHECK(http_server.Start().ok());
-  const int port = http_server.port();
 
   Rng rng(20260731);
   const std::vector<std::string> workload = BuildWireWorkload(
       dataset.data.graph, registry.Snapshot()->index, kRequestsPerLevel, &rng);
 
-  // Transport-only baseline: /healthz round trips on one connection.
-  {
-    auto client = server::HttpClient::Connect("127.0.0.1", port);
-    CPD_CHECK(client.ok());
-    for (int i = 0; i < 50; ++i) {  // Warm-up.
-      CPD_CHECK(client->RoundTrip("GET", "/healthz").ok());
+  std::vector<BenchConfig> configs = {
+      {"blocking", server::IoMode::kBlocking, false, {1, 4, 16}},
+      {"epoll", server::IoMode::kEpoll, false, {1, 16, 256, 1024}},
+      {"epoll+coalesce", server::IoMode::kEpoll, true, {16, 256, 1024}},
+  };
+  if (override_connections > 0) {
+    for (BenchConfig& bench_config : configs) {
+      bench_config.levels = {override_connections};
+    }
+    if (override_connections > kServerThreads) {
+      // The blocking accept edge sheds past the worker count; a wider
+      // custom level only makes sense on the epoll configs.
+      std::printf("skipping blocking config (%d connections > %d workers)\n",
+                  override_connections, kServerThreads);
+      configs.erase(configs.begin());
     }
   }
-  std::vector<double> health_us;
-  {
-    auto client = server::HttpClient::Connect("127.0.0.1", port);
-    CPD_CHECK(client.ok());
-    health_us.reserve(500);
-    for (int i = 0; i < 500; ++i) {
-      WallTimer timer;
-      CPD_CHECK(client->RoundTrip("GET", "/healthz").ok());
-      health_us.push_back(timer.ElapsedSeconds() * 1e6);
-    }
-  }
-  const double health_p50 = Percentile(&health_us, 0.50);
-  std::printf("transport baseline (GET /healthz): p50 %.1f us\n", health_p50);
 
-  std::vector<LevelResult> levels;
-  for (const int connections : kConnectionLevels) {
-    // Warm-up pass at this width, then the measured pass (with a breather
-    // so the warm-up's closed connections finish their server-side
-    // teardown and free worker slots).
-    RunLevel(port, workload, connections);
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    const LevelResult result = RunLevel(port, workload, connections);
-    std::printf(
-        "%2d connection%s: %7.0f req/sec   p50 %7.1f us   p99 %8.1f us\n",
-        result.connections, result.connections == 1 ? " " : "s", result.qps,
-        result.p50_us, result.p99_us);
-    levels.push_back(result);
+  // Every connection costs two fds in this process (client + server end);
+  // drop levels a constrained RLIMIT_NOFILE could not carry half-connected.
+  rlimit nofile{};
+  if (getrlimit(RLIMIT_NOFILE, &nofile) == 0) {
+    const rlim_t budget = nofile.rlim_cur;
+    for (BenchConfig& bench_config : configs) {
+      std::vector<int> kept;
+      for (const int level : bench_config.levels) {
+        if (static_cast<rlim_t>(level) * 2 + 64 <= budget) {
+          kept.push_back(level);
+        } else {
+          std::printf(
+              "skipping %s @ %d connections (RLIMIT_NOFILE %llu too low)\n",
+              bench_config.label, level,
+              static_cast<unsigned long long>(budget));
+        }
+      }
+      bench_config.levels = std::move(kept);
+    }
   }
-  http_server.Stop();
+
+  double health_p50 = 0.0;
+  std::vector<LevelResult> levels;
+  for (const BenchConfig& bench_config : configs) {
+    server::HttpServerOptions options;
+    options.port = 0;
+    options.io_mode = bench_config.io_mode;
+    options.threads = kServerThreads;
+    options.max_connections =
+        std::max(2048, override_connections * 2);
+    options.max_inflight = 64;
+    options.log_requests = false;  // The log would dominate the bench.
+    server::CoalescerOptions coalescer_options;
+    coalescer_options.window_us = bench_config.coalesce ? 200 : 0;
+    coalescer_options.max_batch = 16;
+    server::Coalescer coalescer(coalescer_options);
+    server::HttpServer http_server(options);
+    server::ServiceStats stats;
+    server::RegisterCpdRoutes(&http_server, &registry, &stats,
+                              /*pipeline=*/nullptr, &coalescer);
+    CPD_CHECK(http_server.Start().ok());
+    const int port = http_server.port();
+
+    if (bench_config.io_mode == server::IoMode::kBlocking &&
+        !bench_config.coalesce) {
+      // Transport-only baseline: /healthz round trips on one connection
+      // (measured on the blocking path so it stays comparable with the
+      // pre-event-loop numbers).
+      auto warm = server::HttpClient::Connect("127.0.0.1", port);
+      CPD_CHECK(warm.ok());
+      for (int i = 0; i < 50; ++i) {
+        CPD_CHECK(warm->RoundTrip("GET", "/healthz").ok());
+      }
+      auto client = server::HttpClient::Connect("127.0.0.1", port);
+      CPD_CHECK(client.ok());
+      std::vector<double> health_us;
+      health_us.reserve(500);
+      for (int i = 0; i < 500; ++i) {
+        WallTimer timer;
+        CPD_CHECK(client->RoundTrip("GET", "/healthz").ok());
+        health_us.push_back(timer.ElapsedSeconds() * 1e6);
+      }
+      health_p50 = Percentile(&health_us, 0.50);
+      std::printf("transport baseline (GET /healthz): p50 %.1f us\n",
+                  health_p50);
+    }
+
+    std::printf("-- %s --\n", bench_config.label);
+    for (const int connections : bench_config.levels) {
+      // Warm-up pass at this width, then the measured pass (with a
+      // breather so the warm-up's closed connections finish their
+      // server-side teardown and free capacity).
+      RunLevel(port, workload, connections);
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      LevelResult result = RunLevel(port, workload, connections);
+      result.config_label = bench_config.label;
+      result.io_mode = bench_config.io_mode;
+      result.coalesce = bench_config.coalesce;
+      std::printf(
+          "%4d connection%s: %7.0f req/sec   p50 %7.1f us   p99 %8.1f us\n",
+          result.connections, result.connections == 1 ? " " : "s",
+          result.qps, result.p50_us, result.p99_us);
+      levels.push_back(result);
+    }
+    if (bench_config.coalesce) {
+      const server::CoalescerStats batching = coalescer.stats();
+      std::printf(
+          "   coalescer: %llu requests in %llu batches (%llu coalesced; "
+          "seals: %llu full, %llu timeout, %llu swap)\n",
+          static_cast<unsigned long long>(batching.requests),
+          static_cast<unsigned long long>(batching.batches),
+          static_cast<unsigned long long>(batching.coalesced),
+          static_cast<unsigned long long>(batching.flush_full),
+          static_cast<unsigned long long>(batching.flush_timeout),
+          static_cast<unsigned long long>(batching.flush_mismatch));
+    }
+    http_server.Stop();
+  }
   std::filesystem::remove(artifact_path);
 
   std::string json = "{\n  \"bench\": \"server_load\",\n";
@@ -250,11 +346,13 @@ void Run() {
   json += "  \"levels\": [\n";
   for (size_t i = 0; i < levels.size(); ++i) {
     json += StrFormat(
-        "    {\"connections\": %d, \"requests\": %zu, "
-        "\"queries_per_sec\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
-        levels[i].connections, levels[i].requests, levels[i].qps,
-        levels[i].p50_us, levels[i].p99_us,
-        i + 1 < levels.size() ? "," : "");
+        "    {\"io_mode\": \"%s\", \"coalesce\": %s, \"connections\": %d, "
+        "\"requests\": %zu, \"queries_per_sec\": %.1f, \"p50_us\": %.2f, "
+        "\"p99_us\": %.2f}%s\n",
+        server::IoModeName(levels[i].io_mode),
+        levels[i].coalesce ? "true" : "false", levels[i].connections,
+        levels[i].requests, levels[i].qps, levels[i].p50_us,
+        levels[i].p99_us, i + 1 < levels.size() ? "," : "");
   }
   json += "  ]\n}\n";
 
@@ -274,7 +372,16 @@ void Run() {
 }  // namespace
 }  // namespace cpd::bench
 
-int main() {
-  cpd::bench::Run();
+int main(int argc, char** argv) {
+  int override_connections = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
+      override_connections = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--connections N]\n", argv[0]);
+      return 2;
+    }
+  }
+  cpd::bench::Run(override_connections);
   return 0;
 }

@@ -1,0 +1,97 @@
+#include "server/coalescer.h"
+
+#include <chrono>
+#include <span>
+#include <utility>
+
+namespace cpd::server {
+
+Coalescer::Coalescer(CoalescerOptions options) : options_(options) {
+  if (options_.max_batch < 1) options_.max_batch = 1;
+}
+
+void Coalescer::Seal(Batch* batch, std::atomic<uint64_t>* reason) {
+  // Caller holds mutex_.
+  if (batch->sealed) return;
+  batch->sealed = true;
+  if (reason != nullptr) reason->fetch_add(1, std::memory_order_relaxed);
+  if (open_.get() == batch) open_.reset();
+  batch->cv.notify_all();  // Wake the leader out of its window sleep.
+}
+
+StatusOr<serve::QueryResponse> Coalescer::Execute(
+    const std::shared_ptr<const ServingModel>& model,
+    serve::QueryRequest request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!enabled() || options_.max_batch == 1) {
+    return model->engine->Query(request);
+  }
+
+  std::shared_ptr<Batch> batch;
+  size_t slot = 0;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (open_ != nullptr && open_->model.get() != model.get()) {
+      // A hot swap landed mid-window: flush the stale-generation batch and
+      // open a fresh one rather than mixing generations.
+      Seal(open_.get(), &flush_mismatch_);
+    }
+    if (open_ == nullptr) {
+      batch = std::make_shared<Batch>();
+      batch->model = model;
+      open_ = batch;
+      leader = true;
+    } else {
+      batch = open_;
+    }
+    slot = batch->requests.size();
+    batch->requests.push_back(std::move(request));
+    if (static_cast<int>(batch->requests.size()) >= options_.max_batch) {
+      Seal(batch.get(), &flush_full_);
+    }
+
+    if (leader) {
+      // Sleep out the window (or until a join seals the batch early).
+      const bool sealed_early = batch->cv.wait_for(
+          lock, std::chrono::microseconds(options_.window_us),
+          [&] { return batch->sealed; });
+      if (!sealed_early) Seal(batch.get(), &flush_timeout_);
+    } else {
+      batch->cv.wait(lock, [&] { return batch->done; });
+      return std::move(batch->results[slot]);
+    }
+  }
+
+  // Leader, outside the lock: run the sealed batch through the one batched
+  // scoring path and publish per-slot results.
+  std::vector<StatusOr<serve::QueryResponse>> results =
+      batch->model->engine->QueryBatch(
+          std::span<const serve::QueryRequest>(batch->requests),
+          /*pool=*/nullptr);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (results.size() >= 2) {
+    coalesced_.fetch_add(results.size(), std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch->results = std::move(results);
+    batch->done = true;
+  }
+  batch->cv.notify_all();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(batch->results[slot]);
+}
+
+CoalescerStats Coalescer::stats() const {
+  CoalescerStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.flush_full = flush_full_.load(std::memory_order_relaxed);
+  stats.flush_timeout = flush_timeout_.load(std::memory_order_relaxed);
+  stats.flush_mismatch = flush_mismatch_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace cpd::server

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace cpd::server {
@@ -186,6 +187,98 @@ StatusOr<HttpRequest> ParseRequestHead(std::string_view head) {
   return request;
 }
 
+HttpResponse MakeErrorResponse(int http_status, const Status& status,
+                               int retry_after_ms) {
+  Json error = Json::MakeObject();
+  error.Set("code", Json(StatusCodeToString(status.code())));
+  error.Set("message", Json(status.message()));
+  if (retry_after_ms > 0) error.Set("retry_after_ms", Json(retry_after_ms));
+  Json body = Json::MakeObject();
+  body.Set("error", std::move(error));
+  HttpResponse response;
+  response.status = http_status;
+  response.body = body.Dump();
+  return response;
+}
+
+// ----- RequestParser -----
+
+RequestParser::State RequestParser::Feed(std::string_view bytes) {
+  if (!NeedsMore()) return state_;  // Completed/errored; bytes would be lost.
+  buffer_.append(bytes);
+  return Advance();
+}
+
+RequestParser::State RequestParser::Fail(int http_status, Status status) {
+  state_ = State::kError;
+  error_ = std::move(status);
+  error_http_status_ = http_status;
+  return state_;
+}
+
+RequestParser::State RequestParser::Advance() {
+  if (state_ == State::kHead) {
+    const size_t terminator = buffer_.find(kHeadTerminator);
+    if (terminator == std::string::npos) {
+      if (buffer_.size() > max_head_bytes_) {
+        return Fail(431,
+                    Status::OutOfRange("message head exceeds the size cap"));
+      }
+      return state_;
+    }
+    head_size_ = terminator + kHeadTerminator.size();
+    // The cap binds the head itself, not just the unterminated prefix: a
+    // complete oversized head arriving in one read is equally over budget.
+    if (head_size_ > max_head_bytes_) {
+      return Fail(431,
+                  Status::OutOfRange("message head exceeds the size cap"));
+    }
+    auto request =
+        ParseRequestHead(std::string_view(buffer_).substr(0, head_size_));
+    if (!request.ok()) return Fail(400, request.status());
+    request_ = std::move(*request);
+
+    body_size_ = 0;
+    const std::string& length = request_.Header("Content-Length");
+    if (!length.empty()) {
+      char* end = nullptr;
+      const unsigned long long parsed =
+          std::strtoull(length.c_str(), &end, 10);
+      if (end != length.c_str() + length.size()) {
+        return Fail(400, Status::InvalidArgument("malformed Content-Length"));
+      }
+      // The declared length is checked here, before a single body byte is
+      // buffered: an oversized upload costs the server one head, never
+      // max_body_bytes of memory.
+      if (parsed > max_body_bytes_) {
+        return Fail(
+            413, Status::OutOfRange("request body exceeds the size cap"));
+      }
+      body_size_ = static_cast<size_t>(parsed);
+    } else if (!request_.Header("Transfer-Encoding").empty()) {
+      return Fail(400, Status::InvalidArgument(
+                           "chunked transfer encoding not supported"));
+    }
+    state_ = State::kBody;
+  }
+  if (state_ == State::kBody && buffer_.size() >= head_size_ + body_size_) {
+    request_.body = buffer_.substr(head_size_, body_size_);
+    state_ = State::kComplete;
+  }
+  return state_;
+}
+
+HttpRequest RequestParser::TakeRequest() {
+  HttpRequest request = std::move(request_);
+  request_ = HttpRequest{};
+  buffer_.erase(0, head_size_ + body_size_);
+  head_size_ = 0;
+  body_size_ = 0;
+  state_ = State::kHead;
+  Advance();  // Pipelined bytes may already complete the next request.
+  return request;
+}
+
 // ----- HttpStream -----
 
 StatusOr<size_t> HttpStream::BufferHead(size_t max_head_bytes) {
@@ -229,31 +322,33 @@ Status HttpStream::BufferBody(size_t total) {
 
 StatusOr<HttpRequest> HttpStream::ReadRequest(size_t max_head_bytes,
                                               size_t max_body_bytes) {
-  auto head_size = BufferHead(max_head_bytes);
-  if (!head_size.ok()) return head_size.status();
-  auto request = ParseRequestHead(
-      std::string_view(buffer_).substr(0, *head_size));
-  if (!request.ok()) return request.status();
-
-  size_t body_size = 0;
-  const std::string& length = request->Header("Content-Length");
-  if (!length.empty()) {
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(length.c_str(), &end, 10);
-    if (end != length.c_str() + length.size()) {
-      return Status::InvalidArgument("malformed Content-Length");
-    }
-    if (parsed > max_body_bytes) {
-      return Status::OutOfRange("request body exceeds the size cap");
-    }
-    body_size = static_cast<size_t>(parsed);
-  } else if (!request->Header("Transfer-Encoding").empty()) {
-    return Status::InvalidArgument("chunked transfer encoding not supported");
+  last_error_http_status_ = 0;
+  if (parser_ == nullptr) {
+    parser_ = std::make_unique<RequestParser>(max_head_bytes, max_body_bytes);
   }
-  CPD_RETURN_IF_ERROR(BufferBody(*head_size + body_size));
-  request->body = buffer_.substr(*head_size, body_size);
-  buffer_.erase(0, *head_size + body_size);
-  return request;
+  while (parser_->NeedsMore()) {
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      if (!parser_->HasPartialData()) {
+        return Status::NotFound("peer closed the connection");
+      }
+      return Status::InvalidArgument(
+          parser_->state() == RequestParser::State::kBody
+              ? "connection closed mid-body"
+              : "connection closed mid-head");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("recv failed: %s", strerror(errno)));
+    }
+    parser_->Feed(std::string_view(chunk, static_cast<size_t>(n)));
+  }
+  if (parser_->state() == RequestParser::State::kError) {
+    last_error_http_status_ = parser_->error_http_status();
+    return parser_->error();
+  }
+  return parser_->TakeRequest();
 }
 
 StatusOr<HttpResponse> HttpStream::ReadResponse(size_t max_body_bytes) {

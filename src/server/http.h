@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -73,8 +74,75 @@ std::string SerializeRequest(const HttpRequest& request,
                              const std::string& host);
 
 /// Parses a request head (request line + headers, no body); used by
-/// HttpStream and directly by the framing tests.
+/// RequestParser and directly by the framing tests.
 StatusOr<HttpRequest> ParseRequestHead(std::string_view head);
+
+/// The one error body every non-2xx response uses (docs/HTTP_API.md pins
+/// it): {"error":{"code":"<StatusCode name>","message":...}} with an
+/// optional "retry_after_ms" (only load-shed 429s carry one). Defined here
+/// — below the routes — so the transport's framing/admission errors and
+/// json_api's typed errors are the same shape by construction.
+HttpResponse MakeErrorResponse(int http_status, const Status& status,
+                               int retry_after_ms = 0);
+
+/// Incremental (resumable) HTTP/1.1 request parser — the request framing
+/// shared by the blocking connection loop and the epoll event loop. Feed()
+/// bytes as they arrive; the parser buffers a head, validates the framing
+/// (including the Content-Length body cap *before* a single body byte is
+/// buffered, so an oversized upload is rejected by its declared length,
+/// never stored), then buffers the body. Pipelined bytes beyond one
+/// request are retained for the next TakeRequest() cycle.
+class RequestParser {
+ public:
+  enum class State {
+    kHead,      ///< Collecting request line + headers.
+    kBody,      ///< Head parsed; collecting Content-Length bytes.
+    kComplete,  ///< One full request ready (TakeRequest()).
+    kError,     ///< Framing error; connection must close after the 4xx.
+  };
+
+  RequestParser(size_t max_head_bytes, size_t max_body_bytes)
+      : max_head_bytes_(max_head_bytes), max_body_bytes_(max_body_bytes) {}
+
+  /// Appends bytes and advances the state machine as far as possible.
+  State Feed(std::string_view bytes);
+
+  State state() const { return state_; }
+  bool NeedsMore() const {
+    return state_ == State::kHead || state_ == State::kBody;
+  }
+
+  /// True when a partial message is buffered (a mid-message peer close is
+  /// then malformed framing, not a clean end-of-stream).
+  bool HasPartialData() const { return NeedsMore() && !buffer_.empty(); }
+
+  /// Moves the completed request out and resumes parsing any pipelined
+  /// bytes already buffered (state() afterwards may be kComplete again).
+  /// Only valid in kComplete.
+  HttpRequest TakeRequest();
+
+  /// Typed framing error (kError only): InvalidArgument = malformed,
+  /// OutOfRange = over a size cap.
+  const Status& error() const { return error_; }
+
+  /// HTTP status for the framing error: 400 malformed, 431 head over cap,
+  /// 413 declared body over cap. 0 unless state() == kError.
+  int error_http_status() const { return error_http_status_; }
+
+ private:
+  State Advance();
+  State Fail(int http_status, Status status);
+
+  size_t max_head_bytes_;
+  size_t max_body_bytes_;
+  State state_ = State::kHead;
+  std::string buffer_;
+  size_t head_size_ = 0;  ///< Bytes of buffer_ holding the parsed head.
+  size_t body_size_ = 0;  ///< Declared Content-Length.
+  HttpRequest request_;   ///< Head fields while in kBody/kComplete.
+  Status error_;
+  int error_http_status_ = 0;
+};
 
 /// Buffered blocking reader/writer over a connected socket. Does not own
 /// the fd's lifetime policy (caller closes); Read* calls block until a full
@@ -83,9 +151,16 @@ class HttpStream {
  public:
   explicit HttpStream(int fd) : fd_(fd) {}
 
-  /// Reads one full request (head + Content-Length body).
+  /// Reads one full request (head + Content-Length body) through a
+  /// RequestParser, so the blocking path frames requests byte-identically
+  /// to the epoll event loop (including rejecting an over-cap
+  /// Content-Length before buffering the body).
   StatusOr<HttpRequest> ReadRequest(size_t max_head_bytes,
                                     size_t max_body_bytes);
+
+  /// HTTP status of the last ReadRequest framing failure (400/413/431),
+  /// or 0 when the last error was not a framing error (clean close, IO).
+  int last_error_http_status() const { return last_error_http_status_; }
 
   /// Reads one full response (client side).
   StatusOr<HttpResponse> ReadResponse(size_t max_body_bytes);
@@ -98,13 +173,16 @@ class HttpStream {
 
  private:
   /// Ensures buffer_ holds a full "\r\n\r\n"-terminated head; returns its
-  /// length including the terminator.
+  /// length including the terminator. (Client-side response framing; the
+  /// request side lives in RequestParser.)
   StatusOr<size_t> BufferHead(size_t max_head_bytes);
   /// Ensures buffer_ holds >= `total` bytes.
   Status BufferBody(size_t total);
 
   int fd_;
-  std::string buffer_;
+  std::string buffer_;                      ///< Response-side read buffer.
+  std::unique_ptr<RequestParser> parser_;   ///< Request-side, lazily made.
+  int last_error_http_status_ = 0;
 };
 
 /// Blocking keep-alive HTTP client (tests + load generator). One in-flight

@@ -40,9 +40,21 @@ std::vector<std::string> SplitPath(const std::string& path) {
 
 }  // namespace
 
+StatusOr<IoMode> ParseIoMode(const std::string& text) {
+  if (text == "blocking") return IoMode::kBlocking;
+  if (text == "epoll") return IoMode::kEpoll;
+  return Status::InvalidArgument("unknown io mode '" + text +
+                                 "' (expected blocking|epoll)");
+}
+
+const char* IoModeName(IoMode mode) {
+  return mode == IoMode::kEpoll ? "epoll" : "blocking";
+}
+
 HttpServer::HttpServer(HttpServerOptions options)
     : options_(std::move(options)) {
   if (options_.threads < 1) options_.threads = 1;
+  if (options_.max_connections < 1) options_.max_connections = 1;
   if (options_.max_inflight < 1) options_.max_inflight = 1;
 }
 
@@ -82,7 +94,15 @@ Status HttpServer::Start() {
     listen_fd_ = -1;
     return status;
   }
-  if (::listen(listen_fd_, /*backlog=*/128) != 0) {
+  // The backlog must carry a simultaneous connect storm up to the
+  // connection cap (the 256/1024-connection bench levels open everything
+  // at once; an overflowed SYN queue costs each victim a 1s retransmit).
+  // The kernel clamps to net.core.somaxconn.
+  const int backlog =
+      std::max(128, options_.io_mode == IoMode::kEpoll
+                        ? options_.max_connections
+                        : options_.threads);
+  if (::listen(listen_fd_, backlog) != 0) {
     const Status status =
         Status::IOError(StrFormat("listen failed: %s", strerror(errno)));
     ::close(listen_fd_);
@@ -97,9 +117,29 @@ Status HttpServer::Start() {
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(options_.threads));
-  listener_ = std::thread([this] { ListenerLoop(); });
+  if (options_.io_mode == IoMode::kEpoll) {
+    EventLoopOptions loop_options;
+    loop_options.max_connections = options_.max_connections;
+    loop_options.idle_timeout_ms = options_.idle_timeout_ms;
+    loop_options.max_head_bytes = options_.max_head_bytes;
+    loop_options.max_body_bytes = options_.max_body_bytes;
+    event_loop_ = std::make_unique<EventLoop>(
+        listen_fd_, loop_options, static_cast<EventLoopHandler*>(this));
+    Status started = event_loop_->Start();
+    if (!started.ok()) {
+      event_loop_.reset();
+      pool_.reset();
+      running_.store(false, std::memory_order_release);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return started;
+    }
+  } else {
+    listener_ = std::thread([this] { ListenerLoop(); });
+  }
   CPD_LOG(Info) << "cpd_serve listening on " << options_.host << ":" << port_
-                << " (" << options_.threads << " workers, max_inflight "
+                << " (" << IoModeName(options_.io_mode) << " io, "
+                << options_.threads << " workers, max_inflight "
                 << options_.max_inflight << ")";
   return Status::OK();
 }
@@ -155,14 +195,17 @@ void HttpServer::ConnectionLoop(int fd) {
     const Clock::time_point received = Clock::now();
     if (!request.ok()) {
       // Clean close / idle timeout / shutdown end the connection silently;
-      // malformed framing gets a 400 before closing.
-      if (request.status().code() == StatusCode::kInvalidArgument ||
-          request.status().code() == StatusCode::kOutOfRange) {
-        HttpResponse response;
-        response.status =
-            request.status().code() == StatusCode::kOutOfRange ? 431 : 400;
-        response.body = "{\"error\":{\"code\":\"InvalidArgument\","
-                        "\"message\":\"malformed HTTP request\"}}";
+      // malformed framing gets its 4xx envelope before closing. The parser
+      // picks the status (400 malformed, 431/413 over a cap); a mid-message
+      // peer close has no parser verdict and renders as a 400.
+      int http_status = stream.last_error_http_status();
+      if (http_status == 0 &&
+          request.status().code() == StatusCode::kInvalidArgument) {
+        http_status = 400;
+      }
+      if (http_status != 0) {
+        const HttpResponse response =
+            MakeErrorResponse(http_status, request.status());
         CountResponse(response.status);
         stream.WriteAll(SerializeResponse(response, /*keep_alive=*/false));
       }
@@ -194,13 +237,11 @@ void HttpServer::ConnectionLoop(int fd) {
 }
 
 HttpResponse HttpServer::Render429() const {
-  HttpResponse response;
-  response.status = 429;
+  HttpResponse response = MakeErrorResponse(
+      429, Status::ResourceExhausted("server overloaded, retry later"),
+      /*retry_after_ms=*/options_.retry_after_seconds * 1000);
   response.headers["Retry-After"] =
       std::to_string(options_.retry_after_seconds);
-  response.body =
-      "{\"error\":{\"code\":\"ResourceExhausted\",\"message\":\"server "
-      "overloaded, retry later\"}}";
   return response;
 }
 
@@ -222,9 +263,7 @@ HttpResponse HttpServer::Dispatch(HttpRequest* request) {
   std::map<std::string, std::string> params;
   const Route* route = MatchRoute(request->method, request->path, &params);
   if (route == nullptr) {
-    response.status = 404;
-    response.body = "{\"error\":{\"code\":\"NotFound\",\"message\":\"no such "
-                    "endpoint\"}}";
+    response = MakeErrorResponse(404, Status::NotFound("no such endpoint"));
   } else {
     // Attach the captures in place: the connection loop owns the request
     // and a copy here would duplicate up to max_body_bytes on every hit.
@@ -235,12 +274,10 @@ HttpResponse HttpServer::Dispatch(HttpRequest* request) {
     const double elapsed_ms = ElapsedMicros(start) / 1000.0;
     if (elapsed_ms > options_.deadline_ms) {
       deadline_504_.fetch_add(1, std::memory_order_relaxed);
-      response = HttpResponse{};
-      response.status = 504;
-      response.body = StrFormat(
-          "{\"error\":{\"code\":\"DeadlineExceeded\",\"message\":\"request "
-          "exceeded the %d ms deadline\"}}",
-          options_.deadline_ms);
+      response = MakeErrorResponse(
+          504, Status::DeadlineExceeded(
+                   StrFormat("request exceeded the %d ms deadline",
+                             options_.deadline_ms)));
     }
   }
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -274,6 +311,42 @@ const HttpServer::Route* HttpServer::MatchRoute(
   return nullptr;
 }
 
+void HttpServer::OnRequest(uint64_t token, HttpRequest request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const Clock::time_point received = Clock::now();
+  // The event loop must never block on a handler: route the request onto a
+  // worker and post the response back to the loop when it is ready.
+  pool_->Submit([this, token, received,
+                 request = std::move(request)]() mutable {
+    const HttpResponse response = Dispatch(&request);
+    CountResponse(response.status);
+    const bool keep_alive =
+        !stopping_.load(std::memory_order_acquire) && request.KeepAlive();
+    if (options_.log_requests) {
+      CPD_LOG(Info) << request.method << " " << request.target << " -> "
+                    << response.status << " ("
+                    << StrFormat("%.0f", ElapsedMicros(received)) << " us)";
+    }
+    event_loop_->CompleteRequest(token, response, keep_alive);
+  });
+}
+
+HttpResponse HttpServer::OnConnectionShed() {
+  connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+  return Render429();
+}
+
+HttpResponse HttpServer::OnFramingError(const Status& error,
+                                        int http_status) {
+  const HttpResponse response = MakeErrorResponse(http_status, error);
+  CountResponse(response.status);
+  return response;
+}
+
+void HttpServer::OnConnectionAccepted() {
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void HttpServer::CountResponse(int status) {
   if (status < 300) {
     responses_2xx_.fetch_add(1, std::memory_order_relaxed);
@@ -287,6 +360,20 @@ void HttpServer::CountResponse(int status) {
 void HttpServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
+  if (event_loop_ != nullptr) {
+    // Epoll mode: the loop drains (in-flight worker responses still flush
+    // through CompleteRequest) before the pool is joined.
+    event_loop_->Stop();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    pool_.reset();
+    event_loop_.reset();
+    CPD_LOG(Info) << "server on port " << port_ << " stopped ("
+                  << requests_.load() << " requests served)";
+    return;
+  }
   if (listener_.joinable()) listener_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);

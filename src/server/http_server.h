@@ -2,13 +2,27 @@
 #define CPD_SERVER_HTTP_SERVER_H_
 
 /// \file http_server.h
-/// Embedded blocking HTTP/1.1 server: one listener thread accepting into a
-/// bounded connection set, worker threads (the existing ThreadPool) running
-/// one keep-alive connection loop each. Admission control is two-level and
-/// never blocks a client unboundedly:
-///   - connection level: when every worker slot is taken, the listener
-///     replies 429 + Retry-After inline and closes (the accept queue is
-///     bounded, nothing waits);
+/// Embedded HTTP/1.1 server with two interchangeable I/O backends behind
+/// one routing/admission/deadline layer (`io_mode`):
+///
+///   - kBlocking: one listener thread accepting into a bounded connection
+///     set, worker threads (the existing ThreadPool) running one keep-alive
+///     connection loop each. Connection capacity equals the worker count.
+///   - kEpoll: a single event-loop thread multiplexes up to
+///     `max_connections` non-blocking connections (src/server/event_loop);
+///     fully-parsed requests are submitted to the same ThreadPool as work
+///     items, and workers post responses back to the loop. Capacity is
+///     decoupled from the worker count, which is what lets 256+ mostly-idle
+///     keep-alive connections share a handful of workers.
+///
+/// Both backends frame requests through the same incremental RequestParser
+/// and run the same Dispatch(), so responses are byte-identical between io
+/// modes (tests/io_mode_differential_test.cc pins this).
+///
+/// Admission control is two-level and never blocks a client unboundedly:
+///   - connection level: over capacity (worker slots in blocking mode,
+///     `max_connections` in epoll mode) the accept edge replies
+///     429 + Retry-After inline and closes (nothing waits);
 ///   - request level: at most `max_inflight` requests execute at once;
 ///     excess requests on live connections get 429 + Retry-After without
 ///     tying up the handler path.
@@ -16,6 +30,8 @@
 /// 504s. Stop() is graceful: in-flight requests finish and their responses
 /// are written before the workers are joined (the hot-reload test drives
 /// traffic through a swap and a drain and expects zero failed requests).
+/// Every non-2xx body this layer renders is the unified error envelope
+/// (MakeErrorResponse in server/http.h).
 ///
 /// Routing: exact segments or "{param}" captures ("/v1/membership/{user}"),
 /// matched per-method; handlers run on worker threads and must be
@@ -33,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "server/event_loop.h"
 #include "server/http.h"
 #include "util/status.h"
 
@@ -42,10 +59,24 @@ class ThreadPool;
 
 namespace cpd::server {
 
+/// Which I/O backend drives connections. Blocking is the PR-4 thread-per-
+/// connection path (default here for drop-in compatibility; cpd_serve
+/// defaults to epoll); epoll is the readiness-driven event loop.
+enum class IoMode {
+  kBlocking,
+  kEpoll,
+};
+
+/// Parses "blocking" / "epoll" (the --io_mode flag values).
+StatusOr<IoMode> ParseIoMode(const std::string& text);
+const char* IoModeName(IoMode mode);
+
 struct HttpServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;             ///< 0 = ephemeral (tests/bench read port()).
-  int threads = 4;          ///< Worker pool = max concurrent connections.
+  IoMode io_mode = IoMode::kBlocking;
+  int threads = 4;          ///< Workers (= connection cap in blocking mode).
+  int max_connections = 1024;    ///< Connection cap in epoll mode.
   int max_inflight = 64;    ///< Requests executing at once (excess -> 429).
   int deadline_ms = 0;      ///< Per-request budget (0 = none; over -> 504).
   int retry_after_seconds = 1;   ///< Advertised on every 429.
@@ -67,7 +98,7 @@ struct HttpServerStats {
   uint64_t deadline_504 = 0;
 };
 
-class HttpServer {
+class HttpServer : private EventLoopHandler {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
@@ -108,12 +139,19 @@ class HttpServer {
   void ConnectionLoop(int fd);
   /// Routes + admission + deadline around one parsed request (mutated only
   /// to attach path_params). Returns the response to write (always exactly
-  /// one response per request).
+  /// one response per request). Shared by both io modes.
   HttpResponse Dispatch(HttpRequest* request);
   const Route* MatchRoute(const std::string& method, const std::string& path,
                           std::map<std::string, std::string>* params) const;
   HttpResponse Render429() const;
   void CountResponse(int status);
+
+  // EventLoopHandler (epoll mode): requests hop from the loop thread onto
+  // the worker pool and their responses hop back via CompleteRequest.
+  void OnRequest(uint64_t token, HttpRequest request) override;
+  HttpResponse OnConnectionShed() override;
+  HttpResponse OnFramingError(const Status& error, int http_status) override;
+  void OnConnectionAccepted() override;
 
   HttpServerOptions options_;
   std::vector<Route> routes_;
@@ -122,6 +160,7 @@ class HttpServer {
   int port_ = 0;
   std::thread listener_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<EventLoop> event_loop_;  ///< Null in blocking mode.
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

@@ -146,6 +146,30 @@ StatusOr<serve::TopUsersRequest> TopUsersFromJson(const Json& json) {
 
 }  // namespace
 
+void ServiceStats::CountQuery(const std::string& model) {
+  queries.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  ++models_[model].queries;
+}
+
+void ServiceStats::CountBatchQuery(const std::string& model) {
+  batch_queries.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  ++models_[model].batch_queries;
+}
+
+void ServiceStats::CountQueryError(const std::string& model) {
+  query_errors.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  ++models_[model].query_errors;
+}
+
+std::map<std::string, ServiceStats::ModelCounters> ServiceStats::PerModel()
+    const {
+  std::lock_guard<std::mutex> lock(models_mutex_);
+  return models_;
+}
+
 int HttpStatusForCode(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
@@ -157,8 +181,14 @@ int HttpStatusForCode(StatusCode code) {
       return 404;
     case StatusCode::kFailedPrecondition:
       return 409;
+    case StatusCode::kResourceExhausted:
+      return 429;
     case StatusCode::kUnimplemented:
       return 501;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
     case StatusCode::kIOError:
     case StatusCode::kInternal:
       return 500;
@@ -310,20 +340,27 @@ HttpResponse ErrorResponse(const Status& status) {
   return JsonResponse(HttpStatusForCode(status.code()), StatusToJson(status));
 }
 
-HttpResponse NoModelResponse() {
-  HttpResponse response;
-  response.status = 503;
-  response.body =
-      "{\"error\":{\"code\":\"FailedPrecondition\",\"message\":\"no model "
-      "loaded\"}}";
-  return response;
+/// Registry name the request addresses: the {model} capture, or the
+/// default-model alias.
+std::string ModelNameFromRequest(const HttpRequest& http_request) {
+  const auto it = http_request.path_params.find("model");
+  return it == http_request.path_params.end() ? kDefaultModel : it->second;
 }
 
-/// POST /v1/query: one typed request, or {"batch":[...]}.
+HttpResponse NoModelResponse(const std::string& name) {
+  return ErrorResponse(Status::Unavailable(
+      name == kDefaultModel ? "no model loaded"
+                            : "no model named '" + name + "' loaded"));
+}
+
+/// POST /v1/query and /v1/models/{model}/query: one typed request, or
+/// {"batch":[...]}.
 HttpResponse HandleQuery(const HttpRequest& http_request,
-                         ModelRegistry* registry, ServiceStats* stats) {
-  const std::shared_ptr<const ServingModel> model = registry->Snapshot();
-  if (model == nullptr) return NoModelResponse();
+                         ModelRegistry* registry, ServiceStats* stats,
+                         Coalescer* coalescer) {
+  const std::string name = ModelNameFromRequest(http_request);
+  const std::shared_ptr<const ServingModel> model = registry->Snapshot(name);
+  if (model == nullptr) return NoModelResponse(name);
   auto json = Json::Parse(http_request.body);
   if (!json.ok()) return ErrorResponse(json.status());
   const Vocabulary* vocab = model->vocabulary.get();
@@ -338,17 +375,17 @@ HttpResponse HandleQuery(const HttpRequest& http_request,
     for (const Json& entry : batch->items()) {
       auto request = QueryRequestFromJson(entry, vocab);
       if (!request.ok()) {
-        stats->query_errors.fetch_add(1, std::memory_order_relaxed);
+        stats->CountQueryError(name);
         responses.Append(StatusToJson(request.status()));
         continue;
       }
       auto response = model->engine->Query(*request);
       if (!response.ok()) {
-        stats->query_errors.fetch_add(1, std::memory_order_relaxed);
+        stats->CountQueryError(name);
         responses.Append(StatusToJson(response.status()));
         continue;
       }
-      stats->batch_queries.fetch_add(1, std::memory_order_relaxed);
+      stats->CountBatchQuery(name);
       responses.Append(QueryResponseToJson(*response));
     }
     Json out = Json::MakeObject();
@@ -358,15 +395,19 @@ HttpResponse HandleQuery(const HttpRequest& http_request,
 
   auto request = QueryRequestFromJson(*json, vocab);
   if (!request.ok()) {
-    stats->query_errors.fetch_add(1, std::memory_order_relaxed);
+    stats->CountQueryError(name);
     return ErrorResponse(request.status());
   }
-  auto response = model->engine->Query(*request);
+  // Single queries are where concurrency hides batchability: route them
+  // through the coalescer (explicit client batches are already batched).
+  auto response = coalescer != nullptr
+                      ? coalescer->Execute(model, *request)
+                      : model->engine->Query(*request);
   if (!response.ok()) {
-    stats->query_errors.fetch_add(1, std::memory_order_relaxed);
+    stats->CountQueryError(name);
     return ErrorResponse(response.status());
   }
-  stats->queries.fetch_add(1, std::memory_order_relaxed);
+  stats->CountQuery(name);
   return JsonResponse(200, QueryResponseToJson(*response));
 }
 
@@ -387,12 +428,14 @@ StatusOr<int32_t> ParseWireInt(const std::string& text,
   return static_cast<int32_t>(value);
 }
 
-/// GET /v1/membership/{user}?k=N&distribution=1.
+/// GET /v1/membership/{user}?k=N&distribution=1 (bare or under a named
+/// model).
 HttpResponse HandleMembershipGet(const HttpRequest& http_request,
                                  ModelRegistry* registry,
                                  ServiceStats* stats) {
-  const std::shared_ptr<const ServingModel> model = registry->Snapshot();
-  if (model == nullptr) return NoModelResponse();
+  const std::string name = ModelNameFromRequest(http_request);
+  const std::shared_ptr<const ServingModel> model = registry->Snapshot(name);
+  if (model == nullptr) return NoModelResponse(name);
   serve::MembershipRequest request;
   auto user = ParseWireInt(http_request.path_params.at("user"),
                            "user path segment");
@@ -409,21 +452,38 @@ HttpResponse HandleMembershipGet(const HttpRequest& http_request,
                                  distribution->second != "0";
   auto response = model->engine->Membership(request);
   if (!response.ok()) {
-    stats->query_errors.fetch_add(1, std::memory_order_relaxed);
+    stats->CountQueryError(name);
     return ErrorResponse(response.status());
   }
-  stats->queries.fetch_add(1, std::memory_order_relaxed);
+  stats->CountQuery(name);
   return JsonResponse(
       200, QueryResponseToJson(serve::QueryResponse(std::move(*response))));
 }
 
+/// GET /v1/models: every loaded model, name-sorted.
+HttpResponse HandleListModels(ModelRegistry* registry) {
+  Json models = Json::MakeArray();
+  for (const ModelInfo& info : registry->ListModels()) {
+    Json item = Json::MakeObject();
+    item.Set("name", Json(info.name));
+    item.Set("generation", Json(info.generation));
+    item.Set("loaded_unix_ms", Json(info.loaded_unix_ms));
+    item.Set("path", Json(info.path));
+    models.Append(std::move(item));
+  }
+  Json out = Json::MakeObject();
+  out.Set("models", std::move(models));
+  return JsonResponse(200, out);
+}
+
 HttpResponse HandleHealthz(ModelRegistry* registry) {
   const std::shared_ptr<const ServingModel> model = registry->Snapshot();
-  Json out = Json::MakeObject();
   if (model == nullptr) {
-    out.Set("status", Json("no_model"));
-    return JsonResponse(503, out);
+    // The unified envelope, like every other non-2xx (a health prober only
+    // needs the status code anyway).
+    return NoModelResponse(kDefaultModel);
   }
+  Json out = Json::MakeObject();
   out.Set("status", Json("serving"));
   out.Set("generation", Json(model->generation));
   out.Set("model", Json(model->source_path));
@@ -431,7 +491,8 @@ HttpResponse HandleHealthz(ModelRegistry* registry) {
 }
 
 HttpResponse HandleStatsz(const HttpServer* server, ModelRegistry* registry,
-                          const ServiceStats* stats) {
+                          const ServiceStats* stats,
+                          const Coalescer* coalescer) {
   const HttpServerStats transport = server->stats();
   Json server_json = Json::MakeObject();
   server_json.Set("connections_accepted", Json(transport.connections_accepted));
@@ -473,6 +534,7 @@ HttpResponse HandleStatsz(const HttpServer* server, ModelRegistry* registry,
   out.Set("service", std::move(service_json));
   const std::shared_ptr<const ServingModel> model = registry->Snapshot();
   if (model != nullptr) {
+    // Kept as the default model's summary (pre-/v1/models consumers).
     Json model_json = Json::MakeObject();
     model_json.Set("generation", Json(model->generation));
     model_json.Set("path", Json(model->source_path));
@@ -485,23 +547,73 @@ HttpResponse HandleStatsz(const HttpServer* server, ModelRegistry* registry,
     model_json.Set("vocabulary_bundled", Json(model->vocabulary != nullptr));
     out.Set("model", std::move(model_json));
   }
+
+  // Per-model counters: one row per registered model, joined with the
+  // per-name query counters.
+  const std::map<std::string, ServiceStats::ModelCounters> counters =
+      stats->PerModel();
+  Json models_json = Json::MakeObject();
+  for (const ModelInfo& info : registry->ListModels()) {
+    Json row = Json::MakeObject();
+    row.Set("generation", Json(info.generation));
+    row.Set("path", Json(info.path));
+    row.Set("loaded_unix_ms", Json(info.loaded_unix_ms));
+    const auto it = counters.find(info.name);
+    const ServiceStats::ModelCounters row_counts =
+        it == counters.end() ? ServiceStats::ModelCounters{} : it->second;
+    row.Set("queries", Json(row_counts.queries));
+    row.Set("batch_queries", Json(row_counts.batch_queries));
+    row.Set("query_errors", Json(row_counts.query_errors));
+    models_json.Set(info.name, std::move(row));
+  }
+  out.Set("models", std::move(models_json));
+
+  if (coalescer != nullptr) {
+    const CoalescerStats batching = coalescer->stats();
+    Json coalescer_json = Json::MakeObject();
+    coalescer_json.Set("enabled", Json(coalescer->enabled()));
+    coalescer_json.Set("window_us", Json(coalescer->options().window_us));
+    coalescer_json.Set("max_batch", Json(coalescer->options().max_batch));
+    coalescer_json.Set("requests", Json(batching.requests));
+    coalescer_json.Set("batches", Json(batching.batches));
+    coalescer_json.Set("coalesced", Json(batching.coalesced));
+    coalescer_json.Set("flush_full", Json(batching.flush_full));
+    coalescer_json.Set("flush_timeout", Json(batching.flush_timeout));
+    coalescer_json.Set("flush_mismatch", Json(batching.flush_mismatch));
+    out.Set("coalescer", std::move(coalescer_json));
+  }
   return JsonResponse(200, out);
 }
 
 /// POST /admin/reload: re-read the current artifact, or switch to the path
-/// in the body. In-flight requests keep their pre-swap snapshot.
+/// in the body; an optional "model" field addresses (or registers) a named
+/// model. In-flight requests keep their pre-swap snapshot.
 HttpResponse HandleReload(const HttpRequest& http_request,
                           ModelRegistry* registry) {
   std::string path;
+  std::string name = kDefaultModel;
   if (!http_request.body.empty()) {
     auto json = Json::Parse(http_request.body);
     if (!json.ok()) return ErrorResponse(json.status());
     auto parsed = json->GetString("path", "");
     if (!parsed.ok()) return ErrorResponse(parsed.status());
     path = *parsed;
+    auto model = json->GetString("model", kDefaultModel);
+    if (!model.ok()) return ErrorResponse(model.status());
+    name = *model;
+    if (name.empty()) {
+      return ErrorResponse(
+          Status::InvalidArgument("field 'model' must not be empty"));
+    }
+  }
+  if (path.empty() && registry->path(name).empty()) {
+    // Reloading a name that was never loaded is a client addressing error,
+    // not a server-side load failure.
+    return ErrorResponse(Status::FailedPrecondition("no model named '" +
+                                                    name + "' loaded yet"));
   }
   const Status status =
-      path.empty() ? registry->Reload() : registry->LoadFrom(path);
+      path.empty() ? registry->Reload(name) : registry->LoadFrom(name, path);
   if (!status.ok()) {
     // A failed reload is a server-side problem and the old model keeps
     // serving; surface it as 500 regardless of the typed code.
@@ -509,8 +621,9 @@ HttpResponse HandleReload(const HttpRequest& http_request,
   }
   Json out = Json::MakeObject();
   out.Set("status", Json("ok"));
-  out.Set("generation", Json(registry->generation()));
-  out.Set("model", Json(registry->path()));
+  out.Set("name", Json(name));
+  out.Set("generation", Json(registry->generation(name)));
+  out.Set("model", Json(registry->path(name)));
   return JsonResponse(200, out);
 }
 
@@ -537,6 +650,22 @@ HttpResponse HandleIngest(const HttpRequest& http_request,
     stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
     return ErrorResponse(json.status());
   }
+  // Optional swap target; the batch decoder ignores unknown fields, so the
+  // selector rides in the same body as the update rows.
+  std::string name = kDefaultModel;
+  if (json->is_object()) {
+    auto model = json->GetString("model", kDefaultModel);
+    if (!model.ok()) {
+      stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(model.status());
+    }
+    name = *model;
+    if (name.empty()) {
+      stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(
+          Status::InvalidArgument("field 'model' must not be empty"));
+    }
+  }
   auto batch = ingest::UpdateBatchFromJson(*json);
   if (!batch.ok()) {
     stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
@@ -551,7 +680,7 @@ HttpResponse HandleIngest(const HttpRequest& http_request,
   }
   const std::shared_ptr<const SocialGraph> previous_graph = registry->graph();
   registry->SetGraph(pipeline->graph());
-  const Status swapped = registry->LoadFrom(result->artifact_path);
+  const Status swapped = registry->LoadFrom(name, result->artifact_path);
   if (!swapped.ok()) {
     // The artifact was produced but could not be served; the previous
     // generation keeps serving (same contract as a failed /admin/reload),
@@ -583,7 +712,8 @@ HttpResponse HandleIngest(const HttpRequest& http_request,
   ingested.Set("words", Json(static_cast<uint64_t>(result->counts.new_words)));
   Json out = Json::MakeObject();
   out.Set("status", Json("ok"));
-  out.Set("generation", Json(registry->generation()));
+  out.Set("name", Json(name));
+  out.Set("generation", Json(registry->generation(name)));
   out.Set("model", Json(result->artifact_path));
   out.Set("sequence", Json(result->sequence));
   out.Set("ingested", std::move(ingested));
@@ -595,21 +725,33 @@ HttpResponse HandleIngest(const HttpRequest& http_request,
 }  // namespace
 
 void RegisterCpdRoutes(HttpServer* server, ModelRegistry* registry,
-                       ServiceStats* stats, ingest::IngestPipeline* pipeline) {
+                       ServiceStats* stats, ingest::IngestPipeline* pipeline,
+                       Coalescer* coalescer) {
   server->Handle("POST", "/v1/query",
-                 [registry, stats](const HttpRequest& request) {
-                   return HandleQuery(request, registry, stats);
+                 [registry, stats, coalescer](const HttpRequest& request) {
+                   return HandleQuery(request, registry, stats, coalescer);
+                 });
+  server->Handle("POST", "/v1/models/{model}/query",
+                 [registry, stats, coalescer](const HttpRequest& request) {
+                   return HandleQuery(request, registry, stats, coalescer);
                  });
   server->Handle("GET", "/v1/membership/{user}",
                  [registry, stats](const HttpRequest& request) {
                    return HandleMembershipGet(request, registry, stats);
                  });
+  server->Handle("GET", "/v1/models/{model}/membership/{user}",
+                 [registry, stats](const HttpRequest& request) {
+                   return HandleMembershipGet(request, registry, stats);
+                 });
+  server->Handle("GET", "/v1/models", [registry](const HttpRequest&) {
+    return HandleListModels(registry);
+  });
   server->Handle("GET", "/healthz", [registry](const HttpRequest&) {
     return HandleHealthz(registry);
   });
   server->Handle("GET", "/statsz",
-                 [server, registry, stats](const HttpRequest&) {
-                   return HandleStatsz(server, registry, stats);
+                 [server, registry, stats, coalescer](const HttpRequest&) {
+                   return HandleStatsz(server, registry, stats, coalescer);
                  });
   server->Handle("POST", "/admin/reload",
                  [registry](const HttpRequest& request) {

@@ -17,27 +17,44 @@
 /// A batch posts {"batch":[request,...]} and gets {"responses":[...]},
 /// positionally aligned, each slot a response or an {"error":...} object.
 ///
-/// Errors anywhere render as
-///   {"error":{"code":"<StatusCodeToString>","message":"..."}}
-/// with the HTTP status from HttpStatusForCode.
+/// Errors anywhere render as the unified envelope
+///   {"error":{"code":"<StatusCodeToString>","message":"...",
+///             "retry_after_ms":N?}}
+/// with the HTTP status from HttpStatusForCode (retry_after_ms only on
+/// load-shed 429s, rendered by the transport).
 ///
-/// Endpoints registered by RegisterCpdRoutes:
-///   POST /v1/query              single or batch query (above)
-///   GET  /v1/membership/{user}  ?k=N&distribution=1 shortcut
+/// Endpoints registered by RegisterCpdRoutes (the registry serves a *named
+/// set* of models; `{model}` routes address one by name, and the bare
+/// routes are aliases for the "default" model):
+///   POST /v1/query              single or batch query (above), default model
+///   GET  /v1/membership/{user}  ?k=N&distribution=1 shortcut, default model
+///   GET  /v1/models             every loaded model: name, generation,
+///                               loaded_unix_ms, path
+///   POST /v1/models/{model}/query             query a named model
+///   GET  /v1/models/{model}/membership/{user} shortcut on a named model
 ///   GET  /healthz               serving generation + model liveness
-///   GET  /statsz                transport + service + model counters
+///   GET  /statsz                transport + service + per-model counters
+///                               (+ "coalescer" when micro-batching is on)
 ///   POST /admin/reload          hot-swap: re-read the artifact (optional
-///                               body {"path":"other.cpdb"} switches files)
+///                               body {"path":"other.cpdb"} switches files,
+///                               {"model":"name"} addresses/registers a
+///                               named model)
 ///   POST /admin/ingest          streaming ingest: body = UpdateBatch JSON
-///                               (src/ingest/update_batch.h); warm-starts
-///                               the model, writes a fresh artifact, and
-///                               swaps it in with zero downtime. 409 when
-///                               the server runs without an ingest pipeline.
+///                               (src/ingest/update_batch.h), optional
+///                               "model" field picks the swap target;
+///                               warm-starts the model, writes a fresh
+///                               artifact, and swaps it in with zero
+///                               downtime. 409 when the server runs without
+///                               an ingest pipeline.
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
 
 #include "serve/query_engine.h"
+#include "server/coalescer.h"
 #include "server/http_server.h"
 #include "server/model_registry.h"
 #include "util/json.h"
@@ -50,6 +67,8 @@ class IngestPipeline;
 namespace cpd::server {
 
 /// Service-level counters (the transport ones live in HttpServerStats).
+/// The global atomics aggregate across every model; the per-model
+/// breakdown behind `models_mutex` feeds the statsz "models" section.
 struct ServiceStats {
   std::atomic<uint64_t> queries{0};        ///< Single queries answered OK.
   std::atomic<uint64_t> batch_queries{0};  ///< Requests inside batches.
@@ -60,10 +79,30 @@ struct ServiceStats {
   std::atomic<uint64_t> ingested_documents{0};
   std::atomic<uint64_t> ingested_users{0};
   std::atomic<uint64_t> ingested_links{0};     ///< Friendships + diffusions.
+
+  /// Per-model query counters, keyed by registry name.
+  struct ModelCounters {
+    uint64_t queries = 0;
+    uint64_t batch_queries = 0;
+    uint64_t query_errors = 0;
+  };
+
+  /// Bumps the aggregate atomics and the named model's row together.
+  void CountQuery(const std::string& model);
+  void CountBatchQuery(const std::string& model);
+  void CountQueryError(const std::string& model);
+
+  /// Snapshot of the per-model rows (name-sorted).
+  std::map<std::string, ModelCounters> PerModel() const;
+
+ private:
+  mutable std::mutex models_mutex_;
+  std::map<std::string, ModelCounters> models_;
 };
 
 /// HTTP status for a typed error (InvalidArgument -> 400, NotFound /
-/// OutOfRange -> 404, FailedPrecondition -> 409, Unimplemented -> 501,
+/// OutOfRange -> 404, FailedPrecondition -> 409, ResourceExhausted -> 429,
+/// Unimplemented -> 501, Unavailable -> 503, DeadlineExceeded -> 504,
 /// everything else -> 500).
 int HttpStatusForCode(StatusCode code);
 
@@ -82,13 +121,16 @@ Json QueryRequestToJson(const serve::QueryRequest& request);
 Json QueryResponseToJson(const serve::QueryResponse& response);
 
 /// Registers every CPD endpoint on `server`. The registry, stats, and (when
-/// given) pipeline must outlive the server; the registry must already hold
-/// a model (handlers answer 503 otherwise). `pipeline` enables POST
-/// /admin/ingest — null keeps the route registered but answering 409 (the
-/// server was started without the training graph).
+/// given) pipeline and coalescer must outlive the server; the registry must
+/// already hold a model (handlers answer 503 otherwise). `pipeline` enables
+/// POST /admin/ingest — null keeps the route registered but answering 409
+/// (the server was started without the training graph). `coalescer` (when
+/// non-null and enabled) micro-batches single queries through the
+/// QueryBatch path; batch requests and GET shortcuts bypass it.
 void RegisterCpdRoutes(HttpServer* server, ModelRegistry* registry,
                        ServiceStats* stats,
-                       ingest::IngestPipeline* pipeline = nullptr);
+                       ingest::IngestPipeline* pipeline = nullptr,
+                       Coalescer* coalescer = nullptr);
 
 }  // namespace cpd::server
 

@@ -42,21 +42,49 @@ void ModelRegistry::SetClock(Clock clock) {
   clock_ = std::move(clock);
 }
 
-std::string ModelRegistry::path() const {
-  std::lock_guard<std::mutex> lock(reload_mutex_);
-  return path_;
+std::shared_ptr<const ServingModel> ModelRegistry::Snapshot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(current_mutex_);
+  const auto it = current_.find(name);
+  return it == current_.end() ? nullptr : it->second;
 }
 
-Status ModelRegistry::LoadFrom(const std::string& path) {
+uint64_t ModelRegistry::generation(const std::string& name) const {
+  const auto snapshot = Snapshot(name);
+  return snapshot == nullptr ? 0 : snapshot->generation;
+}
+
+std::string ModelRegistry::path(const std::string& name) const {
+  const auto snapshot = Snapshot(name);
+  return snapshot == nullptr ? std::string() : snapshot->source_path;
+}
+
+std::vector<ModelInfo> ModelRegistry::ListModels() const {
+  std::vector<ModelInfo> models;
+  std::lock_guard<std::mutex> lock(current_mutex_);
+  models.reserve(current_.size());
+  for (const auto& [name, model] : current_) {  // std::map: name-sorted.
+    models.push_back(ModelInfo{name, model->generation, model->loaded_unix_ms,
+                               model->source_path});
+  }
+  return models;
+}
+
+Status ModelRegistry::LoadFrom(const std::string& name,
+                               const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must not be empty");
+  }
   std::lock_guard<std::mutex> lock(reload_mutex_);
   WallTimer timer;
   auto bundle = serve::LoadModelBundle(path, options_);
   if (!bundle.ok()) {
     reload_failures_.fetch_add(1, std::memory_order_acq_rel);
-    CPD_LOG(Error) << "model load from " << path
-                   << " failed: " << bundle.status().ToString()
-                   << (Snapshot() != nullptr ? " (previous model keeps serving)"
-                                             : "");
+    CPD_LOG(Error) << "model load from " << path << " into '" << name
+                   << "' failed: " << bundle.status().ToString()
+                   << (Snapshot(name) != nullptr
+                           ? " (previous model keeps serving)"
+                           : "");
     return bundle.status();
   }
   auto model = std::make_shared<ServingModel>(std::move(bundle->index));
@@ -67,35 +95,35 @@ Status ModelRegistry::LoadFrom(const std::string& path) {
   // created only after the index has reached its final address.
   model->engine = std::make_unique<const serve::QueryEngine>(
       model->index, model->graph.get());
-  model->generation = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  model->name = name;
   model->source_path = path;
   model->loaded_unix_ms = clock_();
-  path_ = path;
   {
     std::lock_guard<std::mutex> swap_lock(current_mutex_);
-    current_ = std::move(model);
+    auto& cell = current_[name];
+    model->generation = (cell == nullptr ? 0 : cell->generation) + 1;
+    cell = std::move(model);
   }
   reload_count_.fetch_add(1, std::memory_order_acq_rel);
-  CPD_LOG(Info) << "serving model generation " << generation() << " from "
-                << path << " (" << StrFormat("%.0f", timer.ElapsedMillis())
-                << " ms: |C|=" << Snapshot()->index.num_communities()
-                << " |Z|=" << Snapshot()->index.num_topics()
-                << " users=" << Snapshot()->index.num_users() << " vocab "
-                << (Snapshot()->vocabulary != nullptr ? "bundled" : "absent")
+  const auto loaded = Snapshot(name);
+  CPD_LOG(Info) << "serving model '" << name << "' generation "
+                << loaded->generation << " from " << path << " ("
+                << StrFormat("%.0f", timer.ElapsedMillis())
+                << " ms: |C|=" << loaded->index.num_communities()
+                << " |Z|=" << loaded->index.num_topics()
+                << " users=" << loaded->index.num_users() << " vocab "
+                << (loaded->vocabulary != nullptr ? "bundled" : "absent")
                 << ")";
   return Status::OK();
 }
 
-Status ModelRegistry::Reload() {
-  std::string path;
-  {
-    std::lock_guard<std::mutex> lock(reload_mutex_);
-    path = path_;
+Status ModelRegistry::Reload(const std::string& name) {
+  const std::string current_path = path(name);
+  if (current_path.empty()) {
+    return Status::FailedPrecondition("no model named '" + name +
+                                      "' loaded yet");
   }
-  if (path.empty()) {
-    return Status::FailedPrecondition("no model loaded yet");
-  }
-  return LoadFrom(path);
+  return LoadFrom(name, current_path);
 }
 
 }  // namespace cpd::server

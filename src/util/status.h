@@ -22,6 +22,9 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  kResourceExhausted,   ///< Load shed (HTTP 429): retry later.
+  kDeadlineExceeded,    ///< Over a time budget (HTTP 504).
+  kUnavailable,         ///< Not ready to serve yet (HTTP 503).
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK", "IOError", ...).
@@ -62,6 +65,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -695,6 +695,217 @@ TEST_F(HttpServerTest, IngestUnderLoadSwapsWithZeroFailedRequests) {
   std::filesystem::remove(TempPath("ingest_live.g1.cpdb"));
 }
 
+// ----- named models (/v1/models surface) -----
+
+TEST_F(HttpServerTest, NamedModelRoutesServeIndependentModels) {
+  const std::string path_a = SaveArtifact(*model_a_, "named_a.cpdb");
+  const std::string path_b = SaveArtifact(*model_b_, "named_b.cpdb");
+  ServingFixture fixture(path_a);
+  ASSERT_TRUE(fixture.Start().ok());
+  const int port = fixture.server.port();
+
+  // Register a second model under the name "beta" via the reload route.
+  const HttpResponse reload =
+      Fetch(port, "POST", "/admin/reload",
+            "{\"path\":\"" + path_b + "\",\"model\":\"beta\"}");
+  ASSERT_EQ(reload.status, 200) << reload.body;
+  auto reload_json = Json::Parse(reload.body);
+  ASSERT_TRUE(reload_json.ok());
+  EXPECT_EQ(reload_json->Find("name")->string_value(), "beta");
+  EXPECT_EQ(reload_json->Find("generation")->number(), 1.0);
+
+  // GET /v1/models lists both, name-sorted.
+  const HttpResponse list = Fetch(port, "GET", "/v1/models");
+  ASSERT_EQ(list.status, 200);
+  auto list_json = Json::Parse(list.body);
+  ASSERT_TRUE(list_json.ok());
+  const Json* models = list_json->Find("models");
+  ASSERT_NE(models, nullptr);
+  ASSERT_EQ(models->size(), 2u);
+  EXPECT_EQ((*models)[0].Find("name")->string_value(), "beta");
+  EXPECT_EQ((*models)[1].Find("name")->string_value(), "default");
+  EXPECT_EQ((*models)[0].Find("path")->string_value(), path_b);
+  EXPECT_EQ((*models)[1].Find("path")->string_value(), path_a);
+
+  // The named query route answers with model B's bytes; the bare route
+  // stays an alias for "default" (model A). Different seeds, different
+  // profiles, so the bodies must differ.
+  const std::string body = R"({"type":"membership","user":2,"top_k":4})";
+  const HttpResponse via_default = Fetch(port, "POST", "/v1/query", body);
+  const HttpResponse via_named_default =
+      Fetch(port, "POST", "/v1/models/default/query", body);
+  const HttpResponse via_beta =
+      Fetch(port, "POST", "/v1/models/beta/query", body);
+  ASSERT_EQ(via_default.status, 200);
+  ASSERT_EQ(via_beta.status, 200);
+  EXPECT_EQ(via_default.body, via_named_default.body);  // Alias is exact.
+  EXPECT_NE(via_default.body, via_beta.body);
+
+  // The named membership GET shortcut matches the named POST bytes.
+  const HttpResponse get_beta =
+      Fetch(port, "GET", "/v1/models/beta/membership/2?k=4");
+  ASSERT_EQ(get_beta.status, 200);
+  EXPECT_EQ(get_beta.body, via_beta.body);
+
+  // An unknown name is a typed Unavailable (503), naming the model.
+  const HttpResponse missing =
+      Fetch(port, "POST", "/v1/models/nope/query", body);
+  EXPECT_EQ(missing.status, 503);
+  EXPECT_NE(missing.body.find("no model named 'nope'"), std::string::npos);
+  EXPECT_EQ(Fetch(port, "GET", "/v1/models/nope/membership/2").status, 503);
+
+  // statsz grows a per-model section; the beta row saw the beta queries.
+  auto statsz = Json::Parse(Fetch(port, "GET", "/statsz").body);
+  ASSERT_TRUE(statsz.ok());
+  const Json* per_model = statsz->Find("models");
+  ASSERT_NE(per_model, nullptr);
+  ASSERT_NE(per_model->Find("beta"), nullptr);
+  ASSERT_NE(per_model->Find("default"), nullptr);
+  EXPECT_EQ(per_model->Find("beta")->Find("queries")->number(), 2.0);
+  EXPECT_GE(per_model->Find("default")->Find("queries")->number(), 2.0);
+}
+
+TEST_F(HttpServerTest, ReloadModelFieldValidation) {
+  const std::string path = SaveArtifact(*model_a_, "reload_named.cpdb");
+  ServingFixture fixture(path);
+  ASSERT_TRUE(fixture.Start().ok());
+  const int port = fixture.server.port();
+
+  // Empty name is a malformed request, not a lookup miss.
+  EXPECT_EQ(Fetch(port, "POST", "/admin/reload", R"({"model":""})").status,
+            400);
+  // Reloading a name that was never loaded (and no path to load from) is a
+  // client addressing error: 409, not 500.
+  const HttpResponse missing =
+      Fetch(port, "POST", "/admin/reload", R"({"model":"ghost"})");
+  EXPECT_EQ(missing.status, 409);
+  EXPECT_NE(missing.body.find("no model named 'ghost' loaded yet"),
+            std::string::npos);
+  // A bad path under a fresh name does not register the name.
+  EXPECT_EQ(Fetch(port, "POST", "/admin/reload",
+                  R"({"model":"ghost","path":"/no/such.cpdb"})")
+                .status,
+            500);
+  auto list = Json::Parse(Fetch(port, "GET", "/v1/models").body);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->Find("models")->size(), 1u);
+}
+
+TEST_F(HttpServerTest, IngestModelFieldSwapsANamedModel) {
+  const std::string artifact = SaveArtifact(*model_a_, "ingest_named.cpdb");
+  ingest::IngestOptions ingest_options;
+  ingest_options.config.num_communities = model_a_->num_communities();
+  ingest_options.config.num_topics = model_a_->num_topics();
+  ingest_options.config.seed = 73;
+  ingest_options.warm_iterations = 1;
+  ingest_options.artifact_base = TempPath("ingest_named");
+  auto pipeline = ingest::IngestPipeline::Create(SharedGraph(), *model_a_,
+                                                 ingest_options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+  server::ModelRegistry registry(serve::ProfileIndexOptions{}, SharedGraph());
+  ASSERT_TRUE(registry.LoadFrom(artifact).ok());
+  HttpServerOptions options;
+  options.port = 0;
+  options.threads = 8;
+  options.log_requests = false;
+  HttpServer server(options);
+  server::ServiceStats stats;
+  server::RegisterCpdRoutes(&server, &registry, &stats, pipeline->get());
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  // The "model" selector rides in the same body as the update rows (the
+  // batch decoder ignores unknown fields); the swap lands under that name
+  // and the default model is untouched.
+  Rng rng(101);
+  ingest::SampleUpdateOptions batch_options;
+  batch_options.new_users = 1;
+  batch_options.docs_per_user = 1;
+  batch_options.time = data_->graph.num_time_bins() - 1;
+  Json batch_json = ingest::UpdateBatchToJson(
+      ingest::SampleUpdateBatch(data_->graph, batch_options, &rng));
+  batch_json.Set("model", Json("staging"));
+  const HttpResponse response =
+      Fetch(port, "POST", "/admin/ingest", batch_json.Dump());
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto json = Json::Parse(response.body);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->Find("name")->string_value(), "staging");
+  EXPECT_EQ(json->Find("generation")->number(), 1.0);
+
+  auto list = Json::Parse(Fetch(port, "GET", "/v1/models").body);
+  ASSERT_TRUE(list.ok());
+  const Json* models = list->Find("models");
+  ASSERT_EQ(models->size(), 2u);
+  EXPECT_EQ((*models)[0].Find("name")->string_value(), "default");
+  EXPECT_EQ((*models)[0].Find("path")->string_value(), artifact);
+  EXPECT_EQ((*models)[1].Find("name")->string_value(), "staging");
+  EXPECT_NE((*models)[1].Find("path")->string_value().find(".g1.cpdb"),
+            std::string::npos);
+
+  // The staging model serves the ingested user; the default still 404s it.
+  const std::string new_user =
+      "/membership/" + std::to_string(data_->graph.num_users());
+  EXPECT_EQ(Fetch(port, "GET", "/v1/models/staging" + new_user).status, 200);
+  EXPECT_EQ(Fetch(port, "GET", "/v1" + new_user).status, 404);
+  server.Stop();
+  std::filesystem::remove(TempPath("ingest_named.g1.cpdb"));
+}
+
+// ----- body cap: rejected by declared length, before any body bytes -----
+
+TEST_F(HttpServerTest, OversizedContentLengthIs413BeforeTheBodyIsSent) {
+  for (const auto io_mode :
+       {server::IoMode::kBlocking, server::IoMode::kEpoll}) {
+    HttpServerOptions options;
+    options.port = 0;
+    options.threads = 2;
+    options.io_mode = io_mode;
+    options.max_body_bytes = 1024;
+    options.log_requests = false;
+    HttpServer server(options);
+    server.Handle("POST", "/admin/ingest", [](const HttpRequest&) {
+      HttpResponse response;
+      response.body = "{}";
+      return response;
+    });
+    ASSERT_TRUE(server.Start().ok());
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+    ASSERT_EQ(::inet_pton(AF_INET, kHost, &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    // An oversized ingest batch announces itself via Content-Length. The
+    // head alone (zero body bytes sent) must already draw the 413 — the
+    // parser rejects the declared length instead of buffering toward a cap
+    // it can never reach.
+    const std::string head =
+        "POST /admin/ingest HTTP/1.1\r\n"
+        "Host: test\r\n"
+        "Content-Length: 1048576\r\n"
+        "\r\n";
+    ASSERT_EQ(::send(fd, head.data(), head.size(), 0),
+              static_cast<ssize_t>(head.size()));
+    std::string response;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+      response.append(chunk, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    EXPECT_NE(response.find("413 Payload Too Large"), std::string::npos)
+        << server::IoModeName(io_mode) << ": " << response;
+    EXPECT_NE(response.find("\"OutOfRange\""), std::string::npos);
+    EXPECT_NE(response.find("Connection: close"), std::string::npos);
+    server.Stop();
+  }
+}
+
 // ----- graceful shutdown -----
 
 TEST_F(HttpServerTest, StopDrainsInFlightRequests) {

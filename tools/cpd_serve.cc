@@ -5,6 +5,8 @@
 // Usage:
 //   cpd_serve --model model.cpdb [--vocab vocab.tsv] [--top_k 5]
 //             [--port 8080] [--host 127.0.0.1] [--threads 4]
+//             [--io_mode epoll|blocking] [--max_connections 1024]
+//             [--coalesce_window_us 0] [--coalesce_max 16]
 //             [--max_inflight 64] [--deadline_ms 0]
 //             [--users N --docs docs.tsv --friends friends.tsv
 //              --diffusion diffusion.tsv]   (enables diffusion queries AND
@@ -14,13 +16,22 @@
 // Endpoints (see docs/HTTP_API.md for the wire format):
 //   POST /v1/query              single {"type":...} or {"batch":[...]}
 //   GET  /v1/membership/{user}  ?k=N&distribution=1
+//   GET  /v1/models             loaded models (name, generation, ...)
+//   POST /v1/models/{m}/query   query a named model
+//   GET  /v1/models/{m}/membership/{user}
 //   GET  /healthz | /statsz
-//   POST /admin/reload          re-reads --model (or {"path":...} switch)
+//   POST /admin/reload          re-reads --model (or {"path":...} switch;
+//                               {"model":...} addresses a named model)
 //   POST /admin/ingest          UpdateBatch JSON -> warm-started model ->
 //                               fresh artifact -> zero-downtime swap
 //                               (needs the training-graph quartet above;
 //                                artifacts land at <--ingest_out>.gN.cpdb,
 //                                default <--model>)
+//
+// I/O: --io_mode epoll (default) multiplexes up to --max_connections on an
+// event loop; blocking is the thread-per-connection path (--threads is then
+// also the connection cap). --coalesce_window_us > 0 micro-batches
+// concurrent single queries through the batched scoring path.
 //
 // Overload returns 429 + Retry-After; requests over --deadline_ms return
 // 504; SIGINT drains in-flight requests before exiting.
@@ -53,6 +64,9 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --model model.cpdb [--vocab vocab.tsv] [--top_k 5]\n"
                "          [--port 8080] [--host 127.0.0.1] [--threads 4]\n"
+               "          [--io_mode epoll|blocking] [--max_connections "
+               "1024]\n"
+               "          [--coalesce_window_us 0] [--coalesce_max 16]\n"
                "          [--max_inflight 64] [--deadline_ms 0]\n"
                "          [--users N --docs docs.tsv --friends friends.tsv "
                "--diffusion diffusion.tsv]\n"
@@ -65,7 +79,8 @@ const std::set<std::string> kKnownFlags = {
     "model", "vocab",   "top_k",        "port",        "host",
     "threads", "users", "docs",         "friends",     "diffusion",
     "max_inflight",     "deadline_ms",  "warm_iters",  "ingest_threads",
-    "ingest_out"};
+    "ingest_out",       "io_mode",      "max_connections",
+    "coalesce_window_us", "coalesce_max"};
 
 std::atomic<bool> g_shutdown{false};
 
@@ -186,14 +201,39 @@ int main(int argc, char** argv) {
   options.host = args.count("host") ? args["host"] : options.host;
   options.port = static_cast<int>(int_flag("port", 8080));
   options.threads = static_cast<int>(int_flag("threads", options.threads));
+  // The serving binary defaults to the event loop; the library default
+  // stays blocking so embedded/test users opt in explicitly.
+  options.io_mode = cpd::server::IoMode::kEpoll;
+  if (args.count("io_mode")) {
+    auto mode = cpd::server::ParseIoMode(args["io_mode"]);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "%s\n", mode.status().message().c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+    options.io_mode = *mode;
+  }
+  options.max_connections =
+      static_cast<int>(int_flag("max_connections", options.max_connections));
   options.max_inflight =
       static_cast<int>(int_flag("max_inflight", options.max_inflight));
   options.deadline_ms =
       static_cast<int>(int_flag("deadline_ms", options.deadline_ms));
 
+  cpd::server::CoalescerOptions coalescer_options;
+  coalescer_options.window_us =
+      static_cast<int>(int_flag("coalesce_window_us", 0));
+  coalescer_options.max_batch = static_cast<int>(int_flag("coalesce_max", 16));
+  cpd::server::Coalescer coalescer(coalescer_options);
+  if (coalescer.enabled()) {
+    std::printf("request coalescing enabled (window %d us, max batch %d)\n",
+                coalescer_options.window_us, coalescer_options.max_batch);
+  }
+
   cpd::server::HttpServer server(options);
   cpd::server::ServiceStats stats;
-  cpd::server::RegisterCpdRoutes(&server, &registry, &stats, pipeline.get());
+  cpd::server::RegisterCpdRoutes(&server, &registry, &stats, pipeline.get(),
+                                 &coalescer);
   const cpd::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
