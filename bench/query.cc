@@ -1,19 +1,25 @@
 // Query-serving benchmark -> BENCH_query.json.
 //
-// Trains one model on the Twitter-like preset, builds a ProfileIndex +
-// QueryEngine, and measures the read side the way a serving front end sees
-// it:
-//   - single-thread: per-request latency (p50/p99 microseconds per query
-//     type) and sequential-loop throughput over a mixed workload;
-//   - batched: the same workload through QueryEngine::QueryBatch on a
-//     4-thread pool (the CI acceptance bar: batched >= 2x the sequential
-//     loop on a multicore runner; a 1-core container cannot show >1x, so
-//     hardware_concurrency is recorded alongside).
+// Measures the read side the way a serving front end sees it, as a matrix
+// of {preset} x {precompute_scoring on/off} runs:
+//   - "twitter": a model trained on the Twitter-like preset, mixed workload
+//     (membership / rank / diffusion / top_users) with the graph bound;
+//   - "large": a synthetic K=200, |Z|=32, V=50k artifact at serving-realistic
+//     dimensions (the kernels are what is measured, so the estimates are
+//     random but properly normalized; no graph -> no diffusion share).
+// Per run: per-type p50/p99 latency, sequential-loop throughput, and the
+// same workload through QueryEngine::QueryBatch on a 4-thread pool (the CI
+// acceptance bar: batched >= 2x sequential on a multicore runner; a 1-core
+// container cannot show >1x, so hardware_concurrency is recorded).
+// The off/on rank-p50 ratio on the large preset is emitted as
+// "rank_p50_speedup_large" (acceptance: >= 3x from the precomputed
+// link-content matrix + word-major log-phi + heap top-k).
 //
 // Follows the BENCH_sampler.json conventions: runs argument-free at a
 // laptop-friendly scale, honors CPD_BENCH_JSON_DIR, appends nothing.
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <span>
@@ -21,10 +27,11 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/model_artifact.h"
 #include "parallel/thread_pool.h"
-#include "util/file_util.h"
 #include "serve/profile_index.h"
 #include "serve/query_engine.h"
+#include "util/file_util.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -32,7 +39,10 @@ namespace cpd::bench {
 namespace {
 
 constexpr int kBatchThreads = 4;
-constexpr size_t kWorkloadSize = 4000;
+constexpr size_t kTwitterWorkload = 4000;
+// The large preset's naive rank kernel is ~1ms/query; keep the matrix run
+// inside a couple of minutes.
+constexpr size_t kLargeWorkload = 1200;
 
 struct LatencySummary {
   double p50_us = 0.0;
@@ -50,32 +60,28 @@ LatencySummary Summarize(std::vector<double>* latencies_us) {
   return summary;
 }
 
-const char* RequestKind(const serve::QueryRequest& request) {
-  switch (request.index()) {
-    case 0: return "membership";
-    case 1: return "rank";
-    case 2: return "diffusion";
-    default: return "top_users";
-  }
-}
+constexpr const char* kKindNames[4] = {"membership", "rank", "diffusion",
+                                       "top_users"};
 
 /// Mixed serving workload: mostly cheap membership lookups with a steady
-/// stream of ranking / diffusion / roster queries, request parameters drawn
-/// from the trained graph.
-std::vector<serve::QueryRequest> BuildWorkload(const SocialGraph& graph,
+/// stream of ranking / diffusion / roster queries. `graph == nullptr`
+/// (artifact-only presets) folds the diffusion share into ranking.
+std::vector<serve::QueryRequest> BuildWorkload(const SocialGraph* graph,
                                                const serve::ProfileIndex& index,
                                                size_t count, Rng* rng) {
   std::vector<serve::QueryRequest> requests;
   requests.reserve(count);
-  const auto& links = graph.diffusion_links();
+  const std::vector<DiffusionLink>* links =
+      graph != nullptr ? &graph->diffusion_links() : nullptr;
   for (size_t i = 0; i < count; ++i) {
     const double pick = rng->NextDouble();
     if (pick < 0.55) {
       serve::MembershipRequest request;
-      request.user = static_cast<UserId>(rng->NextUint64(graph.num_users()));
+      request.user = static_cast<UserId>(rng->NextUint64(index.num_users()));
       request.top_k = 5;
       requests.push_back(request);
-    } else if (pick < 0.80) {
+    } else if (pick < 0.80 ||
+               (pick < 0.90 && (links == nullptr || links->empty()))) {
       serve::RankCommunitiesRequest request;
       const size_t terms = 1 + rng->NextUint64(2);
       for (size_t t = 0; t < terms; ++t) {
@@ -84,12 +90,11 @@ std::vector<serve::QueryRequest> BuildWorkload(const SocialGraph& graph,
       }
       request.top_k = 5;
       requests.push_back(request);
-    } else if (pick < 0.90 && !links.empty()) {
-      const DiffusionLink& link =
-          links[rng->NextUint64(links.size())];
+    } else if (pick < 0.90) {
+      const DiffusionLink& link = (*links)[rng->NextUint64(links->size())];
       serve::DiffusionRequest request;
-      request.source = graph.document(link.i).user;
-      request.target = graph.document(link.j).user;
+      request.source = graph->document(link.i).user;
+      request.target = graph->document(link.j).user;
       request.document = link.j;
       request.time_bin = link.time;
       requests.push_back(request);
@@ -105,27 +110,23 @@ std::vector<serve::QueryRequest> BuildWorkload(const SocialGraph& graph,
   return requests;
 }
 
-void Run() {
-  BenchScale scale = BenchScale::FromEnv();
-  const BenchDataset& dataset = TwitterDataset(scale);
-  PrintBenchHeader("Query serving (ProfileIndex + QueryEngine)", scale,
-                   dataset);
+/// One measured (preset, precompute) cell.
+struct RunResult {
+  const char* preset = "";
+  bool precompute = false;
+  double build_seconds = 0.0;
+  double single_qps = 0.0;
+  double batch_qps = 0.0;
+  LatencySummary overall;
+  std::array<LatencySummary, 4> per_kind;
+  size_t workload_size = 0;
+};
 
-  CpdConfig config = BaseCpdConfig(scale);
-  config.num_communities = 12;
-  std::printf("training |C|=%d |Z|=%d T1=%d...\n", config.num_communities,
-              config.num_topics, config.em_iterations);
-  auto model = CpdModel::Train(dataset.data.graph, config);
-  CPD_CHECK(model.ok());
-
-  WallTimer build_timer;
-  const serve::ProfileIndex index = serve::ProfileIndex::FromModel(*model);
-  const double build_seconds = build_timer.ElapsedSeconds();
-  const serve::QueryEngine engine(index, &dataset.data.graph);
-
-  Rng rng(20260731);
-  const std::vector<serve::QueryRequest> workload =
-      BuildWorkload(dataset.data.graph, index, kWorkloadSize, &rng);
+RunResult MeasureEngine(const char* preset, bool precompute,
+                        const serve::ProfileIndex& index,
+                        const SocialGraph* graph, double build_seconds,
+                        std::span<const serve::QueryRequest> workload) {
+  const serve::QueryEngine engine(index, graph);
 
   // Warm-up: touch every matrix page once.
   for (size_t i = 0; i < std::min<size_t>(200, workload.size()); ++i) {
@@ -141,13 +142,11 @@ void Run() {
     CPD_CHECK(engine.Query(request).ok());
   }
   const double single_seconds = single_timer.ElapsedSeconds();
-  const double single_qps =
-      static_cast<double>(workload.size()) / single_seconds;
 
   // Separate latency-sampling pass (per-request timers are fine here: the
   // percentiles describe single-query service time, not throughput).
   std::vector<double> all_us;
-  std::vector<std::vector<double>> per_kind_us(4);
+  std::array<std::vector<double>, 4> per_kind_us;
   all_us.reserve(workload.size());
   for (const serve::QueryRequest& request : workload) {
     WallTimer timer;
@@ -160,58 +159,195 @@ void Run() {
 
   // Batched pass at a fixed pool width (the serving fan-out seam).
   ThreadPool pool(kBatchThreads);
-  engine.QueryBatch(std::span(workload).subspan(0, 200), &pool);  // Warm-up.
+  engine.QueryBatch(workload.subspan(0, std::min<size_t>(200, workload.size())),
+                    &pool);  // Warm-up.
   WallTimer batch_timer;
   const auto responses = engine.QueryBatch(workload, &pool);
   const double batch_seconds = batch_timer.ElapsedSeconds();
   for (const auto& response : responses) CPD_CHECK(response.ok());
-  const double batch_qps =
-      static_cast<double>(workload.size()) / batch_seconds;
 
-  const LatencySummary overall = Summarize(&all_us);
-  std::printf("single-thread: %.0f queries/sec  p50 %.1fus  p99 %.1fus\n",
-              single_qps, overall.p50_us, overall.p99_us);
-  std::printf("batched x%d:    %.0f queries/sec  (%.2fx single-thread; "
-              "hardware_concurrency=%u)\n",
-              kBatchThreads, batch_qps, batch_qps / single_qps,
-              std::thread::hardware_concurrency());
+  RunResult result;
+  result.preset = preset;
+  result.precompute = precompute;
+  result.build_seconds = build_seconds;
+  result.workload_size = workload.size();
+  result.single_qps = static_cast<double>(workload.size()) / single_seconds;
+  result.batch_qps = static_cast<double>(workload.size()) / batch_seconds;
+  result.overall = Summarize(&all_us);
+  for (size_t kind = 0; kind < per_kind_us.size(); ++kind) {
+    result.per_kind[kind] = Summarize(&per_kind_us[kind]);
+  }
+  std::printf(
+      "%-8s precompute=%d: single %.0f q/s p50 %.1fus p99 %.1fus | "
+      "rank p50 %.1fus | batched x%d %.0f q/s\n",
+      preset, precompute ? 1 : 0, result.single_qps, result.overall.p50_us,
+      result.overall.p99_us, result.per_kind[1].p50_us, kBatchThreads,
+      result.batch_qps);
+  return result;
+}
+
+/// Synthetic serving-scale artifact: K=200 communities, 32 topics, 50k
+/// vocabulary. The kernels only see properly-normalized dense matrices, so
+/// random estimates measure exactly what a trained model of these
+/// dimensions would.
+ModelArtifact MakeLargeArtifact(Rng* rng) {
+  ModelArtifact artifact;
+  artifact.num_communities = 200;
+  artifact.num_topics = 32;
+  artifact.num_users = 2000;
+  artifact.vocab_size = 50000;
+  artifact.num_time_bins = 8;
+  const auto fill_rows = [rng](std::vector<double>* matrix, size_t rows,
+                               size_t cols) {
+    matrix->resize(rows * cols);
+    for (size_t r = 0; r < rows; ++r) {
+      double total = 0.0;
+      for (size_t i = 0; i < cols; ++i) {
+        const double v = 0.05 + rng->NextDouble();
+        (*matrix)[r * cols + i] = v;
+        total += v;
+      }
+      for (size_t i = 0; i < cols; ++i) (*matrix)[r * cols + i] /= total;
+    }
+  };
+  const size_t kc = static_cast<size_t>(artifact.num_communities);
+  const size_t kz = static_cast<size_t>(artifact.num_topics);
+  fill_rows(&artifact.pi, artifact.num_users, kc);
+  fill_rows(&artifact.theta, kc, kz);
+  fill_rows(&artifact.phi, kz, artifact.vocab_size);
+  fill_rows(&artifact.eta, kc * kc, kz);  // Row-normalized intensities.
+  artifact.weights.assign(kNumDiffusionWeights, 0.1);
+  fill_rows(&artifact.popularity,
+            static_cast<size_t>(artifact.num_time_bins), kz);
+  return artifact;
+}
+
+std::string RunJson(const RunResult& run, bool last) {
+  std::string json = StrFormat(
+      "    {\"preset\": \"%s\", \"precompute\": %s,\n"
+      "     \"index_build_seconds\": %.4f, \"workload_size\": %zu,\n",
+      run.preset, run.precompute ? "true" : "false", run.build_seconds,
+      run.workload_size);
+  json += "     \"per_type_single_thread\": [\n";
+  for (size_t kind = 0; kind < run.per_kind.size(); ++kind) {
+    json += StrFormat(
+        "       {\"type\": \"%s\", \"count\": %zu, \"p50_us\": %.2f, "
+        "\"p99_us\": %.2f}%s\n",
+        kKindNames[kind], run.per_kind[kind].count, run.per_kind[kind].p50_us,
+        run.per_kind[kind].p99_us,
+        kind + 1 < run.per_kind.size() ? "," : "");
+  }
+  json += "     ],\n";
+  json += StrFormat(
+      "     \"single_thread\": {\"queries_per_sec\": %.1f, \"p50_us\": %.2f, "
+      "\"p99_us\": %.2f},\n",
+      run.single_qps, run.overall.p50_us, run.overall.p99_us);
+  json += StrFormat(
+      "     \"batched\": {\"threads\": %d, \"queries_per_sec\": %.1f, "
+      "\"speedup_vs_single_thread\": %.3f}}%s\n",
+      kBatchThreads, run.batch_qps, run.batch_qps / run.single_qps,
+      last ? "" : ",");
+  return json;
+}
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  const BenchDataset& dataset = TwitterDataset(scale);
+  PrintBenchHeader("Query serving (ProfileIndex + QueryEngine)", scale,
+                   dataset);
+
+  std::vector<RunResult> runs;
+
+  // ----- "twitter" preset: trained model + bound graph -----
+  CpdConfig config = BaseCpdConfig(scale);
+  config.num_communities = 12;
+  std::printf("training |C|=%d |Z|=%d T1=%d...\n", config.num_communities,
+              config.num_topics, config.em_iterations);
+  auto model = CpdModel::Train(dataset.data.graph, config);
+  CPD_CHECK(model.ok());
+  {
+    Rng rng(20260731);
+    std::vector<serve::QueryRequest> workload;
+    for (const bool precompute : {false, true}) {
+      serve::ProfileIndexOptions options;
+      options.precompute_scoring = precompute;
+      WallTimer build_timer;
+      const serve::ProfileIndex index =
+          serve::ProfileIndex::FromModel(*model, options);
+      const double build_seconds = build_timer.ElapsedSeconds();
+      if (workload.empty()) {
+        // Same request stream for both cells (built once, parameters drawn
+        // off the fast=off index — the dimensions are identical).
+        workload = BuildWorkload(&dataset.data.graph, index, kTwitterWorkload,
+                                 &rng);
+      }
+      runs.push_back(MeasureEngine("twitter", precompute, index,
+                                   &dataset.data.graph, build_seconds,
+                                   workload));
+    }
+  }
+
+  // ----- "large" preset: K=200, |Z|=32, V=50k synthetic artifact -----
+  {
+    Rng artifact_rng(20260807);
+    const ModelArtifact artifact = MakeLargeArtifact(&artifact_rng);
+    std::printf("large preset: |C|=%d |Z|=%d V=%llu U=%llu\n",
+                artifact.num_communities, artifact.num_topics,
+                static_cast<unsigned long long>(artifact.vocab_size),
+                static_cast<unsigned long long>(artifact.num_users));
+    Rng rng(20260808);
+    std::vector<serve::QueryRequest> workload;
+    for (const bool precompute : {false, true}) {
+      serve::ProfileIndexOptions options;
+      options.precompute_scoring = precompute;
+      ModelArtifact copy = artifact;  // FromArtifact consumes the matrices.
+      WallTimer build_timer;
+      auto index = serve::ProfileIndex::FromArtifact(std::move(copy), options);
+      const double build_seconds = build_timer.ElapsedSeconds();
+      CPD_CHECK(index.ok());
+      if (workload.empty()) {
+        workload = BuildWorkload(nullptr, *index, kLargeWorkload, &rng);
+      }
+      runs.push_back(MeasureEngine("large", precompute, *index,
+                                   /*graph=*/nullptr, build_seconds,
+                                   workload));
+    }
+  }
+
+  // Acceptance headline: naive-over-fast rank p50 on the large preset.
+  double rank_speedup = 0.0;
+  {
+    const RunResult* off = nullptr;
+    const RunResult* on = nullptr;
+    for (const RunResult& run : runs) {
+      if (std::string(run.preset) != "large") continue;
+      (run.precompute ? on : off) = &run;
+    }
+    if (off != nullptr && on != nullptr && on->per_kind[1].p50_us > 0.0) {
+      rank_speedup = off->per_kind[1].p50_us / on->per_kind[1].p50_us;
+    }
+  }
+  std::printf("large-preset rank p50 speedup (precompute off/on): %.1fx\n",
+              rank_speedup);
 
   std::string json = "{\n  \"bench\": \"query_serving\",\n";
   json += StrFormat(
       "  \"dataset\": {\"users\": %zu, \"documents\": %zu, "
       "\"communities\": %d, \"topics\": %d, \"vocab\": %zu},\n",
       dataset.data.graph.num_users(), dataset.data.graph.num_documents(),
-      index.num_communities(), index.num_topics(), index.vocab_size());
+      config.num_communities, config.num_topics,
+      dataset.data.graph.vocabulary_size());
+  json += StrFormat(
+      "  \"large_preset\": {\"users\": 2000, \"communities\": 200, "
+      "\"topics\": 32, \"vocab\": 50000},\n");
   json += StrFormat("  \"hardware_concurrency\": %u,\n",
                     std::thread::hardware_concurrency());
-  json += StrFormat("  \"index_build_seconds\": %.4f,\n", build_seconds);
-  json += StrFormat("  \"workload_size\": %zu,\n", workload.size());
-  json += "  \"per_type_single_thread\": [\n";
-  for (size_t kind = 0; kind < per_kind_us.size(); ++kind) {
-    serve::QueryRequest probe;  // Only for the kind name table.
-    switch (kind) {
-      case 0: probe = serve::MembershipRequest{}; break;
-      case 1: probe = serve::RankCommunitiesRequest{}; break;
-      case 2: probe = serve::DiffusionRequest{}; break;
-      default: probe = serve::TopUsersRequest{}; break;
-    }
-    const LatencySummary summary = Summarize(&per_kind_us[kind]);
-    json += StrFormat(
-        "    {\"type\": \"%s\", \"count\": %zu, \"p50_us\": %.2f, "
-        "\"p99_us\": %.2f}%s\n",
-        RequestKind(probe), summary.count, summary.p50_us, summary.p99_us,
-        kind + 1 < per_kind_us.size() ? "," : "");
+  json += StrFormat("  \"rank_p50_speedup_large\": %.2f,\n", rank_speedup);
+  json += "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    json += RunJson(runs[i], i + 1 == runs.size());
   }
-  json += "  ],\n";
-  json += StrFormat(
-      "  \"single_thread\": {\"queries_per_sec\": %.1f, \"p50_us\": %.2f, "
-      "\"p99_us\": %.2f},\n",
-      single_qps, overall.p50_us, overall.p99_us);
-  json += StrFormat(
-      "  \"batched\": {\"threads\": %d, \"queries_per_sec\": %.1f, "
-      "\"speedup_vs_single_thread\": %.3f}\n",
-      kBatchThreads, batch_qps, batch_qps / single_qps);
-  json += "}\n";
+  json += "  ]\n}\n";
 
   const char* dir = std::getenv("CPD_BENCH_JSON_DIR");
   const std::string path =

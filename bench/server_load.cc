@@ -342,6 +342,11 @@ void Run(int override_connections) {
   json += StrFormat("  \"hardware_concurrency\": %u,\n",
                     std::thread::hardware_concurrency());
   json += StrFormat("  \"server_threads\": %d,\n", kServerThreads);
+  // Whether the served index carried the precomputed scoring tables —
+  // comparing rows across commits needs this pinned next to the numbers.
+  json += StrFormat("  \"precompute_scoring\": %s,\n",
+                    registry.Snapshot()->index.has_scoring_tables() ? "true"
+                                                                    : "false");
   json += StrFormat("  \"healthz_p50_us\": %.2f,\n", health_p50);
   json += "  \"levels\": [\n";
   for (size_t i = 0; i < levels.size(); ++i) {

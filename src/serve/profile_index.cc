@@ -1,6 +1,7 @@
 #include "serve/profile_index.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "core/cpd_model.h"
@@ -98,6 +99,46 @@ void ProfileIndex::BuildDerived() {
     }
   }
 
+  if (options_.precompute_scoring) {
+    // Fused eta*theta rows, (c,z)-major: G[c][z][c2] = eta(c,c2,z) *
+    // theta_c2[z]. One multiply per cell, so dotting a row with pi_v
+    // reproduces the reference kernel's ((eta*theta)*pi_v) grouping
+    // bit-for-bit.
+    eta_theta_.assign(c_count * z_count * c_count, 0.0);
+    for (size_t c = 0; c < c_count; ++c) {
+      for (size_t c2 = 0; c2 < c_count; ++c2) {
+        const double* eta_row = eta_.data() + (c * c_count + c2) * z_count;
+        const double* theta_row = theta_.data() + c2 * z_count;
+        for (size_t z = 0; z < z_count; ++z) {
+          eta_theta_[(c * z_count + z) * c_count + c2] =
+              eta_row[z] * theta_row[z];
+        }
+      }
+    }
+    // M[c][z] = sum_c2 G[c][z][c2], c2 ascending — the same accumulation
+    // the reference Eq. 19 kernel performs per request.
+    link_content_.assign(c_count * z_count, 0.0);
+    for (size_t c = 0; c < c_count; ++c) {
+      for (size_t z = 0; z < z_count; ++z) {
+        const double* row = eta_theta_.data() + (c * z_count + z) * c_count;
+        double total = 0.0;
+        for (size_t c2 = 0; c2 < c_count; ++c2) total += row[c2];
+        link_content_[c * z_count + z] = total;
+      }
+    }
+    // Word-major log-phi: the same floored std::log the reference kernels
+    // apply per token, hoisted to build time and transposed so a query
+    // word's topic row is contiguous.
+    word_log_phi_.assign(vocab_size_ * z_count, 0.0);
+    for (size_t z = 0; z < z_count; ++z) {
+      const double* phi_row = phi_.data() + z * vocab_size_;
+      for (size_t w = 0; w < vocab_size_; ++w) {
+        word_log_phi_[w * z_count + z] =
+            std::log(std::max(phi_row[w], 1e-300));
+      }
+    }
+  }
+
   member_offsets_.assign(c_count + 1, 0);
   if (!options_.build_membership_index) {
     top_k_per_user_ = 0;
@@ -133,6 +174,8 @@ void ProfileIndex::BuildDerived() {
   member_offsets_.assign(c_count + 1, 0);
   members_.clear();
   members_.reserve(num_users_ * k);
+  member_weights_.clear();
+  member_weights_.reserve(num_users_ * k);
   for (size_t c = 0; c < c_count; ++c) {
     auto& users = postings[c];
     std::sort(users.begin(), users.end(), [this, c](UserId a, UserId b) {
@@ -142,6 +185,9 @@ void ProfileIndex::BuildDerived() {
       return a < b;
     });
     members_.insert(members_.end(), users.begin(), users.end());
+    for (const UserId u : users) {
+      member_weights_.push_back(pi_[static_cast<size_t>(u) * kc() + c]);
+    }
     member_offsets_[c + 1] = members_.size();
   }
 }

@@ -49,6 +49,22 @@ struct ProfileIndexOptions {
   /// artifacts do not carry the training config, so loaders default to the
   /// full model.
   bool heterogeneous_links = true;
+
+  /// Precompute the query-invariant scoring tables (the serving fast path):
+  ///   - link_content  M[c][z] = sum_c2 eta(c,c2,z) * theta_c2[z], which
+  ///     turns Eq. 19 community ranking from O(|C|^2 |Z|) per request into
+  ///     O(|C| |Z|);
+  ///   - word-major log-phi, so per-query word products gather |q|
+  ///     contiguous rows of length |Z| instead of striding |q| full-vocab
+  ///     rows and calling std::log per (token, topic);
+  ///   - the fused eta*theta tensor G[c][z][c2] = eta(c,c2,z)*theta_c2[z]
+  ///     laid out (c,z)-major, so the Eq. 4 diffusion inner loop is one
+  ///     contiguous dot with pi_v.
+  /// Memory cost: (|C| + |V| + |C|^2) * |Z| doubles on top of the
+  /// estimates (the G tensor is exactly eta-sized). Disable to serve big
+  /// models tight on RAM — the kernels then fall back to the naive
+  /// reference scorers, which answer bit-identically.
+  bool precompute_scoring = true;
 };
 
 /// One (community, weight) membership entry of a user's top-k list.
@@ -116,6 +132,32 @@ class ProfileIndex {
   /// may fall outside the training range).
   double TopicPopularity(int32_t t, int z) const;
 
+  // ----- precomputed scoring tables (ProfileIndexOptions::precompute_scoring) -----
+  /// False when built with precompute_scoring = false; the QueryEngine then
+  /// scores through the naive reference kernels.
+  bool has_scoring_tables() const { return !link_content_.empty(); }
+
+  /// M[c][.] = sum_c2 eta(c,c2,.) * theta_c2[.] over topics (the
+  /// query-invariant factor of Eq. 19; same c2 accumulation order as the
+  /// reference kernel, so fast and naive scores agree bitwise).
+  std::span<const double> LinkContentRow(int c) const {
+    return {link_content_.data() + static_cast<size_t>(c) * kz(), kz()};
+  }
+
+  /// log(max(phi_{.,w}, 1e-300)) over topics — one contiguous word-major
+  /// row per vocabulary word.
+  std::span<const double> WordLogPhi(WordId w) const {
+    return {word_log_phi_.data() + static_cast<size_t>(w) * kz(), kz()};
+  }
+
+  /// G[c][z][.] = eta(c,.,z) * theta_.[z] over c2 — the fused diffusion row
+  /// dotted with pi_v by the Eq. 4 community-score kernel.
+  std::span<const double> EtaThetaRow(int c, int z) const {
+    return {eta_theta_.data() +
+                (static_cast<size_t>(c) * kz() + static_cast<size_t>(z)) * kc(),
+            kc()};
+  }
+
   // ----- precomputed read-side structures -----
   /// False when built with build_membership_index = false; TopCommunities /
   /// CommunityMembers are then empty and the membership/top-users queries
@@ -133,6 +175,15 @@ class ProfileIndex {
   /// descending pi_{u,c} (ties by ascending user id).
   std::span<const UserId> CommunityMembers(int c) const {
     return {members_.data() + member_offsets_[static_cast<size_t>(c)],
+            member_offsets_[static_cast<size_t>(c) + 1] -
+                member_offsets_[static_cast<size_t>(c)]};
+  }
+
+  /// pi_{u,c} for each posted member, parallel to CommunityMembers(c) —
+  /// TopUsers answers straight off the posting instead of re-reading one
+  /// pi row per member.
+  std::span<const double> CommunityMemberWeights(int c) const {
+    return {member_weights_.data() + member_offsets_[static_cast<size_t>(c)],
             member_offsets_[static_cast<size_t>(c) + 1] -
                 member_offsets_[static_cast<size_t>(c)]};
   }
@@ -168,10 +219,16 @@ class ProfileIndex {
   std::vector<double> weights_;     // kNumDiffusionWeights
   std::vector<double> popularity_;  // T x Z
 
+  // Query-invariant scoring tables (empty unless precompute_scoring).
+  std::vector<double> link_content_;  // C x Z
+  std::vector<double> word_log_phi_;  // W x Z (word-major)
+  std::vector<double> eta_theta_;     // C x Z x C ((c,z)-major rows over c2)
+
   int top_k_per_user_ = 0;                      // min(top_k, |C|)
   std::vector<TopMembership> top_memberships_;  // U x top_k_per_user_
   std::vector<size_t> member_offsets_;          // |C| + 1
   std::vector<UserId> members_;                 // postings, weight-sorted
+  std::vector<double> member_weights_;          // pi_{u,c} per posting entry
 };
 
 /// A loaded index together with the vocabulary bundled in a v2 ".cpdb"

@@ -45,18 +45,32 @@ StatusOr<RankCommunitiesResponse> QueryEngine::RankCommunities(
   for (WordId w : request.words) CPD_RETURN_IF_ERROR(index_.CheckWord(w));
   const int kc = index_.num_communities();
   const int kz = index_.num_topics();
+  const bool fast = index_.has_scoring_tables();
 
   // g_z = prod_{w in q} phi_{z,w}, computed in log space and rescaled by the
   // max to avoid underflow (a global per-z factor cancels in the ranking).
   // An empty query leaves g uniform: Eq. 19 degrades to the prior ranking.
+  // The fast path gathers |q| contiguous word-major rows of build-time
+  // log-phi; the reference strides |q| full-vocab rows and logs per
+  // (token, topic). Both accumulate per topic in word order, so they agree
+  // bitwise.
   std::vector<double> log_g(static_cast<size_t>(kz), 0.0);
-  for (int z = 0; z < kz; ++z) {
-    const auto phi = index_.TopicWords(z);
-    double lg = 0.0;
+  if (fast) {
     for (WordId w : request.words) {
-      lg += std::log(std::max(phi[static_cast<size_t>(w)], 1e-300));
+      const auto row = index_.WordLogPhi(w);
+      for (int z = 0; z < kz; ++z) {
+        log_g[static_cast<size_t>(z)] += row[static_cast<size_t>(z)];
+      }
     }
-    log_g[static_cast<size_t>(z)] = lg;
+  } else {
+    for (int z = 0; z < kz; ++z) {
+      const auto phi = index_.TopicWords(z);
+      double lg = 0.0;
+      for (WordId w : request.words) {
+        lg += std::log(std::max(phi[static_cast<size_t>(w)], 1e-300));
+      }
+      log_g[static_cast<size_t>(z)] = lg;
+    }
   }
   const double max_log = *std::max_element(log_g.begin(), log_g.end());
   std::vector<double> g(static_cast<size_t>(kz));
@@ -65,38 +79,83 @@ StatusOr<RankCommunitiesResponse> QueryEngine::RankCommunities(
         std::exp(log_g[static_cast<size_t>(z)] - max_log);
   }
 
-  RankCommunitiesResponse response;
-  response.ranked.resize(static_cast<size_t>(kc));
+  // Eq. 19 scores into a flat scratch; entries are materialized only for
+  // the returned communities. With the precomputed link-content matrix the
+  // per-community cost is one length-|Z| dot instead of the O(|C| |Z|)
+  // reference recomputation of sum_c2 eta(c,c2,z) theta_c2[z].
+  std::vector<double> scores(static_cast<size_t>(kc), 0.0);
   for (int c = 0; c < kc; ++c) {
-    RankedCommunityEntry& entry = response.ranked[static_cast<size_t>(c)];
-    entry.community = c;
-    entry.topic_distribution.assign(static_cast<size_t>(kz), 0.0);
     double score = 0.0;
-    for (int z = 0; z < kz; ++z) {
-      double inner = 0.0;
-      for (int c2 = 0; c2 < kc; ++c2) {
-        inner += index_.Eta(c, c2, z) *
-                 index_.ContentProfile(c2)[static_cast<size_t>(z)];
+    if (fast) {
+      const auto m = index_.LinkContentRow(c);
+      for (int z = 0; z < kz; ++z) {
+        score += m[static_cast<size_t>(z)] * g[static_cast<size_t>(z)];
       }
-      const double term = inner * g[static_cast<size_t>(z)];
-      entry.topic_distribution[static_cast<size_t>(z)] = term;
-      score += term;
-    }
-    entry.score = score;
-    if (request.include_topic_distribution) {
-      NormalizeInPlace(&entry.topic_distribution);
     } else {
-      entry.topic_distribution.clear();
+      for (int z = 0; z < kz; ++z) {
+        double inner = 0.0;
+        for (int c2 = 0; c2 < kc; ++c2) {
+          inner += index_.Eta(c, c2, z) *
+                   index_.ContentProfile(c2)[static_cast<size_t>(z)];
+        }
+        score += inner * g[static_cast<size_t>(z)];
+      }
     }
+    scores[static_cast<size_t>(c)] = score;
   }
-  std::sort(response.ranked.begin(), response.ranked.end(),
-            [](const RankedCommunityEntry& a, const RankedCommunityEntry& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.community < b.community;
-            });
-  if (request.top_k > 0 &&
-      response.ranked.size() > static_cast<size_t>(request.top_k)) {
-    response.ranked.resize(static_cast<size_t>(request.top_k));
+
+  // Rank by (score desc, community asc) — a total order, so the partial
+  // nth_element + prefix sort returns exactly the full sort's first k,
+  // ties included.
+  std::vector<int> order(static_cast<size_t>(kc));
+  for (int c = 0; c < kc; ++c) order[static_cast<size_t>(c)] = c;
+  const auto better = [&scores](int a, int b) {
+    const double sa = scores[static_cast<size_t>(a)];
+    const double sb = scores[static_cast<size_t>(b)];
+    if (sa != sb) return sa > sb;
+    return a < b;
+  };
+  const size_t k = request.top_k == 0
+                       ? static_cast<size_t>(kc)
+                       : std::min(static_cast<size_t>(kc),
+                                  static_cast<size_t>(request.top_k));
+  if (k < static_cast<size_t>(kc)) {
+    std::nth_element(order.begin(), order.begin() + static_cast<long>(k),
+                     order.end(), better);
+    std::sort(order.begin(), order.begin() + static_cast<long>(k), better);
+  } else {
+    std::sort(order.begin(), order.end(), better);
+  }
+
+  RankCommunitiesResponse response;
+  response.ranked.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    const int c = order[i];
+    RankedCommunityEntry& entry = response.ranked[i];
+    entry.community = c;
+    entry.score = scores[static_cast<size_t>(c)];
+    if (!request.include_topic_distribution) continue;
+    // p(z | q, c), recomputed for returned entries only (identically to
+    // the scoring loop above, so normalization sees the same terms).
+    entry.topic_distribution.assign(static_cast<size_t>(kz), 0.0);
+    if (fast) {
+      const auto m = index_.LinkContentRow(c);
+      for (int z = 0; z < kz; ++z) {
+        entry.topic_distribution[static_cast<size_t>(z)] =
+            m[static_cast<size_t>(z)] * g[static_cast<size_t>(z)];
+      }
+    } else {
+      for (int z = 0; z < kz; ++z) {
+        double inner = 0.0;
+        for (int c2 = 0; c2 < kc; ++c2) {
+          inner += index_.Eta(c, c2, z) *
+                   index_.ContentProfile(c2)[static_cast<size_t>(z)];
+        }
+        entry.topic_distribution[static_cast<size_t>(z)] =
+            inner * g[static_cast<size_t>(z)];
+      }
+    }
+    NormalizeInPlace(&entry.topic_distribution);
   }
   return response;
 }
@@ -129,12 +188,27 @@ StatusOr<std::vector<double>> QueryEngine::DocumentTopicPosterior(
       prior += pi_v[static_cast<size_t>(c)] *
                index_.ContentProfile(c)[static_cast<size_t>(z)];
     }
-    double lp = std::log(std::max(prior, 1e-300));
-    const auto phi = index_.TopicWords(z);
+    log_post[static_cast<size_t>(z)] = std::log(std::max(prior, 1e-300));
+  }
+  // Word term: gather |doc| contiguous word-major log-phi rows when
+  // precomputed; both paths add words in document order on top of the
+  // prior, so they agree bitwise.
+  if (index_.has_scoring_tables()) {
     for (WordId w : doc.words) {
-      lp += std::log(std::max(phi[static_cast<size_t>(w)], 1e-300));
+      const auto row = index_.WordLogPhi(w);
+      for (int z = 0; z < kz; ++z) {
+        log_post[static_cast<size_t>(z)] += row[static_cast<size_t>(z)];
+      }
     }
-    log_post[static_cast<size_t>(z)] = lp;
+  } else {
+    for (int z = 0; z < kz; ++z) {
+      const auto phi = index_.TopicWords(z);
+      double lp = log_post[static_cast<size_t>(z)];
+      for (WordId w : doc.words) {
+        lp += std::log(std::max(phi[static_cast<size_t>(w)], 1e-300));
+      }
+      log_post[static_cast<size_t>(z)] = lp;
+    }
   }
   SoftmaxInPlace(&log_post);
   return log_post;
@@ -145,6 +219,23 @@ double QueryEngine::CommunityScore(UserId u, UserId v, int z) const {
   const auto pi_v = index_.Membership(v);
   const int kc = index_.num_communities();
   double score = 0.0;
+  if (index_.has_scoring_tables()) {
+    // Fused rows G[c][z][c2] = eta(c,c2,z)*theta_c2[z]: the inner loop is
+    // one contiguous dot with pi_v, the same ((eta*theta)*pi_v) grouping
+    // as the reference below.
+    for (int c = 0; c < kc; ++c) {
+      const double left = pi_u[static_cast<size_t>(c)] *
+                          index_.ContentProfile(c)[static_cast<size_t>(z)];
+      if (left == 0.0) continue;
+      const auto row = index_.EtaThetaRow(c, z);
+      double inner = 0.0;
+      for (int c2 = 0; c2 < kc; ++c2) {
+        inner += row[static_cast<size_t>(c2)] * pi_v[static_cast<size_t>(c2)];
+      }
+      score += left * inner;
+    }
+    return score;
+  }
   for (int c = 0; c < kc; ++c) {
     const double left = pi_u[static_cast<size_t>(c)] *
                         index_.ContentProfile(c)[static_cast<size_t>(z)];
@@ -217,17 +308,16 @@ StatusOr<TopUsersResponse> QueryEngine::TopUsers(
         "(ProfileIndexOptions::build_membership_index)");
   }
   const auto members = index_.CommunityMembers(request.community);
+  const auto weights = index_.CommunityMemberWeights(request.community);
   const size_t k = request.top_k == 0
                        ? members.size()
                        : std::min(members.size(),
                                   static_cast<size_t>(request.top_k));
   TopUsersResponse response;
+  // Both answers come straight off the posting — the weights were stored
+  // next to the user ids at build time, so no per-member pi row reads.
   response.users.assign(members.begin(), members.begin() + static_cast<long>(k));
-  response.weights.reserve(k);
-  for (size_t i = 0; i < k; ++i) {
-    response.weights.push_back(
-        index_.Membership(members[i])[static_cast<size_t>(request.community)]);
-  }
+  response.weights.assign(weights.begin(), weights.begin() + static_cast<long>(k));
   return response;
 }
 

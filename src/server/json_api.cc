@@ -1,5 +1,6 @@
 #include "server/json_api.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
@@ -13,6 +14,7 @@
 #include "ingest/ingest_pipeline.h"
 #include "ingest/update_batch.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace cpd::server {
 
@@ -168,6 +170,35 @@ std::map<std::string, ServiceStats::ModelCounters> ServiceStats::PerModel()
     const {
   std::lock_guard<std::mutex> lock(models_mutex_);
   return models_;
+}
+
+void ServiceStats::RecordLatency(size_t type, double micros) {
+  if (type >= kNumQueryTypes) return;
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  LatencyRing& ring = latency_[type];
+  if (ring.samples.size() < kLatencyWindow) {
+    ring.samples.push_back(micros);
+  } else {
+    ring.samples[ring.next] = micros;
+    ring.next = (ring.next + 1) % kLatencyWindow;
+  }
+  ++ring.count;
+}
+
+ServiceStats::LatencySummary ServiceStats::LatencyFor(size_t type) const {
+  LatencySummary summary;
+  if (type >= kNumQueryTypes) return summary;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    summary.count = latency_[type].count;
+    window = latency_[type].samples;
+  }
+  if (window.empty()) return summary;
+  std::sort(window.begin(), window.end());
+  summary.p50_us = window[window.size() / 2];
+  summary.p99_us = window[window.size() * 99 / 100];
+  return summary;
 }
 
 int HttpStatusForCode(StatusCode code) {
@@ -379,6 +410,7 @@ HttpResponse HandleQuery(const HttpRequest& http_request,
         responses.Append(StatusToJson(request.status()));
         continue;
       }
+      WallTimer slot_timer;
       auto response = model->engine->Query(*request);
       if (!response.ok()) {
         stats->CountQueryError(name);
@@ -386,6 +418,7 @@ HttpResponse HandleQuery(const HttpRequest& http_request,
         continue;
       }
       stats->CountBatchQuery(name);
+      stats->RecordLatency(request->index(), slot_timer.ElapsedSeconds() * 1e6);
       responses.Append(QueryResponseToJson(*response));
     }
     Json out = Json::MakeObject();
@@ -400,6 +433,9 @@ HttpResponse HandleQuery(const HttpRequest& http_request,
   }
   // Single queries are where concurrency hides batchability: route them
   // through the coalescer (explicit client batches are already batched).
+  // The latency sample covers the scoring path a client waits on (incl.
+  // any coalescing window), not JSON encode/decode.
+  WallTimer query_timer;
   auto response = coalescer != nullptr
                       ? coalescer->Execute(model, *request)
                       : model->engine->Query(*request);
@@ -408,6 +444,7 @@ HttpResponse HandleQuery(const HttpRequest& http_request,
     return ErrorResponse(response.status());
   }
   stats->CountQuery(name);
+  stats->RecordLatency(request->index(), query_timer.ElapsedSeconds() * 1e6);
   return JsonResponse(200, QueryResponseToJson(*response));
 }
 
@@ -450,12 +487,15 @@ HttpResponse HandleMembershipGet(const HttpRequest& http_request,
   const auto distribution = http_request.query.find("distribution");
   request.include_distribution = distribution != http_request.query.end() &&
                                  distribution->second != "0";
+  WallTimer query_timer;
   auto response = model->engine->Membership(request);
   if (!response.ok()) {
     stats->CountQueryError(name);
     return ErrorResponse(response.status());
   }
   stats->CountQuery(name);
+  stats->RecordLatency(/*type=*/0,  // MembershipRequest's variant index.
+                       query_timer.ElapsedSeconds() * 1e6);
   return JsonResponse(
       200, QueryResponseToJson(serve::QueryResponse(std::move(*response))));
 }
@@ -529,6 +569,21 @@ HttpResponse HandleStatsz(const HttpServer* server, ModelRegistry* registry,
       "ingested_links",
       Json(stats->ingested_links.load(std::memory_order_relaxed)));
 
+  // Per-query-type service latency (what bench_query measures client-side):
+  // lifetime counts, p50/p99 microseconds over the retained window.
+  static constexpr const char* kQueryTypeNames[ServiceStats::kNumQueryTypes] =
+      {"membership", "rank", "diffusion", "top_users"};
+  Json latency_json = Json::MakeObject();
+  for (size_t type = 0; type < ServiceStats::kNumQueryTypes; ++type) {
+    const ServiceStats::LatencySummary summary = stats->LatencyFor(type);
+    Json row = Json::MakeObject();
+    row.Set("count", Json(summary.count));
+    row.Set("p50_us", Json(summary.p50_us));
+    row.Set("p99_us", Json(summary.p99_us));
+    latency_json.Set(kQueryTypeNames[type], std::move(row));
+  }
+  service_json.Set("latency", std::move(latency_json));
+
   Json out = Json::MakeObject();
   out.Set("server", std::move(server_json));
   out.Set("service", std::move(service_json));
@@ -545,6 +600,8 @@ HttpResponse HandleStatsz(const HttpServer* server, ModelRegistry* registry,
     model_json.Set("vocab",
                    Json(static_cast<uint64_t>(model->index.vocab_size())));
     model_json.Set("vocabulary_bundled", Json(model->vocabulary != nullptr));
+    model_json.Set("precompute_scoring",
+                   Json(model->index.has_scoring_tables()));
     out.Set("model", std::move(model_json));
   }
 

@@ -33,7 +33,8 @@
 ///   POST /v1/models/{model}/query             query a named model
 ///   GET  /v1/models/{model}/membership/{user} shortcut on a named model
 ///   GET  /healthz               serving generation + model liveness
-///   GET  /statsz                transport + service + per-model counters
+///   GET  /statsz                transport + service + per-model counters,
+///                               per-query-type latency p50/p99
 ///                               (+ "coalescer" when micro-batching is on)
 ///   POST /admin/reload          hot-swap: re-read the artifact (optional
 ///                               body {"path":"other.cpdb"} switches files,
@@ -47,11 +48,13 @@
 ///                               downtime. 409 when the server runs without
 ///                               an ingest pipeline.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "serve/query_engine.h"
 #include "server/coalescer.h"
@@ -95,9 +98,39 @@ struct ServiceStats {
   /// Snapshot of the per-model rows (name-sorted).
   std::map<std::string, ModelCounters> PerModel() const;
 
+  // ----- per-query-type service latency (statsz "latency" section) -----
+  /// Type index = the QueryRequest variant index (membership, rank,
+  /// diffusion, top_users).
+  static constexpr size_t kNumQueryTypes = 4;
+  /// Retained samples per type; percentiles describe the most recent
+  /// window, counts are lifetime totals.
+  static constexpr size_t kLatencyWindow = 2048;
+
+  struct LatencySummary {
+    uint64_t count = 0;   ///< Samples ever recorded for the type.
+    double p50_us = 0.0;  ///< Median over the retained window.
+    double p99_us = 0.0;  ///< p99 over the retained window.
+  };
+
+  /// Records one successful query's service time (handler-side, excludes
+  /// transport). `type` out of range is ignored.
+  void RecordLatency(size_t type, double micros);
+
+  /// Percentile snapshot for one query type (sorts a copy of the window;
+  /// statsz-scrape frequency, not hot-path frequency).
+  LatencySummary LatencyFor(size_t type) const;
+
  private:
   mutable std::mutex models_mutex_;
   std::map<std::string, ModelCounters> models_;
+
+  struct LatencyRing {
+    std::vector<double> samples;  ///< Capped at kLatencyWindow.
+    size_t next = 0;              ///< Overwrite cursor once full.
+    uint64_t count = 0;
+  };
+  mutable std::mutex latency_mutex_;
+  std::array<LatencyRing, kNumQueryTypes> latency_;
 };
 
 /// HTTP status for a typed error (InvalidArgument -> 400, NotFound /

@@ -258,6 +258,15 @@ TEST_F(HttpServerTest, HealthzStatszAndTypedErrors) {
   EXPECT_GE(stats_json->Find("service")->Find("queries")->number(), 1.0);
   EXPECT_GE(stats_json->Find("server")->Find("requests")->number(), 2.0);
   EXPECT_EQ(stats_json->Find("model")->Find("generation")->number(), 1.0);
+  EXPECT_TRUE(
+      stats_json->Find("model")->Find("precompute_scoring")->bool_value());
+  // The membership query above landed one latency sample for its type.
+  const Json* latency = stats_json->Find("service")->Find("latency");
+  ASSERT_NE(latency, nullptr);
+  ASSERT_NE(latency->Find("membership"), nullptr);
+  EXPECT_GE(latency->Find("membership")->Find("count")->number(), 1.0);
+  EXPECT_GT(latency->Find("membership")->Find("p50_us")->number(), 0.0);
+  EXPECT_EQ(latency->Find("rank")->Find("count")->number(), 0.0);
 
   // Typed errors surface with mapped status codes.
   EXPECT_EQ(Fetch(port, "POST", "/v1/query", "this is not json").status, 400);

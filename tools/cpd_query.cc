@@ -56,8 +56,8 @@ using cpd::serve::QueryResponse;
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --model model.cpdb [--vocab vocab.tsv] [--top_k 5]\n"
-               "          [--users N --docs docs.tsv --friends friends.tsv "
-               "--diffusion diffusion.tsv]\n"
+               "          [--precompute 1] [--users N --docs docs.tsv "
+               "--friends friends.tsv --diffusion diffusion.tsv]\n"
                "          [--batch queries.txt] [--threads 1]\n"
                "commands: membership <user> [k] | rank <term...> |\n"
                "          topusers <community> [k] | diffusion <u> <v> <doc> "
@@ -67,7 +67,7 @@ void Usage(const char* argv0) {
 
 const std::set<std::string> kKnownFlags = {
     "model", "vocab", "top_k",     "users",  "docs",
-    "friends", "diffusion", "batch", "threads"};
+    "friends", "diffusion", "batch", "threads", "precompute"};
 
 /// Parses one command line into a typed request. `vocab` may be null (rank
 /// terms are then numeric word ids).
@@ -203,6 +203,9 @@ int main(int argc, char** argv) {
   cpd::serve::ProfileIndexOptions options;
   options.membership_top_k =
       static_cast<int>(int_flag("top_k", options.membership_top_k));
+  // --precompute 0 skips the query-invariant scoring tables (naive
+  // reference kernels; saves (|C|+|V|+|C|^2)*|Z| doubles of index memory).
+  options.precompute_scoring = int_flag("precompute", 1) != 0;
   cpd::WallTimer load_timer;
   auto bundle = cpd::serve::LoadModelBundle(args["model"], options);
   if (!bundle.ok()) {
