@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "dist/distributed_executor.h"
 #include "sampling/distributions.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -45,13 +46,40 @@ StatusOr<ThreadPlan> EmTrainer::BuildPlan() {
                      /*lda_iterations=*/15, config_.seed + 101);
 }
 
+StatusOr<std::unique_ptr<ShardExecutor>> EmTrainer::BuildExecutor(
+    ThreadPlan plan) {
+  if (executor_factory_) {
+    return executor_factory_(graph_, config_, *caches_, std::move(plan));
+  }
+  if (config_.ResolvedExecutorMode() == ExecutorMode::kDistributed) {
+    return dist::MakeDistributedExecutor(graph_, config_, *caches_,
+                                         std::move(plan));
+  }
+  return MakeShardExecutor(graph_, config_, *caches_, std::move(plan));
+}
+
+void EmTrainer::UpdateTransportStats() {
+  const DistTransportStats* t = executor_->transport_stats();
+  if (t == nullptr) return;
+  // The executor's counters are cumulative, so assign rather than add.
+  stats_.dist_workers_connected = t->workers_connected;
+  stats_.dist_workers_lost = t->workers_lost;
+  stats_.dist_shards_redispatched = t->shards_redispatched;
+  stats_.dist_bytes_out = t->bytes_out;
+  stats_.dist_bytes_in = t->bytes_in;
+  stats_.dist_serialize_seconds = t->serialize_seconds;
+  stats_.dist_wait_seconds = t->wait_seconds;
+}
+
 Status EmTrainer::EnsureExecutor() {
   if (executor_ != nullptr) return Status::OK();
   auto plan = BuildPlan();
   if (!plan.ok()) return plan.status();
   stats_.num_segments = plan->num_segments;
   stats_.thread_estimated_workload = plan->allocation.thread_workload;
-  executor_ = MakeShardExecutor(graph_, config_, *caches_, std::move(*plan));
+  auto executor = BuildExecutor(std::move(*plan));
+  if (!executor.ok()) return executor.status();
+  executor_ = std::move(*executor);
   return Status::OK();
 }
 
@@ -183,7 +211,9 @@ Status EmTrainer::WarmStart(const WarmStartOptions& options) {
   }
   stats_.num_segments = plan->num_segments;
   stats_.thread_estimated_workload = plan->allocation.thread_workload;
-  executor_ = MakeShardExecutor(graph_, config_, *caches_, std::move(*plan));
+  auto executor = BuildExecutor(std::move(*plan));
+  if (!executor.ok()) return executor.status();
+  executor_ = std::move(*executor);
 
   for (int iter = 0; iter < options.warm_iterations; ++iter) {
     CPD_RETURN_IF_ERROR(EStep());
@@ -254,6 +284,7 @@ Status EmTrainer::EStep() {
   // reporting sparse-backend acceptance health for the whole run.
   sampler_->AccumulateMhStats(executor_->ConsumeMhStats());
   stats_.thread_actual_seconds = executor_->shard_seconds();
+  UpdateTransportStats();
   stats_.e_step_seconds += timer.ElapsedSeconds();
   return Status::OK();
 }

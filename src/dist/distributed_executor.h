@@ -1,0 +1,72 @@
+#ifndef CPD_DIST_DISTRIBUTED_EXECUTOR_H_
+#define CPD_DIST_DISTRIBUTED_EXECUTOR_H_
+
+/// \file distributed_executor.h
+/// The coordinator half of the distributed E-step: a ShardExecutor that
+/// ships the per-sweep StateSnapshot to cpd_worker processes over the
+/// src/dist wire protocol and merges their CounterDeltas back in canonical
+/// shard order. Because every shard's RNG stream travels with the shard
+/// (out in kRunShard, back advanced in kShardResult) and Polya-Gamma
+/// augmentation runs locally on the coordinator with those same streams,
+/// a distributed run is bit-identical to a serial or pooled run with the
+/// same seed and shard count — including after a worker death, since
+/// re-dispatch resends the shard's original RNG state to a survivor.
+///
+/// Robustness: per-worker handshake (protocol version + model dimensions),
+/// a per-sweep deadline after which pending shards are re-dispatched to
+/// surviving workers (stragglers are declared dead), and a clean kShutdown
+/// drain on destruction. Only when every worker is gone does a sweep fail
+/// (Status::Unavailable).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/diffusion_features.h"
+#include "core/model_config.h"
+#include "graph/social_graph.h"
+#include "parallel/segmenter.h"
+#include "parallel/shard_executor.h"
+#include "util/status.h"
+
+namespace cpd::dist {
+
+/// Connection plan for MakeDistributedExecutor. Exactly one of
+/// spawn_workers / worker_addrs / connected_fds must be set.
+struct DistributedOptions {
+  /// Fork+exec this many local cpd_worker processes on loopback.
+  int spawn_workers = 0;
+
+  /// Pre-started workers to connect to, as numeric "HOST:PORT" strings.
+  std::vector<std::string> worker_addrs;
+
+  /// Already-connected sockets (test injection: in-process socketpair
+  /// workers). The executor takes ownership of the fds.
+  std::vector<int> connected_fds;
+
+  /// Worker binary for spawn_workers; empty = "cpd_worker" next to the
+  /// running executable.
+  std::string worker_binary;
+
+  /// Extra argv appended to spawned workers (fault-injection test flags).
+  std::vector<std::string> spawn_extra_args;
+
+  int sweep_deadline_ms = 30000;
+  int handshake_timeout_ms = 15000;
+};
+
+/// Connects/spawns and handshakes every worker; fails (closing everything
+/// it opened) if any session cannot be established — a missing worker at
+/// startup is a configuration error, not a fault to tolerate.
+StatusOr<std::unique_ptr<ShardExecutor>> MakeDistributedExecutor(
+    const SocialGraph& graph, const CpdConfig& config, const LinkCaches& caches,
+    ThreadPlan plan, DistributedOptions options);
+
+/// Convenience overload deriving DistributedOptions from config.dist_*.
+StatusOr<std::unique_ptr<ShardExecutor>> MakeDistributedExecutor(
+    const SocialGraph& graph, const CpdConfig& config, const LinkCaches& caches,
+    ThreadPlan plan);
+
+}  // namespace cpd::dist
+
+#endif  // CPD_DIST_DISTRIBUTED_EXECUTOR_H_

@@ -247,6 +247,11 @@ std::unique_ptr<ShardExecutor> MakeShardExecutor(const SocialGraph& graph,
     case ExecutorMode::kPooled:
       return std::make_unique<PooledExecutor>(graph, config, caches,
                                               std::move(plan));
+    case ExecutorMode::kDistributed:
+      // Built through MakeDistributedExecutor (src/dist) — it can fail, so
+      // it returns StatusOr and cannot hide behind this factory.
+      CPD_CHECK(false);
+      break;
     case ExecutorMode::kAuto:
     case ExecutorMode::kSerial:
       break;

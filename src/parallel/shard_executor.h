@@ -39,6 +39,21 @@ struct KernelFlags {
   bool community_uses_diffusion = true;
 };
 
+/// Cumulative transport counters of a distributed executor (src/dist), null
+/// for in-process executors. Folded into TrainStats after every E-step.
+struct DistTransportStats {
+  int workers_connected = 0;  ///< Sessions established at startup.
+  int workers_lost = 0;       ///< Disconnects + deadline kills since startup.
+  int64_t shards_redispatched = 0;
+  int64_t sweeps = 0;
+  uint64_t bytes_out = 0;
+  uint64_t bytes_in = 0;
+  /// Coordinator-side encode + decode time (snapshot out, deltas in).
+  double serialize_seconds = 0.0;
+  /// Time the coordinator spent blocked waiting for shard results.
+  double wait_seconds = 0.0;
+};
+
 class ShardExecutor {
  public:
   virtual ~ShardExecutor() = default;
@@ -71,6 +86,10 @@ class ShardExecutor {
   /// trainer folds them into the master sampler so sparse-backend health
   /// stays observable via GibbsSampler::mh_stats()).
   virtual MhStats ConsumeMhStats() = 0;
+
+  /// Cumulative transport counters; non-null only for the distributed
+  /// executor.
+  virtual const DistTransportStats* transport_stats() const { return nullptr; }
 };
 
 /// Builds the executor selected by `config` (ResolvedExecutorMode) over the

@@ -42,4 +42,12 @@ bool FileExists(const std::string& path) {
   return std::filesystem::is_regular_file(path, ec);
 }
 
+std::string CurrentExecutableDir() {
+  std::error_code ec;
+  const std::filesystem::path exe =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) return std::string();
+  return exe.parent_path().string();
+}
+
 }  // namespace cpd

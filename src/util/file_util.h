@@ -23,6 +23,11 @@ StatusOr<std::vector<std::string>> ReadLines(const std::string& path);
 /// True if the path exists and is a regular file.
 bool FileExists(const std::string& path);
 
+/// Directory containing the running executable (via /proc/self/exe), without
+/// a trailing slash; empty if it cannot be determined. Tools and tests use
+/// it to find sibling binaries (e.g. cpd_worker next to cpd_train).
+std::string CurrentExecutableDir();
+
 }  // namespace cpd
 
 #endif  // CPD_UTIL_FILE_UTIL_H_

@@ -1,0 +1,163 @@
+#ifndef CPD_UTIL_WIRE_FORMAT_H_
+#define CPD_UTIL_WIRE_FORMAT_H_
+
+/// \file wire_format.h
+/// Little-endian binary encode/decode primitives shared by the versioned
+/// on-disk artifacts and the distributed-executor wire protocol
+/// (src/dist/wire.h). WireWriter appends fixed-width scalars and
+/// length-prefixed vectors to a std::string; WireReader consumes them with
+/// sticky, typed error reporting: the first over-read latches an OutOfRange
+/// status ("truncated"), every later read returns zeros, and callers check
+/// status() once at the end — plus ExpectDone() to reject trailing bytes,
+/// mirroring the model_artifact reader's error typing.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cpd {
+
+class WireWriter {
+ public:
+  /// Appends to *out; the caller keeps ownership (must outlive the writer).
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void U64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void I32(int32_t v) { AppendRaw(&v, sizeof(v)); }
+  void I64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+  void F64(double v) { AppendRaw(&v, sizeof(v)); }
+
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  /// u64 length prefix + raw bytes.
+  void Str(std::string_view s) {
+    U64(s.size());
+    out_->append(s.data(), s.size());
+  }
+
+  /// u64 element-count prefix + packed little-endian elements.
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    static_assert(std::is_arithmetic_v<T>);
+    U64(v.size());
+    if (!v.empty()) AppendRaw(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  void AppendRaw(const void* data, size_t n) {
+    out_->append(static_cast<const char*>(data), n);
+  }
+
+  std::string* out_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    TakeRaw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    TakeRaw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    TakeRaw(&v, sizeof(v));
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    TakeRaw(&v, sizeof(v));
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    TakeRaw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0.0;
+    TakeRaw(&v, sizeof(v));
+    return v;
+  }
+  bool Bool() { return U8() != 0; }
+
+  std::string Str() {
+    const uint64_t n = U64();
+    if (!CheckAvailable(n, 1)) return std::string();
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// Reads a u64-count-prefixed packed vector. The count is validated
+  /// against the remaining bytes before any allocation, so a corrupt length
+  /// prefix is an OutOfRange error, never an OOM resize.
+  template <typename T>
+  void Vec(std::vector<T>* out) {
+    static_assert(std::is_arithmetic_v<T>);
+    const uint64_t n = U64();
+    if (!CheckAvailable(n, sizeof(T))) {
+      out->clear();
+      return;
+    }
+    out->resize(n);
+    if (n > 0) TakeRaw(out->data(), n * sizeof(T));
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// OK until the first over-read; then the latched OutOfRange error.
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+  /// OK only if every byte was consumed and no read failed (trailing bytes
+  /// are an OutOfRange error, matching the artifact reader).
+  Status ExpectDone() const {
+    CPD_RETURN_IF_ERROR(status_);
+    if (pos_ != data_.size()) {
+      return Status::OutOfRange("wire: " + std::to_string(remaining()) +
+                                " trailing bytes after payload");
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool CheckAvailable(uint64_t count, size_t elem_size) {
+    if (!status_.ok()) return false;
+    if (count > remaining() / elem_size) {
+      status_ = Status::OutOfRange("wire: truncated payload");
+      return false;
+    }
+    return true;
+  }
+
+  void TakeRaw(void* dst, size_t n) {
+    if (!status_.ok()) return;
+    if (n > remaining()) {
+      status_ = Status::OutOfRange("wire: truncated payload");
+      return;
+    }
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace cpd
+
+#endif  // CPD_UTIL_WIRE_FORMAT_H_

@@ -1,0 +1,359 @@
+// The distributed E-step wire codec (src/dist/wire.h): binary round-trips
+// for every message, and the corruption taxonomy mirroring the .cpdb model
+// artifact — bad magic / foreign endianness / unknown type are
+// InvalidArgument, a newer version is Unimplemented, truncation and trailing
+// bytes are OutOfRange.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model_state.h"
+#include "core/state_snapshot.h"
+#include "dist/wire.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "util/wire_format.h"
+
+namespace cpd::dist {
+namespace {
+
+CpdConfig TestConfig() {
+  CpdConfig config;
+  config.num_communities = 4;
+  config.num_topics = 6;
+  config.seed = 9;
+  return config;
+}
+
+std::string FramedHello() {
+  HelloMsg hello;
+  hello.num_communities = 4;
+  hello.num_topics = 6;
+  hello.num_users = 60;
+  hello.num_documents = 240;
+  hello.vocab_size = 300;
+  hello.num_shards = 3;
+  hello.seed = 9;
+  std::string out;
+  AppendFrame(&out, MsgType::kHello, hello.Encode());
+  return out;
+}
+
+TEST(DistFrameTest, RoundTrips) {
+  const std::string body = "payload bytes \x00\x01\x02";
+  std::string framed;
+  AppendFrame(&framed, MsgType::kSweepBegin, body);
+  ASSERT_EQ(framed.size(), kFrameHeaderBytes + body.size());
+
+  auto frame = DecodeFrame(framed);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, MsgType::kSweepBegin);
+  EXPECT_EQ(frame->body, body);
+}
+
+TEST(DistFrameTest, EmptyBodyRoundTrips) {
+  std::string framed;
+  AppendFrame(&framed, MsgType::kShutdown, "");
+  auto frame = DecodeFrame(framed);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, MsgType::kShutdown);
+  EXPECT_TRUE(frame->body.empty());
+}
+
+TEST(DistFrameTest, BadMagicIsInvalidArgument) {
+  std::string framed = FramedHello();
+  framed[0] = 'X';
+  const auto frame = DecodeFrame(framed);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DistFrameTest, NewerVersionIsUnimplemented) {
+  // A frame forged from a (hypothetical) newer build must be rejected as
+  // Unimplemented, exactly like a newer .cpdb artifact.
+  std::string framed;
+  AppendFrame(&framed, MsgType::kHello, "body", kWireVersion + 1);
+  const auto frame = DecodeFrame(framed);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(DistFrameTest, VersionZeroIsInvalidArgument) {
+  std::string framed;
+  AppendFrame(&framed, MsgType::kHello, "body", 0);
+  const auto frame = DecodeFrame(framed);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DistFrameTest, ForeignEndiannessIsInvalidArgument) {
+  std::string framed = FramedHello();
+  // The endian tag occupies bytes [12, 16); byte-swap it.
+  std::swap(framed[12], framed[15]);
+  std::swap(framed[13], framed[14]);
+  const auto frame = DecodeFrame(framed);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DistFrameTest, UnknownMessageTypeIsInvalidArgument) {
+  std::string framed;
+  AppendFrame(&framed, static_cast<MsgType>(42), "body");
+  const auto frame = DecodeFrame(framed);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DistFrameTest, TruncationIsOutOfRange) {
+  const std::string framed = FramedHello();
+  // Every strict prefix fails, and always as OutOfRange (truncated header)
+  // or OutOfRange (truncated body) — never a crash or a false success.
+  for (size_t keep = 0; keep < framed.size(); ++keep) {
+    const auto frame = DecodeFrame(framed.substr(0, keep));
+    ASSERT_FALSE(frame.ok()) << "prefix of " << keep << " bytes decoded";
+    EXPECT_EQ(frame.status().code(), StatusCode::kOutOfRange) << keep;
+  }
+}
+
+TEST(DistFrameTest, TrailingBytesAreOutOfRange) {
+  std::string framed = FramedHello();
+  framed += "junk";
+  const auto frame = DecodeFrame(framed);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DistHelloTest, RoundTrips) {
+  HelloMsg hello;
+  hello.num_communities = 7;
+  hello.num_topics = 11;
+  hello.num_users = 1234;
+  hello.num_documents = 5678;
+  hello.vocab_size = 90;
+  hello.num_shards = 5;
+  hello.seed = 0xDEADBEEFu;
+  const auto decoded = HelloMsg::Decode(hello.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(*decoded == hello);
+}
+
+TEST(DistHelloTest, TruncationIsOutOfRange) {
+  const std::string body = HelloMsg{}.Encode();
+  const auto decoded = HelloMsg::Decode(body.substr(0, body.size() - 3));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DistRngStateTest, RoundTripContinuesTheStream) {
+  Rng original(321);
+  for (int i = 0; i < 17; ++i) original.NextUint64(1000);
+  (void)original.NextGaussian();  // May park a cached spare.
+
+  std::string bytes;
+  WireWriter writer(&bytes);
+  EncodeRngState(original.SaveState(), &writer);
+  WireReader reader(bytes);
+  Rng restored(1);
+  restored.LoadState(DecodeRngState(&reader));
+  ASSERT_TRUE(reader.ExpectDone().ok());
+
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(original.NextUint64(1u << 30), restored.NextUint64(1u << 30));
+  }
+  EXPECT_EQ(original.NextGaussian(), restored.NextGaussian());
+}
+
+TEST(DistGraphTest, RoundTripsStructure) {
+  const SynthResult data = cpd::testing::MakeTinyGraph(41);
+  const SocialGraph& graph = data.graph;
+
+  std::string bytes;
+  WireWriter writer(&bytes);
+  EncodeGraph(graph, &writer);
+  WireReader reader(bytes);
+  auto decoded = DecodeGraph(&reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(reader.ExpectDone().ok());
+
+  EXPECT_EQ(decoded->num_users(), graph.num_users());
+  EXPECT_EQ(decoded->num_documents(), graph.num_documents());
+  EXPECT_EQ(decoded->vocabulary_size(), graph.vocabulary_size());
+  EXPECT_EQ(decoded->num_friendship_links(), graph.num_friendship_links());
+  EXPECT_EQ(decoded->num_diffusion_links(), graph.num_diffusion_links());
+  for (size_t d = 0; d < graph.num_documents(); ++d) {
+    const Document& a = graph.document(static_cast<DocId>(d));
+    const Document& b = decoded->document(static_cast<DocId>(d));
+    ASSERT_EQ(a.user, b.user);
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.words, b.words);
+  }
+  EXPECT_EQ(decoded->friendship_links(), graph.friendship_links());
+  EXPECT_EQ(decoded->diffusion_links(), graph.diffusion_links());
+}
+
+TEST(DistGraphTest, TruncationIsOutOfRange) {
+  const SynthResult data = cpd::testing::MakeTinyGraph(42);
+  std::string bytes;
+  WireWriter writer(&bytes);
+  EncodeGraph(data.graph, &writer);
+  WireReader reader(std::string_view(bytes).substr(0, bytes.size() / 2));
+  const auto decoded = DecodeGraph(&reader);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DistSetupTest, RoundTrips) {
+  const SynthResult data = cpd::testing::MakeTinyGraph(43);
+  const CpdConfig config = TestConfig();
+  std::vector<std::vector<UserId>> shards(3);
+  for (size_t u = 0; u < data.graph.num_users(); ++u) {
+    shards[u % 3].push_back(static_cast<UserId>(u));
+  }
+
+  const std::string body = SetupMsg::Encode(config, data.graph, shards);
+  auto setup = SetupMsg::Decode(body);
+  ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+  EXPECT_EQ(setup->config.num_communities, config.num_communities);
+  EXPECT_EQ(setup->config.num_topics, config.num_topics);
+  EXPECT_EQ(setup->config.seed, config.seed);
+  // Workers always run their shard serially, whatever the coordinator runs.
+  EXPECT_EQ(setup->config.executor_mode, ExecutorMode::kSerial);
+  EXPECT_EQ(setup->config.num_threads, 1);
+  EXPECT_EQ(setup->graph.num_documents(), data.graph.num_documents());
+  EXPECT_EQ(setup->shard_users, shards);
+}
+
+TEST(DistSweepBeginTest, RoundTripsSnapshotAndParameters) {
+  const SynthResult data = cpd::testing::MakeTinyGraph(44);
+  const CpdConfig config = TestConfig();
+  ModelState state(data.graph, config);
+  Rng rng(5);
+  state.InitializeRandom(data.graph, &rng);
+  state.RebuildCounts(data.graph);
+  StateSnapshot snapshot;
+  snapshot.CaptureFrom(state);
+
+  KernelFlags flags;
+  flags.freeze_communities = true;
+  flags.community_uses_diffusion = false;
+
+  const std::string body =
+      SweepBeginMsg::Encode(12, flags, snapshot, /*include_parameters=*/true);
+  StateSnapshot received;
+  auto msg = SweepBeginMsg::Decode(body, &received);
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+  EXPECT_EQ(msg->sweep, 12u);
+  EXPECT_TRUE(msg->has_parameters);
+  EXPECT_TRUE(msg->flags.freeze_communities);
+  EXPECT_TRUE(msg->flags.community_uses_content);
+  EXPECT_FALSE(msg->flags.community_uses_diffusion);
+
+  ASSERT_TRUE(received.captured());
+  EXPECT_EQ(received.n_cz(), snapshot.n_cz());
+  EXPECT_EQ(received.n_zw(), snapshot.n_zw());
+  for (size_t d = 0; d < data.graph.num_documents(); ++d) {
+    ASSERT_EQ(received.TopicOf(static_cast<DocId>(d)),
+              snapshot.TopicOf(static_cast<DocId>(d)));
+    ASSERT_EQ(received.CommunityOf(static_cast<DocId>(d)),
+              snapshot.CommunityOf(static_cast<DocId>(d)));
+  }
+
+  // Restoring from the received snapshot must reproduce the sender's state.
+  ModelState restored(data.graph, config);
+  received.RestoreTo(&restored);
+  EXPECT_EQ(restored.n_uc, state.n_uc);
+  EXPECT_EQ(restored.n_zw, state.n_zw);
+  EXPECT_EQ(restored.eta, state.eta);
+
+  // Without parameters, only the sweep-state half ships.
+  StateSnapshot sweep_only;
+  auto msg2 = SweepBeginMsg::Decode(
+      SweepBeginMsg::Encode(13, flags, snapshot, /*include_parameters=*/false),
+      &sweep_only);
+  ASSERT_TRUE(msg2.ok());
+  EXPECT_FALSE(msg2->has_parameters);
+}
+
+TEST(DistShardResultTest, RoundTripsDeltaAndStats) {
+  const SynthResult data = cpd::testing::MakeTinyGraph(45);
+  const CpdConfig config = TestConfig();
+  ModelState state(data.graph, config);
+  Rng rng(6);
+  state.InitializeRandom(data.graph, &rng);
+  state.RebuildCounts(data.graph);
+
+  CounterDelta delta;
+  for (size_t d = 0; d < data.graph.num_documents() / 2; ++d) {
+    const DocId doc = static_cast<DocId>(d);
+    delta.RecordMove(data.graph.document(doc), doc, state.doc_community[d],
+                     state.doc_topic[d],
+                     (state.doc_community[d] + 1) % config.num_communities,
+                     (state.doc_topic[d] + 1) % config.num_topics,
+                     config.num_communities, config.num_topics,
+                     data.graph.vocabulary_size());
+  }
+
+  ShardResultMsg msg;
+  msg.sweep = 3;
+  msg.shard = 2;
+  Rng stream(7);
+  stream.NextUint64(100);
+  msg.rng = stream.SaveState();
+  msg.shard_seconds = 0.25;
+  msg.mh.topic_proposals = 40;
+  msg.mh.topic_accepts = 13;
+  msg.mh.community_proposals = 21;
+  msg.mh.community_accepts = 8;
+  msg.collapse.hits = 5;
+  msg.collapse.misses = 9;
+
+  CounterDelta received;
+  auto decoded = ShardResultMsg::Decode(msg.Encode(delta), &received);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->sweep, 3u);
+  EXPECT_EQ(decoded->shard, 2u);
+  EXPECT_EQ(decoded->shard_seconds, 0.25);
+  EXPECT_EQ(decoded->mh.topic_accepts, 13);
+  EXPECT_EQ(decoded->mh.community_proposals, 21);
+  EXPECT_EQ(decoded->collapse.hits, 5);
+  EXPECT_EQ(decoded->collapse.misses, 9);
+
+  Rng replay(1);
+  replay.LoadState(decoded->rng);
+  EXPECT_EQ(replay.NextUint64(1u << 20), stream.NextUint64(1u << 20));
+
+  // The decoded delta must act on a state identically to the original.
+  ModelState a = state, b = state;
+  delta.ApplyTo(&a);
+  received.ApplyTo(&b);
+  EXPECT_EQ(a.doc_topic, b.doc_topic);
+  EXPECT_EQ(a.doc_community, b.doc_community);
+  EXPECT_EQ(a.n_uc, b.n_uc);
+  EXPECT_EQ(a.n_cz, b.n_cz);
+  EXPECT_EQ(a.n_zw, b.n_zw);
+  EXPECT_EQ(a.n_c, b.n_c);
+  EXPECT_EQ(a.n_z, b.n_z);
+}
+
+TEST(DistShardResultTest, TruncationIsOutOfRange) {
+  ShardResultMsg msg;
+  CounterDelta delta;
+  const std::string body = msg.Encode(delta);
+  CounterDelta sink;
+  const auto decoded =
+      ShardResultMsg::Decode(body.substr(0, body.size() - 5), &sink);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DistErrorBodyTest, RoundTrips) {
+  const auto decoded = DecodeErrorBody(EncodeErrorBody("shard 3 exploded"));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, "shard 3 exploded");
+}
+
+}  // namespace
+}  // namespace cpd::dist

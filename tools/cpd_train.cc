@@ -9,7 +9,9 @@
 //             --diffusion diffusion.tsv [--communities 20] [--topics 20]
 //             [--iterations 15] [--threads 1] [--seed 42]
 //             [--sampler sparse|dense] [--mh_steps 4]
-//             [--executor auto|serial|pooled] [--shards 0]
+//             [--executor auto|serial|pooled|distributed] [--shards 0]
+//             [--workers N | --worker_addrs H:P,H:P] [--worker_binary PATH]
+//             [--sweep_deadline_ms 30000]
 //             [--model out.cpd] [--model_binary out.cpdb]
 //             [--vocab out.vocab] [--dot diffusion.dot]
 //             [--json profiles.json]
@@ -41,7 +43,10 @@ void Usage(const char* argv0) {
                "--diffusion diffusion.tsv\n"
                "          [--communities 20] [--topics 20] [--iterations 15]\n"
                "          [--threads 1] [--seed 42] [--sampler sparse|dense]\n"
-               "          [--mh_steps 4] [--executor auto|serial|pooled]\n"
+               "          [--mh_steps 4]\n"
+               "          [--executor auto|serial|pooled|distributed]\n"
+               "          [--workers N | --worker_addrs H:P,H:P]\n"
+               "          [--worker_binary PATH] [--sweep_deadline_ms 30000]\n"
                "          [--shards 0] [--model out.cpd]\n"
                "          [--model_binary out.cpdb] [--vocab out.vocab]\n"
                "          [--dot out.dot] [--json out.json]\n",
@@ -52,7 +57,8 @@ const std::set<std::string> kKnownFlags = {
     "users",    "docs",     "friends",      "diffusion", "communities",
     "topics",   "iterations", "threads",    "seed",      "sampler",
     "mh_steps", "executor", "shards",       "model",     "model_binary",
-    "vocab",    "dot",      "json"};
+    "vocab",    "dot",      "json",         "workers",   "worker_addrs",
+    "worker_binary", "sweep_deadline_ms"};
 
 }  // namespace
 
@@ -112,12 +118,47 @@ int main(int argc, char** argv) {
     config.executor_mode = cpd::ExecutorMode::kSerial;
   } else if (executor == "pooled") {
     config.executor_mode = cpd::ExecutorMode::kPooled;
+  } else if (executor == "distributed") {
+    config.executor_mode = cpd::ExecutorMode::kDistributed;
   } else if (executor != "auto") {
-    std::fprintf(stderr, "unknown --executor '%s' (auto|serial|pooled)\n",
+    std::fprintf(stderr,
+                 "unknown --executor '%s' (auto|serial|pooled|distributed)\n",
                  executor.c_str());
+    Usage(argv[0]);
     return 2;
   }
   config.num_shards = static_cast<int>(int_flag("shards", 0));
+  // Distributed-executor wiring. The flag pairings are validated here so a
+  // contradictory invocation is a usage error (exit 2), not a late training
+  // failure.
+  config.dist_workers = static_cast<int>(int_flag("workers", 0));
+  config.dist_worker_addrs = get("worker_addrs", "");
+  config.dist_worker_binary = get("worker_binary", "");
+  config.dist_sweep_deadline_ms = static_cast<int>(
+      int_flag("sweep_deadline_ms", cpd::CpdConfig().dist_sweep_deadline_ms));
+  if (config.dist_workers > 0 && !config.dist_worker_addrs.empty()) {
+    std::fprintf(stderr,
+                 "--workers and --worker_addrs are mutually exclusive\n");
+    Usage(argv[0]);
+    return 2;
+  }
+  const bool has_dist_flags =
+      config.dist_workers > 0 || !config.dist_worker_addrs.empty();
+  if (config.executor_mode == cpd::ExecutorMode::kDistributed &&
+      !has_dist_flags) {
+    std::fprintf(stderr,
+                 "--executor distributed requires --workers N or "
+                 "--worker_addrs H:P,...\n");
+    Usage(argv[0]);
+    return 2;
+  }
+  if (config.executor_mode != cpd::ExecutorMode::kDistributed &&
+      has_dist_flags) {
+    std::fprintf(stderr,
+                 "--workers/--worker_addrs require --executor distributed\n");
+    Usage(argv[0]);
+    return 2;
+  }
   config.verbose = true;
 
   std::printf("training CPD: |C|=%d |Z|=%d T1=%d threads=%d...\n",
@@ -146,6 +187,16 @@ int main(int argc, char** argv) {
                         static_cast<double>(collapse_total)
                   : 0.0,
               static_cast<long long>(collapse_total));
+  if (stats.dist_workers_connected > 0) {
+    std::printf("distributed E-step: %d workers (%d lost, %lld shards "
+                "re-dispatched); %.1f MB out, %.1f MB in; serialize %.2fs, "
+                "wait %.2fs\n",
+                stats.dist_workers_connected, stats.dist_workers_lost,
+                static_cast<long long>(stats.dist_shards_redispatched),
+                static_cast<double>(stats.dist_bytes_out) / 1e6,
+                static_cast<double>(stats.dist_bytes_in) / 1e6,
+                stats.dist_serialize_seconds, stats.dist_wait_seconds);
+  }
 
   const cpd::Vocabulary& vocab = graph->corpus().vocabulary();
   std::printf("communities:\n");

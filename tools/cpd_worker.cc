@@ -1,0 +1,102 @@
+// Distributed E-step worker process (see docs/ARCHITECTURE.md, "Distributed
+// E-step"): connects to a cpd_train coordinator (or listens for one), speaks
+// the src/dist wire protocol, and serves shard-sweep requests until the
+// coordinator drains the session.
+//
+// Usage:
+//   cpd_worker --connect HOST:PORT     connect out to a coordinator
+//   cpd_worker --listen PORT           accept one coordinator, then exit
+//
+// Hidden fault-injection flags (used by the re-dispatch tests only):
+//   --fail_after_shards N   die (or hang) instead of serving shard N+1
+//   --hang                  fail by going silent instead of disconnecting
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "dist/transport.h"
+#include "dist/worker.h"
+#include "util/flags.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect HOST:PORT | --listen PORT\n"
+               "          [--fail_after_shards N] [--hang]\n",
+               argv0);
+}
+
+const std::set<std::string> kKnownFlags = {"connect", "listen",
+                                           "fail_after_shards", "hang"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = cpd::ParseFlags(argc, argv, kKnownFlags);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().message().c_str());
+    Usage(argv[0]);
+    return 2;
+  }
+  cpd::FlagMap args = std::move(*parsed);
+  const auto usage = [argv] { Usage(argv[0]); };
+  if (args.count("connect") == args.count("listen")) {
+    std::fprintf(stderr, "exactly one of --connect or --listen is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+
+  cpd::dist::WorkerHooks hooks;
+  hooks.fail_after_shards = static_cast<int>(
+      cpd::GetInt64FlagOrExit(args, "fail_after_shards", -1, usage));
+  if (args.count("hang")) {
+    // Flag syntax is strictly "--flag value"; any value enables it.
+    hooks.hang_instead = args["hang"] != "0" && args["hang"] != "false";
+  }
+
+  int fd = -1;
+  if (args.count("connect")) {
+    auto connected = cpd::dist::ConnectTo(args["connect"]);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   connected.status().ToString().c_str());
+      return 1;
+    }
+    fd = *connected;
+  } else {
+    const int64_t port = cpd::GetInt64FlagOrExit(args, "listen", 0, usage);
+    if (port < 1 || port > 65535) {
+      std::fprintf(stderr, "bad --listen port %lld\n",
+                   static_cast<long long>(port));
+      Usage(argv[0]);
+      return 2;
+    }
+    // Listening on a fixed port is the pre-started-worker mode
+    // (cpd_train --worker_addrs); serve exactly one session.
+    auto listening = cpd::dist::ListenOnPort(static_cast<uint16_t>(port));
+    if (!listening.ok()) {
+      std::fprintf(stderr, "listen failed: %s\n",
+                   listening.status().ToString().c_str());
+      return 1;
+    }
+    auto accepted =
+        cpd::dist::AcceptWithTimeout(*listening, /*timeout_ms=*/-1);
+    if (!accepted.ok()) {
+      std::fprintf(stderr, "accept failed: %s\n",
+                   accepted.status().ToString().c_str());
+      return 1;
+    }
+    fd = *accepted;
+  }
+
+  const cpd::Status status = cpd::dist::ServeWorker(fd, hooks);
+  if (!status.ok()) {
+    std::fprintf(stderr, "worker session failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
