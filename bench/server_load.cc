@@ -15,7 +15,9 @@
 // RLIMIT_NOFILE are skipped with a note rather than failing half-connected.
 //
 // Every connection issues its next request as soon as the previous response
-// lands. Reports per-level qps and p50/p99 request latency, plus a
+// lands. Reports per-level qps and client-side p50/p99 request latency,
+// server-side p50/p99 reconstructed from the /metricsz query-latency
+// histogram (scrape delta around the measured pass), plus a
 // single-connection GET /healthz baseline that isolates transport cost
 // (framing + JSON + loopback) from query cost. `--connections N` overrides
 // the sweep with one custom level (e.g. 1024) on the epoll configs.
@@ -29,16 +31,19 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
 #include "serve/profile_index.h"
 #include "serve/query_engine.h"
 #include "server/coalescer.h"
@@ -75,6 +80,11 @@ struct LevelResult {
   double qps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  /// Server-side handler latency over the same window, reconstructed from
+  /// the /metricsz cpd_query_latency_us histogram (scrape delta around the
+  /// measured pass). Client p50 - server p50 isolates the transport.
+  double server_p50_us = 0.0;
+  double server_p99_us = 0.0;
 };
 
 double Percentile(std::vector<double>* sorted_in_place, double fraction) {
@@ -82,6 +92,56 @@ double Percentile(std::vector<double>* sorted_in_place, double fraction) {
   const size_t index = static_cast<size_t>(
       static_cast<double>(sorted_in_place->size()) * fraction);
   return (*sorted_in_place)[std::min(index, sorted_in_place->size() - 1)];
+}
+
+/// Scrapes /metricsz and sums the cumulative cpd_query_latency_us bucket
+/// counts position-wise across the query-type children (every histogram
+/// shares the fixed bucket layout, so positions line up).
+std::vector<uint64_t> ScrapeLatencyBuckets(int port) {
+  auto client = server::HttpClient::Connect("127.0.0.1", port);
+  CPD_CHECK(client.ok());
+  auto response = client->RoundTrip("GET", "/metricsz");
+  CPD_CHECK(response.ok());
+  CPD_CHECK_EQ(response->status, 200);
+  std::vector<uint64_t> buckets;
+  constexpr const char* kPrefix = "cpd_query_latency_us_bucket{";
+  size_t index = 0;
+  size_t pos = 0;
+  const std::string& body = response->body;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string_view line(&body[pos], eol - pos);
+    if (line.rfind(kPrefix, 0) == 0) {
+      const size_t space = line.rfind(' ');
+      CPD_CHECK(space != std::string::npos);
+      const uint64_t value = std::strtoull(line.data() + space + 1, nullptr, 10);
+      if (index >= buckets.size()) buckets.resize(index + 1, 0);
+      buckets[index] += value;
+      ++index;
+    } else {
+      index = 0;  // A child's bucket lines are consecutive.
+    }
+    pos = eol + 1;
+  }
+  return buckets;
+}
+
+/// Server-side percentiles from the delta of two cumulative scrapes,
+/// reusing the obs bucket-midpoint reconstruction.
+obs::Histogram::Snapshot SnapshotFromScrapeDelta(
+    const std::vector<uint64_t>& before, const std::vector<uint64_t>& after) {
+  obs::Histogram::Snapshot snap;
+  snap.buckets.resize(after.size());
+  uint64_t prev = 0;
+  for (size_t i = 0; i < after.size(); ++i) {
+    const uint64_t cumulative =
+        after[i] - (i < before.size() ? before[i] : 0);
+    snap.buckets[i] = cumulative - prev;
+    prev = cumulative;
+  }
+  snap.count = prev;
+  return snap;
 }
 
 /// Pre-serialized mixed workload (same mix as bench_query's BuildWorkload,
@@ -307,14 +367,22 @@ void Run(int override_connections) {
       // server-side teardown and free capacity).
       RunLevel(port, workload, connections);
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      const std::vector<uint64_t> scrape_before = ScrapeLatencyBuckets(port);
       LevelResult result = RunLevel(port, workload, connections);
+      const std::vector<uint64_t> scrape_after = ScrapeLatencyBuckets(port);
       result.config_label = bench_config.label;
       result.io_mode = bench_config.io_mode;
       result.coalesce = bench_config.coalesce;
+      const obs::Histogram::Snapshot server_side =
+          SnapshotFromScrapeDelta(scrape_before, scrape_after);
+      result.server_p50_us = server_side.Percentile(0.50);
+      result.server_p99_us = server_side.Percentile(0.99);
       std::printf(
-          "%4d connection%s: %7.0f req/sec   p50 %7.1f us   p99 %8.1f us\n",
+          "%4d connection%s: %7.0f req/sec   p50 %7.1f us   p99 %8.1f us   "
+          "(server-side p50 %.1f / p99 %.1f us)\n",
           result.connections, result.connections == 1 ? " " : "s",
-          result.qps, result.p50_us, result.p99_us);
+          result.qps, result.p50_us, result.p99_us, result.server_p50_us,
+          result.server_p99_us);
       levels.push_back(result);
     }
     if (bench_config.coalesce) {
@@ -353,11 +421,13 @@ void Run(int override_connections) {
     json += StrFormat(
         "    {\"io_mode\": \"%s\", \"coalesce\": %s, \"connections\": %d, "
         "\"requests\": %zu, \"queries_per_sec\": %.1f, \"p50_us\": %.2f, "
-        "\"p99_us\": %.2f}%s\n",
+        "\"p99_us\": %.2f, \"server_p50_us\": %.2f, "
+        "\"server_p99_us\": %.2f}%s\n",
         server::IoModeName(levels[i].io_mode),
         levels[i].coalesce ? "true" : "false", levels[i].connections,
         levels[i].requests, levels[i].qps, levels[i].p50_us,
-        levels[i].p99_us, i + 1 < levels.size() ? "," : "");
+        levels[i].p99_us, levels[i].server_p50_us, levels[i].server_p99_us,
+        i + 1 < levels.size() ? "," : "");
   }
   json += "  ]\n}\n";
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "dist/distributed_executor.h"
+#include "obs/metrics.h"
 #include "sampling/distributions.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -12,8 +13,32 @@
 
 namespace cpd {
 
+namespace {
+
+/// Logical trace row of the trainer itself (the distributed coordinator
+/// uses 1, its workers 100+w; see dist/distributed_executor.cc).
+constexpr int kTrainerTid = 0;
+
+}  // namespace
+
 EmTrainer::EmTrainer(const SocialGraph& graph, const CpdConfig& config)
-    : graph_(graph), config_(config), rng_(config.seed) {}
+    : graph_(graph), config_(config), rng_(config.seed) {
+  if (!config_.trace_out.empty()) {
+    trace_ = std::make_unique<obs::TraceRecorder>();
+    trace_->SetThreadName(kTrainerTid, "trainer");
+  }
+}
+
+void EmTrainer::FlushTrace() {
+  if (trace_ == nullptr) return;
+  const Status written = trace_->WriteFile(config_.trace_out);
+  if (!written.ok()) {
+    CPD_LOG(Warning) << "trace_out not written: " << written.message();
+  } else {
+    CPD_LOG(Info) << "wrote " << trace_->num_events() << " trace events to "
+                  << config_.trace_out;
+  }
+}
 
 Status EmTrainer::Initialize() {
   CPD_RETURN_IF_ERROR(config_.Validate());
@@ -80,6 +105,7 @@ Status EmTrainer::EnsureExecutor() {
   auto executor = BuildExecutor(std::move(*plan));
   if (!executor.ok()) return executor.status();
   executor_ = std::move(*executor);
+  executor_->SetTraceRecorder(trace_.get());
   return Status::OK();
 }
 
@@ -214,6 +240,7 @@ Status EmTrainer::WarmStart(const WarmStartOptions& options) {
   auto executor = BuildExecutor(std::move(*plan));
   if (!executor.ok()) return executor.status();
   executor_ = std::move(*executor);
+  executor_->SetTraceRecorder(trace_.get());
 
   for (int iter = 0; iter < options.warm_iterations; ++iter) {
     CPD_RETURN_IF_ERROR(EStep());
@@ -226,6 +253,7 @@ Status EmTrainer::WarmStart(const WarmStartOptions& options) {
     }
   }
   stats_.total_seconds += total_timer.ElapsedSeconds();
+  FlushTrace();
   return Status::OK();
 }
 
@@ -242,39 +270,73 @@ Status EmTrainer::EStep() {
   flags.community_uses_diffusion = sampler_->community_uses_diffusion();
 
   executor_->ResetTimings();
+  const int64_t e_step_index = trace_e_step_++;
+  obs::DefaultRegistry()
+      ->GetCounter("cpd_train_e_steps_total",
+                   "E-steps executed across the training run.")
+      ->Increment();
   // The M-step-owned parameters (eta, weights, popularity) cannot change
   // inside an E-step: capture them once and let executor slots skip the
   // re-restore via the snapshot's parameter version.
-  WallTimer params_timer;
-  snapshot_.CaptureParameters(*state_);
-  stats_.snapshot_seconds += params_timer.ElapsedSeconds();
+  {
+    obs::TraceSpan span(trace_.get(), "capture_parameters", kTrainerTid);
+    WallTimer params_timer;
+    snapshot_.CaptureParameters(*state_);
+    stats_.snapshot_seconds += params_timer.ElapsedSeconds();
+  }
   for (int sweep = 0; sweep < config_.gibbs_sweeps_per_em; ++sweep) {
+    const int64_t sweep_index = trace_sweep_++;
+    obs::DefaultRegistry()
+        ->GetCounter("cpd_train_sweeps_total",
+                     "Gibbs sweeps executed across the training run.")
+        ->Increment();
     // Plan -> snapshot -> shard-local sample -> delta-merge -> swap: the
     // master state is frozen while shards sample against the snapshot, then
     // advanced only by the merged deltas. Single-shard runs pay the same
     // two sweep-state copies per sweep (capture + restore) to keep every
     // execution mode on one protocol — memcpy cost, amortized against the
     // O(tokens) sweep, and reported as snapshot_seconds.
-    WallTimer snapshot_timer;
-    snapshot_.CaptureSweepState(*state_);
-    stats_.snapshot_seconds += snapshot_timer.ElapsedSeconds();
+    {
+      obs::TraceSpan span(trace_.get(), "snapshot", kTrainerTid);
+      span.AddArg("sweep", Json(sweep_index));
+      WallTimer snapshot_timer;
+      snapshot_.CaptureSweepState(*state_);
+      stats_.snapshot_seconds += snapshot_timer.ElapsedSeconds();
+    }
 
-    CPD_RETURN_IF_ERROR(executor_->SampleShards(snapshot_, flags, &deltas_));
+    {
+      obs::TraceSpan span(trace_.get(), "sample_shards", kTrainerTid);
+      span.AddArg("sweep", Json(sweep_index));
+      span.AddArg("e_step", Json(e_step_index));
+      CPD_RETURN_IF_ERROR(executor_->SampleShards(snapshot_, flags, &deltas_));
+      span.AddArg("shards", Json(static_cast<int64_t>(deltas_.size())));
+    }
 
     // Applying the per-shard deltas in shard order IS the fold — ApplyTo is
     // the same commutative integer addition Merge() performs, without
     // materializing an intermediate merged delta (which would double the
     // merge cost in the default single-shard path).
-    WallTimer merge_timer;
-    for (const CounterDelta& delta : deltas_) {
-      delta.ApplyTo(state_.get());
-      stats_.delta_doc_moves += delta.NumDocMoves();
-      stats_.delta_entries += delta.NonzeroEntries();
+    {
+      obs::TraceSpan span(trace_.get(), "merge", kTrainerTid);
+      span.AddArg("sweep", Json(sweep_index));
+      WallTimer merge_timer;
+      size_t doc_moves = 0;
+      for (const CounterDelta& delta : deltas_) {
+        delta.ApplyTo(state_.get());
+        doc_moves += delta.NumDocMoves();
+        stats_.delta_entries += delta.NonzeroEntries();
+      }
+      stats_.delta_doc_moves += doc_moves;
+      stats_.merge_seconds += merge_timer.ElapsedSeconds();
+      span.AddArg("doc_moves", Json(static_cast<int64_t>(doc_moves)));
     }
-    stats_.merge_seconds += merge_timer.ElapsedSeconds();
 
     // Phase 2: Polya-Gamma augmentation against the merged state.
-    CPD_RETURN_IF_ERROR(executor_->SweepAugmentation(sampler_.get()));
+    {
+      obs::TraceSpan span(trace_.get(), "augment", kTrainerTid);
+      span.AddArg("sweep", Json(sweep_index));
+      CPD_RETURN_IF_ERROR(executor_->SweepAugmentation(sampler_.get()));
+    }
   }
 
   const CollapseCacheStats collapse = executor_->ConsumeCollapseCacheStats();
@@ -407,6 +469,7 @@ void EmTrainer::TrainDiffusionWeights(Rng* rng) {
 
 void EmTrainer::MStep() {
   CPD_CHECK(initialized_);
+  obs::TraceSpan span(trace_.get(), "m_step", kTrainerTid);
   WallTimer timer;
   state_->popularity.Refresh(graph_, state_->doc_topic);
   if (config_.ablation.model_diffusion) {
@@ -449,6 +512,7 @@ Status EmTrainer::Train() {
     }
   }
   stats_.total_seconds = total_timer.ElapsedSeconds();
+  FlushTrace();
   return Status::OK();
 }
 

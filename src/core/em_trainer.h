@@ -22,6 +22,7 @@
 #include "core/model_state.h"
 #include "core/state_snapshot.h"
 #include "graph/social_graph.h"
+#include "obs/trace.h"
 #include "parallel/shard_executor.h"
 
 namespace cpd {
@@ -129,6 +130,10 @@ class EmTrainer {
   GibbsSampler* sampler() { return sampler_.get(); }
   /// The shard executor (null until the first EStep builds it).
   ShardExecutor* executor() { return executor_.get(); }
+  /// The trace recorder (null unless config.trace_out is set). Spans
+  /// accumulate across EStep/MStep calls; Train()/WarmStart() write the
+  /// file at the end of the run.
+  obs::TraceRecorder* trace_recorder() { return trace_.get(); }
 
  private:
   void UpdateEta();
@@ -159,6 +164,14 @@ class EmTrainer {
   StateSnapshot snapshot_;
   std::vector<CounterDelta> deltas_;
   ExecutorFactory executor_factory_;
+
+  /// Writes the accumulated trace to config.trace_out (no-op when tracing
+  /// is off); logs a Warning instead of failing the run on IO errors.
+  void FlushTrace();
+
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  int64_t trace_sweep_ = 0;   ///< Global sweep index across EM iterations.
+  int64_t trace_e_step_ = 0;  ///< E-step index for span args.
 };
 
 }  // namespace cpd

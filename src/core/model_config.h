@@ -157,6 +157,15 @@ struct CpdConfig {
   int num_threads = 1;  ///< >1 enables the parallel E-step (§4.3).
   bool verbose = false;
 
+  /// When non-empty, the trainer records per-sweep trace spans (snapshot,
+  /// shard sample, merge, augmentation, M-step; per-worker rows for the
+  /// distributed executor) and writes Chrome trace-event JSON here at the
+  /// end of Train()/WarmStart() — load it in Perfetto / chrome://tracing
+  /// (cpd_train --trace_out). Recording never perturbs sampling: executors
+  /// emit only wall-clock spans, so traced and untraced runs stay
+  /// bit-identical for the same seed.
+  std::string trace_out;
+
   /// Resolved priors.
   double ResolvedAlpha() const {
     if (alpha > 0.0) return alpha;

@@ -15,6 +15,8 @@
 
 #include "dist/transport.h"
 #include "dist/wire.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
 #include "util/file_util.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -24,6 +26,12 @@ namespace cpd::dist {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Trace-row layout: the coordinator's serialize/wait/decode spans live on
+/// tid 1 (the trainer owns tid 0) and each worker's in-flight shards on tid
+/// 100 + worker index, so Perfetto shows per-worker occupancy.
+constexpr int kCoordinatorTid = 1;
+constexpr int kWorkerTidBase = 100;
 
 void SetRecvTimeout(int fd, int timeout_ms) {
   timeval tv{};
@@ -142,11 +150,13 @@ class DistributedExecutor final : public ShardExecutor {
     deltas->resize(shards);
     ++sweep_seq_;
     ++stats_.sweeps;
+    if (trace_ != nullptr) dispatch_us_.assign(shards, -1);
 
     // Serialize phase: the broadcast sweep body (parameters ride along only
     // when the M-step advanced them) and one kRunShard body per non-empty
     // shard. The rng state captured here is the re-dispatch token: a
     // survivor receiving the identical body redraws the identical stream.
+    const int64_t serialize_start_us = obs::NowMicros();
     WallTimer serialize_timer;
     const bool send_params =
         snapshot.parameters_version() != last_sent_params_version_;
@@ -172,6 +182,12 @@ class DistributedExecutor final : public ShardExecutor {
       ++outstanding;
     }
     stats_.serialize_seconds += serialize_timer.ElapsedSeconds();
+    if (trace_ != nullptr) {
+      Json args = Json::MakeObject();
+      args.Set("sweep", Json(static_cast<int64_t>(sweep_seq_)));
+      trace_->AddSpan("serialize", kCoordinatorTid, serialize_start_us,
+                      obs::NowMicros() - serialize_start_us, std::move(args));
+    }
 
     // Broadcast the sweep, then deal shards round-robin.
     for (size_t w = 0; w < workers_.size(); ++w) {
@@ -200,10 +216,15 @@ class DistributedExecutor final : public ShardExecutor {
     std::unique_lock<std::mutex> lock(mu_);
     while (outstanding > 0) {
       if (events_.empty()) {
+        const int64_t wait_start_us = obs::NowMicros();
         WallTimer wait_timer;
         const bool timed_out =
             !cv_.wait_until(lock, deadline, [this] { return !events_.empty(); });
         stats_.wait_seconds += wait_timer.ElapsedSeconds();
+        if (trace_ != nullptr) {
+          trace_->AddSpan("wait", kCoordinatorTid, wait_start_us,
+                          obs::NowMicros() - wait_start_us);
+        }
         if (timed_out) {
           // Declare every worker still sitting on pending shards dead (the
           // stragglers), then hand their shards to survivors.
@@ -238,16 +259,33 @@ class DistributedExecutor final : public ShardExecutor {
         deadline =
             Clock::now() + std::chrono::milliseconds(sweep_deadline_ms_);
       } else if (ev.type == MsgType::kShardResult) {
+        const int64_t decode_start_us = obs::NowMicros();
         WallTimer decode_timer;
         CounterDelta decoded;
         auto msg = ShardResultMsg::Decode(ev.body, &decoded);
         stats_.serialize_seconds += decode_timer.ElapsedSeconds();
+        if (trace_ != nullptr) {
+          trace_->AddSpan("merge", kCoordinatorTid, decode_start_us,
+                          obs::NowMicros() - decode_start_us);
+        }
         if (!msg.ok()) return msg.status();
         const size_t s = msg->shard;
         // A result can arrive twice after a deadline re-dispatch (the
         // "dead" straggler was merely slow); first-in wins, both are the
         // same deterministic computation anyway.
         if (msg->sweep == sweep_seq_ && s < shards && !completed[s]) {
+          if (trace_ != nullptr && dispatch_us_[s] >= 0) {
+            // Dispatch-to-result on the sender's row: per-worker occupancy,
+            // including any deadline re-dispatch that rehomed the shard.
+            Json args = Json::MakeObject();
+            args.Set("sweep", Json(static_cast<int64_t>(sweep_seq_)));
+            args.Set("shard", Json(static_cast<int64_t>(s)));
+            trace_->AddSpan("shard " + std::to_string(s),
+                            kWorkerTidBase + static_cast<int>(ev.worker),
+                            dispatch_us_[s],
+                            obs::NowMicros() - dispatch_us_[s],
+                            std::move(args));
+          }
           (*deltas)[s] = std::move(decoded);
           rngs_[s].LoadState(msg->rng);
           shard_seconds_[s] += msg->shard_seconds;
@@ -312,6 +350,16 @@ class DistributedExecutor final : public ShardExecutor {
 
   const DistTransportStats* transport_stats() const override {
     return &stats_;
+  }
+
+  void SetTraceRecorder(obs::TraceRecorder* recorder) override {
+    trace_ = recorder;
+    if (trace_ == nullptr) return;
+    trace_->SetThreadName(kCoordinatorTid, "dist coordinator");
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      trace_->SetThreadName(kWorkerTidBase + static_cast<int>(w),
+                            "worker " + std::to_string(w));
+    }
   }
 
  private:
@@ -428,6 +476,7 @@ class DistributedExecutor final : public ShardExecutor {
                      const std::vector<std::string>& run_bodies,
                      std::vector<int>* owner) {
     (*owner)[shard] = static_cast<int>(w);
+    if (trace_ != nullptr) dispatch_us_[shard] = obs::NowMicros();
     if (!SendFrame(workers_[w].fd, MsgType::kRunShard, run_bodies[shard],
                    &stats_.bytes_out)
              .ok()) {
@@ -523,6 +572,9 @@ class DistributedExecutor final : public ShardExecutor {
   MhStats mh_;
   CollapseCacheStats collapse_;
   DistTransportStats stats_;
+
+  obs::TraceRecorder* trace_ = nullptr;  ///< Null = tracing off.
+  std::vector<int64_t> dispatch_us_;     ///< Per-shard dispatch stamps.
 
   std::mutex mu_;
   std::condition_variable cv_;

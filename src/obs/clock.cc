@@ -1,0 +1,24 @@
+#include "obs/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace cpd::obs {
+
+namespace {
+std::atomic<ClockFn> g_clock{nullptr};
+}  // namespace
+
+int64_t NowMicros() {
+  const ClockFn clock = g_clock.load(std::memory_order_relaxed);
+  if (clock != nullptr) return clock();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SetClockForTest(ClockFn clock) {
+  g_clock.store(clock, std::memory_order_relaxed);
+}
+
+}  // namespace cpd::obs

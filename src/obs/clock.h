@@ -1,0 +1,30 @@
+#ifndef CPD_OBS_CLOCK_H_
+#define CPD_OBS_CLOCK_H_
+
+/// \file clock.h
+/// The one time source of the observability layer (src/obs and everything
+/// instrumented with it). Durations recorded into metrics and trace events
+/// go through NowMicros() instead of std::chrono directly so tests can
+/// freeze or step time: under SetClockForTest the io-mode differential
+/// suite gets byte-identical /statsz and /metricsz scrapes (every duration
+/// is exactly 0), and the trace tests get monotonic, predictable
+/// timestamps.
+
+#include <cstdint>
+
+namespace cpd::obs {
+
+/// Steady-clock microseconds (arbitrary epoch, monotonic), or the injected
+/// test clock's value. Safe to call from any thread.
+int64_t NowMicros();
+
+/// Installs a replacement clock (captureless function, e.g. a frozen
+/// constant or a static step counter). nullptr restores the steady clock.
+/// Not synchronized with in-flight NowMicros callers — install before the
+/// instrumented code runs (test setup), reset after it stops.
+using ClockFn = int64_t (*)();
+void SetClockForTest(ClockFn clock);
+
+}  // namespace cpd::obs
+
+#endif  // CPD_OBS_CLOCK_H_

@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/clock.h"
+
+namespace cpd::obs {
+
+void TraceRecorder::SetThreadName(int tid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_names_[tid] = name;
+}
+
+void TraceRecorder::AddSpan(const std::string& name, int tid,
+                            int64_t start_us, int64_t duration_us,
+                            Json args) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{name, tid, start_us, duration_us, std::move(args)});
+}
+
+size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json trace_events = Json::MakeArray();
+  for (const auto& [tid, name] : thread_names_) {
+    Json args = Json::MakeObject();
+    args.Set("name", Json(name));
+    Json event = Json::MakeObject();
+    event.Set("name", Json("thread_name"));
+    event.Set("ph", Json("M"));
+    event.Set("pid", Json(1));
+    event.Set("tid", Json(tid));
+    event.Set("args", std::move(args));
+    trace_events.Append(std::move(event));
+  }
+  for (const Event& span : events_) {
+    Json event = Json::MakeObject();
+    event.Set("name", Json(span.name));
+    event.Set("ph", Json("X"));
+    event.Set("pid", Json(1));
+    event.Set("tid", Json(span.tid));
+    event.Set("ts", Json(span.ts));
+    event.Set("dur", Json(span.dur));
+    if (span.args.is_object()) {
+      event.Set("args", span.args);
+    }
+    trace_events.Append(std::move(event));
+  }
+  Json out = Json::MakeObject();
+  out.Set("traceEvents", std::move(trace_events));
+  return out.Dump();
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const int closed = std::fclose(file);
+  if (written != json.size() || closed != 0) {
+    return Status::IOError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+TraceSpan::TraceSpan(TraceRecorder* recorder, std::string name, int tid)
+    : recorder_(recorder),
+      name_(std::move(name)),
+      tid_(tid),
+      start_us_(NowMicros()) {}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ == nullptr) return;
+  recorder_->AddSpan(name_, tid_, start_us_, NowMicros() - start_us_,
+                     std::move(args_));
+}
+
+void TraceSpan::AddArg(const std::string& key, Json value) {
+  if (recorder_ == nullptr) return;
+  if (!args_.is_object()) args_ = Json::MakeObject();
+  args_.Set(key, std::move(value));
+}
+
+}  // namespace cpd::obs

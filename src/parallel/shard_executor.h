@@ -28,6 +28,10 @@
 #include "parallel/segmenter.h"
 #include "util/status.h"
 
+namespace cpd::obs {
+class TraceRecorder;
+}  // namespace cpd::obs
+
 namespace cpd {
 
 /// Kernel switches mirrored from the master sampler into every shard
@@ -90,6 +94,12 @@ class ShardExecutor {
   /// Cumulative transport counters; non-null only for the distributed
   /// executor.
   virtual const DistTransportStats* transport_stats() const { return nullptr; }
+
+  /// Installs the trainer's trace recorder (null = tracing off, the
+  /// default). Executors with per-worker structure (src/dist) emit their
+  /// own rows into it; the in-process executors rely on the trainer's
+  /// per-sweep spans and ignore it.
+  virtual void SetTraceRecorder(obs::TraceRecorder* /*recorder*/) {}
 };
 
 /// Builds the executor selected by `config` (ResolvedExecutorMode) over the

@@ -4,6 +4,8 @@
 #include <span>
 #include <utility>
 
+#include "obs/clock.h"
+
 namespace cpd::server {
 
 Coalescer::Coalescer(CoalescerOptions options) : options_(options) {
@@ -21,7 +23,7 @@ void Coalescer::Seal(Batch* batch, std::atomic<uint64_t>* reason) {
 
 StatusOr<serve::QueryResponse> Coalescer::Execute(
     const std::shared_ptr<const ServingModel>& model,
-    serve::QueryRequest request) {
+    serve::QueryRequest request, double* batch_wait_us) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (!enabled() || options_.max_batch == 1) {
     return model->engine->Query(request);
@@ -53,12 +55,22 @@ StatusOr<serve::QueryResponse> Coalescer::Execute(
 
     if (leader) {
       // Sleep out the window (or until a join seals the batch early).
+      const int64_t wait_start_us = obs::NowMicros();
       const bool sealed_early = batch->cv.wait_for(
           lock, std::chrono::microseconds(options_.window_us),
           [&] { return batch->sealed; });
+      if (batch_wait_us != nullptr) {
+        *batch_wait_us =
+            static_cast<double>(obs::NowMicros() - wait_start_us);
+      }
       if (!sealed_early) Seal(batch.get(), &flush_timeout_);
     } else {
+      const int64_t wait_start_us = obs::NowMicros();
       batch->cv.wait(lock, [&] { return batch->done; });
+      if (batch_wait_us != nullptr) {
+        *batch_wait_us =
+            static_cast<double>(obs::NowMicros() - wait_start_us);
+      }
       return std::move(batch->results[slot]);
     }
   }

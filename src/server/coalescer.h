@@ -61,9 +61,15 @@ class Coalescer {
   /// with concurrent callers holding the same snapshot. Blocks up to the
   /// window plus batch execution; the caller renders the StatusOr exactly
   /// as it would an inline engine->Query() result.
+  ///
+  /// `batch_wait_us` (optional) receives the microseconds this call spent
+  /// blocked on the batching protocol (the leader's window sleep, or a
+  /// follower's wait — which spans the leader's batch execution too, since
+  /// that is what the follower is blocked on). Untouched on the disabled
+  /// direct path, so callers can pre-set it to 0.
   StatusOr<serve::QueryResponse> Execute(
       const std::shared_ptr<const ServingModel>& model,
-      serve::QueryRequest request);
+      serve::QueryRequest request, double* batch_wait_us = nullptr);
 
   bool enabled() const { return options_.window_us > 0; }
   const CoalescerOptions& options() const { return options_; }

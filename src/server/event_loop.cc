@@ -13,6 +13,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/clock.h"
 #include "util/logging.h"
 
 namespace cpd::server {
@@ -354,6 +355,11 @@ void EventLoop::FlushWrites(Connection* connection) {
   // Fully written.
   connection->out.clear();
   connection->out_offset = 0;
+  if (connection->write_start_us >= 0) {
+    handler_->OnResponseWritten(static_cast<double>(
+        obs::NowMicros() - connection->write_start_us));
+    connection->write_start_us = -1;
+  }
   if (connection->close_after_write) {
     CloseConnection(connection->token);
     return;
@@ -383,6 +389,9 @@ void EventLoop::DrainCompletions() {
       continue;
     }
     if (!completion.keep_alive) connection->close_after_write = true;
+    // Only completion responses time the write stage (framing/shed writes
+    // do not), matching the blocking path's per-dispatched-request sample.
+    connection->write_start_us = obs::NowMicros();
     QueueWrite(connection,
                SerializeResponse(completion.response, completion.keep_alive));
   }

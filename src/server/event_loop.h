@@ -70,6 +70,12 @@ class EventLoopHandler {
 
   /// Counts an accepted connection.
   virtual void OnConnectionAccepted() = 0;
+
+  /// One completion response fully flushed to the socket; `micros` is
+  /// queued-for-write to last-byte-written (the "write" request stage).
+  /// Framing-error and shed writes are not reported, so the sample count
+  /// matches the blocking path's one-sample-per-dispatched-request.
+  virtual void OnResponseWritten(double /*micros*/) {}
 };
 
 struct EventLoopOptions {
@@ -120,6 +126,7 @@ class EventLoop {
     bool in_flight = false;   ///< Dispatched, awaiting CompleteRequest.
     bool peer_closed = false; ///< Read side saw EOF/reset.
     bool close_after_write = false;
+    int64_t write_start_us = -1;  ///< obs::NowMicros() at completion queue.
     Clock::time_point last_activity;
 
     Connection(int fd, uint64_t token, const EventLoopOptions& options)

@@ -31,6 +31,19 @@
 
 namespace cpd::server {
 
+/// Per-request stage durations (microseconds), filled progressively as a
+/// request moves through the transport and the handler. -1 marks a stage
+/// that did not happen (e.g. batch_wait without a coalescer); the slow-
+/// request log prints only the stages that did. Durations measured with
+/// obs::NowMicros() so a frozen test clock zeroes them deterministically.
+struct RequestTiming {
+  double queue_us = -1.0;      ///< Accept/read to dispatch (epoll: pool wait).
+  double parse_us = -1.0;      ///< JSON body decode + request validation.
+  double batch_wait_us = -1.0; ///< Time blocked in the coalescing window.
+  double scoring_us = -1.0;    ///< Engine query time (minus batch wait).
+  double serialize_us = -1.0;  ///< Response JSON encode.
+};
+
 /// One parsed request. Header names are lowercased on parse; `path` is the
 /// target with the query string stripped, `query` holds the decoded
 /// key=value parameters, and `path_params` is filled by the router for
@@ -44,6 +57,13 @@ struct HttpRequest {
   std::map<std::string, std::string> headers;
   std::map<std::string, std::string> path_params;
   std::string body;
+
+  /// Trace id assigned by HttpServer::Dispatch (inbound X-Request-Id, or a
+  /// generated cpd-<n>), echoed on the response and in access/slow logs.
+  std::string trace_id;
+  /// Stage timeline; mutable so handlers taking `const HttpRequest&` can
+  /// record stages without widening the Handler signature.
+  mutable RequestTiming timing;
 
   /// Lowercased header lookup; empty string when absent.
   const std::string& Header(const std::string& name) const;

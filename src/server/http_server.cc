@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/clock.h"
 #include "parallel/thread_pool.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -192,7 +193,7 @@ void HttpServer::ConnectionLoop(int fd) {
   while (true) {
     auto request = stream.ReadRequest(options_.max_head_bytes,
                                       options_.max_body_bytes);
-    const Clock::time_point received = Clock::now();
+    const int64_t received_us = obs::NowMicros();
     if (!request.ok()) {
       // Clean close / idle timeout / shutdown end the connection silently;
       // malformed framing gets its 4xx envelope before closing. The parser
@@ -213,6 +214,12 @@ void HttpServer::ConnectionLoop(int fd) {
     }
 
     requests_.fetch_add(1, std::memory_order_relaxed);
+    // Blocking mode has no dispatch queue: queue_wait is read-to-dispatch
+    // and ~0, recorded anyway so the stage's sample count matches the
+    // request count in both io modes.
+    request->timing.queue_us =
+        static_cast<double>(obs::NowMicros() - received_us);
+    RecordStage("queue_wait", request->timing.queue_us);
     const HttpResponse response = Dispatch(&*request);
     CountResponse(response.status);
 
@@ -220,13 +227,16 @@ void HttpServer::ConnectionLoop(int fd) {
     // client's version/Connection header asks to close.
     const bool keep_alive =
         !stopping_.load(std::memory_order_acquire) && request->KeepAlive();
-    if (options_.log_requests) {
-      CPD_LOG(Info) << request->method << " " << request->target << " -> "
-                    << response.status << " ("
-                    << StrFormat("%.0f", ElapsedMicros(received)) << " us)";
+    LogRequest(*request, response,
+               static_cast<double>(obs::NowMicros() - received_us));
+    const int64_t write_start_us = obs::NowMicros();
+    const bool write_ok =
+        stream.WriteAll(SerializeResponse(response, keep_alive)).ok();
+    if (write_ok) {
+      RecordStage("write",
+                  static_cast<double>(obs::NowMicros() - write_start_us));
     }
-    if (!stream.WriteAll(SerializeResponse(response, keep_alive)).ok()) break;
-    if (!keep_alive) break;
+    if (!write_ok || !keep_alive) break;
   }
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -246,6 +256,16 @@ HttpResponse HttpServer::Render429() const {
 }
 
 HttpResponse HttpServer::Dispatch(HttpRequest* request) {
+  // Trace id: honor the client's X-Request-Id (bounded — it lands in logs
+  // and the echo header), else mint cpd-<n>. Every routed response echoes
+  // it; framing errors never reach Dispatch and carry none.
+  const std::string& inbound = request->Header("x-request-id");
+  request->trace_id =
+      inbound.empty()
+          ? "cpd-" + std::to_string(
+                         next_trace_id_.fetch_add(1, std::memory_order_relaxed))
+          : inbound.substr(0, 128);
+
   // Request-level admission control: a bounded number of requests may
   // execute concurrently; everything beyond it is shed immediately instead
   // of queueing behind slow handlers.
@@ -253,7 +273,9 @@ HttpResponse HttpServer::Dispatch(HttpRequest* request) {
   do {
     if (inflight >= options_.max_inflight) {
       rejected_429_.fetch_add(1, std::memory_order_relaxed);
-      return Render429();
+      HttpResponse shed = Render429();
+      shed.headers["X-Request-Id"] = request->trace_id;
+      return shed;
     }
   } while (!inflight_.compare_exchange_weak(inflight, inflight + 1,
                                             std::memory_order_acq_rel));
@@ -281,6 +303,7 @@ HttpResponse HttpServer::Dispatch(HttpRequest* request) {
     }
   }
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  response.headers["X-Request-Id"] = request->trace_id;
   return response;
 }
 
@@ -313,22 +336,58 @@ const HttpServer::Route* HttpServer::MatchRoute(
 
 void HttpServer::OnRequest(uint64_t token, HttpRequest request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  const Clock::time_point received = Clock::now();
+  const int64_t received_us = obs::NowMicros();
   // The event loop must never block on a handler: route the request onto a
   // worker and post the response back to the loop when it is ready.
-  pool_->Submit([this, token, received,
+  pool_->Submit([this, token, received_us,
                  request = std::move(request)]() mutable {
+    // Queue wait: parsed-on-the-loop to picked-up-by-a-worker.
+    request.timing.queue_us =
+        static_cast<double>(obs::NowMicros() - received_us);
+    RecordStage("queue_wait", request.timing.queue_us);
     const HttpResponse response = Dispatch(&request);
     CountResponse(response.status);
     const bool keep_alive =
         !stopping_.load(std::memory_order_acquire) && request.KeepAlive();
-    if (options_.log_requests) {
-      CPD_LOG(Info) << request.method << " " << request.target << " -> "
-                    << response.status << " ("
-                    << StrFormat("%.0f", ElapsedMicros(received)) << " us)";
-    }
+    LogRequest(request, response,
+               static_cast<double>(obs::NowMicros() - received_us));
     event_loop_->CompleteRequest(token, response, keep_alive);
   });
+}
+
+void HttpServer::OnResponseWritten(double micros) {
+  RecordStage("write", micros);
+}
+
+void HttpServer::RecordStage(const char* stage, double micros) {
+  if (stage_recorder_) stage_recorder_(stage, micros);
+}
+
+void HttpServer::LogRequest(const HttpRequest& request,
+                            const HttpResponse& response, double total_us) {
+  if (options_.log_requests) {
+    CPD_LOG(Info) << request.method << " " << request.target << " -> "
+                  << response.status << " ("
+                  << StrFormat("%.0f", total_us) << " us) ["
+                  << request.trace_id << "]";
+  }
+  if (options_.slow_request_us > 0 &&
+      total_us >= static_cast<double>(options_.slow_request_us)) {
+    std::string breakdown;
+    const auto stage = [&breakdown](const char* name, double value) {
+      if (value < 0) return;  // -1 = the stage did not happen.
+      breakdown += StrFormat(" %s=%.0fus", name, value);
+    };
+    stage("queue_wait", request.timing.queue_us);
+    stage("parse", request.timing.parse_us);
+    stage("batch_wait", request.timing.batch_wait_us);
+    stage("scoring", request.timing.scoring_us);
+    stage("serialize", request.timing.serialize_us);
+    CPD_LOG(Warning) << "slow request [" << request.trace_id << "] "
+                     << request.method << " " << request.target << " -> "
+                     << response.status << " total="
+                     << StrFormat("%.0f", total_us) << "us" << breakdown;
+  }
 }
 
 HttpResponse HttpServer::OnConnectionShed() {

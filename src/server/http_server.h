@@ -84,6 +84,10 @@ struct HttpServerOptions {
   size_t max_head_bytes = 64 * 1024;
   size_t max_body_bytes = 4 * 1024 * 1024;
   bool log_requests = true;  ///< One CPD_LOG(Info) line per request.
+  /// Requests slower than this (read-to-dispatch-done, microseconds) also
+  /// log one Warning line with the per-stage breakdown (request.timing).
+  /// 0 disables the slow-request log.
+  int64_t slow_request_us = 0;
 };
 
 /// Monotonic counters, readable while serving (statsz).
@@ -128,6 +132,14 @@ class HttpServer : private EventLoopHandler {
 
   HttpServerStats stats() const;
 
+  /// Sink for transport-side stage durations ("queue_wait", "write" — see
+  /// ServiceStats::kRequestStageNames), microseconds. json_api wires this
+  /// to the metrics registry; null (the default) drops the samples. Call
+  /// before Start(); the callback must be thread-safe.
+  void SetStageRecorder(std::function<void(const char*, double)> recorder) {
+    stage_recorder_ = std::move(recorder);
+  }
+
  private:
   struct Route {
     std::string method;
@@ -152,9 +164,19 @@ class HttpServer : private EventLoopHandler {
   HttpResponse OnConnectionShed() override;
   HttpResponse OnFramingError(const Status& error, int http_status) override;
   void OnConnectionAccepted() override;
+  void OnResponseWritten(double micros) override;
+
+  /// Records one transport stage sample if a recorder is set.
+  void RecordStage(const char* stage, double micros);
+  /// The shared access-log line (+ slow-request Warning when the request
+  /// exceeded options_.slow_request_us), identical across io modes.
+  void LogRequest(const HttpRequest& request, const HttpResponse& response,
+                  double total_us);
 
   HttpServerOptions options_;
   std::vector<Route> routes_;
+  std::function<void(const char*, double)> stage_recorder_;
+  std::atomic<uint64_t> next_trace_id_{0};
 
   int listen_fd_ = -1;
   int port_ = 0;

@@ -1,11 +1,11 @@
 #include "server/json_api.h"
 
-#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -13,8 +13,8 @@
 #include "apps/community_ranking.h"
 #include "ingest/ingest_pipeline.h"
 #include "ingest/update_batch.h"
+#include "obs/clock.h"
 #include "util/string_util.h"
-#include "util/timer.h"
 
 namespace cpd::server {
 
@@ -148,57 +148,165 @@ StatusOr<serve::TopUsersRequest> TopUsersFromJson(const Json& json) {
 
 }  // namespace
 
+namespace {
+
+// Registry-owned family names + help text (statsz reads back through these;
+// docs/OBSERVABILITY.md catalogs every name — check_docs.sh enforces it).
+constexpr char kQueriesFamily[] = "cpd_service_queries_total";
+constexpr char kQueriesHelp[] = "Single queries answered OK, per model.";
+constexpr char kBatchQueriesFamily[] = "cpd_service_batch_queries_total";
+constexpr char kBatchQueriesHelp[] =
+    "Requests answered inside client batches, per model.";
+constexpr char kQueryErrorsFamily[] = "cpd_service_query_errors_total";
+constexpr char kQueryErrorsHelp[] = "Typed per-query failures, per model.";
+
+}  // namespace
+
+ServiceStats::ServiceStats() {
+  // Pre-create the default model's children so a fresh scrape shows the
+  // full catalog at zero instead of omitting untouched families.
+  registry_.GetCounter(kQueriesFamily, kQueriesHelp,
+                       {{"model", kDefaultModel}});
+  registry_.GetCounter(kBatchQueriesFamily, kBatchQueriesHelp,
+                       {{"model", kDefaultModel}});
+  registry_.GetCounter(kQueryErrorsFamily, kQueryErrorsHelp,
+                       {{"model", kDefaultModel}});
+  ingests_ = registry_.GetCounter("cpd_service_ingests_total",
+                                  "Ingest batches applied and swapped in.");
+  ingest_failures_ =
+      registry_.GetCounter("cpd_service_ingest_failures_total",
+                           "Rejected or failed ingest batches.");
+  ingested_documents_ = registry_.GetCounter(
+      "cpd_service_ingested_documents_total", "Documents added by ingest.");
+  ingested_users_ = registry_.GetCounter("cpd_service_ingested_users_total",
+                                         "Users added by ingest.");
+  ingested_links_ =
+      registry_.GetCounter("cpd_service_ingested_links_total",
+                           "Friendships plus diffusion links added by ingest.");
+  for (size_t type = 0; type < kNumQueryTypes; ++type) {
+    latency_[type] = registry_.GetHistogram(
+        "cpd_query_latency_us",
+        "Handler-side service time of one successful query, microseconds.",
+        {{"query_type", kQueryTypeNames[type]}});
+    for (size_t stage = 0; stage < kNumQueryStages; ++stage) {
+      query_stage_[type][stage] = registry_.GetHistogram(
+          "cpd_query_stage_us",
+          "Per-stage breakdown of one query, microseconds.",
+          {{"query_type", kQueryTypeNames[type]},
+           {"stage", kQueryStageNames[stage]}});
+    }
+  }
+  for (size_t stage = 0; stage < kNumRequestStages; ++stage) {
+    request_stage_[stage] = registry_.GetHistogram(
+        "cpd_request_stage_us",
+        "Transport-side request stages (no query type), microseconds.",
+        {{"stage", kRequestStageNames[stage]}});
+  }
+}
+
 void ServiceStats::CountQuery(const std::string& model) {
-  queries.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(models_mutex_);
-  ++models_[model].queries;
+  if (!metrics_enabled()) return;
+  registry_.GetCounter(kQueriesFamily, kQueriesHelp, {{"model", model}})
+      ->Increment();
 }
 
 void ServiceStats::CountBatchQuery(const std::string& model) {
-  batch_queries.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(models_mutex_);
-  ++models_[model].batch_queries;
+  if (!metrics_enabled()) return;
+  registry_
+      .GetCounter(kBatchQueriesFamily, kBatchQueriesHelp, {{"model", model}})
+      ->Increment();
 }
 
 void ServiceStats::CountQueryError(const std::string& model) {
-  query_errors.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(models_mutex_);
-  ++models_[model].query_errors;
+  if (!metrics_enabled()) return;
+  registry_
+      .GetCounter(kQueryErrorsFamily, kQueryErrorsHelp, {{"model", model}})
+      ->Increment();
+}
+
+void ServiceStats::CountIngestSuccess(uint64_t documents, uint64_t users,
+                                      uint64_t links) {
+  if (!metrics_enabled()) return;
+  ingests_->Increment();
+  ingested_documents_->Increment(documents);
+  ingested_users_->Increment(users);
+  ingested_links_->Increment(links);
+}
+
+void ServiceStats::CountIngestFailure() {
+  if (!metrics_enabled()) return;
+  ingest_failures_->Increment();
+}
+
+uint64_t ServiceStats::queries() const {
+  return registry_.CounterTotal(kQueriesFamily);
+}
+uint64_t ServiceStats::batch_queries() const {
+  return registry_.CounterTotal(kBatchQueriesFamily);
+}
+uint64_t ServiceStats::query_errors() const {
+  return registry_.CounterTotal(kQueryErrorsFamily);
+}
+uint64_t ServiceStats::ingests() const { return ingests_->value(); }
+uint64_t ServiceStats::ingest_failures() const {
+  return ingest_failures_->value();
+}
+uint64_t ServiceStats::ingested_documents() const {
+  return ingested_documents_->value();
+}
+uint64_t ServiceStats::ingested_users() const {
+  return ingested_users_->value();
+}
+uint64_t ServiceStats::ingested_links() const {
+  return ingested_links_->value();
 }
 
 std::map<std::string, ServiceStats::ModelCounters> ServiceStats::PerModel()
     const {
-  std::lock_guard<std::mutex> lock(models_mutex_);
-  return models_;
+  std::map<std::string, ModelCounters> out;
+  for (const auto& [model, value] : registry_.CounterByLabel(kQueriesFamily)) {
+    out[model].queries = value;
+  }
+  for (const auto& [model, value] :
+       registry_.CounterByLabel(kBatchQueriesFamily)) {
+    out[model].batch_queries = value;
+  }
+  for (const auto& [model, value] :
+       registry_.CounterByLabel(kQueryErrorsFamily)) {
+    out[model].query_errors = value;
+  }
+  return out;
 }
 
 void ServiceStats::RecordLatency(size_t type, double micros) {
-  if (type >= kNumQueryTypes) return;
-  std::lock_guard<std::mutex> lock(latency_mutex_);
-  LatencyRing& ring = latency_[type];
-  if (ring.samples.size() < kLatencyWindow) {
-    ring.samples.push_back(micros);
-  } else {
-    ring.samples[ring.next] = micros;
-    ring.next = (ring.next + 1) % kLatencyWindow;
-  }
-  ++ring.count;
+  if (type >= kNumQueryTypes || !metrics_enabled()) return;
+  latency_[type]->Record(micros);
 }
 
 ServiceStats::LatencySummary ServiceStats::LatencyFor(size_t type) const {
   LatencySummary summary;
   if (type >= kNumQueryTypes) return summary;
-  std::vector<double> window;
-  {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
-    summary.count = latency_[type].count;
-    window = latency_[type].samples;
-  }
-  if (window.empty()) return summary;
-  std::sort(window.begin(), window.end());
-  summary.p50_us = window[window.size() / 2];
-  summary.p99_us = window[window.size() * 99 / 100];
+  const obs::Histogram::Snapshot snapshot = latency_[type]->Snap();
+  summary.count = snapshot.count;
+  summary.p50_us = snapshot.Percentile(0.5);
+  summary.p99_us = snapshot.Percentile(0.99);
   return summary;
+}
+
+void ServiceStats::RecordQueryStage(size_t type, QueryStage stage,
+                                    double micros) {
+  if (type >= kNumQueryTypes || !metrics_enabled()) return;
+  query_stage_[type][static_cast<size_t>(stage)]->Record(micros);
+}
+
+void ServiceStats::RecordRequestStage(const char* stage, double micros) {
+  if (!metrics_enabled()) return;
+  for (size_t s = 0; s < kNumRequestStages; ++s) {
+    if (std::string_view(stage) == kRequestStageNames[s]) {
+      request_stage_[s]->Record(micros);
+      return;
+    }
+  }
 }
 
 int HttpStatusForCode(StatusCode code) {
@@ -392,6 +500,7 @@ HttpResponse HandleQuery(const HttpRequest& http_request,
   const std::string name = ModelNameFromRequest(http_request);
   const std::shared_ptr<const ServingModel> model = registry->Snapshot(name);
   if (model == nullptr) return NoModelResponse(name);
+  const int64_t parse_start_us = obs::NowMicros();
   auto json = Json::Parse(http_request.body);
   if (!json.ok()) return ErrorResponse(json.status());
   const Vocabulary* vocab = model->vocabulary.get();
@@ -410,15 +519,19 @@ HttpResponse HandleQuery(const HttpRequest& http_request,
         responses.Append(StatusToJson(request.status()));
         continue;
       }
-      WallTimer slot_timer;
+      const int64_t slot_start_us = obs::NowMicros();
       auto response = model->engine->Query(*request);
       if (!response.ok()) {
         stats->CountQueryError(name);
         responses.Append(StatusToJson(response.status()));
         continue;
       }
+      const double slot_us =
+          static_cast<double>(obs::NowMicros() - slot_start_us);
       stats->CountBatchQuery(name);
-      stats->RecordLatency(request->index(), slot_timer.ElapsedSeconds() * 1e6);
+      stats->RecordLatency(request->index(), slot_us);
+      stats->RecordQueryStage(request->index(),
+                              ServiceStats::QueryStage::kScoring, slot_us);
       responses.Append(QueryResponseToJson(*response));
     }
     Json out = Json::MakeObject();
@@ -431,21 +544,42 @@ HttpResponse HandleQuery(const HttpRequest& http_request,
     stats->CountQueryError(name);
     return ErrorResponse(request.status());
   }
+  const size_t type = request->index();
+  const int64_t parsed_us = obs::NowMicros();
   // Single queries are where concurrency hides batchability: route them
   // through the coalescer (explicit client batches are already batched).
   // The latency sample covers the scoring path a client waits on (incl.
-  // any coalescing window), not JSON encode/decode.
-  WallTimer query_timer;
+  // any coalescing window), not JSON encode/decode; batch_wait splits the
+  // coalescing window out of it again for the stage histograms.
+  double batch_wait_us = 0.0;
   auto response = coalescer != nullptr
-                      ? coalescer->Execute(model, *request)
+                      ? coalescer->Execute(model, *request, &batch_wait_us)
                       : model->engine->Query(*request);
   if (!response.ok()) {
     stats->CountQueryError(name);
     return ErrorResponse(response.status());
   }
+  const int64_t scored_us = obs::NowMicros();
   stats->CountQuery(name);
-  stats->RecordLatency(request->index(), query_timer.ElapsedSeconds() * 1e6);
-  return JsonResponse(200, QueryResponseToJson(*response));
+  stats->RecordLatency(type, static_cast<double>(scored_us - parsed_us));
+  HttpResponse http_response = JsonResponse(200, QueryResponseToJson(*response));
+  const int64_t serialized_us = obs::NowMicros();
+
+  RequestTiming& timing = http_request.timing;
+  timing.parse_us = static_cast<double>(parsed_us - parse_start_us);
+  timing.batch_wait_us = batch_wait_us;
+  timing.scoring_us =
+      static_cast<double>(scored_us - parsed_us) - batch_wait_us;
+  timing.serialize_us = static_cast<double>(serialized_us - scored_us);
+  stats->RecordQueryStage(type, ServiceStats::QueryStage::kParse,
+                          timing.parse_us);
+  stats->RecordQueryStage(type, ServiceStats::QueryStage::kBatchWait,
+                          timing.batch_wait_us);
+  stats->RecordQueryStage(type, ServiceStats::QueryStage::kScoring,
+                          timing.scoring_us);
+  stats->RecordQueryStage(type, ServiceStats::QueryStage::kSerialize,
+                          timing.serialize_us);
+  return http_response;
 }
 
 /// Strict base-10 int32 parse for path/query components; mirrors the POST
@@ -487,17 +621,26 @@ HttpResponse HandleMembershipGet(const HttpRequest& http_request,
   const auto distribution = http_request.query.find("distribution");
   request.include_distribution = distribution != http_request.query.end() &&
                                  distribution->second != "0";
-  WallTimer query_timer;
+  constexpr size_t kType = 0;  // MembershipRequest's variant index.
+  const int64_t parsed_us = obs::NowMicros();
   auto response = model->engine->Membership(request);
   if (!response.ok()) {
     stats->CountQueryError(name);
     return ErrorResponse(response.status());
   }
+  const int64_t scored_us = obs::NowMicros();
   stats->CountQuery(name);
-  stats->RecordLatency(/*type=*/0,  // MembershipRequest's variant index.
-                       query_timer.ElapsedSeconds() * 1e6);
-  return JsonResponse(
+  stats->RecordLatency(kType, static_cast<double>(scored_us - parsed_us));
+  HttpResponse http_response = JsonResponse(
       200, QueryResponseToJson(serve::QueryResponse(std::move(*response))));
+  RequestTiming& timing = http_request.timing;
+  timing.scoring_us = static_cast<double>(scored_us - parsed_us);
+  timing.serialize_us = static_cast<double>(obs::NowMicros() - scored_us);
+  stats->RecordQueryStage(kType, ServiceStats::QueryStage::kScoring,
+                          timing.scoring_us);
+  stats->RecordQueryStage(kType, ServiceStats::QueryStage::kSerialize,
+                          timing.serialize_us);
+  return http_response;
 }
 
 /// GET /v1/models: every loaded model, name-sorted.
@@ -545,34 +688,21 @@ HttpResponse HandleStatsz(const HttpServer* server, ModelRegistry* registry,
   server_json.Set("deadline_504", Json(transport.deadline_504));
 
   Json service_json = Json::MakeObject();
-  service_json.Set("queries",
-                   Json(stats->queries.load(std::memory_order_relaxed)));
-  service_json.Set("batch_queries",
-                   Json(stats->batch_queries.load(std::memory_order_relaxed)));
-  service_json.Set("query_errors",
-                   Json(stats->query_errors.load(std::memory_order_relaxed)));
+  service_json.Set("queries", Json(stats->queries()));
+  service_json.Set("batch_queries", Json(stats->batch_queries()));
+  service_json.Set("query_errors", Json(stats->query_errors()));
   service_json.Set("reloads", Json(registry->reload_count()));
   service_json.Set("reload_failures", Json(registry->reload_failures()));
 
-  service_json.Set("ingests",
-                   Json(stats->ingests.load(std::memory_order_relaxed)));
-  service_json.Set(
-      "ingest_failures",
-      Json(stats->ingest_failures.load(std::memory_order_relaxed)));
-  service_json.Set(
-      "ingested_documents",
-      Json(stats->ingested_documents.load(std::memory_order_relaxed)));
-  service_json.Set(
-      "ingested_users",
-      Json(stats->ingested_users.load(std::memory_order_relaxed)));
-  service_json.Set(
-      "ingested_links",
-      Json(stats->ingested_links.load(std::memory_order_relaxed)));
+  service_json.Set("ingests", Json(stats->ingests()));
+  service_json.Set("ingest_failures", Json(stats->ingest_failures()));
+  service_json.Set("ingested_documents", Json(stats->ingested_documents()));
+  service_json.Set("ingested_users", Json(stats->ingested_users()));
+  service_json.Set("ingested_links", Json(stats->ingested_links()));
 
   // Per-query-type service latency (what bench_query measures client-side):
-  // lifetime counts, p50/p99 microseconds over the retained window.
-  static constexpr const char* kQueryTypeNames[ServiceStats::kNumQueryTypes] =
-      {"membership", "rank", "diffusion", "top_users"};
+  // lifetime counts, histogram-reconstructed p50/p99 microseconds (same
+  // buckets /metricsz exposes; <= ~5% relative error).
   Json latency_json = Json::MakeObject();
   for (size_t type = 0; type < ServiceStats::kNumQueryTypes; ++type) {
     const ServiceStats::LatencySummary summary = stats->LatencyFor(type);
@@ -580,7 +710,7 @@ HttpResponse HandleStatsz(const HttpServer* server, ModelRegistry* registry,
     row.Set("count", Json(summary.count));
     row.Set("p50_us", Json(summary.p50_us));
     row.Set("p99_us", Json(summary.p99_us));
-    latency_json.Set(kQueryTypeNames[type], std::move(row));
+    latency_json.Set(ServiceStats::kQueryTypeNames[type], std::move(row));
   }
   service_json.Set("latency", std::move(latency_json));
 
@@ -640,6 +770,107 @@ HttpResponse HandleStatsz(const HttpServer* server, ModelRegistry* registry,
     out.Set("coalescer", std::move(coalescer_json));
   }
   return JsonResponse(200, out);
+}
+
+/// GET /metricsz: Prometheus text exposition. The ServiceStats registry
+/// renders itself; transport (HttpServerStats), model-registry, and
+/// coalescer numbers live in their own structs and are synthesized into
+/// families here at scrape time — same sources /statsz reads, same scrape
+/// consistency (counters are independently relaxed either way).
+HttpResponse HandleMetricsz(const HttpServer* server, ModelRegistry* registry,
+                            const ServiceStats* stats,
+                            const Coalescer* coalescer) {
+  std::string out = stats->registry()->ExpositionText();
+
+  const HttpServerStats transport = server->stats();
+  obs::AppendExpositionHeader(&out, "cpd_http_connections_accepted_total",
+                              "Connections accepted by the listener.",
+                              "counter");
+  obs::AppendSampleLine(&out, "cpd_http_connections_accepted_total", {},
+                        static_cast<double>(transport.connections_accepted));
+  obs::AppendExpositionHeader(&out, "cpd_http_connections_rejected_total",
+                              "Connections shed at the max_connections cap.",
+                              "counter");
+  obs::AppendSampleLine(&out, "cpd_http_connections_rejected_total", {},
+                        static_cast<double>(transport.connections_rejected));
+  obs::AppendExpositionHeader(&out, "cpd_http_requests_total",
+                              "Well-framed requests read off connections.",
+                              "counter");
+  obs::AppendSampleLine(&out, "cpd_http_requests_total", {},
+                        static_cast<double>(transport.requests));
+  obs::AppendExpositionHeader(&out, "cpd_http_responses_total",
+                              "Responses written, by status class.",
+                              "counter");
+  obs::AppendSampleLine(&out, "cpd_http_responses_total", {{"class", "2xx"}},
+                        static_cast<double>(transport.responses_2xx));
+  obs::AppendSampleLine(&out, "cpd_http_responses_total", {{"class", "4xx"}},
+                        static_cast<double>(transport.responses_4xx));
+  obs::AppendSampleLine(&out, "cpd_http_responses_total", {{"class", "5xx"}},
+                        static_cast<double>(transport.responses_5xx));
+  obs::AppendExpositionHeader(&out, "cpd_http_rejected_429_total",
+                              "Requests shed by the inflight admission cap.",
+                              "counter");
+  obs::AppendSampleLine(&out, "cpd_http_rejected_429_total", {},
+                        static_cast<double>(transport.rejected_429));
+  obs::AppendExpositionHeader(&out, "cpd_http_deadline_504_total",
+                              "Requests failed by the server deadline.",
+                              "counter");
+  obs::AppendSampleLine(&out, "cpd_http_deadline_504_total", {},
+                        static_cast<double>(transport.deadline_504));
+
+  obs::AppendExpositionHeader(&out, "cpd_model_reloads_total",
+                              "Successful model loads and hot-swaps.",
+                              "counter");
+  obs::AppendSampleLine(&out, "cpd_model_reloads_total", {},
+                        static_cast<double>(registry->reload_count()));
+  obs::AppendExpositionHeader(&out, "cpd_model_reload_failures_total",
+                              "Failed model loads (old generation kept).",
+                              "counter");
+  obs::AppendSampleLine(&out, "cpd_model_reload_failures_total", {},
+                        static_cast<double>(registry->reload_failures()));
+  obs::AppendExpositionHeader(&out, "cpd_model_generation",
+                              "Serving generation per loaded model.", "gauge");
+  for (const ModelInfo& info : registry->ListModels()) {
+    obs::AppendSampleLine(&out, "cpd_model_generation",
+                          {{"model", info.name}},
+                          static_cast<double>(info.generation));
+  }
+
+  if (coalescer != nullptr) {
+    const CoalescerStats batching = coalescer->stats();
+    obs::AppendExpositionHeader(&out, "cpd_coalescer_requests_total",
+                                "Single queries routed via the coalescer.",
+                                "counter");
+    obs::AppendSampleLine(&out, "cpd_coalescer_requests_total", {},
+                          static_cast<double>(batching.requests));
+    obs::AppendExpositionHeader(&out, "cpd_coalescer_batches_total",
+                                "Engine batches the coalescer executed.",
+                                "counter");
+    obs::AppendSampleLine(&out, "cpd_coalescer_batches_total", {},
+                          static_cast<double>(batching.batches));
+    obs::AppendExpositionHeader(&out, "cpd_coalescer_coalesced_total",
+                                "Queries that shared a batch with others.",
+                                "counter");
+    obs::AppendSampleLine(&out, "cpd_coalescer_coalesced_total", {},
+                          static_cast<double>(batching.coalesced));
+    obs::AppendExpositionHeader(&out, "cpd_coalescer_flush_total",
+                                "Batch flushes, by trigger.", "counter");
+    obs::AppendSampleLine(&out, "cpd_coalescer_flush_total",
+                          {{"reason", "full"}},
+                          static_cast<double>(batching.flush_full));
+    obs::AppendSampleLine(&out, "cpd_coalescer_flush_total",
+                          {{"reason", "timeout"}},
+                          static_cast<double>(batching.flush_timeout));
+    obs::AppendSampleLine(&out, "cpd_coalescer_flush_total",
+                          {{"reason", "mismatch"}},
+                          static_cast<double>(batching.flush_mismatch));
+  }
+
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = std::move(out);
+  return response;
 }
 
 /// POST /admin/reload: re-read the current artifact, or switch to the path
@@ -704,7 +935,7 @@ HttpResponse HandleIngest(const HttpRequest& http_request,
   std::lock_guard<std::mutex> ingest_lock(ingest_mutex);
   auto json = Json::Parse(http_request.body);
   if (!json.ok()) {
-    stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
+    stats->CountIngestFailure();
     return ErrorResponse(json.status());
   }
   // Optional swap target; the batch decoder ignores unknown fields, so the
@@ -713,24 +944,24 @@ HttpResponse HandleIngest(const HttpRequest& http_request,
   if (json->is_object()) {
     auto model = json->GetString("model", kDefaultModel);
     if (!model.ok()) {
-      stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
+      stats->CountIngestFailure();
       return ErrorResponse(model.status());
     }
     name = *model;
     if (name.empty()) {
-      stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
+      stats->CountIngestFailure();
       return ErrorResponse(
           Status::InvalidArgument("field 'model' must not be empty"));
     }
   }
   auto batch = ingest::UpdateBatchFromJson(*json);
   if (!batch.ok()) {
-    stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
+    stats->CountIngestFailure();
     return ErrorResponse(batch.status());
   }
   auto result = pipeline->Ingest(*batch);
   if (!result.ok()) {
-    stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
+    stats->CountIngestFailure();
     // Client-caused failures (bad ids, malformed rows) keep their typed
     // status; pipeline-internal ones surface as the mapped 5xx/4xx code.
     return ErrorResponse(result.status());
@@ -744,17 +975,12 @@ HttpResponse HandleIngest(const HttpRequest& http_request,
     // and the merged graph must not leak into a later reload of the old
     // artifact (old index + bigger graph would mismatch).
     registry->SetGraph(previous_graph);
-    stats->ingest_failures.fetch_add(1, std::memory_order_relaxed);
+    stats->CountIngestFailure();
     return JsonResponse(500, StatusToJson(swapped));
   }
-  stats->ingests.fetch_add(1, std::memory_order_relaxed);
-  stats->ingested_documents.fetch_add(result->counts.new_documents,
-                                      std::memory_order_relaxed);
-  stats->ingested_users.fetch_add(result->counts.new_users,
-                                  std::memory_order_relaxed);
-  stats->ingested_links.fetch_add(
-      result->counts.new_friendships + result->counts.new_diffusions,
-      std::memory_order_relaxed);
+  stats->CountIngestSuccess(
+      result->counts.new_documents, result->counts.new_users,
+      result->counts.new_friendships + result->counts.new_diffusions);
 
   Json ingested = Json::MakeObject();
   ingested.Set("documents",
@@ -810,6 +1036,10 @@ void RegisterCpdRoutes(HttpServer* server, ModelRegistry* registry,
                  [server, registry, stats, coalescer](const HttpRequest&) {
                    return HandleStatsz(server, registry, stats, coalescer);
                  });
+  server->Handle("GET", "/metricsz",
+                 [server, registry, stats, coalescer](const HttpRequest&) {
+                   return HandleMetricsz(server, registry, stats, coalescer);
+                 });
   server->Handle("POST", "/admin/reload",
                  [registry](const HttpRequest& request) {
                    return HandleReload(request, registry);
@@ -818,6 +1048,11 @@ void RegisterCpdRoutes(HttpServer* server, ModelRegistry* registry,
                  [registry, stats, pipeline](const HttpRequest& request) {
                    return HandleIngest(request, registry, stats, pipeline);
                  });
+  // Transport-side stage samples (queue_wait, write) land in the same
+  // registry the handlers record into.
+  server->SetStageRecorder([stats](const char* stage, double micros) {
+    stats->RecordRequestStage(stage, micros);
+  });
 }
 
 }  // namespace cpd::server

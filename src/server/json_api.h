@@ -36,6 +36,9 @@
 ///   GET  /statsz                transport + service + per-model counters,
 ///                               per-query-type latency p50/p99
 ///                               (+ "coalescer" when micro-batching is on)
+///   GET  /metricsz              the same numbers (plus per-stage latency
+///                               histograms) as Prometheus text exposition
+///                               (docs/OBSERVABILITY.md is the catalog)
 ///   POST /admin/reload          hot-swap: re-read the artifact (optional
 ///                               body {"path":"other.cpdb"} switches files,
 ///                               {"model":"name"} addresses/registers a
@@ -48,14 +51,13 @@
 ///                               downtime. 409 when the server runs without
 ///                               an ingest pipeline.
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/query_engine.h"
 #include "server/coalescer.h"
 #include "server/http_server.h"
@@ -69,19 +71,55 @@ class IngestPipeline;
 
 namespace cpd::server {
 
-/// Service-level counters (the transport ones live in HttpServerStats).
-/// The global atomics aggregate across every model; the per-model
-/// breakdown behind `models_mutex` feeds the statsz "models" section.
-struct ServiceStats {
-  std::atomic<uint64_t> queries{0};        ///< Single queries answered OK.
-  std::atomic<uint64_t> batch_queries{0};  ///< Requests inside batches.
-  std::atomic<uint64_t> query_errors{0};   ///< Typed per-query failures.
-  // Streaming-ingest counters (POST /admin/ingest).
-  std::atomic<uint64_t> ingests{0};            ///< Batches applied + swapped.
-  std::atomic<uint64_t> ingest_failures{0};    ///< Rejected or failed batches.
-  std::atomic<uint64_t> ingested_documents{0};
-  std::atomic<uint64_t> ingested_users{0};
-  std::atomic<uint64_t> ingested_links{0};     ///< Friendships + diffusions.
+/// Service-level counters and latency/stage histograms, all backed by an
+/// owned obs::MetricsRegistry (the transport counters live in
+/// HttpServerStats and are folded into /metricsz at scrape time). The
+/// registry is per-stats-object, not process-global, so two server stacks
+/// in one process (io_mode_differential_test) scrape independently.
+///
+/// /statsz renders these through the accessors below with its original
+/// field names; /metricsz renders registry->ExpositionText() directly.
+/// Latency percentiles come from fixed log-bucket histograms (<= ~5%
+/// relative error, see obs/metrics.h) instead of the old 2048-sample ring:
+/// the ring's racy window sampling made scrapes nondeterministic, the
+/// histogram's relaxed bucket counts are exact and, under a frozen
+/// obs::Clock, byte-deterministic.
+class ServiceStats {
+ public:
+  /// Type index = the QueryRequest variant index.
+  static constexpr size_t kNumQueryTypes = 4;
+  static constexpr const char* kQueryTypeNames[kNumQueryTypes] = {
+      "membership", "rank", "diffusion", "top_users"};
+
+  /// Handler-side stages of one query, recorded with the resolved query
+  /// type (cpd_query_stage_us{query_type,stage}).
+  enum class QueryStage { kParse = 0, kBatchWait = 1, kScoring = 2,
+                          kSerialize = 3 };
+  static constexpr size_t kNumQueryStages = 4;
+  static constexpr const char* kQueryStageNames[kNumQueryStages] = {
+      "parse", "batch_wait", "scoring", "serialize"};
+
+  /// Transport-side stages recorded by HttpServer's stage-recorder hook,
+  /// where the query type is unknown (cpd_request_stage_us{stage}).
+  static constexpr size_t kNumRequestStages = 2;
+  static constexpr const char* kRequestStageNames[kNumRequestStages] = {
+      "queue_wait", "write"};
+
+  ServiceStats();
+  ServiceStats(const ServiceStats&) = delete;
+  ServiceStats& operator=(const ServiceStats&) = delete;
+
+  obs::MetricsRegistry* registry() { return &registry_; }
+  const obs::MetricsRegistry* registry() const { return &registry_; }
+
+  /// --metrics off: every Count*/Record* becomes a no-op (scrapes render
+  /// zeros). bench_obs pins the instrumented-vs-off throughput delta.
+  void set_metrics_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool metrics_enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   /// Per-model query counters, keyed by registry name.
   struct ModelCounters {
@@ -90,47 +128,56 @@ struct ServiceStats {
     uint64_t query_errors = 0;
   };
 
-  /// Bumps the aggregate atomics and the named model's row together.
+  /// Bumps the {model}-labeled counter child (aggregates are computed at
+  /// scrape by summing children).
   void CountQuery(const std::string& model);
   void CountBatchQuery(const std::string& model);
   void CountQueryError(const std::string& model);
 
+  // Streaming-ingest counters (POST /admin/ingest).
+  void CountIngestSuccess(uint64_t documents, uint64_t users, uint64_t links);
+  void CountIngestFailure();
+
+  // ----- statsz aggregate reads (wire field names unchanged) -----
+  uint64_t queries() const;        ///< Single queries answered OK.
+  uint64_t batch_queries() const;  ///< Requests inside batches.
+  uint64_t query_errors() const;   ///< Typed per-query failures.
+  uint64_t ingests() const;        ///< Batches applied + swapped.
+  uint64_t ingest_failures() const;
+  uint64_t ingested_documents() const;
+  uint64_t ingested_users() const;
+  uint64_t ingested_links() const;  ///< Friendships + diffusions.
+
   /// Snapshot of the per-model rows (name-sorted).
   std::map<std::string, ModelCounters> PerModel() const;
 
-  // ----- per-query-type service latency (statsz "latency" section) -----
-  /// Type index = the QueryRequest variant index (membership, rank,
-  /// diffusion, top_users).
-  static constexpr size_t kNumQueryTypes = 4;
-  /// Retained samples per type; percentiles describe the most recent
-  /// window, counts are lifetime totals.
-  static constexpr size_t kLatencyWindow = 2048;
-
   struct LatencySummary {
     uint64_t count = 0;   ///< Samples ever recorded for the type.
-    double p50_us = 0.0;  ///< Median over the retained window.
-    double p99_us = 0.0;  ///< p99 over the retained window.
+    double p50_us = 0.0;  ///< Histogram-reconstructed (<= ~5% rel. error).
+    double p99_us = 0.0;
   };
 
   /// Records one successful query's service time (handler-side, excludes
   /// transport). `type` out of range is ignored.
   void RecordLatency(size_t type, double micros);
-
-  /// Percentile snapshot for one query type (sorts a copy of the window;
-  /// statsz-scrape frequency, not hot-path frequency).
   LatencySummary LatencyFor(size_t type) const;
 
- private:
-  mutable std::mutex models_mutex_;
-  std::map<std::string, ModelCounters> models_;
+  void RecordQueryStage(size_t type, QueryStage stage, double micros);
+  /// `stage` must be one of kRequestStageNames (unknown names are dropped).
+  void RecordRequestStage(const char* stage, double micros);
 
-  struct LatencyRing {
-    std::vector<double> samples;  ///< Capped at kLatencyWindow.
-    size_t next = 0;              ///< Overwrite cursor once full.
-    uint64_t count = 0;
-  };
-  mutable std::mutex latency_mutex_;
-  std::array<LatencyRing, kNumQueryTypes> latency_;
+ private:
+  obs::MetricsRegistry registry_;
+  std::atomic<bool> enabled_{true};
+  // Handles registered once in the constructor; Record* is lock-free.
+  obs::Counter* ingests_;
+  obs::Counter* ingest_failures_;
+  obs::Counter* ingested_documents_;
+  obs::Counter* ingested_users_;
+  obs::Counter* ingested_links_;
+  obs::Histogram* latency_[kNumQueryTypes];
+  obs::Histogram* query_stage_[kNumQueryTypes][kNumQueryStages];
+  obs::Histogram* request_stage_[kNumRequestStages];
 };
 
 /// HTTP status for a typed error (InvalidArgument -> 400, NotFound /

@@ -10,6 +10,9 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <string>
+
+#include "util/status.h"
 
 namespace cpd {
 
@@ -18,6 +21,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 /// Global minimum level; messages below it are dropped. Default kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a --log_level flag value: "debug" | "info" | "warning" | "error" |
+/// "off" (case-sensitive). InvalidArgument on anything else.
+StatusOr<LogLevel> ParseLogLevel(const std::string& text);
 
 namespace internal {
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/cpd_model.h"
+#include "obs/clock.h"
 #include "server/coalescer.h"
 #include "server/http_server.h"
 #include "server/json_api.h"
@@ -113,8 +114,10 @@ class IoModeDifferentialTest : public ::testing::Test {
         {"GET", "/v1/models/ghost/membership/0", ""},
         {"POST", "/admin/ingest", "{}"},
         {"POST", "/admin/reload", R"({"model":""})"},
-        // Last: the counters above are now identical in both modes, so the
-        // statsz body itself (clock frozen) must match byte-for-byte too.
+        // Last: the counters above are now identical in both modes, and the
+        // obs clock is frozen (every recorded duration is exactly 0), so
+        // both scrape views must match byte-for-byte too.
+        {"GET", "/metricsz", ""},
         {"GET", "/statsz", ""},
     };
   }
@@ -127,6 +130,9 @@ class IoModeDifferentialTest : public ::testing::Test {
     server::ModelRegistry registry(serve::ProfileIndexOptions{},
                                    SharedGraph());
     registry.SetClock([] { return int64_t{1754500000000}; });
+    // Freeze the obs clock too: every latency/stage duration records as
+    // exactly 0, making /statsz and /metricsz byte-deterministic.
+    obs::SetClockForTest([]() -> int64_t { return 1754500000000; });
     CPD_CHECK(registry.LoadFrom(*artifact_).ok());
     HttpServerOptions options;
     options.port = 0;
@@ -153,6 +159,7 @@ class IoModeDifferentialTest : public ::testing::Test {
                         response->body);
     }
     http_server.Stop();
+    obs::SetClockForTest(nullptr);
     return results;
   }
 
@@ -196,29 +203,16 @@ SynthResult* IoModeDifferentialTest::data_ = nullptr;
 CpdModel* IoModeDifferentialTest::model_ = nullptr;
 std::string* IoModeDifferentialTest::artifact_ = nullptr;
 
-// statsz carries per-query-type latency percentiles — wall-clock samples
-// that legitimately differ between two runs. Scrub that one section so the
-// byte-identity assertion keeps covering every deterministic field.
-std::string ScrubLatency(std::string body) {
-  const size_t begin = body.find("\"latency\":{");
-  if (begin == std::string::npos) return body;
-  size_t depth = 0;
-  size_t end = body.find('{', begin);
-  for (; end < body.size(); ++end) {
-    if (body[end] == '{') ++depth;
-    if (body[end] == '}' && --depth == 0) break;
-  }
-  return body.replace(begin, end + 1 - begin, "\"latency\":{}");
-}
-
 TEST_F(IoModeDifferentialTest, CanonicalTraceIsByteIdenticalAcrossIoModes) {
+  // No latency scrubbing: the frozen obs clock makes every histogram
+  // deterministic, so /statsz and /metricsz compare raw.
   const std::vector<Exchange> trace = CanonicalTrace();
   const std::vector<std::string> blocking =
       RunTrace(IoMode::kBlocking, trace);
   const std::vector<std::string> epoll = RunTrace(IoMode::kEpoll, trace);
   ASSERT_EQ(blocking.size(), epoll.size());
   for (size_t i = 0; i < blocking.size(); ++i) {
-    EXPECT_EQ(ScrubLatency(blocking[i]), ScrubLatency(epoll[i]))
+    EXPECT_EQ(blocking[i], epoll[i])
         << trace[i].method << " " << trace[i].target << " " << trace[i].body;
   }
 }
@@ -233,9 +227,9 @@ TEST_F(IoModeDifferentialTest, CoalescedResponsesMatchTheDirectPath) {
   const std::vector<std::string> coalesced =
       RunTrace(IoMode::kEpoll, trace, /*coalesce_window_us=*/500);
   ASSERT_EQ(direct.size(), coalesced.size());
-  // statsz (last exchange) legitimately differs: it reports the coalescer's
-  // own counters. Everything the client asked for must not.
-  for (size_t i = 0; i + 1 < direct.size(); ++i) {
+  // The scrape views (last two exchanges) legitimately differ: they report
+  // the coalescer's own counters. Everything the client asked for must not.
+  for (size_t i = 0; i + 2 < direct.size(); ++i) {
     EXPECT_EQ(direct[i], coalesced[i])
         << trace[i].method << " " << trace[i].target;
   }

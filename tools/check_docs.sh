@@ -3,7 +3,10 @@
 #   1. every relative markdown link in README.md and docs/*.md must resolve
 #      to an existing file (anchors are stripped; http(s) links skipped);
 #   2. every HTTP route registered in src/server/json_api.cc must appear in
-#      docs/HTTP_API.md, so new endpoints cannot ship undocumented.
+#      docs/HTTP_API.md, so new endpoints cannot ship undocumented;
+#   3. every metric family name ("cpd_..." string literal in src/**/*.cc)
+#      must appear in the docs/OBSERVABILITY.md catalog, so new metrics
+#      cannot ship undocumented.
 # Exits non-zero listing every violation.
 
 set -u
@@ -52,8 +55,32 @@ else
   done
 fi
 
+# ----- 3. metric-family coverage in docs/OBSERVABILITY.md -----
+obs_doc=docs/OBSERVABILITY.md
+if [ ! -f "$obs_doc" ]; then
+  echo "MISSING: $obs_doc"
+  failures=1
+else
+  # Family names are string literals at their registration / exposition
+  # sites (.cc only; headers mention names in prose comments).
+  metrics=$(grep -rhoE '"cpd_[a-z0-9_]+"' --include='*.cc' src |
+            tr -d '"' | sort -u)
+  if [ -z "$metrics" ]; then
+    echo "ERROR: no metric families extracted from src/**/*.cc" \
+         "(did the registration idiom change?)"
+    failures=1
+  fi
+  for metric in $metrics; do
+    if ! grep -qF "$metric" "$obs_doc"; then
+      echo "UNDOCUMENTED METRIC: $metric (registered in src, absent from" \
+           "$obs_doc)"
+      failures=1
+    fi
+  done
+fi
+
 if [ "$failures" -ne 0 ]; then
   echo "docs check FAILED"
   exit 1
 fi
-echo "docs check OK (links resolve, every route documented)"
+echo "docs check OK (links resolve, every route and metric documented)"

@@ -9,6 +9,7 @@
 //             [--io_mode epoll|blocking] [--max_connections 1024]
 //             [--coalesce_window_us 0] [--coalesce_max 16]
 //             [--max_inflight 64] [--deadline_ms 0]
+//             [--log_level info] [--metrics on|off] [--slow_request_ms 500]
 //             [--users N --docs docs.tsv --friends friends.tsv
 //              --diffusion diffusion.tsv]   (enables diffusion queries AND
 //                                            streaming ingest)
@@ -70,6 +71,8 @@ void Usage(const char* argv0) {
                "1024]\n"
                "          [--coalesce_window_us 0] [--coalesce_max 16]\n"
                "          [--max_inflight 64] [--deadline_ms 0]\n"
+               "          [--log_level debug|info|warning|error|off]\n"
+               "          [--metrics on|off] [--slow_request_ms 500]\n"
                "          [--users N --docs docs.tsv --friends friends.tsv "
                "--diffusion diffusion.tsv]\n"
                "          [--warm_iters 2] [--ingest_threads 1] "
@@ -82,7 +85,8 @@ const std::set<std::string> kKnownFlags = {
     "threads", "users", "docs",         "friends",     "diffusion",
     "max_inflight",     "deadline_ms",  "warm_iters",  "ingest_threads",
     "ingest_out",       "io_mode",      "max_connections",
-    "coalesce_window_us", "coalesce_max", "precompute"};
+    "coalesce_window_us", "coalesce_max", "precompute",
+    "log_level", "metrics", "slow_request_ms"};
 
 std::atomic<bool> g_shutdown{false};
 
@@ -109,6 +113,27 @@ int main(int argc, char** argv) {
                                         int64_t fallback) {
     return cpd::GetInt64FlagOrExit(args, name, fallback, usage);
   };
+
+  if (args.count("log_level")) {
+    auto level = cpd::ParseLogLevel(args["log_level"]);
+    if (!level.ok()) {
+      std::fprintf(stderr, "%s\n", level.status().message().c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+    cpd::SetLogLevel(*level);
+  }
+  bool metrics_enabled = true;
+  if (args.count("metrics")) {
+    if (args["metrics"] == "off") {
+      metrics_enabled = false;
+    } else if (args["metrics"] != "on") {
+      std::fprintf(stderr, "--metrics must be on|off, got '%s'\n",
+                   args["metrics"].c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
 
   cpd::serve::ProfileIndexOptions index_options;
   index_options.membership_top_k =
@@ -224,6 +249,9 @@ int main(int argc, char** argv) {
       static_cast<int>(int_flag("max_inflight", options.max_inflight));
   options.deadline_ms =
       static_cast<int>(int_flag("deadline_ms", options.deadline_ms));
+  // Requests slower than this get a Warning line with the per-stage
+  // breakdown (0 disables the slow log).
+  options.slow_request_us = int_flag("slow_request_ms", 500) * 1000;
 
   cpd::server::CoalescerOptions coalescer_options;
   coalescer_options.window_us =
@@ -237,6 +265,7 @@ int main(int argc, char** argv) {
 
   cpd::server::HttpServer server(options);
   cpd::server::ServiceStats stats;
+  stats.set_metrics_enabled(metrics_enabled);
   cpd::server::RegisterCpdRoutes(&server, &registry, &stats, pipeline.get(),
                                  &coalescer);
   const cpd::Status started = server.Start();

@@ -15,6 +15,11 @@
 //             [--model out.cpd] [--model_binary out.cpdb]
 //             [--vocab out.vocab] [--dot diffusion.dot]
 //             [--json profiles.json]
+//             [--trace_out sweeps.json] [--log_level info]
+//
+// --trace_out writes a Chrome trace-event JSON timeline of the run (one
+// span per sweep phase, per-worker rows for the distributed executor);
+// load it in Perfetto (ui.perfetto.dev) or chrome://tracing.
 //
 // Prints dataset statistics, training progress, community labels and the
 // topic-aggregated diffusion matrix; optionally saves the model (text
@@ -33,6 +38,7 @@
 #include "graph/graph_stats.h"
 #include "util/file_util.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace {
@@ -49,7 +55,9 @@ void Usage(const char* argv0) {
                "          [--worker_binary PATH] [--sweep_deadline_ms 30000]\n"
                "          [--shards 0] [--model out.cpd]\n"
                "          [--model_binary out.cpdb] [--vocab out.vocab]\n"
-               "          [--dot out.dot] [--json out.json]\n",
+               "          [--dot out.dot] [--json out.json]\n"
+               "          [--trace_out sweeps.json]\n"
+               "          [--log_level debug|info|warning|error|off]\n",
                argv0);
 }
 
@@ -58,7 +66,7 @@ const std::set<std::string> kKnownFlags = {
     "topics",   "iterations", "threads",    "seed",      "sampler",
     "mh_steps", "executor", "shards",       "model",     "model_binary",
     "vocab",    "dot",      "json",         "workers",   "worker_addrs",
-    "worker_binary", "sweep_deadline_ms"};
+    "worker_binary", "sweep_deadline_ms", "trace_out", "log_level"};
 
 }  // namespace
 
@@ -160,6 +168,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.verbose = true;
+  config.trace_out = get("trace_out", "");
+  if (args.count("log_level")) {
+    auto level = cpd::ParseLogLevel(args["log_level"]);
+    if (!level.ok()) {
+      std::fprintf(stderr, "%s\n", level.status().message().c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+    cpd::SetLogLevel(*level);
+  }
 
   std::printf("training CPD: |C|=%d |Z|=%d T1=%d threads=%d...\n",
               config.num_communities, config.num_topics, config.em_iterations,
