@@ -14,6 +14,10 @@
 // The off/on rank-p50 ratio on the large preset is emitted as
 // "rank_p50_speedup_large" (acceptance: >= 3x from the precomputed
 // link-content matrix + word-major log-phi + heap top-k).
+// A "load_modes" section writes the large preset as a v3 .cpdb and times
+// ProfileIndex::LoadFromFile under load_mode=heap (full decode copy) vs
+// load_mode=mmap (zero-copy map + stored-derived adoption), with RSS
+// deltas, and emits "mmap_reload_speedup" (acceptance: >= 10x).
 //
 // Follows the BENCH_sampler.json conventions: runs argument-free at a
 // laptop-friendly scale, honors CPD_BENCH_JSON_DIR, appends nothing.
@@ -22,6 +26,7 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -222,6 +227,45 @@ ModelArtifact MakeLargeArtifact(Rng* rng) {
   return artifact;
 }
 
+struct LoadModeResult {
+  const char* mode = "";
+  double reload_ms_best = 0.0;
+  double reload_ms_mean = 0.0;
+  long rss_delta_kb = 0;
+};
+
+// Times ProfileIndex::LoadFromFile on the large v3 artifact for one load
+// mode. Scoring-table precompute is disabled: it is identical work in both
+// modes and would drown the decode-vs-map cost being measured.
+LoadModeResult MeasureLoadMode(const std::string& artifact_path,
+                               serve::ArtifactLoadMode mode) {
+  constexpr int kReloadIters = 5;
+  serve::ProfileIndexOptions options;
+  options.load_mode = mode;
+  options.precompute_scoring = false;
+  LoadModeResult result;
+  result.mode = serve::ArtifactLoadModeName(mode);
+  const long rss_before_kb = CurrentRssKb();
+  std::optional<serve::ProfileIndex> held;  // Keeps the last load resident.
+  double best_ms = 0.0;
+  double total_ms = 0.0;
+  for (int i = 0; i < kReloadIters; ++i) {
+    WallTimer timer;
+    auto index = serve::ProfileIndex::LoadFromFile(artifact_path, options);
+    const double ms = timer.ElapsedSeconds() * 1e3;
+    CPD_CHECK(index.ok());
+    CPD_CHECK(index->is_mmap_backed() ==
+              (mode == serve::ArtifactLoadMode::kMmap));
+    best_ms = (i == 0) ? ms : std::min(best_ms, ms);
+    total_ms += ms;
+    held.emplace(std::move(*index));
+  }
+  result.reload_ms_best = best_ms;
+  result.reload_ms_mean = total_ms / kReloadIters;
+  result.rss_delta_kb = CurrentRssKb() - rss_before_kb;
+  return result;
+}
+
 std::string RunJson(const RunResult& run, bool last) {
   std::string json = StrFormat(
       "    {\"preset\": \"%s\", \"precompute\": %s,\n"
@@ -314,6 +358,34 @@ void Run() {
     }
   }
 
+  // ----- load_modes: reload latency + RSS, heap decode vs zero-copy mmap -----
+  std::vector<LoadModeResult> load_modes;
+  {
+    Rng rng(20260809);
+    const ModelArtifact artifact = MakeLargeArtifact(&rng);
+    const char* tmpdir = std::getenv("TMPDIR");
+    const std::string artifact_path =
+        (tmpdir != nullptr ? std::string(tmpdir) : std::string("/tmp")) +
+        "/bench_query_large.cpdb";
+    const Status write_status = WriteModelArtifact(artifact_path, artifact);
+    CPD_CHECK(write_status.ok());
+    for (const serve::ArtifactLoadMode mode :
+         {serve::ArtifactLoadMode::kHeap, serve::ArtifactLoadMode::kMmap}) {
+      load_modes.push_back(MeasureLoadMode(artifact_path, mode));
+      const LoadModeResult& r = load_modes.back();
+      std::printf("load_mode=%s reload best %.3fms mean %.3fms rss %+ldkB\n",
+                  r.mode, r.reload_ms_best, r.reload_ms_mean, r.rss_delta_kb);
+    }
+    std::remove(artifact_path.c_str());
+  }
+  double mmap_reload_speedup = 0.0;
+  if (load_modes.size() == 2 && load_modes[1].reload_ms_best > 0.0) {
+    mmap_reload_speedup =
+        load_modes[0].reload_ms_best / load_modes[1].reload_ms_best;
+  }
+  std::printf("mmap reload speedup over heap decode: %.1fx\n",
+              mmap_reload_speedup);
+
   // Acceptance headline: naive-over-fast rank p50 on the large preset.
   double rank_speedup = 0.0;
   {
@@ -343,6 +415,17 @@ void Run() {
   json += StrFormat("  \"hardware_concurrency\": %u,\n",
                     std::thread::hardware_concurrency());
   json += StrFormat("  \"rank_p50_speedup_large\": %.2f,\n", rank_speedup);
+  json += StrFormat("  \"mmap_reload_speedup\": %.2f,\n", mmap_reload_speedup);
+  json += "  \"load_modes\": [\n";
+  for (size_t i = 0; i < load_modes.size(); ++i) {
+    const LoadModeResult& r = load_modes[i];
+    json += StrFormat(
+        "    {\"load_mode\": \"%s\", \"reload_ms_best\": %.3f, "
+        "\"reload_ms_mean\": %.3f, \"rss_delta_kb\": %ld}%s\n",
+        r.mode, r.reload_ms_best, r.reload_ms_mean, r.rss_delta_kb,
+        i + 1 < load_modes.size() ? "," : "");
+  }
+  json += "  ],\n";
   json += "  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
     json += RunJson(runs[i], i + 1 == runs.size());

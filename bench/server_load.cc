@@ -1,6 +1,6 @@
 // HTTP serving-layer benchmark -> BENCH_server.json.
 //
-// Trains one model on the Twitter-like preset, saves a v2 ".cpdb" artifact
+// Trains one model on the Twitter-like preset, saves a v3 ".cpdb" artifact
 // (vocabulary bundled), serves it through the real stack (ModelRegistry +
 // HttpServer + JSON endpoints on loopback), and drives a closed-loop load
 // generator against POST /v1/query over an io_mode x coalescing matrix:
@@ -21,6 +21,11 @@
 // single-connection GET /healthz baseline that isolates transport cost
 // (framing + JSON + loopback) from query cost. `--connections N` overrides
 // the sweep with one custom level (e.g. 1024) on the epoll configs.
+//
+// The JSON records which artifact load mode backs the serving index
+// ("load_mode") and a "reloads" section timing the full ModelRegistry
+// reload path (artifact load + vocabulary + engine + load-then-swap) under
+// load_mode=heap vs load_mode=mmap, with RSS deltas.
 //
 // Follows the BENCH_query.json conventions: laptop-friendly scale, honors
 // CPD_BENCH_JSON_DIR, records hardware_concurrency (a 1-core container
@@ -271,6 +276,48 @@ void Run(int override_connections) {
                                          [](const SocialGraph*) {}));
   CPD_CHECK(registry.LoadFrom(artifact_path).ok());
 
+  // ----- reloads: full registry reload latency + RSS per load mode -----
+  // Measures the path /admin/reload exercises: artifact load, vocabulary,
+  // engine rebuild, load-then-swap. Default serving options (scoring tables
+  // on) so the numbers match what a production swap costs.
+  struct ReloadResult {
+    const char* mode = "";
+    double reload_ms_best = 0.0;
+    double reload_ms_mean = 0.0;
+    long rss_delta_kb = 0;
+  };
+  std::vector<ReloadResult> reloads;
+  for (const serve::ArtifactLoadMode mode :
+       {serve::ArtifactLoadMode::kHeap, serve::ArtifactLoadMode::kMmap}) {
+    serve::ProfileIndexOptions options;
+    options.load_mode = mode;
+    server::ModelRegistry probe(
+        options, std::shared_ptr<const SocialGraph>(&dataset.data.graph,
+                                                    [](const SocialGraph*) {}));
+    ReloadResult result;
+    result.mode = serve::ArtifactLoadModeName(mode);
+    const long rss_before_kb = CurrentRssKb();
+    constexpr int kReloadIters = 5;
+    double best_ms = 0.0;
+    double total_ms = 0.0;
+    for (int i = 0; i < kReloadIters; ++i) {
+      WallTimer timer;
+      CPD_CHECK(probe.LoadFrom(artifact_path).ok());
+      const double ms = timer.ElapsedSeconds() * 1e3;
+      best_ms = (i == 0) ? ms : std::min(best_ms, ms);
+      total_ms += ms;
+    }
+    CPD_CHECK(probe.Snapshot()->index.is_mmap_backed() ==
+              (mode == serve::ArtifactLoadMode::kMmap));
+    result.reload_ms_best = best_ms;
+    result.reload_ms_mean = total_ms / kReloadIters;
+    result.rss_delta_kb = CurrentRssKb() - rss_before_kb;
+    reloads.push_back(result);
+    std::printf("reload load_mode=%s best %.3fms mean %.3fms rss %+ldkB\n",
+                result.mode, result.reload_ms_best, result.reload_ms_mean,
+                result.rss_delta_kb);
+  }
+
   Rng rng(20260731);
   const std::vector<std::string> workload = BuildWireWorkload(
       dataset.data.graph, registry.Snapshot()->index, kRequestsPerLevel, &rng);
@@ -415,7 +462,21 @@ void Run(int override_connections) {
   json += StrFormat("  \"precompute_scoring\": %s,\n",
                     registry.Snapshot()->index.has_scoring_tables() ? "true"
                                                                     : "false");
+  // Which artifact load mode backed the serving index for the whole sweep
+  // (kAuto maps v3 artifacts, so this is "mmap" unless the format regresses).
+  json += StrFormat("  \"load_mode\": \"%s\",\n",
+                    registry.Snapshot()->index.is_mmap_backed() ? "mmap"
+                                                                : "heap");
   json += StrFormat("  \"healthz_p50_us\": %.2f,\n", health_p50);
+  json += "  \"reloads\": [\n";
+  for (size_t i = 0; i < reloads.size(); ++i) {
+    json += StrFormat(
+        "    {\"load_mode\": \"%s\", \"reload_ms_best\": %.3f, "
+        "\"reload_ms_mean\": %.3f, \"rss_delta_kb\": %ld}%s\n",
+        reloads[i].mode, reloads[i].reload_ms_best, reloads[i].reload_ms_mean,
+        reloads[i].rss_delta_kb, i + 1 < reloads.size() ? "," : "");
+  }
+  json += "  ],\n";
   json += "  \"levels\": [\n";
   for (size_t i = 0; i < levels.size(); ++i) {
     json += StrFormat(

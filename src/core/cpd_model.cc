@@ -269,9 +269,11 @@ StatusOr<CpdModel> CpdModel::FromArtifact(ModelArtifact artifact) {
   return model;
 }
 
-Status CpdModel::SaveBinary(const std::string& path,
-                            const Vocabulary* vocab) const {
+Status CpdModel::SaveBinary(const std::string& path, const Vocabulary* vocab,
+                            const ArtifactWriteOptions& options,
+                            uint64_t generation) const {
   ModelArtifact artifact = ToArtifact();
+  artifact.generation = generation;
   if (vocab != nullptr) {
     if (vocab->size() != vocab_size_) {
       return Status::InvalidArgument(
@@ -286,7 +288,7 @@ Status CpdModel::SaveBinary(const std::string& path,
           vocab->Frequency(static_cast<WordId>(w)));
     }
   }
-  return WriteModelArtifact(path, artifact);
+  return WriteModelArtifact(path, artifact, options);
 }
 
 StatusOr<CpdModel> CpdModel::LoadBinary(const std::string& path) {

@@ -27,13 +27,12 @@
 #include <vector>
 
 #include "core/em_trainer.h"
+#include "core/model_artifact.h"
 #include "core/model_config.h"
 #include "graph/social_graph.h"
 #include "util/status.h"
 
 namespace cpd {
-
-struct ModelArtifact;
 
 /// Immutable trained CPD model.
 class CpdModel {
@@ -94,10 +93,14 @@ class CpdModel {
 
   /// Binary ".cpdb" artifact (core/model_artifact.h): bit-exact doubles, no
   /// text parsing on load, and directly mappable by serve::ProfileIndex.
-  /// Pass the training vocabulary to bundle it into the artifact (v2
+  /// Pass the training vocabulary to bundle it into the artifact (v2+
   /// section) so cpd_query / cpd_serve need no side --vocab file.
-  Status SaveBinary(const std::string& path,
-                    const Vocabulary* vocab = nullptr) const;
+  /// `options` picks the wire version / layout (default: v3, mmap-ready);
+  /// `generation` stamps the artifact's lineage id so a .cpdd delta can
+  /// name it as its base.
+  Status SaveBinary(const std::string& path, const Vocabulary* vocab = nullptr,
+                    const ArtifactWriteOptions& options = {},
+                    uint64_t generation = 0) const;
   static StatusOr<CpdModel> LoadBinary(const std::string& path);
 
   /// Conversions to/from the artifact struct (used by the file APIs above

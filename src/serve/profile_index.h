@@ -12,9 +12,16 @@
 ///   - per-community member postings (users assigned by top-k membership,
 ///     sorted by descending membership weight),
 ///   - the topic-aggregated diffusion matrix sum_z eta_{c,c',z}.
-/// Build one from an in-memory CpdModel or load it straight from the
-/// binary ".cpdb" artifact (core/model_artifact.h); both construction
-/// paths produce bit-identical indexes for the same trained estimates.
+/// Three construction paths produce bit-identical query answers for the
+/// same trained estimates:
+///   - FromModel / FromArtifact copy the matrices onto the heap (the
+///     reference path; works for every artifact version and text models);
+///   - FromMapped serves the spans straight out of an mmap'd v3 artifact —
+///     zero rows copied, the kernel pages the file in on demand, reload is
+///     O(1) in the model size, and N live generations share clean pages;
+///   - FromMappedWithDelta overlays a .cpdd delta copy-on-write over a
+///     mapped base: touched pi rows live on the heap, untouched rows keep
+///     pointing into the shared mapping.
 
 #include <cstdint>
 #include <memory>
@@ -23,14 +30,35 @@
 #include <vector>
 
 #include "core/model_artifact.h"
+#include "core/model_delta.h"
 #include "graph/social_graph.h"
 #include "util/status.h"
 
 namespace cpd {
 
 class CpdModel;
+struct ArtifactDerived;
 
 namespace serve {
+
+/// How LoadModelBundle materializes a binary artifact.
+enum class ArtifactLoadMode {
+  /// mmap when the file is a v3 artifact, heap otherwise (v1/v2/text).
+  kAuto,
+  /// Always copy onto the heap — the reference path. Use when the artifact
+  /// lives on storage too slow to page from (network FS), or to pin
+  /// behavior while debugging.
+  kHeap,
+  /// Require zero-copy mmap; loading a v1/v2 artifact or a text model
+  /// fails with FailedPrecondition instead of silently copying.
+  kMmap,
+};
+
+/// "auto" | "heap" | "mmap" (the --load_mode flag spelling); InvalidArgument
+/// otherwise.
+StatusOr<ArtifactLoadMode> ParseArtifactLoadMode(const std::string& text);
+/// The inverse spelling, for logs and benchmark records.
+const char* ArtifactLoadModeName(ArtifactLoadMode mode);
 
 struct ProfileIndexOptions {
   /// k of the per-user top-k membership lists and community postings. The
@@ -42,7 +70,9 @@ struct ProfileIndexOptions {
   /// (O(U·|C| log k) + a weight sort). Serving front ends want this;
   /// adapters that only score (ranking, diffusion, attribute aggregation)
   /// skip it — Membership/TopUsers queries then fail with
-  /// FailedPrecondition instead of paying the build.
+  /// FailedPrecondition instead of paying the build. An mmap load adopts
+  /// the artifact's stored postings when its derived_top_k matches, making
+  /// this free.
   bool build_membership_index = true;
 
   /// Mirrors CpdConfig::ablation.heterogeneous_links for diffusion queries;
@@ -63,8 +93,12 @@ struct ProfileIndexOptions {
   /// Memory cost: (|C| + |V| + |C|^2) * |Z| doubles on top of the
   /// estimates (the G tensor is exactly eta-sized). Disable to serve big
   /// models tight on RAM — the kernels then fall back to the naive
-  /// reference scorers, which answer bit-identically.
+  /// reference scorers, which answer bit-identically. These tables are
+  /// always heap-built (never stored in the artifact), in both load modes.
   bool precompute_scoring = true;
+
+  /// How LoadModelBundle / LoadFromFile materialize binary artifacts.
+  ArtifactLoadMode load_mode = ArtifactLoadMode::kAuto;
 };
 
 /// One (community, weight) membership entry of a user's top-k list.
@@ -79,15 +113,42 @@ class ProfileIndex {
   static ProfileIndex FromModel(const CpdModel& model,
                                 const ProfileIndexOptions& options = {});
 
-  /// Ingests a decoded artifact (moves the matrices; no re-encode).
+  /// Ingests a decoded artifact (moves the matrices; no re-encode). The
+  /// heap reference path: stored derived sections of a v3 artifact are
+  /// ignored and rebuilt from the estimates.
   static StatusOr<ProfileIndex> FromArtifact(ModelArtifact artifact,
                                              const ProfileIndexOptions& options = {});
 
-  /// Loads a model file: the binary ".cpdb" artifact directly, or — for
-  /// back-compat — the readable text format via CpdModel::LoadFromFile
-  /// (sniffed by magic).
+  /// Serves straight off a mapped v3 artifact: every matrix accessor is a
+  /// span into the page cache. Adopts the artifact's stored derived
+  /// sections when min(stored k, |C|) == min(options.membership_top_k,
+  /// |C|), else rebuilds them on the heap (the estimates stay zero-copy
+  /// either way). The index holds a reference on the mapping.
+  static StatusOr<ProfileIndex> FromMapped(
+      std::shared_ptr<const MappedModelArtifact> mapped,
+      const ProfileIndexOptions& options = {});
+
+  /// Copy-on-write overlay of a .cpdd delta over a mapped base: the
+  /// delta's touched pi rows (and the full refreshed globals) live on the
+  /// heap, every untouched pi row keeps pointing into the shared mapping.
+  /// FailedPrecondition when mapped->generation() !=
+  /// delta.base_generation.
+  static StatusOr<ProfileIndex> FromMappedWithDelta(
+      std::shared_ptr<const MappedModelArtifact> mapped,
+      const ModelDelta& delta, const ProfileIndexOptions& options = {});
+
+  /// Loads a model file: the binary ".cpdb" artifact directly (mapped or
+  /// copied per options.load_mode), or — for back-compat — the readable
+  /// text format via CpdModel::LoadFromFile (sniffed by magic).
   static StatusOr<ProfileIndex> LoadFromFile(const std::string& path,
                                              const ProfileIndexOptions& options = {});
+
+  ProfileIndex(ProfileIndex&&) = default;
+  ProfileIndex& operator=(ProfileIndex&&) = default;
+  // The span members alias the owned stores (or the mapping), so a copy
+  // would dangle into its source; the index is shared, not copied.
+  ProfileIndex(const ProfileIndex&) = delete;
+  ProfileIndex& operator=(const ProfileIndex&) = delete;
 
   // ----- dimensions -----
   int num_communities() const { return num_communities_; }
@@ -98,24 +159,35 @@ class ProfileIndex {
   int membership_top_k() const { return options_.membership_top_k; }
   bool heterogeneous_links() const { return options_.heterogeneous_links; }
 
+  /// Lineage stamp of the backing artifact (0 for v1/v2 files, text
+  /// models, and cold trains); a delta reload must name this generation.
+  uint64_t artifact_generation() const { return generation_; }
+
+  /// Non-null when the index serves off an mmap'd artifact (possibly with
+  /// a delta overlay); the registry patches deltas through this.
+  const std::shared_ptr<const MappedModelArtifact>& mapped_artifact() const {
+    return mapped_;
+  }
+  bool is_mmap_backed() const { return mapped_ != nullptr; }
+
   // ----- row views (valid for the life of the index) -----
   /// pi_u over communities.
   std::span<const double> Membership(UserId u) const {
-    return {pi_.data() + static_cast<size_t>(u) * kc(), kc()};
+    return {pi_rows_[static_cast<size_t>(u)], kc()};
   }
   /// theta_c over topics.
   std::span<const double> ContentProfile(int c) const {
-    return {theta_.data() + static_cast<size_t>(c) * kz(), kz()};
+    return theta_.subspan(static_cast<size_t>(c) * kz(), kz());
   }
   /// phi_z over words.
   std::span<const double> TopicWords(int z) const {
-    return {phi_.data() + static_cast<size_t>(z) * vocab_size_, vocab_size_};
+    return phi_.subspan(static_cast<size_t>(z) * vocab_size_, vocab_size_);
   }
   /// eta_{c,c',.} over topics.
   std::span<const double> EtaRow(int c, int c2) const {
-    return {eta_.data() +
-                (static_cast<size_t>(c) * kc() + static_cast<size_t>(c2)) * kz(),
-            kz()};
+    return eta_.subspan(
+        (static_cast<size_t>(c) * kc() + static_cast<size_t>(c2)) * kz(),
+        kz());
   }
   double Eta(int c, int c2, int z) const {
     return EtaRow(c, c2)[static_cast<size_t>(z)];
@@ -125,7 +197,7 @@ class ProfileIndex {
     return eta_agg_[static_cast<size_t>(c) * kc() + static_cast<size_t>(c2)];
   }
   std::span<const double> EtaAggregatedRow(int c) const {
-    return {eta_agg_.data() + static_cast<size_t>(c) * kc(), kc()};
+    return eta_agg_.subspan(static_cast<size_t>(c) * kc(), kc());
   }
   std::span<const double> DiffusionWeights() const { return weights_; }
   /// n_tz with out-of-range time bins clamped (prediction-time timestamps
@@ -174,18 +246,20 @@ class ProfileIndex {
   /// Users assigned to community c by the top-k convention, sorted by
   /// descending pi_{u,c} (ties by ascending user id).
   std::span<const UserId> CommunityMembers(int c) const {
-    return {members_.data() + member_offsets_[static_cast<size_t>(c)],
-            member_offsets_[static_cast<size_t>(c) + 1] -
-                member_offsets_[static_cast<size_t>(c)]};
+    return members_.subspan(
+        static_cast<size_t>(member_offsets_[static_cast<size_t>(c)]),
+        static_cast<size_t>(member_offsets_[static_cast<size_t>(c) + 1] -
+                            member_offsets_[static_cast<size_t>(c)]));
   }
 
   /// pi_{u,c} for each posted member, parallel to CommunityMembers(c) —
   /// TopUsers answers straight off the posting instead of re-reading one
   /// pi row per member.
   std::span<const double> CommunityMemberWeights(int c) const {
-    return {member_weights_.data() + member_offsets_[static_cast<size_t>(c)],
-            member_offsets_[static_cast<size_t>(c) + 1] -
-                member_offsets_[static_cast<size_t>(c)]};
+    return member_weights_.subspan(
+        static_cast<size_t>(member_offsets_[static_cast<size_t>(c)]),
+        static_cast<size_t>(member_offsets_[static_cast<size_t>(c) + 1] -
+                            member_offsets_[static_cast<size_t>(c)]));
   }
 
   /// Bounds checks as typed errors (serving front ends reply with these
@@ -201,8 +275,20 @@ class ProfileIndex {
   size_t kc() const { return static_cast<size_t>(num_communities_); }
   size_t kz() const { return static_cast<size_t>(num_topics_); }
 
-  /// Fills top_memberships_, members_ and eta_agg_ from the matrices.
-  void BuildDerived();
+  /// Points pi_rows_[u] at row u of a flat pi matrix.
+  void BuildPiRows(const double* pi);
+  /// Builds link_content_ / word_log_phi_ / eta_theta_ from the estimate
+  /// spans (no-op unless options_.precompute_scoring).
+  void BuildScoringTables();
+  /// Rebuilds eta_agg + membership structures on the heap via
+  /// core/artifact_derived and adopts them.
+  void RebuildDerived();
+  /// Takes ownership of built derived structures (membership part only
+  /// when options_.build_membership_index).
+  void AdoptDerived(ArtifactDerived&& derived);
+  /// Materializes the TopMembership structs from parallel arrays.
+  void MaterializeTopMemberships(std::span<const int32_t> communities,
+                                 std::span<const double> weights);
 
   ProfileIndexOptions options_;
   int num_communities_ = 0;
@@ -210,28 +296,50 @@ class ProfileIndex {
   size_t num_users_ = 0;
   size_t vocab_size_ = 0;
   int32_t num_time_bins_ = 1;
+  uint64_t generation_ = 0;
 
-  std::vector<double> pi_;          // U x C
-  std::vector<double> theta_;       // C x Z
-  std::vector<double> phi_;         // Z x W
-  std::vector<double> eta_;         // C x C x Z
-  std::vector<double> eta_agg_;     // C x C
-  std::vector<double> weights_;     // kNumDiffusionWeights
-  std::vector<double> popularity_;  // T x Z
+  /// Keepalive for every span that aliases the mapping (null = pure heap).
+  std::shared_ptr<const MappedModelArtifact> mapped_;
 
-  // Query-invariant scoring tables (empty unless precompute_scoring).
+  // Owned backing stores; empty whenever the matching span aliases the
+  // mapping instead. Spans stay valid across moves because vector buffers
+  // are heap-stable.
+  std::vector<double> pi_store_;          // U x C (heap loads)
+  std::vector<double> delta_pi_store_;    // touched rows (delta overlay)
+  std::vector<double> theta_store_;
+  std::vector<double> phi_store_;
+  std::vector<double> eta_store_;
+  std::vector<double> eta_agg_store_;
+  std::vector<double> weights_store_;
+  std::vector<double> popularity_store_;
+
+  /// Row u of pi — into pi_store_, the mapping, or (delta overlay) a mix
+  /// of delta_pi_store_ and the mapping.
+  std::vector<const double*> pi_rows_;
+  std::span<const double> theta_;       // C x Z
+  std::span<const double> phi_;         // Z x W
+  std::span<const double> eta_;         // C x C x Z
+  std::span<const double> eta_agg_;     // C x C
+  std::span<const double> weights_;     // kNumDiffusionWeights
+  std::span<const double> popularity_;  // T x Z
+
+  // Query-invariant scoring tables (empty unless precompute_scoring;
+  // always heap-owned).
   std::vector<double> link_content_;  // C x Z
   std::vector<double> word_log_phi_;  // W x Z (word-major)
   std::vector<double> eta_theta_;     // C x Z x C ((c,z)-major rows over c2)
 
   int top_k_per_user_ = 0;                      // min(top_k, |C|)
   std::vector<TopMembership> top_memberships_;  // U x top_k_per_user_
-  std::vector<size_t> member_offsets_;          // |C| + 1
-  std::vector<UserId> members_;                 // postings, weight-sorted
-  std::vector<double> member_weights_;          // pi_{u,c} per posting entry
+  std::span<const uint64_t> member_offsets_;    // |C| + 1
+  std::span<const UserId> members_;             // postings, weight-sorted
+  std::span<const double> member_weights_;      // pi_{u,c} per posting entry
+  std::vector<uint64_t> member_offsets_store_;
+  std::vector<int32_t> members_store_;
+  std::vector<double> member_weights_store_;
 };
 
-/// A loaded index together with the vocabulary bundled in a v2 ".cpdb"
+/// A loaded index together with the vocabulary bundled in a v2+ ".cpdb"
 /// artifact (null for v1 artifacts, text models, and artifacts saved
 /// without one). Serving front ends (cpd_query, cpd_serve) load through
 /// this so textual rank queries work without a side --vocab file.
@@ -241,7 +349,10 @@ struct ModelBundle {
 };
 
 /// Loads a model file like ProfileIndex::LoadFromFile but also surfaces the
-/// bundled vocabulary when the artifact carries one.
+/// bundled vocabulary when the artifact carries one. options.load_mode
+/// picks the materialization: kAuto maps v3 artifacts and heap-loads
+/// everything else; kMmap makes a non-v3 input a typed error; kHeap always
+/// copies.
 StatusOr<ModelBundle> LoadModelBundle(const std::string& path,
                                       const ProfileIndexOptions& options = {});
 

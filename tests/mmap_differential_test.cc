@@ -1,0 +1,407 @@
+// Differential suite over the two artifact load paths: the same v3 .cpdb
+// served --load_mode heap and --load_mode mmap must produce byte-identical
+// HTTP responses for every query type, every error path, and the frozen-
+// clock scrape views. Also pins the delta-chain publication flow: a base
+// artifact patched through a .cpdd chain (copy-on-write over the mapping in
+// mmap mode, re-read + ApplyModelDelta on the heap) must serve bitwise the
+// same bytes as a full rebuild of the final generation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cpd_model.h"
+#include "core/model_artifact.h"
+#include "core/model_delta.h"
+#include "obs/clock.h"
+#include "serve/profile_index.h"
+#include "server/http_server.h"
+#include "server/json_api.h"
+#include "server/model_registry.h"
+#include "test_util.h"
+
+namespace cpd {
+namespace {
+
+using serve::ArtifactLoadMode;
+using server::HttpClient;
+using server::HttpServer;
+using server::HttpServerOptions;
+using server::IoMode;
+
+constexpr const char* kHost = "127.0.0.1";
+
+class MmapDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new SynthResult(testing::MakeTinyGraph(223));
+    CpdConfig config;
+    config.num_communities = 4;
+    config.num_topics = 6;
+    config.em_iterations = 4;
+    config.seed = 31;
+    auto model = CpdModel::Train(data_->graph, config);
+    CPD_CHECK(model.ok());
+    model_ = new CpdModel(std::move(*model));
+
+    base_path_ = new std::string(::testing::TempDir() + "/mmap_diff_g1.cpdb");
+    CPD_CHECK(model_
+                  ->SaveBinary(*base_path_,
+                               &data_->graph.corpus().vocabulary(),
+                               ArtifactWriteOptions{}, /*generation=*/1)
+                  .ok());
+
+    // Fabricate a three-generation lineage the way ingest would: generation
+    // 2 retouches two pi rows and perturbs every global estimate;
+    // generation 3 touches two more rows, appends one user AND one
+    // vocabulary word (the COW overlay's hardest case: pi growth + phi
+    // reshape + appended-word vocabulary rebuild in one delta).
+    auto decoded = ReadModelArtifact(*base_path_);
+    CPD_CHECK(decoded.ok());
+    const ModelArtifact base = std::move(*decoded);
+    const int c_width = base.num_communities;
+
+    ModelArtifact gen2 = base;
+    gen2.generation = 2;
+    RotateRow(&gen2.pi, 1, c_width);
+    RotateRow(&gen2.pi, 3, c_width);
+    std::swap(gen2.theta[0], gen2.theta[1]);
+    std::swap(gen2.phi[0], gen2.phi[1]);
+    std::swap(gen2.eta[0], gen2.eta[1]);
+    std::swap(gen2.weights[0], gen2.weights[1]);
+    std::swap(gen2.popularity[0], gen2.popularity[1]);
+    for (int64_t& frequency : gen2.vocab_frequencies) ++frequency;
+
+    ModelArtifact gen3 = gen2;
+    gen3.generation = 3;
+    RotateRow(&gen3.pi, 0, c_width);
+    RotateRow(&gen3.pi, 4, c_width);
+    new_user_ = static_cast<int>(gen3.num_users);
+    for (int c = 0; c < c_width; ++c) {
+      gen3.pi.push_back(2.0 * (c_width - c) /
+                        (c_width * (c_width + 1.0)));
+    }
+    gen3.num_users += 1;
+    appended_word_ = static_cast<int>(gen3.vocab_size);
+    std::vector<double> widened_phi;
+    widened_phi.reserve(static_cast<size_t>(gen3.num_topics) *
+                        (gen3.vocab_size + 1));
+    for (int z = 0; z < gen3.num_topics; ++z) {
+      const double* row = gen3.phi.data() + z * gen3.vocab_size;
+      widened_phi.insert(widened_phi.end(), row, row + gen3.vocab_size);
+      widened_phi.push_back(1e-3 * (z + 1));
+    }
+    gen3.phi = std::move(widened_phi);
+    gen3.vocab_size += 1;
+    gen3.vocab_words.push_back("zzz@appended");
+    gen3.vocab_frequencies.push_back(4);
+    std::swap(gen3.theta[2], gen3.theta[3]);
+    std::swap(gen3.eta[2], gen3.eta[3]);
+    std::swap(gen3.popularity[2], gen3.popularity[3]);
+    CPD_CHECK(gen3.Validate().ok());
+
+    auto delta12 = BuildModelDelta(base, gen2);
+    CPD_CHECK(delta12.ok());
+    auto delta23 = BuildModelDelta(gen2, gen3);
+    CPD_CHECK(delta23.ok());
+    delta12_path_ = new std::string(::testing::TempDir() + "/mmap_diff_12.cpdd");
+    delta23_path_ = new std::string(::testing::TempDir() + "/mmap_diff_23.cpdd");
+    full3_path_ = new std::string(::testing::TempDir() + "/mmap_diff_g3.cpdb");
+    CPD_CHECK(WriteModelDelta(*delta12_path_, *delta12).ok());
+    CPD_CHECK(WriteModelDelta(*delta23_path_, *delta23).ok());
+    CPD_CHECK(WriteModelArtifact(*full3_path_, gen3).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+    delete base_path_;
+    delete delta12_path_;
+    delete delta23_path_;
+    delete full3_path_;
+    model_ = nullptr;
+    data_ = nullptr;
+    base_path_ = delta12_path_ = delta23_path_ = full3_path_ = nullptr;
+  }
+
+  /// Rotates one matrix row left by one slot: values stay positive and the
+  /// row sum is preserved, but the row is bitwise-different (the trained
+  /// estimates are never uniform).
+  static void RotateRow(std::vector<double>* matrix, size_t row, int width) {
+    double* begin = matrix->data() + row * static_cast<size_t>(width);
+    std::rotate(begin, begin + 1, begin + width);
+  }
+
+  /// Non-owning alias of the suite-cached graph (it outlives every test).
+  static std::shared_ptr<const SocialGraph> SharedGraph() {
+    return {&data_->graph, [](const SocialGraph*) {}};
+  }
+
+  static std::unique_ptr<server::ModelRegistry> MakeRegistry(
+      ArtifactLoadMode mode) {
+    serve::ProfileIndexOptions options;
+    options.load_mode = mode;
+    auto registry =
+        std::make_unique<server::ModelRegistry>(options, SharedGraph());
+    registry->SetClock([] { return int64_t{1754600000000}; });
+    return registry;
+  }
+
+  struct Exchange {
+    std::string method;
+    std::string target;
+    std::string body;
+  };
+
+  /// Query-only trace: all four query types, a batch with a per-slot
+  /// error, the GET shortcuts, the delta-introduced user and word, and a
+  /// keep-alive-safe error path. Deliberately free of /v1/models, /statsz,
+  /// and /metricsz — those legitimately differ between a delta-chained
+  /// registry and a fresh full load (load counters, source path).
+  static std::vector<Exchange> QueryTrace() {
+    return {
+        {"POST", "/v1/query",
+         R"({"type":"membership","user":1,"top_k":4,"include_distribution":true})"},
+        {"POST", "/v1/query",
+         R"({"type":"membership","user":3,"top_k":3,"include_distribution":true})"},
+        {"POST", "/v1/query", R"({"type":"rank","words":[1,2],"top_k":3})"},
+        {"POST", "/v1/query",
+         R"({"type":"diffusion","source":0,"target":1,"document":1,"time_bin":2})"},
+        {"POST", "/v1/query", R"({"type":"top_users","community":1,"top_k":5})"},
+        {"POST", "/v1/query", R"({"type":"top_users","community":0,"top_k":3})"},
+        {"POST", "/v1/query",
+         R"({"batch":[{"type":"membership","user":0,"top_k":2},)"
+         R"({"type":"membership","user":999999},)"
+         R"({"type":"rank","words":[0],"top_k":2}]})"},
+        {"GET", "/v1/membership/1?k=4&distribution=1", ""},
+        // The user and word that only exist from generation 3 on (errors
+        // before the chain lands; identical errors in both load modes).
+        {"POST", "/v1/query",
+         R"({"type":"membership","user":)" + std::to_string(new_user_) +
+             R"(,"top_k":3,"include_distribution":true})"},
+        {"GET", "/v1/membership/" + std::to_string(new_user_) + "?k=3", ""},
+        {"POST", "/v1/query",
+         R"({"type":"rank","words":[)" + std::to_string(appended_word_) +
+             R"(],"top_k":4})"},
+        {"POST", "/v1/query", R"({"type":"membership","user":999999})"},
+    };
+  }
+
+  /// Runs the trace against a pre-loaded registry over one keep-alive
+  /// connection with frozen clocks; returns "status\nbody" per exchange.
+  static std::vector<std::string> ServeTrace(
+      server::ModelRegistry* registry, const std::vector<Exchange>& trace) {
+    obs::SetClockForTest([]() -> int64_t { return 1754600000000; });
+    HttpServerOptions options;
+    options.port = 0;
+    options.threads = 4;
+    options.io_mode = IoMode::kEpoll;
+    options.log_requests = false;
+    HttpServer http_server(options);
+    server::ServiceStats stats;
+    server::RegisterCpdRoutes(&http_server, registry, &stats);
+    CPD_CHECK(http_server.Start().ok());
+    std::vector<std::string> results;
+    auto client = HttpClient::Connect(kHost, http_server.port());
+    CPD_CHECK(client.ok());
+    for (const Exchange& exchange : trace) {
+      auto response =
+          client->RoundTrip(exchange.method, exchange.target, exchange.body);
+      CPD_CHECK(response.ok());
+      results.push_back(std::to_string(response->status) + "\n" +
+                        response->body);
+    }
+    http_server.Stop();
+    obs::SetClockForTest(nullptr);
+    return results;
+  }
+
+  static SynthResult* data_;
+  static CpdModel* model_;
+  static std::string* base_path_;
+  static std::string* delta12_path_;
+  static std::string* delta23_path_;
+  static std::string* full3_path_;
+  static int new_user_;
+  static int appended_word_;
+};
+
+SynthResult* MmapDifferentialTest::data_ = nullptr;
+CpdModel* MmapDifferentialTest::model_ = nullptr;
+std::string* MmapDifferentialTest::base_path_ = nullptr;
+std::string* MmapDifferentialTest::delta12_path_ = nullptr;
+std::string* MmapDifferentialTest::delta23_path_ = nullptr;
+std::string* MmapDifferentialTest::full3_path_ = nullptr;
+int MmapDifferentialTest::new_user_ = 0;
+int MmapDifferentialTest::appended_word_ = 0;
+
+TEST_F(MmapDifferentialTest, CanonicalTraceIsByteIdenticalAcrossLoadModes) {
+  // One artifact, two load paths, plus the scrape views: both registries
+  // did exactly one load with frozen clocks, so /statsz and /metricsz must
+  // match raw too — the wire never betrays which path backs the spans.
+  std::vector<Exchange> trace = QueryTrace();
+  trace.push_back({"GET", "/v1/models", ""});
+  trace.push_back({"GET", "/metricsz", ""});
+  trace.push_back({"GET", "/statsz", ""});
+
+  auto heap = MakeRegistry(ArtifactLoadMode::kHeap);
+  ASSERT_TRUE(heap->LoadFrom(*base_path_).ok());
+  ASSERT_FALSE(heap->Snapshot()->index.is_mmap_backed());
+  auto mapped = MakeRegistry(ArtifactLoadMode::kMmap);
+  ASSERT_TRUE(mapped->LoadFrom(*base_path_).ok());
+  ASSERT_TRUE(mapped->Snapshot()->index.is_mmap_backed());
+  EXPECT_EQ(mapped->Snapshot()->index.artifact_generation(), 1u);
+
+  const std::vector<std::string> heap_results = ServeTrace(heap.get(), trace);
+  const std::vector<std::string> mmap_results =
+      ServeTrace(mapped.get(), trace);
+  ASSERT_EQ(heap_results.size(), mmap_results.size());
+  for (size_t i = 0; i < heap_results.size(); ++i) {
+    EXPECT_EQ(heap_results[i], mmap_results[i])
+        << trace[i].method << " " << trace[i].target << " " << trace[i].body;
+  }
+}
+
+TEST_F(MmapDifferentialTest, AutoModeMapsV3AndFallsBackForLegacy) {
+  auto decoded = ReadModelArtifact(*base_path_);
+  ASSERT_TRUE(decoded.ok());
+  ArtifactWriteOptions v2_options;
+  v2_options.version = 2;
+  const std::string v2_path = ::testing::TempDir() + "/mmap_diff_v2.cpdb";
+  ASSERT_TRUE(WriteModelArtifact(v2_path, *decoded, v2_options).ok());
+
+  // kMmap is strict: a v2 artifact has no layout to map, and the failed
+  // load must leave nothing serving (load-then-swap).
+  auto strict = MakeRegistry(ArtifactLoadMode::kMmap);
+  const Status refused = strict->LoadFrom(v2_path);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition)
+      << refused.ToString();
+  EXPECT_EQ(strict->Snapshot(), nullptr);
+  EXPECT_EQ(strict->reload_failures(), 1u);
+  ASSERT_TRUE(strict->LoadFrom(*base_path_).ok());
+  EXPECT_TRUE(strict->Snapshot()->index.is_mmap_backed());
+
+  // kAuto maps the v3 file and silently copies the v2 one; both serve.
+  auto automatic = MakeRegistry(ArtifactLoadMode::kAuto);
+  ASSERT_TRUE(automatic->LoadFrom(*base_path_).ok());
+  EXPECT_TRUE(automatic->Snapshot()->index.is_mmap_backed());
+  ASSERT_TRUE(automatic->LoadFrom(v2_path).ok());
+  EXPECT_FALSE(automatic->Snapshot()->index.is_mmap_backed());
+}
+
+TEST_F(MmapDifferentialTest, DeltaChainMatchesFullRebuildBitwise) {
+  const std::vector<Exchange> trace = QueryTrace();
+  std::vector<std::vector<std::string>> chained;
+  std::vector<std::vector<std::string>> rebuilt;
+  std::vector<std::string> pre_chain;
+
+  for (const auto mode :
+       {ArtifactLoadMode::kHeap, ArtifactLoadMode::kMmap}) {
+    auto chain = MakeRegistry(mode);
+    ASSERT_TRUE(chain->LoadFrom(*base_path_).ok());
+    if (mode == ArtifactLoadMode::kHeap) {
+      pre_chain = ServeTrace(chain.get(), trace);
+    }
+    ASSERT_TRUE(chain->LoadDeltaFrom(*delta12_path_).ok());
+    ASSERT_TRUE(chain->LoadDeltaFrom(*delta23_path_).ok());
+    const auto snapshot = chain->Snapshot();
+    EXPECT_EQ(snapshot->index.is_mmap_backed(),
+              mode == ArtifactLoadMode::kMmap);
+    EXPECT_EQ(snapshot->index.artifact_generation(), 3u);
+    EXPECT_EQ(snapshot->delta_path, *delta23_path_);
+    chained.push_back(ServeTrace(chain.get(), trace));
+
+    auto full = MakeRegistry(mode);
+    ASSERT_TRUE(full->LoadFrom(*full3_path_).ok());
+    EXPECT_EQ(full->Snapshot()->index.artifact_generation(), 3u);
+    rebuilt.push_back(ServeTrace(full.get(), trace));
+  }
+
+  ASSERT_EQ(chained.size(), 2u);
+  ASSERT_EQ(rebuilt.size(), 2u);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    // COW overlay == heap re-patch == full artifact, in either load mode:
+    // four ways to reach generation 3, one set of response bytes.
+    EXPECT_EQ(chained[0][i], chained[1][i])
+        << "chain heap vs mmap: " << trace[i].target << " " << trace[i].body;
+    EXPECT_EQ(rebuilt[0][i], rebuilt[1][i])
+        << "full heap vs mmap: " << trace[i].target << " " << trace[i].body;
+    EXPECT_EQ(chained[0][i], rebuilt[0][i])
+        << "chain vs full rebuild: " << trace[i].target << " "
+        << trace[i].body;
+  }
+
+  // The chain genuinely moved the estimates (user 1's pi row was rotated
+  // in generation 2), and genuinely grew the model: the user and word that
+  // 404'd against the base resolve after the chain lands.
+  EXPECT_NE(pre_chain[0], chained[0][0]);
+  EXPECT_NE(pre_chain[8], chained[0][8]);
+  EXPECT_EQ(chained[0][8].substr(0, 3), "200");
+  EXPECT_EQ(chained[0][10].substr(0, 3), "200");
+}
+
+TEST_F(MmapDifferentialTest, AdminReloadDeltaIsByteIdenticalAcrossLoadModes) {
+  // The same chain, driven over the wire: POST /admin/reload {"delta":...}
+  // twice, with the queries interleaved, then every delta-specific error
+  // path, then the scrape views. Both registries walk identical load
+  // sequences, so even /metricsz and /statsz must compare raw.
+  std::vector<Exchange> trace;
+  trace.push_back(
+      {"POST", "/admin/reload", R"({"delta":")" + *delta12_path_ + R"("})"});
+  trace.push_back(
+      {"POST", "/v1/query",
+       R"({"type":"membership","user":1,"top_k":4,"include_distribution":true})"});
+  trace.push_back(
+      {"POST", "/admin/reload", R"({"delta":")" + *delta23_path_ + R"("})"});
+  for (Exchange& exchange : QueryTrace()) trace.push_back(std::move(exchange));
+  // "path" and "delta" are mutually exclusive -> 400, nothing swaps.
+  trace.push_back({"POST", "/admin/reload",
+                   R"({"path":")" + *full3_path_ + R"(","delta":")" +
+                       *delta12_path_ + R"("})"});
+  // Replaying a consumed delta -> 500 (it patches generation 1, the
+  // registry serves generation 3); the old model keeps serving.
+  trace.push_back(
+      {"POST", "/admin/reload", R"({"delta":")" + *delta12_path_ + R"("})"});
+  // A delta against a name that never loaded -> 409 FailedPrecondition.
+  trace.push_back({"POST", "/admin/reload",
+                   R"({"model":"ghost","delta":")" + *delta12_path_ + R"("})"});
+  trace.push_back({"GET", "/v1/models", ""});
+  trace.push_back({"GET", "/metricsz", ""});
+  trace.push_back({"GET", "/statsz", ""});
+
+  std::vector<std::vector<std::string>> results;
+  for (const auto mode :
+       {ArtifactLoadMode::kHeap, ArtifactLoadMode::kMmap}) {
+    auto registry = MakeRegistry(mode);
+    ASSERT_TRUE(registry->LoadFrom(*base_path_).ok());
+    results.push_back(ServeTrace(registry.get(), trace));
+    const auto snapshot = registry->Snapshot();
+    EXPECT_EQ(snapshot->index.artifact_generation(), 3u);
+    EXPECT_EQ(snapshot->index.is_mmap_backed(),
+              mode == ArtifactLoadMode::kMmap);
+  }
+
+  ASSERT_EQ(results.size(), 2u);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(results[0][i], results[1][i])
+        << trace[i].method << " " << trace[i].target << " " << trace[i].body;
+  }
+  // The reload responses publish the lineage: registry load counter 2 then
+  // 3, each naming the delta it applied.
+  EXPECT_EQ(results[0][0].substr(0, 3), "200");
+  EXPECT_NE(results[0][0].find("\"generation\":2"), std::string::npos);
+  EXPECT_NE(results[0][0].find(*delta12_path_), std::string::npos);
+  EXPECT_EQ(results[0][2].substr(0, 3), "200");
+  EXPECT_NE(results[0][2].find("\"generation\":3"), std::string::npos);
+  const size_t tail = trace.size();
+  EXPECT_EQ(results[0][tail - 6].substr(0, 3), "400");  // path+delta clash.
+  EXPECT_EQ(results[0][tail - 5].substr(0, 3), "500");  // stale delta base.
+  EXPECT_EQ(results[0][tail - 4].substr(0, 3), "409");  // ghost model.
+}
+
+}  // namespace
+}  // namespace cpd

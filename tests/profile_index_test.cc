@@ -167,6 +167,25 @@ TEST_F(ProfileIndexTest, LoadBinaryRejectsTruncatedFile) {
     EXPECT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
     EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange)
         << "kept " << keep << " bytes";
+    // A cut inside the body must name the section whose bytes went
+    // missing, so a torture-test failure is diagnosable from the message.
+    if (keep > 76) {
+      EXPECT_NE(loaded.status().message().find("section"), std::string::npos)
+          << "kept " << keep << " bytes: " << loaded.status().ToString();
+    }
+  }
+  // The legacy sequential format names the truncated section too.
+  ModelArtifact legacy_artifact = model_->ToArtifact();
+  ArtifactWriteOptions v2_options;
+  v2_options.version = 2;
+  auto v2 = EncodeModelArtifact(legacy_artifact, v2_options);
+  ASSERT_TRUE(v2.ok());
+  {
+    const auto loaded = DecodeModelArtifact(v2->substr(0, v2->size() / 2));
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+    EXPECT_NE(loaded.status().message().find("section"), std::string::npos)
+        << loaded.status().ToString();
   }
   // Trailing garbage is rejected too (a truncated *next* artifact would
   // otherwise hide there).
@@ -476,11 +495,13 @@ TEST_F(ProfileIndexTest, ArtifactWithoutVocabularyLoadsWithNullVocab) {
 
 TEST_F(ProfileIndexTest, Version1ArtifactsStillLoad) {
   const std::string path = TempPath("v1_compat.cpdb");
-  ASSERT_TRUE(model_->SaveBinary(path).ok());
-  auto bytes = ReadFileToString(path);
+  // The default save is v3 now, so build the v2 bytes explicitly, then
+  // rewrite them as a v1 artifact: version byte back to 1, drop the
+  // trailing empty vocabulary section (one u64 count).
+  ArtifactWriteOptions v2_options;
+  v2_options.version = 2;
+  auto bytes = EncodeModelArtifact(model_->ToArtifact(), v2_options);
   ASSERT_TRUE(bytes.ok());
-  // Rewrite as a v1 artifact: version byte back to 1, drop the trailing
-  // empty vocabulary section (one u64 count).
   std::string v1 = *bytes;
   ASSERT_EQ(v1[8], 2);
   v1[8] = 1;

@@ -37,13 +37,14 @@ void Usage(const char* argv0) {
                "          --users N --docs docs.tsv --friends friends.tsv "
                "--diffusion diffusion.tsv\n"
                "          [--warm_iters 2] [--threads 1] [--shards 0]\n"
-               "          [--seed 42] [--save_graph prefix]\n",
+               "          [--seed 42] [--save_graph prefix] [--emit_delta 0]\n",
                argv0);
 }
 
 const std::set<std::string> kKnownFlags = {
     "model", "update",     "out",     "users",  "docs", "friends",
-    "diffusion", "warm_iters", "threads", "shards", "seed", "save_graph"};
+    "diffusion", "warm_iters", "threads", "shards", "seed", "save_graph",
+    "emit_delta"};
 
 }  // namespace
 
@@ -79,7 +80,16 @@ int main(int argc, char** argv) {
   auto graph =
       std::make_shared<const cpd::SocialGraph>(std::move(*loaded));
 
-  auto model = cpd::CpdModel::LoadBinary(args["model"]);
+  // Decode the artifact (not just the model) so the base generation stamp
+  // survives into any emitted delta.
+  auto artifact = cpd::ReadModelArtifact(args["model"]);
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 artifact.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t base_generation = artifact->generation;
+  auto model = cpd::CpdModel::FromArtifact(std::move(*artifact));
   if (!model.ok()) {
     std::fprintf(stderr, "model load failed: %s\n",
                  model.status().ToString().c_str());
@@ -101,6 +111,10 @@ int main(int argc, char** argv) {
   options.config.num_shards = static_cast<int>(int_flag("shards", 0));
   options.config.seed = cpd::GetUint64FlagOrExit(args, "seed", 42, usage);
   options.warm_iterations = static_cast<int>(int_flag("warm_iters", 2));
+  // --emit_delta 1 also writes "<out minus .cpdb>.cpdd": the diff against
+  // the input artifact, for POST /admin/reload {"delta": ...} publication.
+  options.write_delta = int_flag("emit_delta", 0) != 0;
+  options.base_generation = base_generation;
 
   auto pipeline =
       cpd::ingest::IngestPipeline::Create(graph, *model, std::move(options));
@@ -133,6 +147,12 @@ int main(int argc, char** argv) {
       result->vocab_size, result->apply_seconds, result->warm_seconds,
       result->save_seconds, result->total_seconds,
       result->link_log_likelihood);
+  if (!result->delta_path.empty()) {
+    std::printf("  delta -> %s (%zu bytes vs %zu full; generation %llu)\n",
+                result->delta_path.c_str(), result->delta_bytes,
+                result->artifact_bytes,
+                static_cast<unsigned long long>(result->generation));
+  }
 
   if (args.count("save_graph")) {
     const std::string prefix = args["save_graph"];

@@ -65,7 +65,7 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --model model.cpdb [--vocab vocab.tsv] [--top_k 5]\n"
-               "          [--precompute 1]\n"
+               "          [--precompute 1] [--load_mode auto|heap|mmap]\n"
                "          [--port 8080] [--host 127.0.0.1] [--threads 4]\n"
                "          [--io_mode epoll|blocking] [--max_connections "
                "1024]\n"
@@ -76,7 +76,7 @@ void Usage(const char* argv0) {
                "          [--users N --docs docs.tsv --friends friends.tsv "
                "--diffusion diffusion.tsv]\n"
                "          [--warm_iters 2] [--ingest_threads 1] "
-               "[--ingest_out base]\n",
+               "[--ingest_out base] [--emit_delta 0]\n",
                argv0);
 }
 
@@ -86,7 +86,8 @@ const std::set<std::string> kKnownFlags = {
     "max_inflight",     "deadline_ms",  "warm_iters",  "ingest_threads",
     "ingest_out",       "io_mode",      "max_connections",
     "coalesce_window_us", "coalesce_max", "precompute",
-    "log_level", "metrics", "slow_request_ms"};
+    "log_level", "metrics", "slow_request_ms",
+    "load_mode", "emit_delta"};
 
 std::atomic<bool> g_shutdown{false};
 
@@ -141,6 +142,18 @@ int main(int argc, char** argv) {
   // --precompute 0 serves through the naive reference kernels (saves
   // (|C|+|V|+|C|^2)*|Z| doubles of index memory per generation).
   index_options.precompute_scoring = int_flag("precompute", 1) != 0;
+  // --load_mode mmap serves the v3 artifact straight off the page cache
+  // (and makes non-v3 inputs a hard error); heap forces the copying
+  // reference path; auto (default) maps v3 and copies everything else.
+  if (args.count("load_mode")) {
+    auto mode = cpd::serve::ParseArtifactLoadMode(args["load_mode"]);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "%s\n", mode.status().message().c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+    index_options.load_mode = *mode;
+  }
 
   std::shared_ptr<const cpd::SocialGraph> graph;
   if (args.count("docs")) {
@@ -213,6 +226,12 @@ int main(int argc, char** argv) {
           static_cast<int>(int_flag("warm_iters", 2));
       ingest_options.artifact_base =
           args.count("ingest_out") ? args["ingest_out"] : args["model"];
+      // --emit_delta 1: each batch also writes the ".cpdd" diff against the
+      // previous generation, and /admin/ingest swaps it in copy-on-write
+      // when the serving model is mmap-backed.
+      ingest_options.write_delta = int_flag("emit_delta", 0) != 0;
+      ingest_options.base_generation =
+          registry.Snapshot()->index.artifact_generation();
       auto created = cpd::ingest::IngestPipeline::Create(graph, *trained,
                                                          ingest_options);
       if (!created.ok()) {
